@@ -1,0 +1,114 @@
+"""E10 — Theorem 4 + Proposition 6: uniform probabilistic volume
+approximation in FO + POLY + SUM + W.
+
+Paper claims: with the witness operator, a single sample of size
+M = max((4/eps) log(2/delta), (C log|D|/eps) log(13/eps)) approximates
+VOL_I(phi(a, D)) within eps for *all* parameters a simultaneously, with
+probability >= 1 - delta; C is the Proposition 6 constant, instantiable
+by Goldberg-Jerrum as C = 16k(p+q)(log(8edps)+1).
+
+Reproduction: a parameterised semi-algebraic query (disks whose radius is
+driven by the database); the sup-error over a parameter grid must fall
+below eps in >= 1-delta of independent repetitions, and the sample size
+must scale like log|D| as the database grows (the Proposition 6 law).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import UniformVolumeApproximator, theorem4_sample_size
+from repro.db import FiniteInstance, Schema
+from repro.logic import Relation, exists_adom, variables
+from repro.vc import goldberg_jerrum_constant_for_query
+
+from conftest import print_table
+
+from fractions import Fraction
+
+a, y1, y2, t = variables("a y1 y2 t")
+R = Relation("R", 1)
+
+
+def query():
+    """phi(a; y1, y2): (y1, y2) inside the disk of radius r*a centred at
+    (1/2, 1/2), with r drawn from the database."""
+    return exists_adom(
+        t,
+        R(t)
+        & ((y1 - Fraction(1, 2)) ** 2 + (y2 - Fraction(1, 2)) ** 2
+           < (a * t) ** 2),
+    )
+
+
+def true_volume(parameter: float) -> float:
+    """VOL_I of phi(parameter, D): a disk of radius parameter/2 centred in
+    I^2 (fully inside the cube for parameter <= 1)."""
+    import math
+
+    return math.pi * (parameter * 0.5) ** 2
+
+
+def test_e10_uniform_approximation(rng, benchmark):
+    schema = Schema.make({"R": 1})
+    instance = FiniteInstance.make(schema, {"R": [Fraction(1, 2)]})
+    epsilon, delta = 0.05, 0.2
+    grid = [0.2, 0.4, 0.6, 0.8, 1.0]
+    repetitions = 10
+
+    def run():
+        failures = 0
+        sup_errors = []
+        for _ in range(repetitions):
+            approx = UniformVolumeApproximator(
+                query(), instance, ("a",), ("y1", "y2"),
+                epsilon=epsilon, delta=delta, rng=rng, sample_size=4000,
+            )
+            worst = 0.0
+            for value in grid:
+                truth = true_volume(value)
+                estimate = approx.estimate([value])
+                worst = max(worst, abs(estimate - truth))
+            sup_errors.append(worst)
+            if worst >= epsilon:
+                failures += 1
+        return sup_errors, failures
+
+    sup_errors, failures = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[i, f"{err:.4f}", "yes" if err < epsilon else "NO"]
+            for i, err in enumerate(sup_errors)]
+    print_table(
+        f"E10a: sup-error over the parameter grid (eps={epsilon}, delta={delta})",
+        ["repetition", "sup-error", "< eps"],
+        rows,
+    )
+    # Theorem 4: failure frequency <= delta (allow one extra for luck).
+    assert failures <= max(1, int(delta * repetitions) + 1)
+
+
+def test_e10_sample_size_scaling(benchmark):
+    constant = goldberg_jerrum_constant_for_query(
+        query(), point_arity=2, max_relation_arity=1
+    )
+    sizes = (4, 16, 64, 256, 1024)
+
+    def run():
+        return [theorem4_sample_size(0.1, 0.1, constant, n) for n in sizes]
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    import math
+
+    rows = [
+        [n, m, f"{m / math.log2(n):.0f}"]
+        for n, m in zip(sizes, samples)
+    ]
+    print_table(
+        f"E10b: Theorem 4 sample size vs |D| (C = {constant:.1f})",
+        ["|D|", "M", "M / log2|D|"],
+        rows,
+    )
+    # M grows ~ C log|D| / eps * log(13/eps): ratios to log2|D| level off.
+    ratios = [m / math.log2(n) for n, m in zip(sizes, samples)]
+    assert samples == sorted(samples)
+    assert max(ratios) / min(ratios) < 1.05

@@ -1,0 +1,76 @@
+"""E1 — Section 3 example: blow-up of the Karpinski-Macintyre construction.
+
+Paper claim: for the query phi(x1, x2; y1, y2) = U(x1) & U(x2) &
+x1 < y1 < x2 & 0 <= y2 <= y1, with U of n = 100 elements and eps = 1/10,
+the derandomised approximation formula has **at least 10^9 atomic
+subformulae and at least 10^11 quantifiers** (after plugging the database,
+which already yields > 2n atoms).
+
+Reproduction: the cost model of :mod:`repro.approx.km_cost` instantiated
+on the same query/database, swept over eps and n.  Criterion: the model's
+lower bounds dominate the paper's floors at (eps = 1/10, n = 100), and
+both counts grow as eps shrinks and n grows.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.approx import km_cost_for_query
+from repro.db import FiniteInstance, Schema
+from repro.logic import Relation, variables
+
+from conftest import print_table
+
+
+def _query():
+    U = Relation("U", 1)
+    x1, x2, y1, y2 = variables("x1 x2 y1 y2")
+    return U(x1) & U(x2) & (x1 < y1) & (y1 < x2) & (0 <= y2) & (y2 <= y1)
+
+
+def _database(n: int) -> FiniteInstance:
+    schema = Schema.make({"U": 1})
+    return FiniteInstance.make(
+        schema, {"U": [Fraction(i, n + 1) for i in range(1, n + 1)]}
+    )
+
+
+def test_e1_km_blowup(benchmark):
+    query = _query()
+    rows = []
+    sweep = [(0.5, 10), (0.25, 10), (0.1, 10), (0.1, 50), (0.1, 100), (0.05, 100)]
+
+    def run_sweep():
+        results = []
+        for epsilon, n in sweep:
+            cost = km_cost_for_query(
+                query, _database(n), param_vars=2, point_vars=2, epsilon=epsilon
+            )
+            results.append((epsilon, n, cost))
+        return results
+
+    results = benchmark(run_sweep)
+
+    for epsilon, n, cost in results:
+        rows.append(
+            [epsilon, n, cost.plugged_atoms, f"{cost.sample_size:.3g}",
+             f"{cost.atoms:.3g}", f"{cost.quantifiers:.3g}"]
+        )
+    print_table(
+        "E1: KM construction size (paper floors at eps=0.1, n=100: "
+        "atoms >= 1e9, quantifiers >= 1e11)",
+        ["eps", "n", "plugged atoms s0", "sample M", "atoms >=", "quantifiers >="],
+        rows,
+    )
+
+    headline = next(c for e, n, c in results if e == 0.1 and n == 100)
+    # Paper's statements, verified:
+    assert headline.plugged_atoms > 2 * 100          # "> 2n atomic subformulae"
+    assert headline.atoms >= 10**9                   # ">= 10^9 atoms"
+    assert headline.quantifiers >= 10**11            # ">= 10^11 quantifiers"
+    # Monotonicity of the blow-up:
+    by_eps = [c.atoms for e, n, c in results if n == 10]
+    assert by_eps == sorted(by_eps)                  # shrinking eps inflates
+    by_n = [c.atoms for e, n, c in results if e == 0.1]
+    assert by_n == sorted(by_n)                      # growing n inflates

@@ -1,0 +1,71 @@
+"""E2 — Section 3: the VC sample bound M(eps, delta, d) and uniform
+volume estimation from one sample.
+
+Paper claim (Blumer et al., as used in Lemma 1's machinery): a random
+sample of size M > max((4/eps) log(2/delta), (8d/eps) log(13/eps)) gives,
+with probability >= 1 - delta, simultaneously for all parameters a,
+|fraction of sample in phi(a) - VOL_I(phi(a))| < eps.
+
+Reproduction: for the definable family of lower-left boxes
+phi(a1, a2; y1, y2) = (0 <= y1 <= a1) & (0 <= y2 <= a2) (VC dimension 2),
+draw M(eps, delta, 2) points and measure the empirical sup-error over a
+parameter grid.  Criterion: sup-error < eps on the seeded run, and the
+bound M scales as the formula dictates.  Ablation A3: the VC bound vs the
+per-query Hoeffding bound (which does NOT promise uniformity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import hoeffding_sample_size
+from repro.vc import blumer_sample_size
+
+from conftest import print_table
+
+
+def sup_error(sample: np.ndarray, grid: np.ndarray) -> float:
+    worst = 0.0
+    for a1 in grid:
+        for a2 in grid:
+            hits = np.count_nonzero((sample[:, 0] <= a1) & (sample[:, 1] <= a2))
+            estimate = hits / sample.shape[0]
+            worst = max(worst, abs(estimate - a1 * a2))
+    return worst
+
+
+def test_e2_sample_bounds(rng, benchmark):
+    delta = 0.1
+    vc_dim = 2  # lower-left boxes in the plane
+    grid = np.linspace(0.0, 1.0, 11)
+    rows = []
+    results = {}
+
+    def run():
+        out = {}
+        for epsilon in (0.2, 0.1, 0.05):
+            m = blumer_sample_size(epsilon, delta, vc_dim)
+            sample = rng.random((m, 2))
+            out[epsilon] = (m, sup_error(sample, grid))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for epsilon, (m, worst) in results.items():
+        rows.append(
+            [epsilon, m, hoeffding_sample_size(epsilon, delta), f"{worst:.4f}",
+             "yes" if worst < epsilon else "NO"]
+        )
+    print_table(
+        "E2: one VC-sized sample approximates all parameters at once",
+        ["eps", "M (VC bound)", "Hoeffding m (single query)", "sup-error", "< eps"],
+        rows,
+    )
+
+    for epsilon, (m, worst) in results.items():
+        assert worst < epsilon, f"sup-error {worst} >= eps {epsilon}"
+        # The uniform bound costs more than the single-query bound (A3).
+        assert m > hoeffding_sample_size(epsilon, delta)
+    # The bound formula scales like d/eps * log(1/eps).
+    assert blumer_sample_size(0.05, delta, vc_dim) > 2 * blumer_sample_size(
+        0.2, delta, vc_dim
+    )

@@ -1,0 +1,85 @@
+"""E3 — Proposition 1 / Theorem 1: no separating sentences; AVG reduction.
+
+Paper claims:
+(1) Proposition 1 — no (c1, c2)-separating sentence over (U1, U2, <) is
+    FO-definable.  Reproduction: for each quantifier rank r, the EF-game
+    certificate — a pair of instances on opposite sides of the band that
+    the duplicator equalises at rank r — succeeds, refuting *every* rank-r
+    sentence at once.
+(2) Theorem 1's reduction — the translation of (U1, U2) into (0, Delta)
+    and (1 - Delta, 1) makes AVG a monotone function of the cardinality
+    ratio, so an eps-approximation of AVG (eps < 1/2) would decide the
+    ratio and contradict (1).  Reproduction: the decision derived from the
+    exact average, perturbed by any noise up to eps, classifies U1-heavy
+    vs U2-heavy instances correctly.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.inexpressibility import (
+    avg_reduction,
+    ef_refutation_pair,
+    refute_rank,
+    separation_constants,
+)
+
+from conftest import print_table
+
+
+def test_e3_ef_refutation(benchmark):
+    c1 = c2 = 2.0
+    ranks = (1, 2, 3)
+
+    def run():
+        return {rank: refute_rank(c1, c2, rank) for rank in ranks}
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for rank in ranks:
+        a, b = ef_refutation_pair(c1, c2, rank)
+        rows.append(
+            [rank, f"U1={a.cardinalities()['U1']},U2={a.cardinalities()['U2']}",
+             f"U1={b.cardinalities()['U1']},U2={b.cardinalities()['U2']}",
+             "duplicator" if outcomes[rank] else "spoiler"]
+        )
+    print_table(
+        "E3a: EF certificates against (2,2)-separating sentences",
+        ["rank r", "instance A (U1-heavy)", "instance B (U2-heavy)", "winner"],
+        rows,
+    )
+    assert all(outcomes.values()), "duplicator must win at every rank"
+
+
+def test_e3_avg_reduction(benchmark):
+    epsilon = Fraction(1, 10)
+    c, _ = separation_constants(epsilon)
+    cases = [(int(4 * c) + 1, 1), (40, 1), (1, int(4 * c) + 1), (1, 40)]
+
+    def run():
+        out = []
+        for n1, n2 in cases:
+            reduction = avg_reduction(list(range(n1)), list(range(n2)), epsilon)
+            expected = "U1-heavy" if n1 > n2 else "U2-heavy"
+            worst_ok = all(
+                reduction.decide_ratio(reduction.average + noise, c) == expected
+                for noise in (
+                    -epsilon + Fraction(1, 1000), Fraction(0), epsilon - Fraction(1, 1000)
+                )
+            )
+            out.append((n1, n2, reduction.average, expected, worst_ok))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n1, n2, f"{float(avg):.4f}", expected, "yes" if ok else "NO"]
+        for n1, n2, avg, expected, ok in results
+    ]
+    print_table(
+        f"E3b: Theorem 1 reduction (eps=1/10, derived c={c})",
+        ["card U1", "card U2", "exact AVG", "class", "robust to eps noise"],
+        rows,
+    )
+    assert all(ok for *_, ok in results)

@@ -1,0 +1,73 @@
+"""E4 — Proposition 4: the trivial 1/2-approximation is definable and is
+the best possible.
+
+Paper claim: FO + LIN defines VOL_I^eps for eps >= 1/2 — "if the volume is
+not 0 or 1, then 1/2 is the eps-approximation" — and (Theorem 2) nothing
+better is definable.
+
+Reproduction: over a family of random semi-linear subsets of I^2, the
+trivial operator's error is always <= 1/2, attains values arbitrarily
+close to 1/2 (so no smaller eps would do for *this* operator), and is
+exact on the 0/1 boundary cases.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.approx import trivial_vol_approximation
+from repro.geometry import formula_volume_unit_cube
+from repro.logic import between, variables
+
+from conftest import print_table
+
+x, y = variables("x y")
+
+
+def random_semilinear(rng):
+    """A random union of up to 3 axis-aligned boxes inside I^2."""
+    from repro.logic import disjunction
+
+    parts = []
+    for _ in range(int(rng.integers(1, 4))):
+        x0, x1 = sorted(Fraction(int(v), 16) for v in rng.integers(0, 17, 2))
+        y0, y1 = sorted(Fraction(int(v), 16) for v in rng.integers(0, 17, 2))
+        if x0 < x1 and y0 < y1:
+            parts.append(between(x0, x, x1) & between(y0, y, y1))
+    if not parts:
+        return between(0, x, Fraction(1, 2)) & between(0, y, 1)
+    return disjunction(*parts)
+
+
+def test_e4_trivial_approximation(rng, benchmark):
+    formulas = [random_semilinear(rng) for _ in range(12)]
+    formulas.append((x > 2) & (y > 2))          # volume 0
+    formulas.append((x > -1) & (y > -1))        # volume 1
+
+    def run():
+        out = []
+        for formula in formulas:
+            estimate = trivial_vol_approximation(formula, ("x", "y"))
+            truth = formula_volume_unit_cube(formula, ("x", "y"))
+            out.append((estimate, truth))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [i, str(truth), str(estimate), f"{float(abs(estimate - truth)):.4f}"]
+        for i, (estimate, truth) in enumerate(results)
+    ]
+    print_table(
+        "E4: trivial 1/2-approximation (error always <= 1/2; exact at 0/1)",
+        ["case", "true VOL_I", "estimate", "|error|"],
+        rows,
+    )
+
+    for estimate, truth in results:
+        assert abs(estimate - truth) <= Fraction(1, 2)
+    # Boundary cases answered exactly:
+    assert results[-2] == (0, 0)
+    assert results[-1] == (1, 1)
+    # The middle cases all answer 1/2 (that is the operator's whole point).
+    assert any(estimate == Fraction(1, 2) for estimate, _ in results[:-2])

@@ -1,0 +1,116 @@
+"""E5 — Theorem 2's engine: good instances, the volume reduction, and the
+failure of fixed circuits on shrinking gaps.
+
+Paper claims (Lemmas 2-3):
+(1) Mapping a good instance (A = {0..n-1}, B) into [0, 1] with equal
+    spacing, VOL(X) tracks card(B)/n, so an eps-approximate volume yields
+    a (c1, c2)-good sentence with c1 = (1-2 eps)/3, c2 = (2+2 eps)/3.
+(2) A (c1, c2)-good FO_act sentence would compile to constant-depth
+    polynomial-size circuits separating cardinalities < c1 n from > c2 n,
+    and in particular some cardinalities in [sqrt(n), n - sqrt(n)] — which
+    AC^0 circuits cannot do.
+
+Reproduction: (1) the decision rule derived from the exact volume (a
+perfect eps-approximator) satisfies the good-sentence contract on every
+block size, for several n; (2) every candidate in a pool of fixed
+FO_act sentences, compiled to circuits, fails the separation for large
+enough n while its depth stays constant and its size stays polynomial.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.inexpressibility import (
+    GoodInstance,
+    compile_sentence,
+    good_constants,
+    interval_sets,
+    separates_cardinalities,
+    volume_decision,
+)
+from repro.logic import Relation, exists_adom, forall_adom, variables
+
+from conftest import print_table
+
+x, y = variables("x y")
+B = Relation("B", 1)
+
+#: Fixed FO_act candidates (each a would-be good sentence).
+CANDIDATES = {
+    "exists B":            exists_adom(x, B(x)),
+    "B has >= 2 elements": exists_adom(x, exists_adom(y, B(x) & B(y) & (x < y))),
+    "B hits second half":  exists_adom(x, B(x) & exists_adom(y, (~B(y)) & (y < x))),
+    "all late are B":      forall_adom(x, B(x) | (x < 1)),
+}
+
+
+def test_e5_volume_reduction(benchmark):
+    epsilon = Fraction(1, 10)
+    c1, c2 = good_constants(epsilon)
+
+    def run():
+        rows = []
+        violations = 0
+        for n in (9, 30, 60):
+            correct = 0
+            total = 0
+            for size in range(1, n):
+                instance = GoodInstance.make(n, list(range(size)))
+                decision = volume_decision(instance, epsilon)
+                if size < c1 * n and decision:
+                    violations += 1
+                elif size > c2 * n and not decision:
+                    violations += 1
+                else:
+                    correct += 1
+                total += 1
+            x_set, _ = interval_sets(GoodInstance.make(n, list(range(n // 2))))
+            rows.append([n, str(c1), str(c2), f"{float(x_set.measure()):.3f}",
+                         f"{correct}/{total}"])
+        return rows, violations
+
+    rows, violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E5a: the volume-based (c1,c2)-good sentence contract",
+        ["n", "c1", "c2", "VOL(X) at |B|=n/2", "contract rows OK"],
+        rows,
+    )
+    assert violations == 0
+
+
+def test_e5_circuits_fail(benchmark):
+    epsilon = Fraction(1, 10)
+    c1, c2 = (float(v) for v in good_constants(epsilon))
+
+    def run():
+        rows = []
+        all_fail_at_largest = True
+        for name, sentence in CANDIDATES.items():
+            failure_n = None
+            size_at, depth_at = {}, {}
+            for n in (8, 16, 32, 64):
+                circuit = compile_sentence(sentence, n)
+                size_at[n], depth_at[n] = circuit.size(), circuit.depth()
+                if not separates_cardinalities(circuit, c1, c2):
+                    failure_n = failure_n or n
+            rows.append([name, failure_n, depth_at[8], depth_at[64],
+                         size_at[8], size_at[64]])
+            if failure_n is None:
+                all_fail_at_largest = False
+        return rows, all_fail_at_largest
+
+    rows, all_fail = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E5b: fixed FO_act sentences compiled to circuits fail to separate "
+        f"(c1={c1:.3f}, c2={c2:.3f})",
+        ["candidate", "fails at n", "depth n=8", "depth n=64",
+         "size n=8", "size n=64"],
+        rows,
+    )
+    assert all_fail, "every fixed candidate must fail at some tested n"
+    # Constant depth, polynomial size — the AC^0 shape of Lemma 3.
+    for row in rows:
+        assert row[2] == row[3], "depth must not grow with n"
+        assert row[5] <= 64**3, "size must stay polynomial"

@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module regenerates one experiment from DESIGN.md's
+per-experiment index (the paper has no numbered tables/figures; the
+experiments reproduce its worked example, constructive theorems and
+closed-form bounds).  Every module prints the rows it reproduces — run
+with ``-s`` to see them — and asserts the reproduction criterion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(19990531)  # PODS'99
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render an experiment's rows the way the paper would report them."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,84 @@
+"""Approximate volumes of semi-algebraic sets: Theorem 4 in action.
+
+Run:  python examples/approx_volume_sampling.py
+
+Semi-algebraic sets (here: parameterised disks) have no exact volume
+inside the constraint language — the paper proves no well-behaved
+first-order language can even *approximate* VOL_I uniformly.  What FO +
+POLY + SUM + W offers instead (Theorem 4) is a probabilistic operator:
+one witness-drawn sample approximates the volume for *every* parameter
+value at once.  This script
+
+1. builds a semi-algebraic query phi(a; y1, y2) over a small database,
+2. sizes the sample with the Goldberg-Jerrum constant of Proposition 6,
+3. checks the estimates against closed-form truth across a parameter grid,
+4. contrasts with the infeasible exact-formula route: the Karpinski-
+   Macintyre construction's size for this query (the Section 3 blow-up).
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.approx import km_cost_for_query
+from repro.core import UniformVolumeApproximator, theorem4_sample_size
+from repro.db import FiniteInstance, Schema
+from repro.logic import Relation, exists_adom, variables
+from repro.vc import goldberg_jerrum_constant_for_query
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    a, y1, y2, t = variables("a y1 y2 t")
+    R = Relation("R", 1)
+
+    # The database stores the available radius factors.
+    schema = Schema.make({"R": 1})
+    database = FiniteInstance.make(schema, {"R": [Fraction(1, 2)]})
+
+    # phi(a; y1, y2): the disk of radius a*t centred at (1/2, 1/2).
+    query = exists_adom(
+        t,
+        R(t) & ((y1 - Fraction(1, 2)) ** 2 + (y2 - Fraction(1, 2)) ** 2 < (a * t) ** 2),
+    )
+
+    epsilon, delta = 0.03, 0.1
+    constant = goldberg_jerrum_constant_for_query(
+        query, point_arity=2, max_relation_arity=1
+    )
+    bound = theorem4_sample_size(epsilon, delta, constant, database.size())
+    print(f"Proposition 6 constant C = {constant:.1f}")
+    print(f"Theorem 4 sample bound M(eps={epsilon}, delta={delta}) = {bound:,}")
+
+    # The bound is worst-case; a smaller sample already illustrates the
+    # uniformity. Use the bound if you want the full guarantee.
+    sample_size = 20_000
+    approx = UniformVolumeApproximator(
+        query, database, ("a",), ("y1", "y2"),
+        epsilon=epsilon, delta=delta, rng=rng, sample_size=sample_size,
+    )
+    print(f"\none shared sample of {sample_size:,} witness draws; "
+          "estimates for all parameters:")
+    print(f"  {'a':>5} {'estimate':>10} {'true pi(a/2)^2':>15} {'error':>8}")
+    worst = 0.0
+    for value in (0.2, 0.4, 0.6, 0.8, 1.0):
+        estimate = approx.estimate([value])
+        truth = math.pi * (value / 2) ** 2
+        worst = max(worst, abs(estimate - truth))
+        print(f"  {value:>5} {estimate:>10.4f} {truth:>15.4f} "
+              f"{abs(estimate - truth):>8.4f}")
+    print(f"  sup-error over the grid: {worst:.4f} (target eps = {epsilon})")
+
+    # The exact-formula alternative the paper rules out in practice:
+    cost = km_cost_for_query(query, database, param_vars=1, point_vars=2,
+                             epsilon=epsilon)
+    print("\nKarpinski-Macintyre exact-construction size for the same query:")
+    print(f"  atoms      >= {cost.atoms:.2e}")
+    print(f"  quantifiers>= {cost.quantifiers:.2e}")
+    print("  (compare the paper's Section 3 example: >= 1e9 atoms, "
+          ">= 1e11 quantifiers)")
+
+
+if __name__ == "__main__":
+    main()

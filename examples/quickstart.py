@@ -1,0 +1,77 @@
+"""Quickstart: constraint databases, closure, and exact aggregation.
+
+Run:  python examples/quickstart.py
+
+Walks through the library's core loop on a semi-linear database:
+
+1. define a finitely representable (constraint) database,
+2. run an FO + LIN query and materialise its output *as constraints*
+   (the closure property),
+3. compute the exact volume of the output (Theorem 3),
+4. apply classical SQL-style aggregates through FO + POLY + SUM.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    aggregate_avg,
+    aggregate_count,
+    aggregate_sum,
+    endpoints_range,
+    sum_of_endpoints,
+    volume_of_query,
+)
+from repro.db import FiniteInstance, FRInstance, Schema, output_formula
+from repro.logic import Relation, Var, between, exists, exists_adom, variables
+
+
+def main() -> None:
+    x, y = variables("x y")
+
+    # -- 1. a constraint database ------------------------------------------------
+    # S is the triangle 0 <= y <= x <= 1, stored as linear constraints.
+    schema = Schema.make({"S": 2})
+    database = FRInstance.make(
+        schema, {"S": ((x, y), (0 <= y) & (y <= x) & (x <= 1))}
+    )
+    S = Relation("S", 2)
+    print("database: S(x, y) :=", database.definition("S")[1])
+
+    # -- 2. an FO + LIN query, closed under constraints ---------------------------
+    # "the part of S below the horizontal line y = 1/4"
+    query = S(x, y) & (y <= Fraction(1, 4))
+    output = output_formula(query, database)
+    print("\nquery:   S(x,y) AND y <= 1/4")
+    print("output (quantifier-free constraints):", output)
+
+    # Projection with a real quantifier — still closed:
+    shadow = output_formula(exists(y, S(x, y) & (y > Fraction(1, 2))), database)
+    print("shadow of the top part on x:", shadow)
+
+    # -- 3. exact volume (Theorem 3) -----------------------------------------------
+    area = volume_of_query(query, database, ("x", "y"))
+    print("\nexact area of the output:", area, "=", float(area))
+
+    # -- 4. classical aggregates over a finite instance ---------------------------
+    points_schema = Schema.make({"P": 1})
+    points = FiniteInstance.make(
+        points_schema, {"P": [Fraction(1, 4), Fraction(1, 2), Fraction(7, 8)]}
+    )
+    P = Relation("P", 1)
+    w = Var("w")
+    rho = endpoints_range("w", P(w))
+    print("\nfinite instance P =", sorted(points.relation("P")))
+    print("COUNT(P) =", aggregate_count(points, rho))
+    print("SUM(P)   =", aggregate_sum(points, rho, w))
+    print("AVG(P)   =", aggregate_avg(points, rho, w))
+
+    # The paper's first FO + POLY + SUM example: summing interval endpoints.
+    body = exists_adom(y, P(y) & (0 < x) & (x < y))
+    print(
+        "sum of endpoints of { x : exists p in P, 0 < x < p } =",
+        sum_of_endpoints(points, x, body),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on minimal environments without the
+``wheel`` package (pip falls back to ``setup.py develop`` when no
+``[build-system]`` table forces PEP 517).  All metadata lives in
+``pyproject.toml`` (PEP 621), which setuptools reads.
+"""
+
+from setuptools import setup
+
+setup()

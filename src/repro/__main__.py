@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+``demo``        run a compact end-to-end demonstration (default)
+``volume``      exact VOL_I of a formula given on the command line
+``experiments`` list the paper-reproduction experiments and how to run them
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+
+def _demo() -> None:
+    from repro.core import sum_of_endpoints, volume_of_query
+    from repro.db import FRInstance, FiniteInstance, Schema, output_formula
+    from repro.logic import Relation, exists_adom, variables
+
+    x, y = variables("x y")
+    S = Relation("S", 2)
+    db = FRInstance.make(
+        Schema.make({"S": 2}), {"S": ((x, y), (0 <= y) & (y <= x) & (x <= 1))}
+    )
+    print("repro: Benedikt & Libkin, PODS 1999 — FO + POLY + SUM")
+    print()
+    print("database   S(x, y) :=", db.definition("S")[1])
+    query = S(x, y) & (y <= Fraction(1, 4))
+    print("query      S(x, y) AND y <= 1/4")
+    print("closure    ->", output_formula(query, db))
+    print("volume     ->", volume_of_query(query, db, ("x", "y")), "(exact, Theorem 3)")
+    points = FiniteInstance.make(Schema.make({"P": 1}), {"P": [1, 2, 3]})
+    P = Relation("P", 1)
+    body = exists_adom(y, P(y) & (0 < x) & (x < y))
+    print("END sum    ->", sum_of_endpoints(points, x, body),
+          "(sum of interval endpoints, Section 5 example)")
+    print()
+    print("more: examples/*.py, DESIGN.md, EXPERIMENTS.md")
+
+
+def _volume(args: argparse.Namespace) -> None:
+    from repro.geometry import formula_volume_unit_cube
+    from repro.logic import parse
+
+    formula = parse(args.formula)
+    names = sorted(formula.free_variables())
+    volume = formula_volume_unit_cube(formula, names)
+    print(f"VOL_I({args.formula}) over {', '.join(names)} = {volume} = {float(volume)}")
+
+
+def _experiments() -> None:
+    rows = [
+        ("E1", "Section 3 blow-up example", "bench_e1_km_blowup.py"),
+        ("E2", "VC sample bound", "bench_e2_sample_bounds.py"),
+        ("E3", "separating sentences / AVG reduction", "bench_e3_separating.py"),
+        ("E4", "trivial 1/2-approximation (Prop 4)", "bench_e4_trivial.py"),
+        ("E5", "good instances + AC0 failure (Thm 2)", "bench_e5_good_instances.py"),
+        ("E6", "VCdim >= log |D| (Prop 5)", "bench_e6_vcdim_growth.py"),
+        ("E7", "Loewner-John convex band", "bench_e7_lowner_john.py"),
+        ("E8", "polygon area SUM term (Sec 5)", "bench_e8_polygon_area.py"),
+        ("E9", "exact semi-linear volumes (Thm 3)", "bench_e9_semilinear_volume.py"),
+        ("E10", "uniform witness sampling (Thm 4)", "bench_e10_witness_volume.py"),
+        ("A1", "ablation: FM pruning", "bench_a1_fm_prune.py"),
+    ]
+    print("experiments (run: pytest benchmarks/ --benchmark-only -s):")
+    for key, title, module in rows:
+        print(f"  {key:<4} {title:<42} benchmarks/{module}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exact and Approximate Aggregation in "
+        "Constraint Query Languages' (PODS 1999)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="compact end-to-end demonstration")
+    volume = sub.add_parser("volume", help="exact VOL_I of a linear formula")
+    volume.add_argument("formula", help='e.g. "0 <= y AND y <= x AND x <= 1"')
+    sub.add_parser("experiments", help="list the reproduction experiments")
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "demo"):
+        _demo()
+    elif args.command == "volume":
+        _volume(args)
+    elif args.command == "experiments":
+        _experiments()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

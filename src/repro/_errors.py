@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Sub-classes mark which subsystem raised the error and which
+contract was violated (closure, safety, determinism, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SignatureError(ReproError):
+    """A formula uses operations outside the signature it claims to be in.
+
+    For example, a multiplication of two variables inside a formula that is
+    passed to the FO + LIN (linear constraints) quantifier-elimination
+    procedure.
+    """
+
+
+class NotQuantifierFree(ReproError):
+    """An operation requiring a quantifier-free formula received quantifiers."""
+
+
+class UnboundedSetError(ReproError):
+    """An exact-volume computation was asked for an unbounded set.
+
+    The paper restricts volume to bounded (Lebesgue-measurable) sets; the
+    library mirrors that restriction and raises instead of returning
+    ``inf`` silently.
+    """
+
+
+class NotDeterministicError(ReproError):
+    """A formula used as a deterministic term-former is not deterministic.
+
+    Deterministic formulae ``gamma(x, w)`` must define *at most one* ``x``
+    for every ``w`` (Section 5 of the paper).  The determinism check is
+    decidable; this error is raised when the check fails.
+    """
+
+
+class SafetyError(ReproError):
+    """An aggregation was attempted over a set not guaranteed to be finite.
+
+    FO + POLY + SUM only permits summation over range-restricted
+    expressions.  This error signals either a syntactically ill-formed
+    aggregate or a runtime detection of an infinite range.
+    """
+
+
+class EvaluationError(ReproError):
+    """A query or term could not be evaluated on the given instance."""
+
+
+class QEError(ReproError):
+    """Quantifier elimination failed (unsupported fragment or internal error)."""
+
+
+class GeometryError(ReproError):
+    """A geometric computation received invalid input (e.g. empty dimension)."""
+
+
+class ApproximationError(ReproError):
+    """An approximation operator was configured with invalid parameters."""

@@ -1,0 +1,50 @@
+"""Section 4.3 Remark: relative volume approximation for convex outputs.
+
+For FO + POLY query outputs that are *convex* in k dimensions, a
+Loewner-John ellipsoid gives a relative (c1, c2)-approximation with
+
+    c1 = (k^k + 1) / (2 k^k) - eps,      c2 = (k^k + 1) / 2 + eps,
+
+for arbitrarily small eps > 0 (the eps absorbs the numerical tolerance of
+the ellipsoid computation).  This is the one positive approximation result
+in the inexpressibility section — obtained by stepping *outside* the query
+language.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..geometry.ellipsoid import john_volume_estimate
+from ..geometry.polyhedron import Polyhedron
+from .._errors import ApproximationError, GeometryError
+
+__all__ = ["john_band", "convex_relative_approximation"]
+
+
+def john_band(dimension: int, eps: float = 0.0) -> tuple[float, float]:
+    """The paper's (c1, c2) for convex bodies in R^dimension."""
+    if dimension < 1:
+        raise ApproximationError("dimension must be positive")
+    kk = float(dimension) ** dimension
+    c1 = (kk + 1.0) / (2.0 * kk) - eps
+    c2 = (kk + 1.0) / 2.0 + eps
+    return c1, c2
+
+
+def convex_relative_approximation(
+    polytope: Polyhedron, tolerance: float = 1e-7
+) -> tuple[float, tuple[float, float]]:
+    """Relative approximation of the volume of a bounded convex polytope.
+
+    Returns ``(estimate, (c1, c2))``: the Loewner-John midpoint estimator
+    and the guaranteed relative band it falls in.  Exactness caveat: the
+    MVEE is computed in floating point; the band is the idealised one.
+    """
+    vertices = polytope.closure().vertices()
+    if len(vertices) < polytope.dimension + 1:
+        raise GeometryError("polytope is lower-dimensional or unbounded")
+    points = [[float(c) for c in vertex] for vertex in vertices]
+    estimate, _, _ = john_volume_estimate(points, tolerance=tolerance)
+    return estimate, john_band(polytope.dimension)

@@ -1,0 +1,141 @@
+"""Cost model of the Karpinski-Macintyre / Koiran approximation formulas.
+
+Section 3 of the paper shows that the derandomised VC-dimension-based
+construction of [24, 25, 26] *does* give epsilon-approximation operators
+with semi-algebraic outputs (Lemma 1), but that the formulas it produces
+are astronomically large: for the worked example — the query
+
+    phi(x1, x2; y1, y2) = U(x1) & U(x2) & x1 < y1 < x2 & 0 <= y2 <= y1
+
+with a database U of n elements and eps = 1/10 — the paper counts **at
+least 10^9 atomic subformulae and at least 10^11 quantifiers**.
+
+The construction is never materialised (that is the point); this module
+models its size with explicit, documented accounting so the blow-up can be
+regenerated and swept over (eps, n):
+
+1. *Plugging the database* replaces each schema atom by its finite
+   definition: ``s0 = (rows per relation atom) + comparison atoms``
+   (> 2n for the example).
+2. The *VC dimension* of the plugged definable family is bounded by
+   Proposition 6: ``d = C log2 n`` with the Goldberg-Jerrum constant C
+   computed from the plugged formula's syntax.
+3. The *sample size* is the Blumer et al. bound
+   ``M = max((4/eps) log(2/delta), (8d/eps) log(13/eps))`` (Section 3, with
+   the derandomisation's fixed confidence delta = 1/4).
+4. The sampled formula quantifies over ``N = M * m`` real variables
+   (m = point arity) and instantiates the plugged matrix once per sample
+   point: at least ``M * s0`` atoms plus an M-term counting apparatus.
+5. The *derandomisation* (along BPP in PH, Lautemann-style) wraps this in
+   ``N`` existential translate blocks and one universal block:
+   ``quantifiers ~ (N + 1) * N`` and ``atoms ~ N * (M * s0 + M)``.
+
+All counts are *lower bounds* of the same kind as the paper's ("at least"),
+and the model is intentionally conservative in the same direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..db.instance import FiniteInstance
+from ..db.evaluation import expand_relations
+from ..logic.formulas import Formula
+from ..logic.metrics import count_atoms, max_degree, quantifier_rank
+from ..vc.bounds import blumer_sample_size, goldberg_jerrum_constant
+from .._errors import ApproximationError
+
+__all__ = ["KMCost", "km_cost", "km_cost_for_query"]
+
+#: Fixed confidence used inside the derandomisation (any constant < 1/2 works).
+DERANDOMISATION_DELTA = 0.25
+
+
+@dataclass(frozen=True)
+class KMCost:
+    """Size accounting for one instantiation of the KM construction."""
+
+    epsilon: float
+    database_size: int
+    plugged_atoms: int        # s0: atoms after plugging the database
+    vc_dimension: float       # d = C log2(n)
+    sample_size: int          # M
+    sample_variables: int     # N = M * m
+    quantifiers: int          # >= (N + 1) * N
+    atoms: int                # >= N * (M * s0 + M)
+
+    def summary(self) -> str:
+        return (
+            f"eps={self.epsilon:g} n={self.database_size}: "
+            f"s0={self.plugged_atoms}, d={self.vc_dimension:.0f}, "
+            f"M={self.sample_size:.3g}, quantifiers>={self.quantifiers:.3g}, "
+            f"atoms>={self.atoms:.3g}"
+        )
+
+
+def km_cost(
+    epsilon: float,
+    plugged_atoms: int,
+    point_arity: int,
+    param_arity: int,
+    database_size: int,
+    degree: int = 1,
+    quantifier_rank_value: int = 0,
+    max_relation_arity: int = 1,
+) -> KMCost:
+    """Evaluate the cost model from raw syntactic parameters."""
+    if not 0 < epsilon < 1:
+        raise ApproximationError("epsilon must lie in (0, 1)")
+    if plugged_atoms < 1 or point_arity < 1 or database_size < 2:
+        raise ApproximationError("degenerate parameters for the cost model")
+    constant = goldberg_jerrum_constant(
+        k=param_arity,
+        p=max_relation_arity,
+        q=quantifier_rank_value,
+        d=max(1, degree),
+        s=plugged_atoms,
+    )
+    vc_dim = constant * math.log2(database_size)
+    sample = blumer_sample_size(epsilon, DERANDOMISATION_DELTA, vc_dim)
+    variables = sample * point_arity
+    quantifiers = (variables + 1) * variables
+    atoms = variables * (sample * plugged_atoms + sample)
+    return KMCost(
+        epsilon=epsilon,
+        database_size=database_size,
+        plugged_atoms=plugged_atoms,
+        vc_dimension=vc_dim,
+        sample_size=sample,
+        sample_variables=variables,
+        quantifiers=quantifiers,
+        atoms=atoms,
+    )
+
+
+def km_cost_for_query(
+    query: Formula,
+    instance: FiniteInstance,
+    param_vars: int,
+    point_vars: int,
+    epsilon: float,
+) -> KMCost:
+    """Cost model instantiated from an actual query and finite database.
+
+    The database is *plugged into* the query (relation atoms replaced by
+    their finite encodings) and the plugged formula's syntax drives the
+    model, exactly as in the paper's example.
+    """
+    plugged = expand_relations(query, instance)
+    return km_cost(
+        epsilon=epsilon,
+        plugged_atoms=max(1, count_atoms(plugged)),
+        point_arity=point_vars,
+        param_arity=param_vars,
+        database_size=max(2, instance.size()),
+        degree=max(1, max_degree(plugged)),
+        quantifier_rank_value=quantifier_rank(plugged),
+        max_relation_arity=max(
+            (arity for _, arity in instance.schema.relations), default=1
+        ),
+    )

@@ -1,0 +1,35 @@
+"""(epsilon, delta) Monte Carlo volume approximation.
+
+A thin layer over the hit-or-miss sampler of
+:mod:`repro.geometry.sampling` that chooses the sample size from the
+Hoeffding bound, giving a *per-query* (not uniform-in-parameters)
+probabilistic epsilon-approximation of VOL_I.  The uniform-over-parameters
+version (Theorem 4) is :class:`repro.core.witness.UniformVolumeApproximator`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.sampling import (
+    MonteCarloEstimate,
+    hit_or_miss_volume,
+    hoeffding_sample_size,
+)
+from ..logic.formulas import Formula
+
+__all__ = ["approximate_vol_unit_cube"]
+
+
+def approximate_vol_unit_cube(
+    formula: Formula,
+    variables: Sequence[str],
+    epsilon: float,
+    delta: float,
+    rng: np.random.Generator,
+) -> MonteCarloEstimate:
+    """Estimate VOL_I(formula) within *epsilon* with probability >= 1-delta."""
+    samples = hoeffding_sample_size(epsilon, delta)
+    return hit_or_miss_volume(formula, variables, samples, rng, delta=delta)

@@ -1,0 +1,59 @@
+"""Approximate volume operators: definitions shared across the package.
+
+Section 2 of the paper defines an epsilon-approximation operator VOL_I^eps
+as one producing, for each query ``phi(x, y)``, a formula ``psi(x, z)``
+such that for every parameter a: (1) ``psi(a, .)`` is satisfiable and
+(2) every satisfying z is within eps of ``VOL(phi(a, D) ∩ I^n)``.
+
+Since the paper proves such operators *cannot* be uniformly definable in
+well-behaved constraint languages (Theorem 2), the library represents
+approximation operators semantically: as estimator callables paired with
+validity checkers.  The checkers below verify conditions (2) for the
+absolute and relative notions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable
+
+from .._errors import ApproximationError
+
+__all__ = [
+    "is_valid_absolute_approximation",
+    "is_valid_relative_approximation",
+    "epsilon_band_to_relative",
+]
+
+
+def is_valid_absolute_approximation(
+    estimate: float | Fraction, true_volume: float | Fraction, epsilon: float
+) -> bool:
+    """Condition (2) of the paper's VOL_I^eps: |v - VOL| < eps."""
+    if epsilon <= 0:
+        raise ApproximationError("epsilon must be positive")
+    return abs(float(estimate) - float(true_volume)) < epsilon
+
+
+def is_valid_relative_approximation(
+    estimate: float | Fraction,
+    true_volume: float | Fraction,
+    c1: float,
+    c2: float,
+) -> bool:
+    """The (c1, c2)-relative notion: c1 < estimate/VOL < c2 (VOL > 0)."""
+    if not 0 < c1 < c2:
+        raise ApproximationError("need 0 < c1 < c2")
+    volume = float(true_volume)
+    if volume <= 0:
+        raise ApproximationError("relative approximation needs positive volume")
+    ratio = float(estimate) / volume
+    return c1 < ratio < c2
+
+
+def epsilon_band_to_relative(epsilon: float) -> tuple[float, float]:
+    """An eps-relative approximation is a (1-eps, 1+eps)-relative one
+    (Section 4.2)."""
+    if not 0 <= epsilon < 1:
+        raise ApproximationError("epsilon must lie in [0, 1)")
+    return 1.0 - epsilon, 1.0 + epsilon

@@ -1,0 +1,108 @@
+"""Sampling-based approximation of classical aggregates (Gibbons-Matias,
+Hellerstein-Haas-Wang — the paper's [16, 22]).
+
+Section 6.2 notes that "the sampling idea was used previously for
+approximating traditional relational aggregates" and extends it to the
+spatial setting.  This module supplies the traditional side for large
+finite relations: estimate AVG (and SUM, given the cardinality) from a
+uniform row sample, with a Hoeffding confidence interval for values in a
+known range — the online-aggregation guarantee of [22].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from ..db.instance import FiniteInstance
+from .._errors import ApproximationError, EvaluationError
+
+__all__ = ["AggregateEstimate", "sample_avg", "sample_sum"]
+
+
+@dataclass(frozen=True)
+class AggregateEstimate:
+    """A sampled aggregate with its confidence interval."""
+
+    estimate: float
+    confidence_radius: float
+    samples: int
+    confidence: float
+
+    def interval(self) -> tuple[float, float]:
+        return (self.estimate - self.confidence_radius,
+                self.estimate + self.confidence_radius)
+
+
+def _column(
+    instance: FiniteInstance, relation: str, column: int
+) -> list[Fraction]:
+    rows = sorted(instance.relation(relation))
+    if not rows:
+        raise EvaluationError(f"relation {relation!r} is empty")
+    if column < 0 or column >= len(rows[0]):
+        raise EvaluationError(f"column {column} out of range")
+    return [row[column] for row in rows]
+
+
+def sample_avg(
+    instance: FiniteInstance,
+    relation: str,
+    column: int,
+    samples: int,
+    rng: np.random.Generator,
+    value_range: tuple[float, float] | None = None,
+    delta: float = 0.05,
+) -> AggregateEstimate:
+    """Estimate AVG of a column from a uniform sample of rows.
+
+    With ``value_range = (lo, hi)`` known a priori, the Hoeffding radius
+    ``(hi - lo) * sqrt(log(2/delta) / (2 samples))`` guarantees
+    ``|estimate - AVG| < radius`` with probability >= 1 - delta.  Without
+    a range the radius falls back on the sample's own spread (heuristic,
+    as in online aggregation's running intervals).
+    """
+    if samples <= 0:
+        raise ApproximationError("samples must be positive")
+    if not (0 < delta < 1):
+        raise ApproximationError("delta must lie in (0, 1)")
+    values = _column(instance, relation, column)
+    chosen = rng.integers(0, len(values), size=samples)
+    picked = np.array([float(values[i]) for i in chosen])
+    mean = float(picked.mean())
+    if value_range is not None:
+        spread = float(value_range[1]) - float(value_range[0])
+        if spread < 0:
+            raise ApproximationError("value_range must be ordered")
+    else:
+        spread = float(picked.max() - picked.min())
+    radius = spread * math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+    return AggregateEstimate(mean, radius, samples, 1.0 - delta)
+
+
+def sample_sum(
+    instance: FiniteInstance,
+    relation: str,
+    column: int,
+    samples: int,
+    rng: np.random.Generator,
+    value_range: tuple[float, float] | None = None,
+    delta: float = 0.05,
+) -> AggregateEstimate:
+    """Estimate SUM as cardinality * sampled AVG (cardinality is known
+    exactly for a stored relation, so the error scales the AVG interval)."""
+    cardinality = len(instance.relation(relation))
+    avg = sample_avg(
+        instance, relation, column, samples, rng,
+        value_range=value_range, delta=delta,
+    )
+    return AggregateEstimate(
+        avg.estimate * cardinality,
+        avg.confidence_radius * cardinality,
+        samples,
+        avg.confidence,
+    )

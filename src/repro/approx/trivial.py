@@ -1,0 +1,46 @@
+"""Proposition 4: the trivial 1/2-approximation, definable in FO + LIN.
+
+If a set's VOL_I is neither 0 nor 1, then 1/2 is within 1/2 of it; and the
+two boundary cases are FO + LIN-definable properties ("the set contains no
+open box" / "the complement contains no open box" within I^n).  Hence
+VOL_I^eps for eps >= 1/2 *is* definable — and Theorem 2 shows this trivial
+approximation is the best possible in such languages.
+
+The implementation decides the two boundary cases exactly through the
+semi-linear volume machinery (equivalent to the definable test, since
+having empty interior and having volume zero coincide for semi-linear
+sets) and returns the paper's three-valued answer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..geometry.decomposition import formula_volume_unit_cube
+from ..logic.formulas import Formula
+from .._errors import ApproximationError
+
+__all__ = ["trivial_vol_approximation"]
+
+
+def trivial_vol_approximation(
+    formula: Formula, variables: Sequence[str], epsilon: float = 0.5
+) -> Fraction:
+    """Proposition 4's approximation of VOL_I for a semi-linear set.
+
+    Valid exactly when ``epsilon >= 1/2`` (the theorem's threshold); the
+    function enforces that precondition.
+    """
+    if epsilon < 0.5:
+        raise ApproximationError(
+            "the trivial approximation is only an epsilon-approximation for "
+            "epsilon >= 1/2 (and Theorem 2 shows no definable operator does "
+            "better)"
+        )
+    volume = formula_volume_unit_cube(formula, variables)
+    if volume == 0:
+        return Fraction(0)
+    if volume == 1:
+        return Fraction(1)
+    return Fraction(1, 2)

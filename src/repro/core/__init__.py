@@ -1,0 +1,97 @@
+"""FO + POLY + SUM: the paper's aggregate constraint query language.
+
+The language (Section 5) extends FO + POLY with summation over
+range-restricted — provably finite — sets:
+
+* :class:`DetFormula` — deterministic formulae ``gamma(x, w)``;
+* :class:`End` / :func:`end_set` — the END interval-endpoint operator;
+* :class:`RangeRestricted` — ``(phi1 | END[y, phi2])`` expressions;
+* :class:`SumTerm` — ``[sum_rho gamma](z)`` aggregation terms;
+* :class:`SumEvaluator` — exact pointwise evaluation over a database;
+* classical aggregates (COUNT/SUM/AVG/MIN/MAX) built from these;
+* Theorem 3 — exact volumes of semi-linear sets;
+* the Section 5 worked example — convex polygon area by fan triangulation;
+* FO + POLY + SUM + W — the witness operator and Theorem 4's uniform
+  probabilistic volume approximation.
+"""
+
+from .language import DetFormula, End, RangeRestricted, SumTerm, contains_sum_term
+from .deterministic import (
+    check_deterministic,
+    explicit_function_term,
+    is_deterministic,
+)
+from .endpoints import definable_set, end_set
+from .evaluator import SumEvaluator
+from .aggregates import (
+    aggregate_avg,
+    aggregate_count,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    count_term,
+    endpoints_range,
+    sum_of_endpoints,
+    sum_term,
+)
+from .volume_query import (
+    maximal_interval_range,
+    slice_measure_term,
+    volume_2d_fo_poly_sum,
+    volume_nd_fo_poly_sum,
+    volume_of_query,
+    volume_of_relation,
+)
+from .polygon_area import (
+    absolute_area_gamma,
+    fan_selector_psi1,
+    polygon_area,
+    polygon_area_sum_term,
+    polygon_instance,
+    signed_area_gamma,
+)
+from .witness import UniformVolumeApproximator, theorem4_sample_size, witness
+from .vol_operator import VolTerm, evaluate_vol
+from .grouping import GroupedAggregate, group_by
+
+__all__ = [
+    "DetFormula",
+    "End",
+    "RangeRestricted",
+    "SumTerm",
+    "contains_sum_term",
+    "is_deterministic",
+    "check_deterministic",
+    "explicit_function_term",
+    "end_set",
+    "definable_set",
+    "SumEvaluator",
+    "endpoints_range",
+    "count_term",
+    "sum_term",
+    "aggregate_count",
+    "aggregate_sum",
+    "aggregate_avg",
+    "aggregate_min",
+    "aggregate_max",
+    "sum_of_endpoints",
+    "volume_of_query",
+    "volume_of_relation",
+    "maximal_interval_range",
+    "slice_measure_term",
+    "volume_2d_fo_poly_sum",
+    "volume_nd_fo_poly_sum",
+    "polygon_area",
+    "polygon_area_sum_term",
+    "polygon_instance",
+    "signed_area_gamma",
+    "absolute_area_gamma",
+    "fan_selector_psi1",
+    "witness",
+    "UniformVolumeApproximator",
+    "theorem4_sample_size",
+    "VolTerm",
+    "evaluate_vol",
+    "GroupedAggregate",
+    "group_by",
+]

@@ -1,0 +1,175 @@
+"""Classical aggregates (COUNT, SUM, AVG, MIN, MAX) in FO + POLY + SUM.
+
+Lemma 4 of the paper shows FO + POLY + SUM expresses the cardinality of any
+SAF query output and the sum/average of a deterministic function over it.
+These helpers build the corresponding :class:`~repro.core.language.SumTerm`
+objects and evaluate them; they are the library's "SQL aggregation over
+constraint queries" surface.
+
+All aggregates operate over a :class:`~repro.core.language.RangeRestricted`
+expression — the language's safety mechanism — so they can never be applied
+to an infinite set.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..logic.formulas import Formula, TRUE
+from ..logic.terms import Term, Var
+from .._errors import EvaluationError
+from .evaluator import SumEvaluator
+from .language import DetFormula, RangeRestricted, SumTerm
+
+__all__ = [
+    "count_term",
+    "sum_term",
+    "endpoints_range",
+    "aggregate_count",
+    "aggregate_sum",
+    "aggregate_avg",
+    "aggregate_min",
+    "aggregate_max",
+    "sum_of_endpoints",
+]
+
+
+def endpoints_range(
+    var: Var | str, body: Formula, guard: Formula = TRUE
+) -> RangeRestricted:
+    """The 1-dimensional range ``(guard | END[var, body])`` over ``var``.
+
+    With the default guard this is "all endpoints of the intervals of the
+    set defined by *body*" — the paper's first example.
+    """
+    name = var.name if isinstance(var, Var) else var
+    return RangeRestricted.make((name,), guard, name + "_end", _rename_bound(body, name, name + "_end"))
+
+
+def _rename_bound(body: Formula, old: str, new: str) -> Formula:
+    from ..logic.substitution import substitute
+
+    return substitute(body, {old: Var(new)})
+
+
+def count_term(rho: RangeRestricted) -> SumTerm:
+    """The cardinality ``card(rho(D, b))`` as a summation term.
+
+    Uses ``gamma(x, w) := (x = 1)``: each selected tuple contributes 1.
+    """
+    fresh = "_count_out"
+    gamma = DetFormula.from_term(fresh, rho.w, _one())
+    return SumTerm(gamma, rho)
+
+
+def sum_term(rho: RangeRestricted, value: Term | DetFormula) -> SumTerm:
+    """Sum of ``value(w)`` over ``rho(D, b)``.
+
+    *value* may be an explicit term in the tuple variables ``rho.w`` or a
+    full deterministic formula.
+    """
+    if isinstance(value, DetFormula):
+        if value.w != rho.w:
+            raise EvaluationError(
+                f"gamma parameters {value.w} do not match rho variables {rho.w}"
+            )
+        return SumTerm(value, rho)
+    extra = value.variables() - set(rho.w)
+    if extra:
+        raise EvaluationError(
+            f"value term uses variables {sorted(extra)} outside rho's {rho.w}"
+        )
+    gamma = DetFormula.from_term("_sum_out", rho.w, value)
+    return SumTerm(gamma, rho)
+
+
+def _one() -> Term:
+    from ..logic.terms import Const
+
+    return Const(Fraction(1))
+
+
+def aggregate_count(
+    instance, rho: RangeRestricted, env: Mapping[str, Fraction] | None = None
+) -> int:
+    """COUNT: the number of tuples in ``rho(D, b)``."""
+    value = SumEvaluator(instance).term_value(count_term(rho), env)
+    return int(value)
+
+
+def aggregate_sum(
+    instance,
+    rho: RangeRestricted,
+    value: Term | DetFormula,
+    env: Mapping[str, Fraction] | None = None,
+) -> Fraction:
+    """SUM of *value* over ``rho(D, b)`` (exact)."""
+    return SumEvaluator(instance).term_value(sum_term(rho, value), env)
+
+
+def aggregate_avg(
+    instance,
+    rho: RangeRestricted,
+    value: Term | DetFormula,
+    env: Mapping[str, Fraction] | None = None,
+) -> Fraction:
+    """AVG of *value* over ``rho(D, b)``.
+
+    Expressed as SUM / COUNT, exactly as Lemma 4 composes the two terms
+    with the field operations.  Raises on an empty range.
+    """
+    evaluator = SumEvaluator(instance)
+    total = evaluator.term_value(sum_term(rho, value), env)
+    cardinality = evaluator.term_value(count_term(rho), env)
+    if cardinality == 0:
+        raise EvaluationError("AVG over an empty range")
+    return total / cardinality
+
+
+def aggregate_min(
+    instance,
+    rho: RangeRestricted,
+    value: Term | DetFormula,
+    env: Mapping[str, Fraction] | None = None,
+) -> Fraction:
+    """MIN of *value* over ``rho(D, b)`` (computed on the materialised range)."""
+    return _extremum(instance, rho, value, env, minimum=True)
+
+
+def aggregate_max(
+    instance,
+    rho: RangeRestricted,
+    value: Term | DetFormula,
+    env: Mapping[str, Fraction] | None = None,
+) -> Fraction:
+    """MAX of *value* over ``rho(D, b)``."""
+    return _extremum(instance, rho, value, env, minimum=False)
+
+
+def _extremum(instance, rho, value, env, minimum: bool) -> Fraction:
+    evaluator = SumEvaluator(instance)
+    gamma = (
+        value
+        if isinstance(value, DetFormula)
+        else DetFormula.from_term("_ext_out", rho.w, value)
+    )
+    values = [
+        v
+        for arguments in evaluator.range_set(rho, env)
+        for v in [evaluator.apply_gamma(gamma, arguments)]
+        if v is not None
+    ]
+    if not values:
+        raise EvaluationError("extremum over an empty range")
+    return min(values) if minimum else max(values)
+
+
+def sum_of_endpoints(
+    instance, var: Var | str, body: Formula, env: Mapping[str, Fraction] | None = None
+) -> Fraction:
+    """The paper's first worked example: the sum of all endpoints of the
+    intervals composing ``{ var : D |= body }``."""
+    name = var.name if isinstance(var, Var) else var
+    rho = endpoints_range(name, body)
+    return aggregate_sum(instance, rho, Var(name), env)

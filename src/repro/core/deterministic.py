@@ -1,0 +1,93 @@
+"""Deciding determinism of formulae (Section 5).
+
+The paper notes "it is decidable if a formula is deterministic": determinism
+of ``gamma(x, w)`` is the real-field sentence
+
+    forall w forall x forall x' . gamma(x, w) and gamma(x', w)  ->  x = x'.
+
+We decide it in three tiers, cheapest first:
+
+1. **structural**: bodies of the shape ``x = t(w)`` (the form used by every
+   example in the paper) are deterministic by construction;
+2. **linear**: the determinism sentence of a linear body is decided by
+   Fourier-Motzkin;
+3. **polynomial**: the sentence is decided by CAD (practical for small
+   variable counts).
+"""
+
+from __future__ import annotations
+
+from ..logic.formulas import Compare, Formula, Forall
+from ..logic.metrics import max_degree
+from ..logic.normalform import is_quantifier_free
+from ..logic.substitution import fresh_variable, substitute
+from ..logic.terms import Term, Var
+from ..qe.cad import decide as cad_decide
+from ..qe.fourier_motzkin import decide_linear
+from .._errors import NotDeterministicError
+from .language import DetFormula
+
+__all__ = [
+    "explicit_function_term",
+    "is_deterministic",
+    "check_deterministic",
+    "CAD_VARIABLE_LIMIT",
+]
+
+#: CAD decision is doubly exponential; refuse beyond this many variables.
+CAD_VARIABLE_LIMIT = 4
+
+
+def explicit_function_term(gamma: DetFormula) -> Term | None:
+    """If ``gamma`` has the explicit shape ``x = t(w)``, return ``t``.
+
+    Explicit deterministic formulae admit direct evaluation with no
+    root-solving; all of the paper's worked examples are of this shape.
+    """
+    body = gamma.body
+    if not isinstance(body, Compare) or body.op != "=":
+        return None
+    x = gamma.x
+    if isinstance(body.lhs, Var) and body.lhs.name == x and x not in body.rhs.variables():
+        return body.rhs
+    if isinstance(body.rhs, Var) and body.rhs.name == x and x not in body.lhs.variables():
+        return body.lhs
+    return None
+
+
+def _determinism_sentence(gamma: DetFormula) -> Formula:
+    taken = {gamma.x, *gamma.w} | gamma.body.free_variables()
+    x_primed = fresh_variable(taken, gamma.x + "_p")
+    body_primed = substitute(gamma.body, {gamma.x: Var(x_primed)})
+    implication = (gamma.body & body_primed).implies(
+        Var(gamma.x).eq(Var(x_primed))
+    )
+    sentence: Formula = implication
+    for var in (x_primed, gamma.x, *reversed(gamma.w)):
+        sentence = Forall(var, sentence)
+    return sentence
+
+
+def is_deterministic(gamma: DetFormula) -> bool:
+    """Decide whether *gamma* defines at most one ``x`` for every ``w``."""
+    if explicit_function_term(gamma) is not None:
+        return True
+    sentence = _determinism_sentence(gamma)
+    if max_degree(gamma.body) <= 1:
+        return decide_linear(sentence)
+    total_vars = 2 + len(gamma.w)
+    if total_vars > CAD_VARIABLE_LIMIT:
+        raise NotDeterministicError(
+            f"cannot decide determinism of a degree-{max_degree(gamma.body)} "
+            f"formula in {total_vars} variables (CAD limit "
+            f"{CAD_VARIABLE_LIMIT}); use an explicit 'x = t(w)' form"
+        )
+    return cad_decide(sentence)
+
+
+def check_deterministic(gamma: DetFormula) -> None:
+    """Raise :class:`NotDeterministicError` unless *gamma* is deterministic."""
+    if not is_deterministic(gamma):
+        raise NotDeterministicError(
+            f"formula is not deterministic: {gamma.body}"
+        )

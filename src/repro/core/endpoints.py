@@ -1,0 +1,83 @@
+"""Evaluation of the END operator: interval endpoints of definable sets.
+
+``END[y, phi(y, z)]`` on database D with parameters b denotes the set of
+endpoints of the intervals composing ``{ y : D |= phi(y, b) }``.  By
+o-minimality this set is finite, and Lemma 4's closure argument rests on a
+uniform bound on the number of intervals.  Computationally:
+
+1. substitute the parameter values and the database's relation definitions,
+2. eliminate quantifiers (linear fragment) if present,
+3. solve the resulting one-variable formula exactly
+   (:func:`repro.qe.onevar.solve_univariate`),
+4. read off the endpoints of the resulting interval union.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..db.evaluation import expand_relations
+from ..logic.formulas import Formula
+from ..logic.metrics import max_degree
+from ..logic.normalform import is_quantifier_free
+from ..logic.substitution import substitute
+from ..logic.terms import Const
+from ..qe.fourier_motzkin import qe_linear
+from ..qe.intervals import Endpoint, IntervalUnion
+from ..qe.onevar import solve_univariate
+from .._errors import SafetyError
+
+__all__ = ["definable_set", "end_set"]
+
+
+def definable_set(
+    instance,
+    var: str,
+    body: Formula,
+    env: Mapping[str, Fraction] | None = None,
+) -> IntervalUnion:
+    """The one-dimensional definable set ``{ var : D |= body(var, env) }``."""
+    formula = body
+    if env:
+        formula = substitute(
+            formula, {name: Const(Fraction(v)) for name, v in env.items()}
+        )
+    from ..db.instance import FiniteInstance
+
+    if isinstance(instance, FiniteInstance):
+        from ..db.evaluation import resolve_adom_quantifiers
+
+        formula = resolve_adom_quantifiers(formula, instance)
+    expanded = expand_relations(formula, instance)
+    stray = expanded.free_variables() - {var}
+    if stray:
+        raise SafetyError(
+            f"END body has unbound parameters {sorted(stray)}; bind them via env"
+        )
+    if not is_quantifier_free(expanded):
+        if max_degree(expanded) <= 1:
+            expanded = qe_linear(expanded)
+        else:
+            raise SafetyError(
+                "quantified polynomial END bodies are not supported; "
+                "eliminate quantifiers first"
+            )
+    return solve_univariate(expanded, var)
+
+
+def end_set(
+    instance,
+    var: str,
+    body: Formula,
+    env: Mapping[str, Fraction] | None = None,
+) -> list[Endpoint]:
+    """The END set: finite, sorted list of interval endpoints.
+
+    Endpoints are exact: rational (``Fraction``) or real algebraic
+    (:class:`~repro.realalg.algebraic.RealAlgebraic`).  Note that an
+    unbounded interval contributes only its finite endpoints, exactly as in
+    the paper ("b is an endpoint of the intervals that compose
+    phi(D, a)").
+    """
+    return definable_set(instance, var, body, env).endpoints()

@@ -1,0 +1,310 @@
+"""Evaluation of FO + POLY + SUM terms and formulas over a database.
+
+The evaluator is *pointwise*: given rational values for the free variables
+it computes term values (exact rationals) and formula truth.  Safety is
+enforced by construction — summation only ever ranges over
+:class:`~repro.core.language.RangeRestricted` sets, whose finiteness comes
+from the END operator — and determinism of ``gamma`` is verified at each
+evaluated point (the solution set for ``x`` is computed exactly; more than
+one solution raises).
+
+Exactness: everything is exact rational arithmetic as long as the
+END-points and gamma-outputs encountered are rational — which is always
+the case over semi-linear databases (the paper's Theorem 3 setting).
+Irrational algebraic values (possible over semi-algebraic inputs) are
+approximated to ``ALGEBRAIC_PRECISION`` and a note to that effect is in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..db.evaluation import expand_relations
+from ..db.fr_instance import FRInstance
+from ..db.instance import FiniteInstance
+from ..logic.evaluate import evaluate as evaluate_pure
+from ..logic.formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from ..logic.metrics import max_degree
+from ..logic.substitution import substitute
+from ..logic.terms import Add, Const, Mul, Neg, Pow, Term, Var
+from ..qe.cad import decide as cad_decide
+from ..qe.fourier_motzkin import decide_linear
+from ..qe.intervals import Endpoint
+from ..qe.onevar import solve_univariate
+from ..realalg.algebraic import RealAlgebraic
+from .._errors import EvaluationError, NotDeterministicError, SafetyError
+from .deterministic import explicit_function_term
+from .endpoints import end_set
+from .language import DetFormula, End, RangeRestricted, SumTerm, contains_sum_term
+
+__all__ = ["SumEvaluator", "ALGEBRAIC_PRECISION", "MAX_RANGE_CANDIDATES"]
+
+#: Rational approximation width for irrational algebraic values.
+ALGEBRAIC_PRECISION = Fraction(1, 10**30)
+
+#: Guard against accidental combinatorial explosion of E^n.
+MAX_RANGE_CANDIDATES = 200_000
+
+
+def _rationalise(value: Endpoint) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    return value.approximate(ALGEBRAIC_PRECISION)
+
+
+class SumEvaluator:
+    """Pointwise evaluator for FO + POLY + SUM over a fixed instance."""
+
+    def __init__(self, instance: "FiniteInstance | FRInstance"):
+        self.instance = instance
+
+    # -- terms -----------------------------------------------------------------
+    def term_value(
+        self, term: Term, env: Mapping[str, Fraction] | None = None
+    ) -> Fraction:
+        """Exact value of an FO + POLY + SUM term under *env*."""
+        env = {k: Fraction(v) for k, v in (env or {}).items()}
+        return self._term(term, env)
+
+    def _term(self, term: Term, env: dict[str, Fraction]) -> Fraction:
+        if isinstance(term, SumTerm):
+            return self._sum_term(term, env)
+        if isinstance(term, Var):
+            if term.name not in env:
+                raise EvaluationError(f"unbound variable {term.name!r}")
+            return env[term.name]
+        if isinstance(term, Const):
+            return term.value
+        if isinstance(term, Add):
+            total = Fraction(0)
+            for arg in term.args:
+                total += self._term(arg, env)
+            return total
+        if isinstance(term, Mul):
+            total = Fraction(1)
+            for arg in term.args:
+                total *= self._term(arg, env)
+            return total
+        if isinstance(term, Neg):
+            return -self._term(term.arg, env)
+        if isinstance(term, Pow):
+            return self._term(term.base, env) ** term.exponent
+        raise TypeError(f"unknown term node {type(term).__name__}")
+
+    # -- the summation term ---------------------------------------------------
+    def range_set(
+        self, rho: RangeRestricted, env: Mapping[str, Fraction] | None = None
+    ) -> list[tuple[Fraction, ...]]:
+        """The finite set ``rho(D, b)``, rationalised (see module docstring)."""
+        env = {k: Fraction(v) for k, v in (env or {}).items()}
+        missing = rho.parameters() - set(env)
+        if missing:
+            raise EvaluationError(
+                f"range-restricted expression has unbound parameters {sorted(missing)}"
+            )
+        endpoints = end_set(
+            self.instance,
+            rho.end_var,
+            rho.end_body,
+            {k: env[k] for k in rho.end_body.free_variables() - {rho.end_var}},
+        )
+        values = [_rationalise(e) for e in endpoints]
+        n = rho.arity()
+
+        # Conjunctive guard pruning: test each conjunct of the guard as soon
+        # as all its tuple variables are bound, cutting the E^n enumeration
+        # the way a join planner would.  The explosion guard counts nodes
+        # actually explored, so a selective guard can search large E^n
+        # spaces while an unguarded blow-up still fails fast.
+        conjuncts = list(rho.guard.args) if isinstance(rho.guard, And) else [rho.guard]
+        stages: list[list[Formula]] = [[] for _ in range(n)]
+        for conjunct in conjuncts:
+            needed = conjunct.free_variables() & set(rho.w)
+            stage = max((rho.w.index(v) for v in needed), default=0)
+            stages[stage].append(conjunct)
+
+        selected: list[tuple[Fraction, ...]] = []
+        explored = 0
+
+        def extend(index: int, inner: dict[str, Fraction], prefix: tuple) -> None:
+            nonlocal explored
+            if index == n:
+                selected.append(prefix)
+                return
+            for value in values:
+                explored += 1
+                if explored > MAX_RANGE_CANDIDATES:
+                    raise SafetyError(
+                        f"range-restricted enumeration explored more than "
+                        f"{MAX_RANGE_CANDIDATES} candidates (|END| = "
+                        f"{len(values)}, arity {n}); tighten the guard"
+                    )
+                inner[rho.w[index]] = value
+                if all(self._truth(c, inner) for c in stages[index]):
+                    extend(index + 1, inner, prefix + (value,))
+            inner.pop(rho.w[index], None)
+
+        extend(0, dict(env), ())
+        return selected
+
+    def apply_gamma(
+        self, gamma: DetFormula, arguments: Sequence[Fraction]
+    ) -> Fraction | None:
+        """``f_gamma(arguments)``: the unique solution for x, or None.
+
+        Raises :class:`NotDeterministicError` if more than one solution
+        exists at this point — runtime verification of determinism.
+        """
+        if len(arguments) != gamma.arity():
+            raise EvaluationError("gamma arity mismatch")
+        env = dict(zip(gamma.w, (Fraction(a) for a in arguments)))
+        explicit = explicit_function_term(gamma)
+        if explicit is not None:
+            return self._term(explicit, env)
+        bound = substitute(
+            gamma.body, {name: Const(value) for name, value in env.items()}
+        )
+        solutions = solve_univariate(bound, gamma.x)
+        points: list[Endpoint] = []
+        for interval in solutions:
+            if not interval.is_point():
+                raise NotDeterministicError(
+                    f"gamma defines an interval of outputs at w = {arguments}"
+                )
+            points.append(interval.low)
+            if len(points) > 1:
+                raise NotDeterministicError(
+                    f"gamma defines multiple outputs at w = {arguments}"
+                )
+        if not points:
+            return None
+        return _rationalise(points[0])
+
+    def _sum_term(self, term: SumTerm, env: dict[str, Fraction]) -> Fraction:
+        total = Fraction(0)
+        for arguments in self.range_set(term.rho, env):
+            value = self.apply_gamma(term.gamma, arguments)
+            if value is not None:
+                total += value
+        return total
+
+    # -- formulas ---------------------------------------------------------------
+    def formula_truth(
+        self, formula: Formula, env: Mapping[str, Fraction] | None = None
+    ) -> bool:
+        """Truth of an FO + POLY + SUM formula at rational *env*."""
+        env = {k: Fraction(v) for k, v in (env or {}).items()}
+        return self._truth(formula, env)
+
+    def _truth(self, formula: Formula, env: dict[str, Fraction]) -> bool:
+        if isinstance(formula, TrueFormula):
+            return True
+        if isinstance(formula, FalseFormula):
+            return False
+        if isinstance(formula, Compare):
+            lhs = self._term(formula.lhs, env)
+            rhs = self._term(formula.rhs, env)
+            return _compare(formula.op, lhs, rhs)
+        if isinstance(formula, RelAtom):
+            point = tuple(self._term(a, env) for a in formula.args)
+            return self._relation_member(formula.name, point)
+        if isinstance(formula, And):
+            return all(self._truth(a, env) for a in formula.args)
+        if isinstance(formula, Or):
+            return any(self._truth(a, env) for a in formula.args)
+        if isinstance(formula, Not):
+            return not self._truth(formula.arg, env)
+        if isinstance(formula, End):
+            value = self._term(formula.point, env)
+            endpoints = end_set(
+                self.instance,
+                formula.var,
+                formula.body,
+                {
+                    k: env[k]
+                    for k in (formula.body.free_variables() - {formula.var})
+                },
+            )
+            return any(value == e for e in endpoints)
+        if isinstance(formula, (Exists, Forall)):
+            if contains_sum_term(formula.body):
+                raise SafetyError(
+                    "natural quantification over subformulas containing "
+                    "summation terms is outside the evaluable fragment"
+                )
+            return self._decide_quantified(formula, env)
+        if isinstance(formula, (ExistsAdom, ForallAdom)):
+            return self._adom_quantified(formula, env)
+        raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+    def _relation_member(self, name: str, point: tuple[Fraction, ...]) -> bool:
+        if isinstance(self.instance, FiniteInstance):
+            return point in self.instance.relation(name)
+        if isinstance(self.instance, FRInstance):
+            body = self.instance.instantiate(
+                name, [Const(value) for value in point]
+            )
+            return evaluate_pure(body)
+        raise EvaluationError(
+            f"unsupported instance type {type(self.instance).__name__}"
+        )
+
+    def _decide_quantified(self, formula: Formula, env: dict[str, Fraction]) -> bool:
+        free = formula.free_variables()
+        bound = substitute(
+            formula, {name: Const(env[name]) for name in free if name in env}
+        )
+        if bound.free_variables():
+            raise EvaluationError(
+                f"unbound variables {sorted(bound.free_variables())}"
+            )
+        expanded = expand_relations(bound, self.instance)
+        if max_degree(expanded) <= 1:
+            return decide_linear(expanded)
+        return cad_decide(expanded)
+
+    def _adom_quantified(self, formula, env: dict[str, Fraction]) -> bool:
+        if not isinstance(self.instance, FiniteInstance):
+            raise EvaluationError(
+                "active-domain quantifiers require a finite instance"
+            )
+        existential = isinstance(formula, ExistsAdom)
+        for value in sorted(self.instance.active_domain()):
+            inner = dict(env)
+            inner[formula.var] = value
+            result = self._truth(formula.body, inner)
+            if existential and result:
+                return True
+            if not existential and not result:
+                return False
+        return not existential
+
+
+def _compare(op: str, lhs: Fraction, rhs: Fraction) -> bool:
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == "=":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == ">=":
+        return lhs >= rhs
+    return lhs > rhs

@@ -1,0 +1,228 @@
+"""The FO + POLY + SUM language (Section 5 of the paper).
+
+FO + POLY + SUM extends FO + POLY with a *summation term-former* that is
+only applicable to sets guaranteed finite, via three ingredients:
+
+* **deterministic formulae** ``gamma(x, w)`` defining a partial function
+  ``f_gamma`` from parameter tuples ``w`` to at most one output ``x``
+  (:class:`DetFormula`);
+* the **END operator**: ``END[y, phi(y, z)](u, z)`` holds iff ``u`` is an
+  endpoint of the intervals composing ``phi(D, z)`` — a finite set by
+  o-minimality (:class:`End`);
+* **range-restricted expressions**
+  ``rho(w, z) = (phi1(w, z) | END[y, phi2(y, z)])``: the tuples satisfying
+  ``phi1`` all of whose components are END-points of ``phi2``
+  (:class:`RangeRestricted`).
+
+The summation term ``[sum_{rho(w,z)} gamma](z)`` (:class:`SumTerm`) sums
+the bag ``{ f_gamma(a) : a in rho(D, b) }``.  Sum terms compose with the
+field operations ``+``/``*`` (they are ordinary :class:`~repro.logic.terms.Term`
+nodes) and appear inside comparison atoms, closing the language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..logic.formulas import Formula
+from ..logic.terms import Term, Var
+from .._errors import SafetyError
+
+__all__ = ["DetFormula", "End", "RangeRestricted", "SumTerm", "contains_sum_term"]
+
+
+@dataclass(frozen=True)
+class DetFormula:
+    """A deterministic formula ``gamma(x, w1..wn)`` over the real field.
+
+    Defines the partial function ``f_gamma(w) = the unique x with
+    gamma(x, w)``.  ``body`` must not mention schema relations (it is a
+    formula "in the language of the real field", per the paper) and its
+    free variables must lie in ``{x} ∪ w``.
+
+    Determinism is checked by :func:`repro.core.deterministic.check_deterministic`
+    and is additionally verified pointwise during evaluation (the
+    evaluator solves for ``x`` exactly and fails if more than one solution
+    exists).
+    """
+
+    x: str
+    w: tuple[str, ...]
+    body: Formula
+
+    @staticmethod
+    def make(
+        x: Var | str, w: Sequence[Var | str], body: Formula
+    ) -> "DetFormula":
+        x_name = x.name if isinstance(x, Var) else x
+        w_names = tuple(v.name if isinstance(v, Var) else v for v in w)
+        if x_name in w_names:
+            raise ValueError("output variable cannot be a parameter")
+        if len(set(w_names)) != len(w_names):
+            raise ValueError("duplicate parameter names")
+        if body.relation_names():
+            raise ValueError(
+                "a deterministic formula must be over the real field only "
+                f"(mentions relations {sorted(body.relation_names())})"
+            )
+        allowed = {x_name, *w_names}
+        if not body.free_variables() <= allowed:
+            raise ValueError(
+                "deterministic formula has stray free variables "
+                f"{sorted(body.free_variables() - allowed)}"
+            )
+        return DetFormula(x_name, w_names, body)
+
+    @staticmethod
+    def from_term(x: Var | str, w: Sequence[Var | str], value: Term) -> "DetFormula":
+        """The deterministic formula ``x = value(w)`` for an explicit term."""
+        x_name = x.name if isinstance(x, Var) else x
+        return DetFormula.make(x_name, w, Var(x_name).eq(value))
+
+    def arity(self) -> int:
+        return len(self.w)
+
+
+@dataclass(frozen=True)
+class End(Formula):
+    """The formula ``END[y, body](point, z)``.
+
+    Holds on a database D and parameters z iff ``point`` is an endpoint of
+    one of the finitely many intervals composing ``{ y : D |= body(y, z) }``.
+    ``var`` (the paper's y) is bound; the free variables are those of
+    ``point`` plus the z-parameters of ``body``.
+    """
+
+    var: str
+    body: Formula
+    point: Term
+
+    __slots__ = ("var", "body", "point")
+
+    def free_variables(self) -> frozenset[str]:
+        return (self.body.free_variables() - {self.var}) | self.point.variables()
+
+    def relation_names(self) -> frozenset[str]:
+        return self.body.relation_names()
+
+    def __str__(self) -> str:
+        return f"END[{self.var}, {self.body}]({self.point})"
+
+
+@dataclass(frozen=True)
+class RangeRestricted:
+    """A range-restricted expression ``rho(w, z) = (guard | END[y, end_body])``.
+
+    Denotes, on database D with parameters b for z:
+
+        rho(D, b) = { a in E^n : D |= guard(a, b) }
+
+    where E is the (finite) set of endpoints of the intervals composing
+    ``{ y : D |= end_body(y, b) }`` and n = len(w).  Finiteness of
+    ``rho(D, b)`` is guaranteed *by construction* — this is the language's
+    safety mechanism.
+    """
+
+    w: tuple[str, ...]
+    guard: Formula
+    end_var: str
+    end_body: Formula
+
+    @staticmethod
+    def make(
+        w: Sequence[Var | str],
+        guard: Formula,
+        end_var: Var | str,
+        end_body: Formula,
+    ) -> "RangeRestricted":
+        w_names = tuple(v.name if isinstance(v, Var) else v for v in w)
+        if not w_names:
+            raise ValueError("a range-restricted expression needs parameters w")
+        if len(set(w_names)) != len(w_names):
+            raise ValueError("duplicate names in w")
+        end_name = end_var.name if isinstance(end_var, Var) else end_var
+        if end_name in w_names:
+            raise ValueError("the END variable cannot occur in w")
+        return RangeRestricted(w_names, guard, end_name, end_body)
+
+    def arity(self) -> int:
+        return len(self.w)
+
+    def parameters(self) -> frozenset[str]:
+        """The z-variables: free variables besides the bound w tuple."""
+        guard_free = self.guard.free_variables() - set(self.w)
+        end_free = self.end_body.free_variables() - {self.end_var}
+        return frozenset(guard_free | end_free)
+
+    def __str__(self) -> str:
+        w_text = ", ".join(self.w)
+        return f"({self.guard} | END[{self.end_var}, {self.end_body}]) over ({w_text})"
+
+
+@dataclass(frozen=True, repr=False)
+class SumTerm(Term):
+    """The aggregation term ``[sum_{rho(w, z)} gamma](z)``.
+
+    Its value on a database D at parameters b is the sum of the finite bag
+    ``⊎_{a in rho(D, b)} f_gamma(a)`` (tuples where ``f_gamma`` is
+    undefined contribute nothing, matching the partial-function semantics).
+    """
+
+    gamma: DetFormula
+    rho: RangeRestricted
+
+    __slots__ = ("gamma", "rho")
+
+    def __post_init__(self) -> None:
+        if self.gamma.arity() != self.rho.arity():
+            raise SafetyError(
+                f"gamma has {self.gamma.arity()} parameters but rho binds "
+                f"{self.rho.arity()}"
+            )
+
+    def variables(self) -> frozenset[str]:
+        # The free variables are the z-parameters of rho; gamma's w
+        # variables are bound by the summation.
+        return frozenset(self.rho.parameters())
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        raise SafetyError(
+            "a SumTerm needs a database to be evaluated; use "
+            "repro.core.evaluator.SumEvaluator"
+        )
+
+    def __str__(self) -> str:
+        return f"SUM[{self.rho}][{self.gamma.x} : {self.gamma.body}]"
+
+
+def contains_sum_term(node) -> bool:
+    """True if a term or formula contains a :class:`SumTerm` anywhere."""
+    from ..logic.formulas import And, Compare, Not, Or, RelAtom
+    from ..logic.formulas import Exists, ExistsAdom, Forall, ForallAdom
+    from ..logic.terms import Add, Const, Mul, Neg, Pow
+
+    if isinstance(node, SumTerm):
+        return True
+    if isinstance(node, (Var, Const)):
+        return False
+    if isinstance(node, (Add, Mul)):
+        return any(contains_sum_term(a) for a in node.args)
+    if isinstance(node, Neg):
+        return contains_sum_term(node.arg)
+    if isinstance(node, Pow):
+        return contains_sum_term(node.base)
+    if isinstance(node, Compare):
+        return contains_sum_term(node.lhs) or contains_sum_term(node.rhs)
+    if isinstance(node, RelAtom):
+        return any(contains_sum_term(a) for a in node.args)
+    if isinstance(node, (And, Or)):
+        return any(contains_sum_term(a) for a in node.args)
+    if isinstance(node, Not):
+        return contains_sum_term(node.arg)
+    if isinstance(node, (Exists, Forall, ExistsAdom, ForallAdom)):
+        return contains_sum_term(node.body)
+    if isinstance(node, End):
+        return contains_sum_term(node.body) or contains_sum_term(node.point)
+    return False

@@ -1,0 +1,42 @@
+"""Constraint databases: schemas, finite and finitely representable instances,
+FO query evaluation in active and natural semantics, bag semantics, and a
+text serialisation format."""
+
+from .schema import Schema
+from .instance import FiniteInstance
+from .fr_instance import FRInstance
+from .evaluation import (
+    evaluate_active,
+    evaluate_natural,
+    expand_relations,
+    output_formula,
+    query_output_tuples,
+    resolve_adom_quantifiers,
+)
+from .bags import Bag, bag_avg, bag_count, bag_max, bag_min, bag_sum
+from .io import dump_instance, dumps_instance, load_instance, loads_instance
+from .collapse import collapse_dense_order, evaluate_collapsed
+
+__all__ = [
+    "Schema",
+    "FiniteInstance",
+    "FRInstance",
+    "expand_relations",
+    "evaluate_active",
+    "evaluate_natural",
+    "output_formula",
+    "query_output_tuples",
+    "resolve_adom_quantifiers",
+    "Bag",
+    "bag_count",
+    "bag_sum",
+    "bag_avg",
+    "bag_min",
+    "bag_max",
+    "dump_instance",
+    "dumps_instance",
+    "load_instance",
+    "loads_instance",
+    "collapse_dense_order",
+    "evaluate_collapsed",
+]

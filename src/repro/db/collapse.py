@@ -1,0 +1,178 @@
+"""The natural-active collapse for dense-order queries (Benedikt-Libkin [6]).
+
+Lemma 2 of the paper invokes the natural-active collapse: over well-behaved
+structures, every FO sentence under the *natural* interpretation
+(quantifiers over all of R) is equivalent, on finite instances, to an
+*active-semantics* sentence — possibly over a definably extended signature.
+
+This module implements the collapse constructively for the dense-order
+fragment ``FO(SC, <)``: by o-minimality, the truth of a formula at a point
+x depends only on x's position relative to the active domain, so a natural
+quantifier can be replaced by a disjunction over *cell representatives*:
+
+* each active-domain element itself,
+* a midpoint between consecutive elements — expressible with the extended
+  signature operations (+, /2), which is exactly the paper's "definable
+  extension M'",
+* a point below the minimum and a point above the maximum.
+
+The collapsed formula uses only active-domain quantification plus the
+sampled terms, and agrees with the natural semantics on every finite
+instance.  (For the full linear/polynomial signatures the library decides
+natural semantics by quantifier elimination instead —
+:func:`repro.db.evaluation.evaluate_natural`.)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..logic.formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+from ..logic.substitution import fresh_variable, substitute
+from ..logic.terms import Add, Const, Mul, Term, Var
+from ..qe.dense_order import check_dense_order
+from .evaluation import evaluate_active
+from .instance import FiniteInstance
+
+__all__ = ["collapse_dense_order", "evaluate_collapsed"]
+
+
+def _formula_constants(formula: Formula) -> list[Fraction]:
+    """All rational constants occurring in comparison/relation atoms."""
+    values: set[Fraction] = set()
+
+    def from_term(term: Term) -> None:
+        if isinstance(term, Const):
+            values.add(term.value)
+        elif isinstance(term, (Add, Mul)):
+            for arg in term.args:
+                from_term(arg)
+        elif isinstance(term, Var):
+            pass
+        else:  # Neg/Pow do not occur in dense-order formulas
+            for attr in ("arg", "base"):
+                inner = getattr(term, attr, None)
+                if inner is not None:
+                    from_term(inner)
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, Compare):
+            from_term(node.lhs)
+            from_term(node.rhs)
+        elif isinstance(node, RelAtom):
+            for arg in node.args:
+                from_term(arg)
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, Not):
+            walk(node.arg)
+        elif isinstance(node, (Exists, Forall, ExistsAdom, ForallAdom)):
+            walk(node.body)
+
+    walk(formula)
+    return sorted(values)
+
+
+def _cell_representatives(
+    adom_vars: list[str], constants: list[Fraction]
+) -> list[Term]:
+    """Sample terms covering every order-cell induced by the active domain
+    together with the formula's constants.
+
+    With b1 < ... < bk the base points (active elements and constants),
+    the cells of R are the points bi, the open intervals between them, and
+    the two unbounded ends; a point of an interval is represented by a
+    midpoint (bi + bj)/2 — the extended-signature operation of the paper's
+    definable extension M' — and the ends by each base point +- 1.
+    Midpoints of *all* pairs are included (a harmless superset of the
+    consecutive-pair representatives)."""
+    base: list[Term] = [Var(a) for a in adom_vars]
+    base.extend(Const(c) for c in constants)
+    if not base:
+        return [Const(Fraction(0))]
+    representatives: list[Term] = list(base)
+    half = Const(Fraction(1, 2))
+    for i, left in enumerate(base):
+        for right in base[i:]:
+            representatives.append((left + right) * half)
+        representatives.append(left - Const(Fraction(1)))
+        representatives.append(left + Const(Fraction(1)))
+    return representatives
+
+
+def collapse_dense_order(formula: Formula, width_hint: int = 2) -> Formula:
+    """Collapse natural quantifiers of a dense-order formula to active ones.
+
+    Returns an equivalent (on every finite instance) formula whose
+    quantifiers are all active-domain, over the extended signature with
+    +, -, and division by 2 in terms — the paper's definable extension.
+    ``width_hint`` active-domain variables are sampled per natural
+    quantifier; 2 suffices for midpoints of consecutive pairs.
+    """
+    check_dense_order(formula)
+    return _collapse(formula)
+
+
+def _collapse(formula: Formula) -> Formula:
+    if isinstance(formula, (TrueFormula, FalseFormula, Compare, RelAtom)):
+        return formula
+    if isinstance(formula, And):
+        return conjunction(*(_collapse(a) for a in formula.args))
+    if isinstance(formula, Or):
+        return disjunction(*(_collapse(a) for a in formula.args))
+    if isinstance(formula, Not):
+        return ~_collapse(formula.arg)
+    if isinstance(formula, (ExistsAdom, ForallAdom)):
+        return type(formula)(formula.var, _collapse(formula.body))
+    if isinstance(formula, (Exists, Forall)):
+        body = _collapse(formula.body)
+        constants = _formula_constants(body)
+        taken = set(body.free_variables()) | {formula.var}
+        a_name = fresh_variable(taken, formula.var + "_a")
+        b_name = fresh_variable(taken | {a_name}, formula.var + "_b")
+        adom_vars = [a_name, b_name]
+        branches = [
+            substitute(body, {formula.var: rep})
+            for rep in _cell_representatives(adom_vars, constants)
+        ]
+        # Constant-only representatives keep the collapse correct on empty
+        # instances, where active-domain quantifiers are vacuous.
+        constant_branches = [
+            substitute(body, {formula.var: rep})
+            for rep in _cell_representatives([], constants)
+        ]
+        if isinstance(formula, Exists):
+            wrapped: Formula = ExistsAdom(
+                a_name, ExistsAdom(b_name, disjunction(*branches))
+            )
+            return wrapped | disjunction(*constant_branches)
+        wrapped = ForallAdom(a_name, ForallAdom(b_name, conjunction(*branches)))
+        return wrapped & conjunction(*constant_branches)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def evaluate_collapsed(
+    formula: Formula, instance: FiniteInstance, env=None
+) -> bool:
+    """Collapse a dense-order sentence and evaluate it actively.
+
+    The correctness statement of the collapse: for every finite instance,
+    this equals the natural-semantics truth value.
+    """
+    return evaluate_active(collapse_dense_order(formula), instance, env)

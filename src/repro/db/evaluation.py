@@ -1,0 +1,246 @@
+"""Query evaluation over finite and finitely representable instances.
+
+Three evaluation modes, matching the paper's Section 2:
+
+* **active-domain semantics** over finite instances — quantifiers range
+  over adom(D); this is FO_act and is evaluated directly;
+* **natural semantics** over finite or f.r. instances — quantifiers range
+  over all of R; relation atoms are *expanded* into their constraint
+  definitions and the resulting pure formula is handled by quantifier
+  elimination (linear) or CAD (polynomial);
+* **closure**: applying an FO + LIN query to a semi-linear instance yields
+  a quantifier-free linear formula for the output — the constraint-database
+  closure property the paper builds on.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..logic.evaluate import evaluate
+from ..logic.formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+from ..logic.metrics import max_degree
+from ..logic.normalform import is_quantifier_free
+from ..logic.substitution import substitute
+from ..logic.terms import Const, Term
+from ..qe.cad import decide as cad_decide
+from ..qe.fourier_motzkin import decide_linear, qe_linear
+from ..qe.simplify import simplify_qf
+from .._errors import EvaluationError
+from .fr_instance import FRInstance
+from .instance import FiniteInstance
+from .schema import Schema
+
+__all__ = [
+    "expand_relations",
+    "evaluate_active",
+    "evaluate_natural",
+    "output_formula",
+    "query_output_tuples",
+    "resolve_adom_quantifiers",
+]
+
+Instance = "FiniteInstance | FRInstance"
+
+
+def _finite_relation_formula(
+    rows: frozenset[tuple[Fraction, ...]], args: Sequence[Term]
+) -> Formula:
+    """Encode membership of *args* in a finite relation as equalities."""
+    disjuncts = []
+    for row in sorted(rows):
+        disjuncts.append(
+            conjunction(
+                *(arg.eq(Const(value)) for arg, value in zip(args, row))
+            )
+        )
+    return disjunction(*disjuncts)
+
+
+def expand_relations(formula: Formula, instance) -> Formula:
+    """Replace every relation atom by the instance's definition.
+
+    For f.r. instances the constraint definition is substituted; for finite
+    instances the relation is encoded as a disjunction of equalities.  The
+    result mentions no schema relations, so quantifier elimination applies.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula, Compare)):
+        return formula
+    if isinstance(formula, RelAtom):
+        if isinstance(instance, FRInstance):
+            return instance.instantiate(formula.name, formula.args)
+        if isinstance(instance, FiniteInstance):
+            return _finite_relation_formula(
+                instance.relation(formula.name), formula.args
+            )
+        raise EvaluationError(f"unsupported instance type {type(instance).__name__}")
+    if isinstance(formula, And):
+        return conjunction(*(expand_relations(a, instance) for a in formula.args))
+    if isinstance(formula, Or):
+        return disjunction(*(expand_relations(a, instance) for a in formula.args))
+    if isinstance(formula, Not):
+        return ~expand_relations(formula.arg, instance)
+    if isinstance(formula, (Exists, Forall, ExistsAdom, ForallAdom)):
+        return type(formula)(formula.var, expand_relations(formula.body, instance))
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def evaluate_active(
+    formula: Formula,
+    instance: FiniteInstance,
+    env: Mapping[str, Fraction] | None = None,
+) -> bool:
+    """Active-domain (FO_act) evaluation over a finite instance.
+
+    Both quantifier kinds range over adom(D) — this is the active
+    interpretation of the query, as used for the generic-query machinery of
+    Section 4.
+    """
+    adom = instance.active_domain()
+    return evaluate(
+        formula,
+        env=env,
+        relations=instance.as_dict(),
+        adom=adom,
+        domain=adom,
+    )
+
+
+def evaluate_natural(
+    sentence: Formula,
+    instance,
+    env: Mapping[str, Fraction] | None = None,
+) -> bool:
+    """Natural-semantics evaluation (quantifiers over all of R).
+
+    The sentence (after substituting *env* for its free variables) is
+    expanded and decided by linear QE when linear, by CAD otherwise.
+    Active-domain quantifiers are resolved against adom(D) first for
+    finite instances.
+    """
+    formula = sentence
+    if env:
+        formula = substitute(
+            formula, {name: Const(Fraction(value)) for name, value in env.items()}
+        )
+    if isinstance(instance, FiniteInstance):
+        formula = _resolve_adom_quantifiers(formula, instance)
+    expanded = expand_relations(formula, instance)
+    if expanded.free_variables():
+        raise EvaluationError(
+            f"unbound variables {sorted(expanded.free_variables())}; "
+            "bind them via env"
+        )
+    if max_degree(expanded) <= 1:
+        return decide_linear(expanded)
+    return cad_decide(expanded)
+
+
+def resolve_adom_quantifiers(formula: Formula, instance: FiniteInstance) -> Formula:
+    """Expand active-domain quantifiers into finite boolean combinations."""
+    return _resolve_adom_quantifiers(formula, instance)
+
+
+def _resolve_adom_quantifiers(formula: Formula, instance: FiniteInstance) -> Formula:
+    """Expand active-domain quantifiers into finite boolean combinations."""
+    if isinstance(formula, (TrueFormula, FalseFormula, Compare, RelAtom)):
+        return formula
+    if isinstance(formula, And):
+        return conjunction(
+            *(_resolve_adom_quantifiers(a, instance) for a in formula.args)
+        )
+    if isinstance(formula, Or):
+        return disjunction(
+            *(_resolve_adom_quantifiers(a, instance) for a in formula.args)
+        )
+    if isinstance(formula, Not):
+        return ~_resolve_adom_quantifiers(formula.arg, instance)
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(
+            formula.var, _resolve_adom_quantifiers(formula.body, instance)
+        )
+    if isinstance(formula, (ExistsAdom, ForallAdom)):
+        body = _resolve_adom_quantifiers(formula.body, instance)
+        branches = [
+            substitute(body, {formula.var: Const(value)})
+            for value in sorted(instance.active_domain())
+        ]
+        if isinstance(formula, ExistsAdom):
+            return disjunction(*branches)
+        return conjunction(*branches)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def output_formula(
+    query: Formula,
+    instance,
+    simplify: bool = True,
+) -> Formula:
+    """Quantifier-free formula defining the query output (closure property).
+
+    Requires the expanded query to be linear (FO + LIN on a semi-linear or
+    finite instance); the result is a quantifier-free linear formula in the
+    query's free variables — a constraint representation of the output,
+    witnessing closure.
+    """
+    formula = query
+    if isinstance(instance, FiniteInstance):
+        formula = _resolve_adom_quantifiers(formula, instance)
+    expanded = expand_relations(formula, instance)
+    if max_degree(expanded) > 1:
+        raise EvaluationError(
+            "output_formula supports the linear fragment; polynomial "
+            "closure requires CAD-based QE which this library scopes to "
+            "decision problems (see repro.qe.cad)"
+        )
+    result = expanded if is_quantifier_free(expanded) else qe_linear(expanded)
+    return simplify_qf(result) if simplify else result
+
+
+def query_output_tuples(
+    query: Formula,
+    instance: FiniteInstance,
+    variables: Sequence[str],
+) -> set[tuple[Fraction, ...]]:
+    """Evaluate a query with active-domain semantics to a finite relation.
+
+    The output is ``{ a in adom^k : D |= query(a) }`` — the classical
+    relational-calculus result set.
+    """
+    adom = sorted(instance.active_domain())
+    variables = tuple(variables)
+    free = query.free_variables()
+    if not free <= set(variables):
+        raise EvaluationError(
+            f"query has free variables {sorted(free)} outside {variables}"
+        )
+    results: set[tuple[Fraction, ...]] = set()
+
+    def assign(index: int, env: dict[str, Fraction]) -> None:
+        if index == len(variables):
+            if evaluate_active(query, instance, env):
+                results.add(tuple(env[v] for v in variables))
+            return
+        for value in adom:
+            env[variables[index]] = value
+            assign(index + 1, env)
+        env.pop(variables[index], None)
+
+    assign(0, {})
+    return results

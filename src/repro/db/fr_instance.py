@@ -1,0 +1,102 @@
+"""Finitely representable (constraint) database instances.
+
+An f.r. instance interprets each schema relation by a quantifier-free
+formula over the chosen signature: semi-linear sets over R_lin, semi-
+algebraic sets over R (Section 2 of the paper).  This is the constraint
+database model of Kanellakis-Kuper-Revesz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..logic.formulas import Formula
+from ..logic.metrics import max_degree
+from ..logic.normalform import is_quantifier_free
+from ..logic.substitution import substitute
+from ..logic.terms import Term, Var, as_term
+from .._errors import SignatureError
+from .schema import Schema
+
+__all__ = ["FRInstance"]
+
+
+@dataclass(frozen=True)
+class FRInstance:
+    """An f.r. instance: each relation given by (parameter variables, body).
+
+    ``definitions[name] = (vars, body)`` means the relation denotes
+    ``{ a : body[vars := a] }``; ``body`` must be quantifier-free and must
+    not mention schema relations.
+    """
+
+    schema: Schema
+    definitions: tuple[tuple[str, tuple[tuple[str, ...], Formula]], ...]
+
+    @staticmethod
+    def make(
+        schema: Schema,
+        definitions: Mapping[str, tuple[Sequence[Var | str], Formula]],
+    ) -> "FRInstance":
+        items: list[tuple[str, tuple[tuple[str, ...], Formula]]] = []
+        for name in schema.names():
+            if name not in definitions:
+                raise ValueError(f"missing definition for relation {name!r}")
+            variables, body = definitions[name]
+            names = tuple(v.name if isinstance(v, Var) else v for v in variables)
+            if len(names) != schema.arity(name):
+                raise ValueError(
+                    f"definition of {name!r} has {len(names)} parameters, "
+                    f"arity is {schema.arity(name)}"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate parameters in definition of {name!r}")
+            if not is_quantifier_free(body):
+                raise ValueError(
+                    f"definition of {name!r} must be quantifier-free"
+                )
+            if body.relation_names():
+                raise ValueError(
+                    f"definition of {name!r} mentions schema relations"
+                )
+            if not body.free_variables() <= set(names):
+                raise ValueError(
+                    f"definition of {name!r} has stray free variables "
+                    f"{sorted(body.free_variables() - set(names))}"
+                )
+            items.append((name, (names, body)))
+        unknown = set(definitions) - set(schema.names())
+        if unknown:
+            raise ValueError(f"definitions not in schema: {sorted(unknown)}")
+        return FRInstance(schema, tuple(items))
+
+    def definition(self, name: str) -> tuple[tuple[str, ...], Formula]:
+        for rel_name, payload in self.definitions:
+            if rel_name == name:
+                return payload
+        raise KeyError(f"unknown relation {name!r}")
+
+    def instantiate(self, name: str, args: Sequence[Term]) -> Formula:
+        """The defining formula with *args* substituted for the parameters."""
+        variables, body = self.definition(name)
+        if len(args) != len(variables):
+            raise ValueError(
+                f"relation {name!r} applied to {len(args)} arguments, "
+                f"arity is {len(variables)}"
+            )
+        mapping = {v: as_term(a) for v, a in zip(variables, args)}
+        return substitute(body, mapping)
+
+    def is_semilinear(self) -> bool:
+        """True when every definition is linear (a semi-linear instance)."""
+        return all(
+            max_degree(body) <= 1 for _, (_, body) in self.definitions
+        )
+
+    def check_semilinear(self) -> None:
+        if not self.is_semilinear():
+            raise SignatureError(
+                "instance uses polynomial constraints; a semi-linear "
+                "instance was required"
+            )

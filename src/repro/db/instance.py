@@ -1,0 +1,75 @@
+"""Finite database instances with rational entries.
+
+A finite instance interprets every schema relation as a finite set of
+tuples over Q (a dense subset of the paper's universe R that suffices for
+every finite construction in the paper).  The *active domain* adom(D) is
+the set of all field values occurring anywhere in the instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from .schema import Schema
+
+__all__ = ["FiniteInstance"]
+
+
+@dataclass(frozen=True)
+class FiniteInstance:
+    """A finite instance of a schema."""
+
+    schema: Schema
+    relations: tuple[tuple[str, frozenset[tuple[Fraction, ...]]], ...]
+
+    @staticmethod
+    def make(
+        schema: Schema,
+        relations: Mapping[str, Iterable[Sequence[Fraction | int] | Fraction | int]],
+    ) -> "FiniteInstance":
+        """Build an instance; unary tuples may be given as bare numbers."""
+        normalised: list[tuple[str, frozenset[tuple[Fraction, ...]]]] = []
+        for name in schema.names():
+            arity = schema.arity(name)
+            rows: set[tuple[Fraction, ...]] = set()
+            for row in relations.get(name, ()):
+                if isinstance(row, (int, Fraction)):
+                    row = (row,)
+                values = tuple(Fraction(v) for v in row)
+                if len(values) != arity:
+                    raise ValueError(
+                        f"tuple {values} has arity {len(values)}, "
+                        f"but {name!r} has arity {arity}"
+                    )
+                rows.add(values)
+            normalised.append((name, frozenset(rows)))
+        unknown = set(relations) - set(schema.names())
+        if unknown:
+            raise ValueError(f"relations not in schema: {sorted(unknown)}")
+        return FiniteInstance(schema, tuple(normalised))
+
+    def relation(self, name: str) -> frozenset[tuple[Fraction, ...]]:
+        for rel_name, rows in self.relations:
+            if rel_name == name:
+                return rows
+        raise KeyError(f"unknown relation {name!r}")
+
+    def as_dict(self) -> dict[str, frozenset[tuple[Fraction, ...]]]:
+        return dict(self.relations)
+
+    def active_domain(self) -> frozenset[Fraction]:
+        """adom(D): all values occurring in any relation."""
+        values: set[Fraction] = set()
+        for _, rows in self.relations:
+            for row in rows:
+                values.update(row)
+        return frozenset(values)
+
+    def size(self) -> int:
+        """|D| = card(adom(D)), the paper's notion of database size."""
+        return len(self.active_domain())
+
+    def total_tuples(self) -> int:
+        return sum(len(rows) for _, rows in self.relations)

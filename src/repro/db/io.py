@@ -1,0 +1,131 @@
+"""Serialisation of constraint databases to a small text format.
+
+Databases round-trip through the library's own formula syntax
+(:mod:`repro.logic.parser` / :mod:`repro.logic.printer`), giving a
+human-editable on-disk representation::
+
+    # a finitely representable instance
+    FR
+    S/2 (x, y): 0 <= y AND y <= x AND x <= 1
+
+    # a finite instance
+    FINITE
+    U/1: 1/4; 1/2; 3/4
+    S/2: 0, 1; 1, 0
+
+Lines starting with ``#`` and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import TextIO
+
+from ..logic.parser import ParseError, parse
+from .fr_instance import FRInstance
+from .instance import FiniteInstance
+from .schema import Schema
+
+__all__ = ["dump_instance", "load_instance", "dumps_instance", "loads_instance"]
+
+_FR_LINE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)/(?P<arity>\d+)\s*"
+    r"\((?P<params>[^)]*)\)\s*:\s*(?P<body>.+)$"
+)
+_FINITE_LINE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)/(?P<arity>\d+)\s*:\s*(?P<rows>.*)$"
+)
+
+
+def dumps_instance(instance: "FiniteInstance | FRInstance") -> str:
+    """Serialise an instance to the text format."""
+    lines: list[str] = []
+    if isinstance(instance, FRInstance):
+        lines.append("FR")
+        for name, (params, body) in instance.definitions:
+            lines.append(f"{name}/{len(params)} ({', '.join(params)}): {body}")
+    elif isinstance(instance, FiniteInstance):
+        lines.append("FINITE")
+        for name, rows in instance.relations:
+            rendered = "; ".join(
+                ", ".join(str(value) for value in row) for row in sorted(rows)
+            )
+            lines.append(f"{name}/{len(next(iter(rows), ()))or instance.schema.arity(name)}: {rendered}")
+    else:
+        raise TypeError(f"cannot serialise {type(instance).__name__}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_instance(text: str) -> "FiniteInstance | FRInstance":
+    """Parse an instance from the text format."""
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise ParseError("empty instance file")
+    kind = lines[0].upper()
+    if kind == "FR":
+        return _load_fr(lines[1:])
+    if kind == "FINITE":
+        return _load_finite(lines[1:])
+    raise ParseError(f"unknown instance kind {lines[0]!r} (expected FR or FINITE)")
+
+
+def _load_fr(lines: list[str]) -> FRInstance:
+    arities: dict[str, int] = {}
+    definitions = {}
+    for line in lines:
+        match = _FR_LINE.match(line)
+        if match is None:
+            raise ParseError(f"malformed FR relation line: {line!r}")
+        name = match.group("name")
+        arity = int(match.group("arity"))
+        params = tuple(p.strip() for p in match.group("params").split(",") if p.strip())
+        if len(params) != arity:
+            raise ParseError(
+                f"relation {name!r}: {len(params)} parameters for arity {arity}"
+            )
+        body = parse(match.group("body"))
+        arities[name] = arity
+        definitions[name] = (params, body)
+    return FRInstance.make(Schema.make(arities), definitions)
+
+
+def _load_finite(lines: list[str]) -> FiniteInstance:
+    arities: dict[str, int] = {}
+    relations: dict[str, list[tuple[Fraction, ...]]] = {}
+    for line in lines:
+        match = _FINITE_LINE.match(line)
+        if match is None:
+            raise ParseError(f"malformed finite relation line: {line!r}")
+        name = match.group("name")
+        arity = int(match.group("arity"))
+        arities[name] = arity
+        rows: list[tuple[Fraction, ...]] = []
+        row_text = match.group("rows").strip()
+        if row_text:
+            for chunk in row_text.split(";"):
+                values = tuple(
+                    Fraction(part.strip()) for part in chunk.split(",") if part.strip()
+                )
+                if len(values) != arity:
+                    raise ParseError(
+                        f"relation {name!r}: row {chunk.strip()!r} has arity "
+                        f"{len(values)}, expected {arity}"
+                    )
+                rows.append(values)
+        relations[name] = rows
+    return FiniteInstance.make(Schema.make(arities), relations)
+
+
+def dump_instance(instance, stream: TextIO) -> None:
+    """Write an instance to an open text stream."""
+    stream.write(dumps_instance(instance))
+
+
+def load_instance(stream: TextIO) -> "FiniteInstance | FRInstance":
+    """Read an instance from an open text stream."""
+    return loads_instance(stream.read())

@@ -1,0 +1,49 @@
+"""Relational database schemas.
+
+A schema SC is a nonempty collection of relation names with positive
+arities (Section 2 of the paper).  Instances over a schema are either
+finite (:class:`~repro.db.instance.FiniteInstance`) or finitely
+representable (:class:`~repro.db.fr_instance.FRInstance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..logic.builders import Relation
+
+__all__ = ["Schema"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A database schema: relation names with their arities."""
+
+    relations: tuple[tuple[str, int], ...]
+
+    @staticmethod
+    def make(relations: Mapping[str, int]) -> "Schema":
+        if not relations:
+            raise ValueError("a schema must contain at least one relation")
+        items = tuple(sorted(relations.items()))
+        for name, arity in items:
+            if arity < 1:
+                raise ValueError(f"relation {name!r} must have positive arity")
+        return Schema(items)
+
+    def arity(self, name: str) -> int:
+        for rel_name, arity in self.relations:
+            if rel_name == name:
+                return arity
+        raise KeyError(f"unknown relation {name!r}")
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return any(rel_name == name for rel_name, _ in self.relations)
+
+    def symbols(self) -> dict[str, Relation]:
+        """Relation-atom builders for every schema relation."""
+        return {name: Relation(name, arity) for name, arity in self.relations}

@@ -1,0 +1,125 @@
+"""Loewner-John ellipsoids and the convex-body volume bracket.
+
+Section 4.3 of the paper remarks that for *convex* query outputs a
+relative ``(c1, c2)``-approximation of the volume is obtainable with
+Loewner-John ellipsoids: with ``k`` the dimension,
+
+    c1 = (k^k + 1) / (2 k^k) - eps,      c2 = (k^k + 1) / 2 + eps.
+
+The bracket comes from John's theorem: if E is the minimum-volume
+enclosing ellipsoid (MVEE) of a convex body P, then ``E/k subseteq P
+subseteq E`` (shrinking about the centre), hence
+
+    vol(E) / k^k  <=  vol(P)  <=  vol(E),
+
+and the estimator ``v = vol(E) * (1 + k^-k) / 2`` satisfies
+``v / vol(P) in [(k^k+1)/(2 k^k), (k^k+1)/2]``.
+
+The MVEE is computed with Khachiyan's barycentric coordinate-descent
+algorithm (floating point; the guarantee is inflated by the requested
+tolerance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._errors import ApproximationError, GeometryError
+
+__all__ = ["Ellipsoid", "mvee", "unit_ball_volume", "john_volume_estimate"]
+
+
+@dataclass(frozen=True)
+class Ellipsoid:
+    """The ellipsoid ``{x : (x - center)^T shape (x - center) <= 1}``."""
+
+    center: np.ndarray
+    shape: np.ndarray
+
+    def volume(self) -> float:
+        dims = self.center.shape[0]
+        det = np.linalg.det(self.shape)
+        if det <= 0:
+            raise GeometryError("degenerate ellipsoid (non-positive determinant)")
+        return unit_ball_volume(dims) / math.sqrt(det)
+
+    def contains(self, point: np.ndarray, slack: float = 1e-9) -> bool:
+        diff = np.asarray(point, dtype=float) - self.center
+        return float(diff @ self.shape @ diff) <= 1.0 + slack
+
+    def scaled(self, factor: float) -> "Ellipsoid":
+        """Scale about the centre by *factor* (> 0)."""
+        if factor <= 0:
+            raise GeometryError("scale factor must be positive")
+        return Ellipsoid(self.center, self.shape / (factor * factor))
+
+
+def unit_ball_volume(dims: int) -> float:
+    """Volume of the unit ball in R^dims."""
+    return math.pi ** (dims / 2.0) / math.gamma(dims / 2.0 + 1.0)
+
+
+def mvee(
+    points: Sequence[Sequence[float]],
+    tolerance: float = 1e-7,
+    max_iterations: int = 100_000,
+) -> Ellipsoid:
+    """Minimum-volume enclosing ellipsoid of a full-dimensional point set.
+
+    Khachiyan's algorithm on the lifted points; the returned ellipsoid
+    contains all points up to the requested tolerance.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise GeometryError("points must be a 2-D array-like")
+    count, dims = pts.shape
+    if count < dims + 1:
+        raise GeometryError(
+            f"need at least {dims + 1} points for a full-dimensional MVEE"
+        )
+    lifted = np.hstack([pts, np.ones((count, 1))]).T  # (d+1, m)
+    weights = np.full(count, 1.0 / count)
+    for _ in range(max_iterations):
+        scatter = lifted @ np.diag(weights) @ lifted.T  # (d+1, d+1)
+        try:
+            inverse = np.linalg.inv(scatter)
+        except np.linalg.LinAlgError as error:
+            raise GeometryError(
+                "degenerate point configuration for MVEE"
+            ) from error
+        distances = np.einsum("ij,jk,ki->i", lifted.T, inverse, lifted)
+        worst = int(np.argmax(distances))
+        maximum = float(distances[worst])
+        step = (maximum - dims - 1.0) / ((dims + 1.0) * (maximum - 1.0))
+        if step <= tolerance:
+            break
+        weights = weights * (1.0 - step)
+        weights[worst] += step
+    center = pts.T @ weights
+    covariance = pts.T @ np.diag(weights) @ pts - np.outer(center, center)
+    shape = np.linalg.inv(covariance) / dims
+    # Khachiyan stops when the worst violation is below `tolerance`; inflate
+    # slightly so the returned ellipsoid provably contains all points.
+    shape = shape / (1.0 + 10_000.0 * dims * tolerance)
+    return Ellipsoid(center, shape)
+
+
+def john_volume_estimate(
+    points: Sequence[Sequence[float]], tolerance: float = 1e-7
+) -> tuple[float, float, float]:
+    """(estimate, lower bound, upper bound) for the volume of conv(points).
+
+    The bounds bracket the true volume by John's theorem; the estimate is
+    the paper's midpoint estimator ``vol(E) * (1 + k^-k) / 2``.
+    """
+    pts = np.asarray(points, dtype=float)
+    dims = pts.shape[1]
+    ellipsoid = mvee(pts, tolerance=tolerance)
+    outer = ellipsoid.volume()
+    lower = outer / (float(dims) ** dims)
+    estimate = outer * (1.0 + float(dims) ** (-dims)) / 2.0
+    return estimate, lower, outer

@@ -1,0 +1,91 @@
+"""Exact rational linear algebra helpers for polyhedral geometry."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = ["solve_linear_system", "determinant", "gaussian_elimination_rank"]
+
+
+def solve_linear_system(
+    matrix: Sequence[Sequence[Fraction]], rhs: Sequence[Fraction]
+) -> tuple[Fraction, ...] | None:
+    """Solve ``matrix @ x = rhs`` exactly.
+
+    Returns the unique solution, or ``None`` if the system is singular
+    (no solution or infinitely many).
+    """
+    n = len(matrix)
+    if n == 0:
+        return ()
+    if any(len(row) != n for row in matrix) or len(rhs) != n:
+        raise ValueError("square system required")
+    # Augmented matrix, Gaussian elimination with partial (nonzero) pivoting.
+    aug = [[Fraction(v) for v in row] + [Fraction(rhs[i])] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            return None
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        for r in range(n):
+            if r == col or aug[r][col] == 0:
+                continue
+            factor = aug[r][col] / pivot
+            for c in range(col, n + 1):
+                aug[r][c] -= factor * aug[col][c]
+    return tuple(aug[i][n] / aug[i][i] for i in range(n))
+
+
+def determinant(matrix: Sequence[Sequence[Fraction]]) -> Fraction:
+    """Exact determinant by fraction Gaussian elimination."""
+    n = len(matrix)
+    if n == 0:
+        return Fraction(1)
+    work = [[Fraction(v) for v in row] for row in matrix]
+    sign = 1
+    det = Fraction(1)
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+        if pivot_row is None:
+            return Fraction(0)
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            sign = -sign
+        pivot = work[col][col]
+        det *= pivot
+        for r in range(col + 1, n):
+            if work[r][col] == 0:
+                continue
+            factor = work[r][col] / pivot
+            for c in range(col, n):
+                work[r][c] -= factor * work[col][c]
+    return det * sign
+
+
+def gaussian_elimination_rank(matrix: Sequence[Sequence[Fraction]]) -> int:
+    """Exact rank of a rational matrix."""
+    if not matrix:
+        return 0
+    rows = [list(map(Fraction, row)) for row in matrix]
+    cols = len(rows[0])
+    rank = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(rank, len(rows)) if rows[r][col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        for r in range(len(rows)):
+            if r == rank or rows[r][col] == 0:
+                continue
+            factor = rows[r][col] / pivot
+            for c in range(col, cols):
+                rows[r][c] -= factor * rows[rank][c]
+        rank += 1
+        if rank == len(rows):
+            break
+    return rank

@@ -1,0 +1,124 @@
+"""Triangulation-based volume baselines.
+
+Two baselines complement the exact slicing algorithm of
+:mod:`repro.geometry.volume`:
+
+* an **exact** shoelace/fan computation for convex polygons (this is the
+  paper's Section 5 worked example: fan triangulation from the
+  lexicographically least vertex, triangle areas by determinant), and
+* a **floating-point** convex-hull volume via scipy's Qhull, used as an
+  independent cross-check in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+from scipy.spatial import ConvexHull
+
+from .._errors import GeometryError
+from .linalg import determinant
+from .polyhedron import Point
+
+__all__ = [
+    "triangle_area",
+    "simplex_volume",
+    "fan_triangulation_area",
+    "shoelace_area",
+    "convex_hull_volume_float",
+    "sort_ccw",
+]
+
+
+def triangle_area(a: Point, b: Point, c: Point) -> Fraction:
+    """Exact (unsigned) area of a triangle in R^2.
+
+    This is the paper's deterministic formula gamma:
+    ``(a1 b2 - a2 b1 + a2 c1 - a1 c2 + b1 c2 - b2 c1) / 2`` in absolute value.
+    """
+    signed = (
+        a[0] * b[1] - a[1] * b[0]
+        + a[1] * c[0] - a[0] * c[1]
+        + b[0] * c[1] - b[1] * c[0]
+    )
+    return abs(signed) / 2
+
+
+def simplex_volume(vertices: Sequence[Point]) -> Fraction:
+    """Exact volume of a d-simplex from its d+1 vertices: |det| / d!."""
+    if not vertices:
+        raise GeometryError("a simplex needs vertices")
+    d = len(vertices[0])
+    if len(vertices) != d + 1:
+        raise GeometryError(f"a {d}-simplex needs exactly {d + 1} vertices")
+    base = vertices[0]
+    matrix = [
+        [Fraction(v[i]) - Fraction(base[i]) for i in range(d)]
+        for v in vertices[1:]
+    ]
+    det = determinant(matrix)
+    factorial = 1
+    for k in range(2, d + 1):
+        factorial *= k
+    return abs(det) / factorial
+
+
+def sort_ccw(vertices: Sequence[Point]) -> list[Point]:
+    """Sort the vertices of a convex polygon counter-clockwise.
+
+    Uses the exact centroid as pivot and exact cross-product comparisons
+    within float-bucketed angular pre-sorting.
+    """
+    if len(vertices) < 3:
+        return list(vertices)
+    cx = sum((Fraction(v[0]) for v in vertices), Fraction(0)) / len(vertices)
+    cy = sum((Fraction(v[1]) for v in vertices), Fraction(0)) / len(vertices)
+    import math
+
+    def angle(v: Point) -> float:
+        return math.atan2(float(v[1] - cy), float(v[0] - cx))
+
+    return sorted(vertices, key=angle)
+
+
+def fan_triangulation_area(vertices: Sequence[Point]) -> Fraction:
+    """Exact area of a convex polygon by fan triangulation.
+
+    Mirrors the paper's FO + POLY + SUM example: triangulate from the
+    lexicographically minimal vertex and sum exact triangle areas.
+    """
+    if len(vertices) < 3:
+        return Fraction(0)
+    ordered = sort_ccw(vertices)
+    # Rotate so the fan apex is the lexicographically minimal vertex,
+    # exactly as in the paper's range-restricted expression.
+    apex_index = min(range(len(ordered)), key=lambda i: ordered[i])
+    ordered = ordered[apex_index:] + ordered[:apex_index]
+    apex = ordered[0]
+    total = Fraction(0)
+    for left, right in zip(ordered[1:], ordered[2:]):
+        total += triangle_area(apex, left, right)
+    return total
+
+
+def shoelace_area(vertices: Sequence[Point]) -> Fraction:
+    """Exact polygon area by the shoelace formula (vertices in CCW order)."""
+    if len(vertices) < 3:
+        return Fraction(0)
+    total = Fraction(0)
+    count = len(vertices)
+    for i in range(count):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % count]
+        total += Fraction(x1) * Fraction(y2) - Fraction(x2) * Fraction(y1)
+    return abs(total) / 2
+
+
+def convex_hull_volume_float(points: Sequence[Sequence[float]]) -> float:
+    """Floating-point convex hull volume via Qhull (independent baseline)."""
+    array = np.asarray(points, dtype=float)
+    if array.shape[0] < array.shape[1] + 1:
+        raise GeometryError("not enough points for a full-dimensional hull")
+    return float(ConvexHull(array).volume)

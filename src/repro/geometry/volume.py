@@ -1,0 +1,149 @@
+"""Exact volume of semi-linear sets — the algorithm behind Theorem 3.
+
+The paper proves FO + POLY + SUM expresses volumes of semi-linear sets by
+induction on dimension: slice along the first coordinate, observe that the
+(d-1)-dimensional slice volume is piecewise polynomial of degree <= d-1
+between breakpoints, and integrate each piece.  This module implements
+exactly that computation with rational arithmetic:
+
+* breakpoints are the first coordinates of the polytope's vertices,
+* on each open interval between breakpoints the slice-volume function is a
+  polynomial of degree <= d-1, recovered exactly by Lagrange interpolation
+  through d interior sample slices,
+* each piece is integrated in closed form.
+
+Unions of cells (general semi-linear sets) are handled by
+inclusion-exclusion over intersections, which are again convex cells.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Sequence
+
+from ..realalg.univariate import UPoly
+from .._errors import GeometryError, UnboundedSetError
+from .polyhedron import Polyhedron
+
+__all__ = [
+    "polytope_volume",
+    "union_volume",
+    "interval_length",
+    "lagrange_interpolate",
+    "integrate_upoly",
+]
+
+#: Guard for the 2^n blow-up of inclusion-exclusion.
+MAX_UNION_CELLS = 20
+
+
+def lagrange_interpolate(
+    points: Sequence[tuple[Fraction, Fraction]]
+) -> UPoly:
+    """The unique polynomial of degree < len(points) through *points*."""
+    result = UPoly.zero()
+    for i, (xi, yi) in enumerate(points):
+        if yi == 0:
+            continue
+        basis = UPoly.constant(1)
+        denominator = Fraction(1)
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            basis = basis * UPoly([-xj, 1])
+            denominator *= xi - xj
+        result = result + basis * (yi / denominator)
+    return result
+
+
+def integrate_upoly(poly: UPoly, low: Fraction, high: Fraction) -> Fraction:
+    """Definite integral of a rational polynomial over [low, high]."""
+    antiderivative = UPoly(
+        [Fraction(0)] + [c / (i + 1) for i, c in enumerate(poly.coeffs)]
+    )
+    return antiderivative(high) - antiderivative(low)
+
+
+def interval_length(polyhedron: Polyhedron) -> Fraction:
+    """Volume in dimension 1: the length of the solution interval."""
+    if polyhedron.is_empty():
+        return Fraction(0)
+    var = polyhedron.variables[0]
+    low, high = polyhedron.coordinate_bounds(var)
+    if low is None or high is None:
+        raise UnboundedSetError(f"unbounded in {var!r}; volume is infinite")
+    return max(Fraction(0), high - low)
+
+
+def polytope_volume(polyhedron: Polyhedron) -> Fraction:
+    """Exact d-dimensional volume of a bounded convex polyhedron.
+
+    Strict constraints are closed first (equal volume).  Raises
+    :class:`UnboundedSetError` for unbounded inputs.
+    """
+    d = polyhedron.dimension
+    if d == 0:
+        raise GeometryError("volume undefined in dimension 0")
+    closed = polyhedron.closure()
+    if closed.is_empty():
+        return Fraction(0)
+    if d == 1:
+        return interval_length(closed)
+
+    var = closed.variables[0]
+    vertices = closed.vertices()
+    if not vertices:
+        # No vertices with a nonempty closed polyhedron means it is
+        # unbounded (or degenerate without corners, also unbounded).
+        raise UnboundedSetError("polyhedron has no vertices; it is unbounded")
+    low, high = closed.coordinate_bounds(var)
+    if low is None or high is None:
+        raise UnboundedSetError(f"unbounded in {var!r}; volume is infinite")
+
+    breakpoints = sorted({v[0] for v in vertices} | {low, high})
+    total = Fraction(0)
+    for left, right in zip(breakpoints, breakpoints[1:]):
+        if right <= left:
+            continue
+        width = right - left
+        # d interior samples recover the degree-(d-1) slice-volume polynomial.
+        samples: list[tuple[Fraction, Fraction]] = []
+        for k in range(1, d + 1):
+            t = left + width * Fraction(k, d + 1)
+            slice_volume = polytope_volume(closed.fix_variable(var, t))
+            samples.append((t, slice_volume))
+        piece = lagrange_interpolate(samples)
+        total += integrate_upoly(piece, left, right)
+    return total
+
+
+def union_volume(cells: Sequence[Polyhedron]) -> Fraction:
+    """Exact volume of a union of convex cells by inclusion-exclusion.
+
+    All cells must share the same variable tuple.  Intersections of cells
+    are again convex, so each term reduces to :func:`polytope_volume`.
+    """
+    cells = [c for c in cells if not c.is_empty()]
+    if not cells:
+        return Fraction(0)
+    variables = cells[0].variables
+    for cell in cells:
+        if cell.variables != variables:
+            raise GeometryError("all cells must share the same variables")
+    if len(cells) > MAX_UNION_CELLS:
+        raise GeometryError(
+            f"inclusion-exclusion over {len(cells)} cells is infeasible "
+            f"(limit {MAX_UNION_CELLS})"
+        )
+    total = Fraction(0)
+    for size in range(1, len(cells) + 1):
+        sign = 1 if size % 2 == 1 else -1
+        for subset in itertools.combinations(cells, size):
+            intersection = subset[0]
+            for cell in subset[1:]:
+                intersection = intersection.intersect(cell)
+            if intersection.is_empty():
+                continue
+            total += sign * polytope_volume(intersection)
+    return total

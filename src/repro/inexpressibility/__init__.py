@@ -1,0 +1,52 @@
+"""The Section 4 impossibility machinery, made executable.
+
+Separating sentences, Ehrenfeucht-Fraisse games on coloured linear orders,
+the AVG reduction of Theorem 1, the good-instance volume reduction of
+Theorem 2, and the FO_act-to-circuit compilation of Lemma 3.
+"""
+
+from .structures import OrderedStructure, two_set_instance
+from .ef_games import distinguishing_rank, duplicator_wins, pure_order_equivalent
+from .separating import (
+    SeparationCounterexample,
+    check_separating_on_instances,
+    ef_refutation_pair,
+    refute_rank,
+)
+from .reduction_avg import (
+    AvgReduction,
+    avg_reduction,
+    delta_for_epsilon,
+    separation_constants,
+)
+from .good_instances import (
+    GoodInstance,
+    good_constants,
+    interval_sets,
+    volume_decision,
+)
+from .circuits import Circuit, Gate, compile_sentence, separates_cardinalities
+
+__all__ = [
+    "OrderedStructure",
+    "two_set_instance",
+    "duplicator_wins",
+    "distinguishing_rank",
+    "pure_order_equivalent",
+    "SeparationCounterexample",
+    "check_separating_on_instances",
+    "ef_refutation_pair",
+    "refute_rank",
+    "AvgReduction",
+    "avg_reduction",
+    "delta_for_epsilon",
+    "separation_constants",
+    "GoodInstance",
+    "good_constants",
+    "interval_sets",
+    "volume_decision",
+    "Circuit",
+    "Gate",
+    "compile_sentence",
+    "separates_cardinalities",
+]

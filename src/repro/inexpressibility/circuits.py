@@ -1,0 +1,201 @@
+"""Lemma 3: compiling FO_act sentences to bounded-depth circuits.
+
+The final step of Theorem 2 converts a hypothetical (c1, c2)-good sentence
+into a family of non-uniform AC^0 circuits (constant depth, polynomial
+size) that would distinguish cardinalities ``< c1 n`` from ``> c2 n`` —
+in particular some cardinalities within ``[sqrt(n), n - sqrt(n)]`` — which
+AC^0 circuits cannot do (Denenberg-Gurevich-Shelah / the parity-style
+lower bounds the paper cites).
+
+This module implements the *compilation*: an FO_act sentence over
+``({0..n-1}, <, arithmetic constants, B)`` becomes a circuit whose inputs
+are the n membership bits of B; quantifiers become fan-in-n AND/OR layers,
+so depth is the quantifier/connective depth (constant in n) and size is
+O(n^rank) (polynomial).  Benchmarks then *measure* the separation failure
+of fixed compiled circuits as n grows — the empirical face of the lower
+bound, which we use as a known result rather than re-prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..logic.evaluate import evaluate_compare
+from ..logic.formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from .._errors import EvaluationError
+
+__all__ = ["Gate", "Circuit", "compile_sentence", "separates_cardinalities"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A circuit gate.
+
+    kind: 'const' (payload bool), 'input' (payload bit index),
+    'not' / 'and' / 'or' (children are gate indices).
+    """
+
+    kind: str
+    payload: object = None
+    children: tuple[int, ...] = ()
+
+
+@dataclass
+class Circuit:
+    """A boolean circuit over n input bits (the membership vector of B)."""
+
+    input_bits: int
+    gates: list[Gate] = field(default_factory=list)
+    output: int = -1
+
+    def add(self, gate: Gate) -> int:
+        self.gates.append(gate)
+        return len(self.gates) - 1
+
+    def size(self) -> int:
+        return len(self.gates)
+
+    def depth(self) -> int:
+        """Longest path from output to an input/constant."""
+        memo: dict[int, int] = {}
+
+        def gate_depth(index: int) -> int:
+            if index in memo:
+                return memo[index]
+            gate = self.gates[index]
+            if gate.kind in ("const", "input"):
+                result = 0
+            else:
+                result = 1 + max(
+                    (gate_depth(child) for child in gate.children), default=0
+                )
+            memo[index] = result
+            return result
+
+        return gate_depth(self.output)
+
+    def evaluate(self, bits: Sequence[bool]) -> bool:
+        if len(bits) != self.input_bits:
+            raise EvaluationError("wrong number of input bits")
+        values: list[bool | None] = [None] * len(self.gates)
+
+        def gate_value(index: int) -> bool:
+            cached = values[index]
+            if cached is not None:
+                return cached
+            gate = self.gates[index]
+            if gate.kind == "const":
+                result = bool(gate.payload)
+            elif gate.kind == "input":
+                result = bool(bits[gate.payload])  # type: ignore[index]
+            elif gate.kind == "not":
+                result = not gate_value(gate.children[0])
+            elif gate.kind == "and":
+                result = all(gate_value(c) for c in gate.children)
+            elif gate.kind == "or":
+                result = any(gate_value(c) for c in gate.children)
+            else:  # pragma: no cover - defensive
+                raise EvaluationError(f"unknown gate kind {gate.kind!r}")
+            values[index] = result
+            return result
+
+        return gate_value(self.output)
+
+
+def compile_sentence(
+    sentence: Formula,
+    universe_size: int,
+    input_predicate: str = "B",
+) -> Circuit:
+    """Compile an FO_act sentence into a circuit over the B-membership bits.
+
+    Quantifiers (both kinds are read as ranging over the universe
+    {0..n-1}, i.e. active semantics on the Lemma 3 structures) become
+    fan-in-n gates; comparison atoms between bound variables and constants
+    are evaluated at compile time (they depend only on the assignment, not
+    on B); ``B(t)`` atoms become input gates.
+    """
+    circuit = Circuit(input_bits=universe_size)
+
+    def build(formula: Formula, env: dict[str, Fraction]) -> int:
+        if isinstance(formula, TrueFormula):
+            return circuit.add(Gate("const", True))
+        if isinstance(formula, FalseFormula):
+            return circuit.add(Gate("const", False))
+        if isinstance(formula, Compare):
+            return circuit.add(Gate("const", evaluate_compare(formula, env)))
+        if isinstance(formula, RelAtom):
+            if formula.name != input_predicate:
+                raise EvaluationError(
+                    f"unknown relation {formula.name!r}; only the input "
+                    f"predicate {input_predicate!r} is available"
+                )
+            if len(formula.args) != 1:
+                raise EvaluationError("the input predicate must be unary")
+            value = formula.args[0].evaluate(env)
+            if value.denominator != 1 or not 0 <= value < universe_size:
+                return circuit.add(Gate("const", False))
+            return circuit.add(Gate("input", int(value)))
+        if isinstance(formula, Not):
+            child = build(formula.arg, env)
+            return circuit.add(Gate("not", children=(child,)))
+        if isinstance(formula, And):
+            children = tuple(build(a, env) for a in formula.args)
+            return circuit.add(Gate("and", children=children))
+        if isinstance(formula, Or):
+            children = tuple(build(a, env) for a in formula.args)
+            return circuit.add(Gate("or", children=children))
+        if isinstance(formula, (Exists, ExistsAdom, Forall, ForallAdom)):
+            children = []
+            for element in range(universe_size):
+                env[formula.var] = Fraction(element)
+                children.append(build(formula.body, env))
+            env.pop(formula.var, None)
+            kind = "or" if isinstance(formula, (Exists, ExistsAdom)) else "and"
+            return circuit.add(Gate(kind, children=tuple(children)))
+        raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+    if sentence.free_variables():
+        raise EvaluationError("only sentences can be compiled")
+    circuit.output = build(sentence, {})
+    return circuit
+
+
+def separates_cardinalities(
+    circuit: Circuit,
+    c1: float,
+    c2: float,
+    b_sizes: Sequence[int] | None = None,
+) -> bool:
+    """Does the circuit behave as a (c1, c2)-good sentence on block Bs?
+
+    Tests B = {0..k-1} for each k (block instances suffice to witness
+    failure).  Returns False as soon as a required output is wrong:
+    the circuit must reject when ``k < c1 n`` and accept when ``k > c2 n``.
+    """
+    n = circuit.input_bits
+    if b_sizes is None:
+        b_sizes = range(1, n)
+    for k in b_sizes:
+        bits = [i < k for i in range(n)]
+        value = circuit.evaluate(bits)
+        if k < c1 * n and value:
+            return False
+        if k > c2 * n and not value:
+            return False
+    return True

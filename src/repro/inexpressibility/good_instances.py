@@ -1,0 +1,103 @@
+"""Theorem 2's good-instance reduction: approximate volume decides
+cardinality gaps.
+
+A *good instance* has A = {0, ..., n-1} and B a nonempty proper subset of
+A.  Lemma 2 of the paper maps adom into [0, 1] with equal spacing and
+forms
+
+* X: the union of intervals starting at a point of B and spanning to the
+  next point of A - B (or to 1 if none),
+* Y: the same with the roles of B and A - B swapped.
+
+VOL(X) then tracks card(B)/n closely enough that eps-approximations of
+VOL(X), VOL(Y) (eps < 1/2) decide whether card(B) < c1 n or > c2 n with
+``c1 = (1 - 2 eps)/3, c2 = (2 + 2 eps)/3`` — a (c1, c2)-good sentence,
+which Lemma 3's AC^0 argument forbids.
+
+Everything here is executable and exact: instances, interval sets, their
+true volumes, and the decision rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..qe.intervals import Interval, IntervalUnion
+from .._errors import ApproximationError
+
+__all__ = [
+    "GoodInstance",
+    "good_constants",
+    "interval_sets",
+    "volume_decision",
+]
+
+
+@dataclass(frozen=True)
+class GoodInstance:
+    """A good instance: A = {0..n-1}, B a nonempty proper subset."""
+
+    n: int
+    b: frozenset[int]
+
+    @staticmethod
+    def make(n: int, b: Sequence[int]) -> "GoodInstance":
+        members = frozenset(b)
+        if n < 2:
+            raise ValueError("a good instance needs n >= 2")
+        if not members or members >= set(range(n)) or not members < set(range(n)):
+            raise ValueError("B must be a nonempty proper subset of {0..n-1}")
+        return GoodInstance(n, members)
+
+    def embedded(self, element: int) -> Fraction:
+        """The equal-spacing embedding of adom into [0, 1]."""
+        return Fraction(element, self.n)
+
+
+def good_constants(epsilon: Fraction) -> tuple[Fraction, Fraction]:
+    """The paper's c1 = (1 - 2 eps)/3 and c2 = (2 + 2 eps)/3."""
+    epsilon = Fraction(epsilon)
+    if not 0 < epsilon < Fraction(1, 2):
+        raise ApproximationError("need 0 < eps < 1/2")
+    return (1 - 2 * epsilon) / 3, (2 + 2 * epsilon) / 3
+
+
+def interval_sets(instance: GoodInstance) -> tuple[IntervalUnion, IntervalUnion]:
+    """The sets X and Y of Lemma 2 (as exact interval unions in [0, 1])."""
+    x_intervals: list[Interval] = []
+    y_intervals: list[Interval] = []
+    complement = set(range(instance.n)) - instance.b
+    for element in range(instance.n):
+        start = instance.embedded(element)
+        if element in instance.b:
+            next_other = min((e for e in complement if e > element), default=None)
+            end = Fraction(1) if next_other is None else instance.embedded(next_other)
+            if end > start:
+                x_intervals.append(Interval(start, end, True, False))
+        else:
+            next_other = min((e for e in instance.b if e > element), default=None)
+            end = Fraction(1) if next_other is None else instance.embedded(next_other)
+            if end > start:
+                y_intervals.append(Interval(start, end, True, False))
+    return IntervalUnion(x_intervals), IntervalUnion(y_intervals)
+
+
+def volume_decision(
+    instance: GoodInstance,
+    epsilon: Fraction,
+    x_estimate: Fraction | None = None,
+) -> bool:
+    """The (c1, c2)-good sentence induced by an eps-approximate volume.
+
+    Given an estimate of VOL(X) within eps (default: the exact volume,
+    i.e. a perfect approximator), return the decision "card(B) is large".
+    The contract (verified by the E5 benchmark): the result is True
+    whenever ``card(B) > c2 n`` and False whenever ``card(B) < c1 n``.
+    """
+    c1, c2 = good_constants(epsilon)
+    x_set, _ = interval_sets(instance)
+    volume = x_set.measure() if x_estimate is None else Fraction(x_estimate)
+    threshold = (c1 + c2) / 2
+    return volume > threshold

@@ -1,0 +1,114 @@
+"""Theorem 1's reduction: approximate AVG decides cardinality ratios.
+
+The proof of Theorem 1 translates two finite sets U1, U2 into subsets of
+``(0, Delta)`` and ``(1 - Delta, 1)`` respectively, so that the average of
+the union is a monotone function of ``card(U1) / card(U2)``.  An
+FO-definable eps-approximation of AVG (eps < 1/2) would then yield a
+(c1, c2)-separating sentence — contradicting Proposition 1.
+
+This module implements the reduction *executably*: the translation, the
+exact AVG, the thresholds, and the induced ratio decision, so the
+benchmark can verify the arithmetic of the proof on concrete instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from .._errors import ApproximationError
+
+__all__ = ["AvgReduction", "avg_reduction", "delta_for_epsilon", "separation_constants"]
+
+
+def delta_for_epsilon(epsilon: Fraction) -> Fraction:
+    """A Delta in (0, 1/2) suitable for the given eps < 1/2.
+
+    We take Delta = (1/2 - eps) / 2: the smaller the error tolerance the
+    closer to the endpoints the two blocks can sit, leaving an eps-wide
+    decision margin.
+    """
+    epsilon = Fraction(epsilon)
+    if not 0 < epsilon < Fraction(1, 2):
+        raise ApproximationError("the reduction needs 0 < eps < 1/2")
+    return (Fraction(1, 2) - epsilon) / 2
+
+
+def separation_constants(epsilon: Fraction) -> tuple[Fraction, Fraction]:
+    """(c1, c2) > 1 induced by an eps-approximation of AVG.
+
+    If AVG(U1' u U2') can be approximated within eps, then instances with
+    card(U1) > c1 card(U2) are told apart from those with
+    card(U2) > c2 card(U1): the former have average < Delta + (1 - Delta)/ (1 + c1)
+    and the latter average > (1 - Delta) c2 / (1 + c2); with the choices
+    below the two eps-neighbourhoods are disjoint.
+    """
+    epsilon = Fraction(epsilon)
+    delta = delta_for_epsilon(epsilon)
+    # Ratio r = card(U1)/card(U2).  avg <= (delta*r + 1) / (r + 1) and
+    # avg >= (1-delta) / (r + 1).  Choose c so that the high and low bands
+    # are separated by more than 2*eps.
+    # Solve (1) / (1 + 1/c2) * (1-delta) - (delta*c1 + 1)/(c1 + 1) > 2 eps
+    # numerically-free: take c1 = c2 = c and increase c until satisfied.
+    c = Fraction(2)
+    for _ in range(64):
+        low_band_high = (delta * c + 1) / (c + 1)          # ratio >= c
+        high_band_low = (1 - delta) * c / (c + 1)          # inverse ratio >= c
+        if high_band_low - low_band_high > 2 * epsilon:
+            return c, c
+        c *= 2
+    raise ApproximationError("could not find separation constants")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class AvgReduction:
+    """The materialised reduction for one pair of finite sets."""
+
+    translated_u1: tuple[Fraction, ...]
+    translated_u2: tuple[Fraction, ...]
+    average: Fraction
+    delta: Fraction
+
+    def decide_ratio(
+        self, approximate_average: Fraction, c: Fraction
+    ) -> str:
+        """Classify the cardinality ratio from an approximate average.
+
+        Returns "U1-heavy" / "U2-heavy" / "inconclusive" using the
+        thresholds of :func:`separation_constants`.
+        """
+        low_band_high = (self.delta * c + 1) / (c + 1)
+        high_band_low = (1 - self.delta) * c / (c + 1)
+        midpoint = (low_band_high + high_band_low) / 2
+        if approximate_average < midpoint:
+            return "U1-heavy"
+        if approximate_average > midpoint:
+            return "U2-heavy"
+        return "inconclusive"
+
+
+def avg_reduction(
+    u1: Sequence[Fraction], u2: Sequence[Fraction], epsilon: Fraction
+) -> AvgReduction:
+    """Translate (U1, U2) as in Theorem 1's proof and compute the exact AVG.
+
+    The translation packs card(U1) distinct points into ``(0, Delta)`` and
+    card(U2) distinct points into ``(1 - Delta, 1)``; only cardinalities
+    matter, which is what makes AVG a function of the ratio.  (The paper's
+    translation is an FO + POLY query on the stored values; ours uses the
+    same target layout, computed directly.)
+    """
+    if not u1 or not u2:
+        raise ApproximationError("both sets must be nonempty")
+    delta = delta_for_epsilon(Fraction(epsilon))
+    n1, n2 = len(set(u1)), len(set(u2))
+    translated_u1 = tuple(
+        delta * Fraction(i + 1, n1 + 1) for i in range(n1)
+    )
+    translated_u2 = tuple(
+        1 - delta * Fraction(i + 1, n2 + 1) for i in range(n2)
+    )
+    total = sum(translated_u1, Fraction(0)) + sum(translated_u2, Fraction(0))
+    average = total / (n1 + n2)
+    return AvgReduction(translated_u1, translated_u2, average, delta)

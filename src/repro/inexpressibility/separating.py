@@ -1,0 +1,99 @@
+"""Separating sentences (Section 4) and their EF-game refutation.
+
+A (c1, c2)-separating sentence over the schema {U1, U2} must hold whenever
+``card(U1) > c1 card(U2)`` and fail whenever ``card(U2) > c2 card(U1)``
+— saying *nothing* about the middle band, which is why generic-query
+bounds do not apply directly.  Proposition 1: over any o-minimal
+structure, no such sentence is FO-definable.
+
+This module provides:
+
+* an empirical separating-sentence *checker* for candidate sentences
+  (evaluated over the two-unary-predicate structures);
+* the EF-game *certificate*: for every quantifier rank r, a pair of
+  instances — one on each side of the (c1, c2) band — that the duplicator
+  cannot be distinguished on, refuting every rank-r sentence in the order
+  vocabulary at once.  (The full proof reduces arbitrary o-minimal
+  signatures to this case; the reduction chain is recorded in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .ef_games import duplicator_wins
+from .structures import OrderedStructure, two_set_instance
+
+__all__ = [
+    "SeparationCounterexample",
+    "check_separating_on_instances",
+    "ef_refutation_pair",
+    "refute_rank",
+]
+
+#: A candidate sentence: any boolean function of a structure (e.g. a
+#: compiled FO sentence, or a hand-written predicate).
+Sentence = Callable[[OrderedStructure], bool]
+
+
+@dataclass(frozen=True)
+class SeparationCounterexample:
+    """Witness that a candidate sentence is not (c1, c2)-separating."""
+
+    instance: OrderedStructure
+    expected: bool
+    got: bool
+
+
+def check_separating_on_instances(
+    sentence: Sentence,
+    c1: float,
+    c2: float,
+    instances: Sequence[OrderedStructure],
+) -> SeparationCounterexample | None:
+    """Check the separating-sentence contract on the given instances.
+
+    Returns the first counterexample, or None if the sentence behaves as a
+    (c1, c2)-separating sentence on all of them.
+    """
+    if not (c1 > 1 and c2 > 1):
+        raise ValueError("the paper requires c1, c2 > 1")
+    for instance in instances:
+        cards = instance.cardinalities()
+        u1, u2 = cards.get("U1", 0), cards.get("U2", 0)
+        value = sentence(instance)
+        if u1 > c1 * u2 and not value:
+            return SeparationCounterexample(instance, True, value)
+        if u2 > c2 * u1 and value:
+            return SeparationCounterexample(instance, False, value)
+    return None
+
+
+def ef_refutation_pair(
+    c1: float, c2: float, rank: int
+) -> tuple[OrderedStructure, OrderedStructure]:
+    """Instances A (card U1 > c1 card U2) and B (card U2 > c2 card U1)
+    that are EF-equivalent at quantifier rank *rank*.
+
+    Sizes grow like 2^rank: each colour class is made larger than
+    2^rank - 1, at which point the duplicator equalises any two class
+    sizes.  The returned pair certifies (via :func:`refute_rank`) that no
+    rank-`rank` sentence over (U1, U2, <) is (c1, c2)-separating.
+    """
+    base = 2**rank  # > 2^rank - 1, the indistinguishability threshold
+    small = base
+    large_a = int(math.floor(c1 * small)) + 1  # card U1 > c1 * card U2
+    large_b = int(math.floor(c2 * small)) + 1  # card U2 > c2 * card U1
+    a = two_set_instance(max(large_a, base), small)
+    b = two_set_instance(small, max(large_b, base))
+    return a, b
+
+
+def refute_rank(c1: float, c2: float, rank: int) -> bool:
+    """True iff the EF certificate succeeds at this rank: the duplicator
+    wins between the refutation pair, so no rank-`rank` separating
+    sentence exists over (U1, U2, <)."""
+    a, b = ef_refutation_pair(c1, c2, rank)
+    return duplicator_wins(a, b, rank)

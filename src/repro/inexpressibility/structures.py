@@ -1,0 +1,67 @@
+"""Finite ordered structures with unary predicates.
+
+The proofs of Section 4 work over structures ``({0..n-1}, <, U1, ..., Uk)``:
+Proposition 1's separating-sentence argument reduces to Ehrenfeucht-
+Fraisse games on such structures, and Lemma 3's circuit argument evaluates
+FO_act sentences over them.  This module is their concrete representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["OrderedStructure", "two_set_instance"]
+
+
+@dataclass(frozen=True)
+class OrderedStructure:
+    """A finite linear order {0..size-1} with named unary predicates."""
+
+    size: int
+    predicates: tuple[tuple[str, frozenset[int]], ...]
+
+    @staticmethod
+    def make(size: int, predicates: Mapping[str, Sequence[int]]) -> "OrderedStructure":
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        items = []
+        for name, members in sorted(predicates.items()):
+            member_set = frozenset(members)
+            if member_set and (min(member_set) < 0 or max(member_set) >= size):
+                raise ValueError(f"predicate {name!r} has members outside the universe")
+            items.append((name, member_set))
+        return OrderedStructure(size, tuple(items))
+
+    def predicate(self, name: str) -> frozenset[int]:
+        for pred_name, members in self.predicates:
+            if pred_name == name:
+                return members
+        raise KeyError(f"unknown predicate {name!r}")
+
+    def predicate_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.predicates)
+
+    def colour(self, element: int) -> tuple[bool, ...]:
+        """The unary type of an element: membership in each predicate."""
+        return tuple(element in members for _, members in self.predicates)
+
+    def cardinalities(self) -> dict[str, int]:
+        return {name: len(members) for name, members in self.predicates}
+
+
+def two_set_instance(card_u1: int, card_u2: int) -> OrderedStructure:
+    """The Section 4 schema: two disjoint unary relations U1, U2.
+
+    U1 occupies the first ``card_u1`` elements and U2 the next ``card_u2``
+    (the layout is irrelevant up to the order type, and EF arguments only
+    use cardinalities and order).
+    """
+    size = card_u1 + card_u2
+    return OrderedStructure.make(
+        size,
+        {
+            "U1": range(card_u1),
+            "U2": range(card_u1, size),
+        },
+    )

@@ -1,0 +1,88 @@
+"""First-order logic over real signatures: the syntactic substrate.
+
+This package implements the query-language syntax of the paper: terms and
+formulas of FO(SC, Omega) for the dense-order, linear (FO + LIN) and
+polynomial (FO + POLY) signatures, with both natural and active-domain
+quantifiers, plus normal forms, metrics, a parser and a printer.
+"""
+
+from .terms import Add, Const, Mul, Neg, Pow, Term, Var, as_term, ONE, ZERO
+from .formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FALSE,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+from .builders import (
+    Relation,
+    between,
+    const,
+    exists,
+    exists_adom,
+    forall,
+    forall_adom,
+    iff,
+    implies,
+    in_unit_cube,
+    in_unit_interval,
+    land,
+    lor,
+    variables,
+)
+from .substitution import fresh_variable, rename_bound, substitute, substitute_term
+from .normalform import (
+    PrenexForm,
+    is_quantifier_free,
+    qf_to_dnf,
+    to_nnf,
+    to_prenex,
+)
+from .metrics import (
+    atom_degree,
+    count_atoms,
+    count_quantifiers,
+    formula_depth,
+    max_degree,
+    quantifier_rank,
+    term_degree,
+)
+from .parser import ParseError, parse, parse_term
+from .printer import formula_to_str, term_to_str
+from .evaluate import evaluate, evaluate_compare
+
+__all__ = [
+    # terms
+    "Term", "Var", "Const", "Add", "Mul", "Neg", "Pow", "as_term", "ZERO", "ONE",
+    # formulas
+    "Formula", "TrueFormula", "FalseFormula", "TRUE", "FALSE",
+    "Compare", "RelAtom", "And", "Or", "Not",
+    "Exists", "Forall", "ExistsAdom", "ForallAdom",
+    "conjunction", "disjunction",
+    # builders
+    "variables", "const", "Relation", "exists", "forall", "exists_adom",
+    "forall_adom", "land", "lor", "implies", "iff", "between",
+    "in_unit_interval", "in_unit_cube",
+    # substitution
+    "substitute", "substitute_term", "rename_bound", "fresh_variable",
+    # normal forms
+    "to_nnf", "to_prenex", "PrenexForm", "qf_to_dnf", "is_quantifier_free",
+    # metrics
+    "count_atoms", "count_quantifiers", "quantifier_rank", "formula_depth",
+    "term_degree", "atom_degree", "max_degree",
+    # parsing / printing
+    "parse", "parse_term", "ParseError", "term_to_str", "formula_to_str",
+    # evaluation
+    "evaluate", "evaluate_compare",
+]

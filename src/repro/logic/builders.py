@@ -1,0 +1,160 @@
+"""Convenience constructors for building formulas in host-language syntax.
+
+Example::
+
+    from repro.logic import builders as b
+
+    x, y = b.variables("x y")
+    R = b.Relation("R", 2)
+    phi = b.exists(y, R(x, y) & (x < y) & (y <= 1))
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .formulas import (
+    Exists,
+    ExistsAdom,
+    Forall,
+    ForallAdom,
+    Formula,
+    RelAtom,
+    conjunction,
+    disjunction,
+)
+from .terms import Const, Term, Var, as_term
+
+__all__ = [
+    "variables",
+    "const",
+    "Relation",
+    "exists",
+    "forall",
+    "exists_adom",
+    "forall_adom",
+    "land",
+    "lor",
+    "implies",
+    "iff",
+    "between",
+    "in_unit_interval",
+    "in_unit_cube",
+]
+
+
+def variables(names: str | Iterable[str]) -> tuple[Var, ...]:
+    """Create variables from a space-separated string or an iterable of names."""
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Var(name) for name in names)
+
+
+def const(value) -> Const:
+    """Create a rational constant term (accepts int, Fraction, or "p/q" string)."""
+    if isinstance(value, str):
+        return Const(Fraction(value))
+    return Const(Fraction(value))
+
+
+class Relation:
+    """A named schema relation of fixed arity; calling it builds an atom."""
+
+    def __init__(self, name: str, arity: int):
+        if arity < 1:
+            raise ValueError("relation arity must be positive")
+        self.name = name
+        self.arity = arity
+
+    def __call__(self, *args) -> RelAtom:
+        if len(args) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, got {len(args)} arguments"
+            )
+        return RelAtom(self.name, tuple(as_term(a) for a in args))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {self.arity})"
+
+
+def _var_name(var: Var | str) -> str:
+    return var.name if isinstance(var, Var) else var
+
+
+def exists(var: Var | str | Sequence[Var | str], body: Formula) -> Formula:
+    """Existentially quantify one variable or a sequence of variables."""
+    if isinstance(var, (Var, str)):
+        return Exists(_var_name(var), body)
+    result = body
+    for v in reversed(list(var)):
+        result = Exists(_var_name(v), result)
+    return result
+
+
+def forall(var: Var | str | Sequence[Var | str], body: Formula) -> Formula:
+    """Universally quantify one variable or a sequence of variables."""
+    if isinstance(var, (Var, str)):
+        return Forall(_var_name(var), body)
+    result = body
+    for v in reversed(list(var)):
+        result = Forall(_var_name(v), result)
+    return result
+
+
+def exists_adom(var: Var | str | Sequence[Var | str], body: Formula) -> Formula:
+    """Active-domain existential quantification."""
+    if isinstance(var, (Var, str)):
+        return ExistsAdom(_var_name(var), body)
+    result = body
+    for v in reversed(list(var)):
+        result = ExistsAdom(_var_name(v), result)
+    return result
+
+
+def forall_adom(var: Var | str | Sequence[Var | str], body: Formula) -> Formula:
+    """Active-domain universal quantification."""
+    if isinstance(var, (Var, str)):
+        return ForallAdom(_var_name(var), body)
+    result = body
+    for v in reversed(list(var)):
+        result = ForallAdom(_var_name(v), result)
+    return result
+
+
+def land(*formulas: Formula) -> Formula:
+    """N-ary conjunction (alias of :func:`repro.logic.formulas.conjunction`)."""
+    return conjunction(*formulas)
+
+
+def lor(*formulas: Formula) -> Formula:
+    """N-ary disjunction (alias of :func:`repro.logic.formulas.disjunction`)."""
+    return disjunction(*formulas)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Build ``antecedent -> consequent``."""
+    return antecedent.implies(consequent)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Build ``left <-> right``."""
+    return left.iff(right)
+
+
+def between(low, term: Term, high, strict: bool = False) -> Formula:
+    """Build ``low <= term <= high`` (or strict inequalities)."""
+    low_t, high_t = as_term(low), as_term(high)
+    if strict:
+        return conjunction(low_t < term, term < high_t)
+    return conjunction(low_t <= term, term <= high_t)
+
+
+def in_unit_interval(term: Term, strict: bool = False) -> Formula:
+    """Build the constraint ``term in [0, 1]`` (the paper's interval I)."""
+    return between(0, term, 1, strict=strict)
+
+
+def in_unit_cube(terms: Sequence[Term], strict: bool = False) -> Formula:
+    """Build the constraint that all *terms* lie in the unit cube I^n."""
+    return conjunction(*(in_unit_interval(t, strict=strict) for t in terms))

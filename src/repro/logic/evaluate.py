@@ -1,0 +1,152 @@
+"""Direct evaluation of formulas under explicit variable assignments.
+
+This module gives the *finite* semantics used throughout the paper's
+Section 4 machinery:
+
+* comparison atoms are decided exactly over rationals,
+* relation atoms are looked up in a finite interpretation,
+* active-domain quantifiers range over a supplied active domain,
+* natural quantifiers may optionally be evaluated over an explicitly
+  supplied finite domain (useful for testing and for the circuit
+  compilation of Lemma 3); evaluating a natural quantifier over the reals
+  requires quantifier elimination and lives in :mod:`repro.qe`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from .formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from .._errors import EvaluationError
+
+__all__ = ["evaluate", "evaluate_compare", "Interpretation"]
+
+#: A finite interpretation of schema relations: name -> set of tuples.
+Interpretation = Mapping[str, "set[tuple[Fraction, ...]] | frozenset[tuple[Fraction, ...]]"]
+
+
+def evaluate_compare(atom: Compare, env: Mapping[str, Fraction]) -> bool:
+    """Decide a comparison atom under *env* using exact rational arithmetic."""
+    lhs = atom.lhs.evaluate(env)
+    rhs = atom.rhs.evaluate(env)
+    if atom.op == "<":
+        return lhs < rhs
+    if atom.op == "<=":
+        return lhs <= rhs
+    if atom.op == "=":
+        return lhs == rhs
+    if atom.op == "!=":
+        return lhs != rhs
+    if atom.op == ">=":
+        return lhs >= rhs
+    if atom.op == ">":
+        return lhs > rhs
+    raise AssertionError(f"unknown comparison operator {atom.op!r}")
+
+
+def evaluate(
+    formula: Formula,
+    env: Mapping[str, Fraction] | None = None,
+    relations: Interpretation | None = None,
+    adom: Iterable[Fraction] | None = None,
+    domain: Iterable[Fraction] | None = None,
+) -> bool:
+    """Evaluate *formula* to a boolean.
+
+    Parameters
+    ----------
+    env:
+        Assignment for the free variables (values coerced to ``Fraction``).
+    relations:
+        Finite interpretation for relation atoms.
+    adom:
+        The range of active-domain quantifiers.
+    domain:
+        If given, natural quantifiers range over this finite set; if absent,
+        encountering a natural quantifier raises :class:`EvaluationError`.
+    """
+    env = {k: Fraction(v) for k, v in (env or {}).items()}
+    adom_list = tuple(Fraction(a) for a in adom) if adom is not None else None
+    domain_list = tuple(Fraction(a) for a in domain) if domain is not None else None
+    return _eval(formula, env, relations or {}, adom_list, domain_list)
+
+
+def _eval(
+    formula: Formula,
+    env: dict[str, Fraction],
+    relations: Interpretation,
+    adom: tuple[Fraction, ...] | None,
+    domain: tuple[Fraction, ...] | None,
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Compare):
+        return evaluate_compare(formula, env)
+    if isinstance(formula, RelAtom):
+        if formula.name not in relations:
+            raise EvaluationError(f"no interpretation for relation {formula.name!r}")
+        point = tuple(arg.evaluate(env) for arg in formula.args)
+        return point in relations[formula.name]
+    if isinstance(formula, And):
+        return all(_eval(a, env, relations, adom, domain) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(_eval(a, env, relations, adom, domain) for a in formula.args)
+    if isinstance(formula, Not):
+        return not _eval(formula.arg, env, relations, adom, domain)
+    if isinstance(formula, (ExistsAdom, ForallAdom)):
+        if adom is None:
+            raise EvaluationError(
+                "active-domain quantifier encountered but no active domain given"
+            )
+        return _eval_quantifier(formula, adom, env, relations, adom, domain)
+    if isinstance(formula, (Exists, Forall)):
+        if domain is None:
+            raise EvaluationError(
+                "natural quantifier encountered; supply a finite domain or use "
+                "quantifier elimination (repro.qe) for evaluation over R"
+            )
+        return _eval_quantifier(formula, domain, env, relations, adom, domain)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def _eval_quantifier(
+    formula,
+    values: tuple[Fraction, ...],
+    env: dict[str, Fraction],
+    relations: Interpretation,
+    adom: tuple[Fraction, ...] | None,
+    domain: tuple[Fraction, ...] | None,
+) -> bool:
+    existential = isinstance(formula, (Exists, ExistsAdom))
+    saved = env.get(formula.var)
+    had = formula.var in env
+    try:
+        for value in values:
+            env[formula.var] = value
+            result = _eval(formula.body, env, relations, adom, domain)
+            if existential and result:
+                return True
+            if not existential and not result:
+                return False
+        return not existential
+    finally:
+        if had:
+            env[formula.var] = saved  # type: ignore[assignment]
+        else:
+            env.pop(formula.var, None)

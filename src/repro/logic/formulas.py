@@ -1,0 +1,338 @@
+"""First-order formulas over real signatures and a relational schema.
+
+Formulas are built from
+
+* comparison atoms between terms (``<``, ``<=``, ``=``, ``!=``, ``>=``, ``>``),
+* relation atoms ``R(t1, ..., tk)`` for schema predicates,
+* the boolean connectives and both flavours of quantification used in the
+  paper: *natural* quantifiers ranging over all of R (``Exists`` /
+  ``Forall``) and *active-domain* quantifiers ranging over the active domain
+  of the input database (``ExistsAdom`` / ``ForallAdom``).
+
+Formulas are immutable and hashable; ``&``, ``|`` and ``~`` are overloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .terms import Term
+
+__all__ = [
+    "Formula",
+    "TrueFormula",
+    "FalseFormula",
+    "TRUE",
+    "FALSE",
+    "Compare",
+    "RelAtom",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "Forall",
+    "ExistsAdom",
+    "ForallAdom",
+    "conjunction",
+    "disjunction",
+    "COMPARISON_OPS",
+    "NEGATED_OP",
+    "FLIPPED_OP",
+]
+
+#: The comparison operators allowed in atoms.
+COMPARISON_OPS = ("<", "<=", "=", "!=", ">=", ">")
+
+#: Logical negation of each comparison operator.
+NEGATED_OP = {
+    "<": ">=",
+    "<=": ">",
+    "=": "!=",
+    "!=": "=",
+    ">=": "<",
+    ">": "<=",
+}
+
+#: The operator obtained by swapping the two sides of a comparison.
+FLIPPED_OP = {
+    "<": ">",
+    "<=": ">=",
+    "=": "=",
+    "!=": "!=",
+    ">=": "<=",
+    ">": "<",
+}
+
+
+class Formula:
+    """Abstract base class of all formulas."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> frozenset[str]:
+        """Return the set of free variable names of this formula."""
+        raise NotImplementedError
+
+    def relation_names(self) -> frozenset[str]:
+        """Return the names of all schema relations mentioned."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conjunction(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disjunction(self, other)
+
+    def __invert__(self) -> "Formula":
+        if isinstance(self, Not):
+            return self.arg
+        if isinstance(self, TrueFormula):
+            return FALSE
+        if isinstance(self, FalseFormula):
+            return TRUE
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Build the implication ``self -> other``."""
+        return disjunction(~self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        """Build the biconditional ``self <-> other``."""
+        return conjunction(self.implies(other), other.implies(self))
+
+    def __str__(self) -> str:
+        from .printer import formula_to_str
+
+        return formula_to_str(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True, repr=False)
+class TrueFormula(Formula):
+    """The formula that is always true."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True, repr=False)
+class FalseFormula(Formula):
+    """The formula that is always false."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True, repr=False)
+class Compare(Formula):
+    """An atomic comparison ``lhs op rhs`` between two terms."""
+
+    op: str
+    lhs: Term
+    rhs: Term
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def free_variables(self) -> frozenset[str]:
+        return self.lhs.variables() | self.rhs.variables()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def negated(self) -> "Compare":
+        """Return the atom equivalent to the negation of this atom over R."""
+        return Compare(NEGATED_OP[self.op], self.lhs, self.rhs)
+
+    def flipped(self) -> "Compare":
+        """Return the same atom with the two sides swapped."""
+        return Compare(FLIPPED_OP[self.op], self.rhs, self.lhs)
+
+
+@dataclass(frozen=True, repr=False)
+class RelAtom(Formula):
+    """A schema-relation atom ``R(t1, ..., tk)``."""
+
+    name: str
+    args: tuple[Term, ...]
+
+    __slots__ = ("name", "args")
+
+    def free_variables(self) -> frozenset[str]:
+        if not self.args:
+            return frozenset()
+        return frozenset().union(*(a.variables() for a in self.args))
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+
+@dataclass(frozen=True, repr=False)
+class And(Formula):
+    """Conjunction of two or more formulas."""
+
+    args: tuple[Formula, ...]
+
+    __slots__ = ("args",)
+
+    def __post_init__(self) -> None:
+        if len(self.args) < 2:
+            raise ValueError("And needs at least two arguments")
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.free_variables() for a in self.args))
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset().union(*(a.relation_names() for a in self.args))
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Formula):
+    """Disjunction of two or more formulas."""
+
+    args: tuple[Formula, ...]
+
+    __slots__ = ("args",)
+
+    def __post_init__(self) -> None:
+        if len(self.args) < 2:
+            raise ValueError("Or needs at least two arguments")
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.free_variables() for a in self.args))
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset().union(*(a.relation_names() for a in self.args))
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Formula):
+    """Negation of a formula."""
+
+    arg: Formula
+
+    __slots__ = ("arg",)
+
+    def free_variables(self) -> frozenset[str]:
+        return self.arg.free_variables()
+
+    def relation_names(self) -> frozenset[str]:
+        return self.arg.relation_names()
+
+
+class _Quantifier(Formula):
+    """Common behaviour of the four quantifier nodes."""
+
+    __slots__ = ()
+
+    var: str
+    body: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - {self.var}
+
+    def relation_names(self) -> frozenset[str]:
+        return self.body.relation_names()
+
+
+@dataclass(frozen=True, repr=False)
+class Exists(_Quantifier):
+    """Natural existential quantification over all of R."""
+
+    var: str
+    body: Formula
+
+    __slots__ = ("var", "body")
+
+
+@dataclass(frozen=True, repr=False)
+class Forall(_Quantifier):
+    """Natural universal quantification over all of R."""
+
+    var: str
+    body: Formula
+
+    __slots__ = ("var", "body")
+
+
+@dataclass(frozen=True, repr=False)
+class ExistsAdom(_Quantifier):
+    """Active-domain existential quantification (finite instances)."""
+
+    var: str
+    body: Formula
+
+    __slots__ = ("var", "body")
+
+
+@dataclass(frozen=True, repr=False)
+class ForallAdom(_Quantifier):
+    """Active-domain universal quantification (finite instances)."""
+
+    var: str
+    body: Formula
+
+    __slots__ = ("var", "body")
+
+
+def conjunction(*formulas: Formula) -> Formula:
+    """Flattening, simplifying n-ary conjunction.
+
+    ``TRUE`` conjuncts are dropped; any ``FALSE`` conjunct collapses the
+    whole conjunction.  Nested ``And`` nodes are flattened.  An empty
+    conjunction is ``TRUE``.
+    """
+    flat: list[Formula] = []
+    for formula in formulas:
+        if isinstance(formula, TrueFormula):
+            continue
+        if isinstance(formula, FalseFormula):
+            return FALSE
+        if isinstance(formula, And):
+            flat.extend(formula.args)
+        else:
+            flat.append(formula)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(*formulas: Formula) -> Formula:
+    """Flattening, simplifying n-ary disjunction (dual of :func:`conjunction`)."""
+    flat: list[Formula] = []
+    for formula in formulas:
+        if isinstance(formula, FalseFormula):
+            continue
+        if isinstance(formula, TrueFormula):
+            return TRUE
+        if isinstance(formula, Or):
+            flat.extend(formula.args)
+        else:
+            flat.append(formula)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))

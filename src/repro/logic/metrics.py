@@ -1,0 +1,136 @@
+"""Size and complexity metrics for formulas.
+
+These metrics back the Section 3 analysis of the paper: the
+Karpinski-Macintyre approximation construction produces formulas whose size
+is measured in *atomic subformulae* and *quantifiers*, and the worked
+example counts both.  We also provide quantifier rank (used by the
+Ehrenfeucht-Fraisse machinery) and maximal polynomial degree (used by the
+Goldberg-Jerrum VC bound).
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from .terms import Add, Const, Mul, Neg, Pow, Term, Var
+
+__all__ = [
+    "count_atoms",
+    "count_quantifiers",
+    "quantifier_rank",
+    "formula_depth",
+    "term_degree",
+    "atom_degree",
+    "max_degree",
+]
+
+_QUANTIFIERS = (Exists, Forall, ExistsAdom, ForallAdom)
+
+
+def count_atoms(formula: Formula) -> int:
+    """Number of atomic subformulae (comparisons and relation atoms)."""
+    if isinstance(formula, (Compare, RelAtom)):
+        return 1
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return 0
+    if isinstance(formula, (And, Or)):
+        return sum(count_atoms(a) for a in formula.args)
+    if isinstance(formula, Not):
+        return count_atoms(formula.arg)
+    if isinstance(formula, _QUANTIFIERS):
+        return count_atoms(formula.body)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def count_quantifiers(formula: Formula) -> int:
+    """Total number of quantifier occurrences (both kinds)."""
+    if isinstance(formula, _QUANTIFIERS):
+        return 1 + count_quantifiers(formula.body)
+    if isinstance(formula, (And, Or)):
+        return sum(count_quantifiers(a) for a in formula.args)
+    if isinstance(formula, Not):
+        return count_quantifiers(formula.arg)
+    return 0
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """Maximum nesting depth of quantifiers."""
+    if isinstance(formula, _QUANTIFIERS):
+        return 1 + quantifier_rank(formula.body)
+    if isinstance(formula, (And, Or)):
+        return max(quantifier_rank(a) for a in formula.args)
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.arg)
+    return 0
+
+
+def formula_depth(formula: Formula) -> int:
+    """Depth of the formula tree (atoms have depth 1)."""
+    if isinstance(formula, (Compare, RelAtom, TrueFormula, FalseFormula)):
+        return 1
+    if isinstance(formula, (And, Or)):
+        return 1 + max(formula_depth(a) for a in formula.args)
+    if isinstance(formula, Not):
+        return 1 + formula_depth(formula.arg)
+    if isinstance(formula, _QUANTIFIERS):
+        return 1 + formula_depth(formula.body)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def term_degree(term: Term) -> int:
+    """Total degree of a term viewed as a polynomial (constants have degree 0)."""
+    if isinstance(term, Var):
+        return 1
+    if isinstance(term, Const):
+        return 0
+    if isinstance(term, Add):
+        return max(term_degree(a) for a in term.args)
+    if isinstance(term, Mul):
+        return sum(term_degree(a) for a in term.args)
+    if isinstance(term, Neg):
+        return term_degree(term.arg)
+    if isinstance(term, Pow):
+        return term_degree(term.base) * term.exponent
+    raise TypeError(f"unknown term node {type(term).__name__}")
+
+
+def atom_degree(atom: Compare) -> int:
+    """Degree of the polynomial ``lhs - rhs`` of a comparison atom."""
+    return max(term_degree(atom.lhs), term_degree(atom.rhs))
+
+
+def max_degree(formula: Formula) -> int:
+    """Maximal degree over all comparison atoms (1 if there are none).
+
+    This is the ``d`` parameter of the paper's Goldberg-Jerrum constant
+    ``C = 16k(p+q)(log(8edps)+1)``: "the maximal degree of a polynomial
+    constraint used in the query, 1 if none is used".
+    """
+    best = 1
+    for atom in _comparison_atoms(formula):
+        best = max(best, atom_degree(atom))
+    return best
+
+
+def _comparison_atoms(formula: Formula):
+    if isinstance(formula, Compare):
+        yield formula
+    elif isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            yield from _comparison_atoms(arg)
+    elif isinstance(formula, Not):
+        yield from _comparison_atoms(formula.arg)
+    elif isinstance(formula, _QUANTIFIERS):
+        yield from _comparison_atoms(formula.body)

@@ -1,0 +1,121 @@
+"""Pretty-printing of terms and formulas to a readable text syntax.
+
+The produced syntax round-trips through :mod:`repro.logic.parser`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from .terms import Add, Const, Mul, Neg, Pow, Term, Var
+
+__all__ = ["term_to_str", "formula_to_str"]
+
+# Term precedence levels: additive < multiplicative < unary < power < atom.
+_PREC_ADD = 1
+_PREC_MUL = 2
+_PREC_NEG = 3
+_PREC_POW = 4
+_PREC_ATOM = 5
+
+
+def term_to_str(term: Term) -> str:
+    """Render a term."""
+    return _term(term, 0)
+
+
+def _term(term: Term, parent_prec: int) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return _const(term.value)
+    if isinstance(term, Add):
+        parts = []
+        for i, arg in enumerate(term.args):
+            if i > 0 and isinstance(arg, Neg):
+                parts.append(f"- {_term(arg.arg, _PREC_ADD + 1)}")
+            elif i > 0:
+                parts.append(f"+ {_term(arg, _PREC_ADD)}")
+            else:
+                parts.append(_term(arg, _PREC_ADD))
+        text = " ".join(parts)
+        return f"({text})" if parent_prec > _PREC_ADD else text
+    if isinstance(term, Mul):
+        text = " * ".join(_term(a, _PREC_MUL) for a in term.args)
+        return f"({text})" if parent_prec > _PREC_MUL else text
+    if isinstance(term, Neg):
+        text = f"-{_term(term.arg, _PREC_NEG)}"
+        return f"({text})" if parent_prec > _PREC_NEG else text
+    if isinstance(term, Pow):
+        text = f"{_term(term.base, _PREC_POW + 1)}^{term.exponent}"
+        return f"({text})" if parent_prec > _PREC_POW else text
+    raise TypeError(f"unknown term node {type(term).__name__}")
+
+
+def _const(value: Fraction) -> str:
+    if value.denominator == 1:
+        if value < 0:
+            return f"({value.numerator})"
+        return str(value.numerator)
+    if value < 0:
+        return f"({value.numerator}/{value.denominator})"
+    return f"{value.numerator}/{value.denominator}"
+
+
+# Formula precedence: OR < AND < NOT/quantifier < atom.
+_FPREC_OR = 1
+_FPREC_AND = 2
+_FPREC_NOT = 3
+
+
+def formula_to_str(formula: Formula) -> str:
+    """Render a formula."""
+    return _formula(formula, 0)
+
+
+def _formula(formula: Formula, parent_prec: int) -> str:
+    if isinstance(formula, TrueFormula):
+        return "TRUE"
+    if isinstance(formula, FalseFormula):
+        return "FALSE"
+    if isinstance(formula, Compare):
+        return f"{term_to_str(formula.lhs)} {formula.op} {term_to_str(formula.rhs)}"
+    if isinstance(formula, RelAtom):
+        args = ", ".join(term_to_str(a) for a in formula.args)
+        return f"{formula.name}({args})"
+    if isinstance(formula, And):
+        text = " AND ".join(_formula(a, _FPREC_AND) for a in formula.args)
+        return f"({text})" if parent_prec > _FPREC_AND else text
+    if isinstance(formula, Or):
+        text = " OR ".join(_formula(a, _FPREC_OR) for a in formula.args)
+        return f"({text})" if parent_prec > _FPREC_OR else text
+    if isinstance(formula, Not):
+        return f"NOT {_formula(formula.arg, _FPREC_NOT)}"
+    if isinstance(formula, Exists):
+        return _quantified("EXISTS", formula, parent_prec)
+    if isinstance(formula, Forall):
+        return _quantified("FORALL", formula, parent_prec)
+    if isinstance(formula, ExistsAdom):
+        return _quantified("EXISTSADOM", formula, parent_prec)
+    if isinstance(formula, ForallAdom):
+        return _quantified("FORALLADOM", formula, parent_prec)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def _quantified(keyword: str, formula, parent_prec: int) -> str:
+    text = f"{keyword} {formula.var}. {_formula(formula.body, _FPREC_NOT)}"
+    return f"({text})" if parent_prec > 0 else text

@@ -1,0 +1,137 @@
+"""Capture-avoiding substitution and variable renaming on terms and formulas."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from .formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from .terms import Add, Const, Mul, Neg, Pow, Term, Var
+
+__all__ = ["substitute_term", "substitute", "rename_bound", "fresh_variable"]
+
+_QUANTIFIER_TYPES = (Exists, Forall, ExistsAdom, ForallAdom)
+
+
+def fresh_variable(taken: set[str] | frozenset[str], stem: str = "v") -> str:
+    """Return a variable name based on *stem* that does not occur in *taken*."""
+    if stem not in taken:
+        return stem
+    for i in itertools.count():
+        candidate = f"{stem}_{i}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def substitute_term(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Replace variables in *term* according to *mapping* (simultaneously)."""
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Add):
+        return Add(tuple(substitute_term(a, mapping) for a in term.args))
+    if isinstance(term, Mul):
+        return Mul(tuple(substitute_term(a, mapping) for a in term.args))
+    if isinstance(term, Neg):
+        return Neg(substitute_term(term.arg, mapping))
+    if isinstance(term, Pow):
+        return Pow(substitute_term(term.base, mapping), term.exponent)
+    raise TypeError(f"unknown term node {type(term).__name__}")
+
+
+def substitute(formula: Formula, mapping: Mapping[str, Term]) -> Formula:
+    """Simultaneous capture-avoiding substitution of terms for free variables.
+
+    Bound variables that would capture a variable of a substituted term are
+    renamed to fresh names first.
+    """
+    if not mapping:
+        return formula
+    return _substitute(formula, dict(mapping))
+
+
+def _substitute(formula: Formula, mapping: dict[str, Term]) -> Formula:
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Compare):
+        return Compare(
+            formula.op,
+            substitute_term(formula.lhs, mapping),
+            substitute_term(formula.rhs, mapping),
+        )
+    if isinstance(formula, RelAtom):
+        return RelAtom(
+            formula.name, tuple(substitute_term(a, mapping) for a in formula.args)
+        )
+    if isinstance(formula, And):
+        return And(tuple(_substitute(a, mapping) for a in formula.args))
+    if isinstance(formula, Or):
+        return Or(tuple(_substitute(a, mapping) for a in formula.args))
+    if isinstance(formula, Not):
+        return Not(_substitute(formula.arg, mapping))
+    if isinstance(formula, _QUANTIFIER_TYPES):
+        inner_mapping = {k: v for k, v in mapping.items() if k != formula.var}
+        if not inner_mapping:
+            return formula
+        # Rename the bound variable if any substituted term mentions it.
+        incoming = frozenset().union(
+            *(t.variables() for t in inner_mapping.values())
+        )
+        body = formula.body
+        var = formula.var
+        if var in incoming:
+            taken = set(incoming) | body.free_variables() | set(inner_mapping)
+            new_var = fresh_variable(taken, var)
+            body = _substitute(body, {var: Var(new_var)})
+            var = new_var
+        return type(formula)(var, _substitute(body, inner_mapping))
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def rename_bound(formula: Formula, taken: set[str] | None = None) -> Formula:
+    """Rename bound variables so that every quantifier binds a distinct name
+    and no bound name collides with a free variable.
+
+    Useful as a preprocessing step before prenexing.
+    """
+    if taken is None:
+        taken = set(formula.free_variables())
+    else:
+        taken = set(taken) | set(formula.free_variables())
+    return _rename(formula, taken)
+
+
+def _rename(formula: Formula, taken: set[str]) -> Formula:
+    if isinstance(formula, (TrueFormula, FalseFormula, Compare, RelAtom)):
+        return formula
+    if isinstance(formula, And):
+        return And(tuple(_rename(a, taken) for a in formula.args))
+    if isinstance(formula, Or):
+        return Or(tuple(_rename(a, taken) for a in formula.args))
+    if isinstance(formula, Not):
+        return Not(_rename(formula.arg, taken))
+    if isinstance(formula, _QUANTIFIER_TYPES):
+        var = formula.var
+        body = formula.body
+        if var in taken:
+            new_var = fresh_variable(taken, var)
+            body = _substitute(body, {var: Var(new_var)})
+            var = new_var
+        taken.add(var)
+        return type(formula)(var, _rename(body, taken))
+    raise TypeError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,262 @@
+"""Term language for first-order formulas over real signatures.
+
+Terms are built from variables and rational constants with the operations
+``+``, ``-``, ``*`` and non-negative integer powers.  This covers all three
+signatures used in the paper:
+
+* dense order constraints  ``(R, <)``          — variables and constants only,
+* linear constraints       ``(R, +, -, 0, 1, <)`` — no products of variables,
+* polynomial constraints   ``(R, +, *, 0, 1, <)`` — everything below.
+
+Terms are immutable and hashable.  Python operators are overloaded so terms
+can be written naturally::
+
+    x, y = Var("x"), Var("y")
+    t = 2 * x + y ** 2 - Fraction(1, 3)
+
+Comparison operators on terms build atomic formulas (see
+:mod:`repro.logic.formulas`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Rational = Union[int, Fraction]
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Add",
+    "Mul",
+    "Neg",
+    "Pow",
+    "as_term",
+    "ZERO",
+    "ONE",
+]
+
+
+def as_term(value: "Term | Rational | str") -> "Term":
+    """Coerce *value* to a :class:`Term`.
+
+    Integers and :class:`~fractions.Fraction` become :class:`Const`; strings
+    become :class:`Var`; terms pass through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, (int, Fraction)):
+        return Const(Fraction(value))
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+class Term:
+    """Abstract base class of all terms."""
+
+    __slots__ = ()
+
+    # -- structure ---------------------------------------------------------
+    def variables(self) -> frozenset[str]:
+        """Return the set of variable names occurring in this term."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        """Evaluate the term under the variable assignment *env*.
+
+        Raises :class:`KeyError` if a variable is unbound.
+        """
+        raise NotImplementedError
+
+    # -- arithmetic sugar --------------------------------------------------
+    def __add__(self, other: "Term | Rational") -> "Term":
+        return Add((self, as_term(other)))
+
+    def __radd__(self, other: Rational) -> "Term":
+        return Add((as_term(other), self))
+
+    def __sub__(self, other: "Term | Rational") -> "Term":
+        return Add((self, Neg(as_term(other))))
+
+    def __rsub__(self, other: Rational) -> "Term":
+        return Add((as_term(other), Neg(self)))
+
+    def __mul__(self, other: "Term | Rational") -> "Term":
+        return Mul((self, as_term(other)))
+
+    def __rmul__(self, other: Rational) -> "Term":
+        return Mul((as_term(other), self))
+
+    def __neg__(self) -> "Term":
+        return Neg(self)
+
+    def __pow__(self, exponent: int) -> "Term":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("only non-negative integer powers are allowed")
+        return Pow(self, exponent)
+
+    # -- comparison sugar (atomic formulas) ---------------------------------
+    def __lt__(self, other: "Term | Rational"):
+        from .formulas import Compare
+
+        return Compare("<", self, as_term(other))
+
+    def __le__(self, other: "Term | Rational"):
+        from .formulas import Compare
+
+        return Compare("<=", self, as_term(other))
+
+    def __gt__(self, other: "Term | Rational"):
+        from .formulas import Compare
+
+        return Compare(">", self, as_term(other))
+
+    def __ge__(self, other: "Term | Rational"):
+        from .formulas import Compare
+
+        return Compare(">=", self, as_term(other))
+
+    def eq(self, other: "Term | Rational"):
+        """Build the atomic formula ``self = other``.
+
+        (``==`` is kept as structural equality so terms can live in sets and
+        dict keys; use :meth:`eq` / :meth:`ne` for the logical atoms.)
+        """
+        from .formulas import Compare
+
+        return Compare("=", self, as_term(other))
+
+    def ne(self, other: "Term | Rational"):
+        """Build the atomic formula ``self != other``."""
+        from .formulas import Compare
+
+        return Compare("!=", self, as_term(other))
+
+    def __str__(self) -> str:
+        from .printer import term_to_str
+
+        return term_to_str(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True, repr=False)
+class Var(Term):
+    """A first-order variable, identified by name."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        return Fraction(env[self.name])
+
+
+@dataclass(frozen=True, repr=False)
+class Const(Term):
+    """A rational constant."""
+
+    value: Fraction
+
+    __slots__ = ("value",)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, Fraction):
+            object.__setattr__(self, "value", Fraction(self.value))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        return self.value
+
+
+@dataclass(frozen=True, repr=False)
+class Add(Term):
+    """A sum of two or more terms."""
+
+    args: tuple[Term, ...]
+
+    __slots__ = ("args",)
+
+    def __post_init__(self) -> None:
+        if len(self.args) < 2:
+            raise ValueError("Add needs at least two arguments")
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.variables() for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        total = Fraction(0)
+        for arg in self.args:
+            total += arg.evaluate(env)
+        return total
+
+
+@dataclass(frozen=True, repr=False)
+class Mul(Term):
+    """A product of two or more terms."""
+
+    args: tuple[Term, ...]
+
+    __slots__ = ("args",)
+
+    def __post_init__(self) -> None:
+        if len(self.args) < 2:
+            raise ValueError("Mul needs at least two arguments")
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(a.variables() for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        total = Fraction(1)
+        for arg in self.args:
+            total *= arg.evaluate(env)
+        return total
+
+
+@dataclass(frozen=True, repr=False)
+class Neg(Term):
+    """Arithmetic negation of a term."""
+
+    arg: Term
+
+    __slots__ = ("arg",)
+
+    def variables(self) -> frozenset[str]:
+        return self.arg.variables()
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        return -self.arg.evaluate(env)
+
+
+@dataclass(frozen=True, repr=False)
+class Pow(Term):
+    """A term raised to a non-negative integer power."""
+
+    base: Term
+    exponent: int
+
+    __slots__ = ("base", "exponent")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.exponent, int) or self.exponent < 0:
+            raise ValueError("exponent must be a non-negative integer")
+
+    def variables(self) -> frozenset[str]:
+        return self.base.variables()
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        return self.base.evaluate(env) ** self.exponent
+
+
+ZERO = Const(Fraction(0))
+ONE = Const(Fraction(1))

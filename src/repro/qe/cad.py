@@ -1,0 +1,381 @@
+"""Cylindrical algebraic decomposition (CAD) for the polynomial signature.
+
+Provides a decision procedure for prenex FO + POLY sentences and a
+satisfiability check / sample-point generator for quantifier-free
+formulas, by the classical project-and-lift construction:
+
+* **projection** (Collins-style, conservative): discriminants, pairwise
+  resultants, and all coefficients with respect to the eliminated variable;
+* **lifting**: at each level the real line is decomposed into
+  sign-invariant cells by the roots of the level's polynomials
+  (specialised at the sample point built so far); one sample per cell is
+  recursed into.
+
+Exactness contract
+------------------
+Sector (open-cell) samples are exact rationals throughout.  Section
+(root-cell) samples are exact when the root is rational; irrational
+section roots are replaced by rational approximations certified to width
+``2**-SECTION_PRECISION_BITS`` before further substitution.  Consequently
+:func:`decide` is exact for all inputs whose section coordinates are
+rational, and for other inputs it is reliable up to configurations
+degenerate at scale ``2**-SECTION_PRECISION_BITS`` (far below anything the
+paper's constructions produce).  One-variable formulas are always handled
+exactly — use :mod:`repro.qe.onevar`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..logic.formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+)
+from ..logic.normalform import is_quantifier_free, to_prenex
+from ..realalg.algebraic import RealAlgebraic
+from ..realalg.polynomial import Polynomial, term_to_polynomial
+from ..realalg.resultant import discriminant, resultant
+from ..realalg.univariate import UPoly
+from .._errors import QEError
+from .intervals import rational_between
+
+__all__ = ["decide", "satisfiable", "find_sample", "projection_set"]
+
+#: Bits of certified precision used to rationalise irrational section roots.
+SECTION_PRECISION_BITS = 80
+
+
+# ---------------------------------------------------------------------------
+# Projection
+# ---------------------------------------------------------------------------
+
+def projection_set(polys: Sequence[Polynomial], var: str) -> list[Polynomial]:
+    """The Collins-style projection of *polys* with respect to *var*.
+
+    The zero sets of the returned polynomials (in the remaining variables)
+    contain all points above which the real roots of *polys* (in *var*) can
+    change in number or order, so sign-invariant cells of the projection
+    lift to a delineable stack.  We use the conservative projection:
+    all coefficients, discriminants, and pairwise resultants.
+    """
+    result: list[Polynomial] = []
+
+    def add(poly: Polynomial) -> None:
+        if poly.is_zero() or poly.is_constant():
+            return
+        normal = _normalise(poly)
+        if normal not in seen:
+            seen.add(normal)
+            result.append(normal)
+
+    seen: set[Polynomial] = set()
+    relevant = [p for p in polys if p.degree_in(var) >= 1]
+    for poly in relevant:
+        # Coefficient chain, leading first; once a coefficient is a nonzero
+        # constant the polynomial cannot vanish identically below it, so
+        # lower coefficients are irrelevant to delineability.
+        for coeff in reversed(poly.as_univariate_in(var)):
+            if coeff.is_constant():
+                if not coeff.is_zero():
+                    break
+                continue
+            add(coeff)
+        add(discriminant(poly, var))
+    for i, p in enumerate(relevant):
+        for q in relevant[i + 1:]:
+            add(resultant(p, q, var))
+    # Polynomials not involving var survive the projection unchanged.
+    for poly in polys:
+        if poly.degree_in(var) == 0:
+            add(poly)
+    return result
+
+
+def _normalise(poly: Polynomial) -> Polynomial:
+    """Canonical scaling for deduplication (divide by leading coefficient)."""
+    used = tuple(sorted(poly.used_variables()))
+    poly = poly.with_variables(used)
+    if not poly.coeffs:
+        return poly
+    lead_mono = max(poly.coeffs)
+    lead = poly.coeffs[lead_mono]
+    if lead == 1:
+        return poly
+    return Polynomial(poly.variables, {m: c / lead for m, c in poly.coeffs.items()})
+
+
+# ---------------------------------------------------------------------------
+# Lifting
+# ---------------------------------------------------------------------------
+
+def _specialise(poly: Polynomial, assignment: dict[str, Fraction], var: str) -> UPoly:
+    """Substitute *assignment* and view the result as univariate in *var*."""
+    substituted = poly.substitute(assignment)
+    extra = substituted.used_variables() - {var}
+    if extra:
+        raise QEError(
+            f"polynomial {poly} still involves {sorted(extra)} after substitution"
+        )
+    if var in substituted.variables:
+        coeffs = [p.constant_value() for p in substituted.as_univariate_in(var)]
+    else:
+        coeffs = [substituted.constant_value()]
+    return UPoly(coeffs)
+
+
+#: A sample coordinate: exact rational, or an exact algebraic section value.
+Sample = "Fraction | RealAlgebraic"
+
+
+def _stack_samples(
+    level_polys: Sequence[Polynomial],
+    assignment: dict[str, Fraction],
+    var: str,
+) -> list["Fraction | RealAlgebraic"]:
+    """Sample points, one per cell of the stack over *assignment*.
+
+    Sector samples are rational; section samples are exact
+    :class:`RealAlgebraic` values (rationalised by the caller when they
+    must be substituted into deeper levels).
+    """
+    specialised = [
+        upoly
+        for poly in level_polys
+        for upoly in [_specialise(poly, assignment, var)]
+        if upoly.degree() >= 1
+    ]
+    roots: list[RealAlgebraic] = []
+    floats: list[float] = []
+    for upoly in specialised:
+        for root in RealAlgebraic.roots_of(upoly):
+            approx = float(root.approximate(Fraction(1, 2**40)))
+            # Exact equality checks are expensive; only compare against
+            # candidates that are numerically indistinguishable.
+            duplicate = any(
+                abs(approx - existing_float) < 1e-9 and root == existing
+                for existing, existing_float in zip(roots, floats)
+            )
+            if not duplicate:
+                roots.append(root)
+                floats.append(approx)
+    roots.sort()
+
+    if not roots:
+        return [Fraction(0)]
+    samples: list[Fraction | RealAlgebraic] = []
+    first = roots[0].as_fraction() if roots[0].is_rational() else roots[0]
+    samples.append(rational_between(None, first))
+    for i, root in enumerate(roots):
+        if root.is_rational():
+            samples.append(root.as_fraction())
+        else:
+            samples.append(root)
+        here = root.as_fraction() if root.is_rational() else root
+        after = roots[i + 1] if i + 1 < len(roots) else None
+        if after is not None:
+            after = after.as_fraction() if after.is_rational() else after
+        samples.append(rational_between(here, after))
+    return samples
+
+
+def _rationalised(value: "Fraction | RealAlgebraic") -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    return value.approximate(Fraction(1, 2**SECTION_PRECISION_BITS))
+
+
+def _atom_sign(
+    diff: Polynomial, assignment: dict[str, "Fraction | RealAlgebraic"]
+) -> int:
+    """Exact sign of a polynomial at an assignment with at most one
+    algebraic coordinate (the innermost section)."""
+    rational = {
+        name: value
+        for name, value in assignment.items()
+        if isinstance(value, Fraction)
+    }
+    algebraic = {
+        name: value
+        for name, value in assignment.items()
+        if not isinstance(value, Fraction)
+    }
+    if not algebraic:
+        value = diff.evaluate(rational)
+        return (value > 0) - (value < 0)
+    if len(algebraic) > 1:  # pragma: no cover - lifting rationalises earlier levels
+        raise QEError("more than one algebraic coordinate in matrix evaluation")
+    (var, root), = algebraic.items()
+    specialised = diff.substitute(rational)
+    extra = specialised.used_variables() - {var}
+    if extra:
+        raise QEError(f"unbound variables {sorted(extra)} in matrix evaluation")
+    if var in specialised.variables:
+        coeffs = [p.constant_value() for p in specialised.as_univariate_in(var)]
+    else:
+        coeffs = [specialised.constant_value()]
+    return root.sign_of(UPoly(coeffs))
+
+
+def _evaluate_matrix(
+    formula: Formula, assignment: dict[str, "Fraction | RealAlgebraic"]
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Compare):
+        diff = term_to_polynomial(formula.lhs) - term_to_polynomial(formula.rhs)
+        sign = _atom_sign(diff, assignment)
+        if formula.op == "<":
+            return sign < 0
+        if formula.op == "<=":
+            return sign <= 0
+        if formula.op == "=":
+            return sign == 0
+        if formula.op == "!=":
+            return sign != 0
+        if formula.op == ">=":
+            return sign >= 0
+        return sign > 0
+    if isinstance(formula, And):
+        return all(_evaluate_matrix(a, assignment) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(_evaluate_matrix(a, assignment) for a in formula.args)
+    if isinstance(formula, Not):
+        return not _evaluate_matrix(formula.arg, assignment)
+    raise QEError(f"unexpected node in matrix evaluation: {formula!r}")
+
+
+def _matrix_polynomials(formula: Formula, out: list[Polynomial]) -> None:
+    if isinstance(formula, Compare):
+        out.append(term_to_polynomial(formula.lhs) - term_to_polynomial(formula.rhs))
+    elif isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _matrix_polynomials(arg, out)
+    elif isinstance(formula, Not):
+        _matrix_polynomials(formula.arg, out)
+    elif isinstance(formula, (TrueFormula, FalseFormula)):
+        pass
+    else:
+        raise QEError(f"unexpected node in CAD matrix: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Public interface
+# ---------------------------------------------------------------------------
+
+def decide(sentence: Formula) -> bool:
+    """Decide a closed prenex-able FO + POLY sentence over the real field."""
+    if sentence.free_variables():
+        raise QEError(
+            f"sentence has free variables {sorted(sentence.free_variables())}"
+        )
+    if sentence.relation_names():
+        raise QEError("expand schema relations before deciding")
+    prenex = to_prenex(sentence)
+    for kind, _ in prenex.prefix:
+        if kind in (ExistsAdom, ForallAdom):
+            raise QEError("active-domain quantifiers require a finite instance")
+    variables = [var for _, var in prenex.prefix]
+
+    polys: list[Polynomial] = []
+    _matrix_polynomials(prenex.matrix, polys)
+    all_vars = tuple(sorted(set(variables)))
+    polys = [p.with_variables(all_vars) for p in polys]
+
+    # Projection levels: level[i] holds the polynomials relevant to
+    # variables[i], obtained by projecting away variables[i+1:].
+    levels: list[list[Polynomial]] = [[] for _ in variables]
+    current = list(polys)
+    for i in range(len(variables) - 1, 0, -1):
+        levels[i] = [p for p in current]
+        current = projection_set(current, variables[i])
+    if variables:
+        levels[0] = current
+
+    last = len(variables) - 1
+
+    def recurse(index: int, assignment: dict) -> bool:
+        if index == len(variables):
+            return _evaluate_matrix(prenex.matrix, assignment)
+        kind, var = prenex.prefix[index]
+        samples = _stack_samples(levels[index], assignment, var)
+        if index < last:
+            # Deeper levels substitute this coordinate into polynomials, so
+            # algebraic sections are rationalised here (module contract).
+            samples = [_rationalised(s) for s in samples]
+        if kind is Exists:
+            return any(
+                recurse(index + 1, {**assignment, var: s}) for s in samples
+            )
+        return all(recurse(index + 1, {**assignment, var: s}) for s in samples)
+
+    return recurse(0, {})
+
+
+def satisfiable(formula: Formula) -> bool:
+    """Satisfiability of a quantifier-free FO + POLY formula over R.
+
+    Exact at the innermost level even for irrational section coordinates
+    (equality constraints like ``x^2 = 2`` are handled algebraically).
+    """
+    return _search(formula, want_witness=False) is not None
+
+
+def find_sample(formula: Formula) -> dict[str, "Fraction | RealAlgebraic"] | None:
+    """A satisfying assignment of a quantifier-free formula, or ``None``.
+
+    Coordinates are exact rationals, except that the innermost coordinate
+    may be an exact :class:`RealAlgebraic` section value when the formula
+    forces irrationality (e.g. ``x^2 = 2``).
+    """
+    return _search(formula, want_witness=True)
+
+
+def _search(formula: Formula, want_witness: bool):
+    if not is_quantifier_free(formula):
+        raise QEError("expected a quantifier-free formula")
+    if formula.relation_names():
+        raise QEError("expand schema relations before sampling")
+    variables = sorted(formula.free_variables())
+    if not variables:
+        return {} if _evaluate_matrix(formula, {}) else None
+
+    polys: list[Polynomial] = []
+    _matrix_polynomials(formula, polys)
+    levels: list[list[Polynomial]] = [[] for _ in variables]
+    current = list(polys)
+    for i in range(len(variables) - 1, 0, -1):
+        levels[i] = list(current)
+        current = projection_set(current, variables[i])
+    levels[0] = current
+    last = len(variables) - 1
+
+    def search(index: int, assignment: dict):
+        if index == len(variables):
+            return dict(assignment) if _evaluate_matrix(formula, assignment) else None
+        var = variables[index]
+        samples = _stack_samples(levels[index], assignment, var)
+        if index < last:
+            samples = [_rationalised(s) for s in samples]
+        for sample in samples:
+            found = search(index + 1, {**assignment, var: sample})
+            if found is not None:
+                return found
+        return None
+
+    result = search(0, {})
+    if result is None or want_witness:
+        return result
+    return result

@@ -1,0 +1,71 @@
+"""Quantifier elimination for dense order constraints ``(R, <)``.
+
+Dense-order formulas are the degree-one, coefficient-(+1/-1) fragment of
+FO + LIN, so elimination is delegated to Fourier-Motzkin after a signature
+check.  The class of f.r. instances definable with dense-order constraints
+is exactly the finite unions of points and intervals with rational
+endpoints — the inputs of Corollary 2(b) in the paper.
+"""
+
+from __future__ import annotations
+
+from ..logic.formulas import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FalseFormula,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueFormula,
+)
+from ..logic.terms import Const, Term, Var
+from .._errors import SignatureError
+from .fourier_motzkin import decide_linear, qe_linear
+
+__all__ = ["check_dense_order", "qe_dense_order", "decide_dense_order"]
+
+
+def _check_term(term: Term) -> None:
+    if not isinstance(term, (Var, Const)):
+        raise SignatureError(
+            f"term {term} is not allowed in dense-order constraints "
+            "(only variables and constants)"
+        )
+
+
+def check_dense_order(formula: Formula) -> None:
+    """Raise :class:`SignatureError` unless *formula* is a dense-order formula."""
+    if isinstance(formula, Compare):
+        _check_term(formula.lhs)
+        _check_term(formula.rhs)
+    elif isinstance(formula, RelAtom):
+        for arg in formula.args:
+            _check_term(arg)
+    elif isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            check_dense_order(arg)
+    elif isinstance(formula, Not):
+        check_dense_order(formula.arg)
+    elif isinstance(formula, (Exists, Forall, ExistsAdom, ForallAdom)):
+        check_dense_order(formula.body)
+    elif isinstance(formula, (TrueFormula, FalseFormula)):
+        pass
+    else:
+        raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def qe_dense_order(formula: Formula) -> Formula:
+    """Quantifier elimination for dense-order formulas (via Fourier-Motzkin)."""
+    check_dense_order(formula)
+    return qe_linear(formula)
+
+
+def decide_dense_order(sentence: Formula) -> bool:
+    """Decide a closed dense-order sentence."""
+    check_dense_order(sentence)
+    return decide_linear(sentence)

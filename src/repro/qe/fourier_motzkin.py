@@ -1,0 +1,251 @@
+"""Fourier-Motzkin quantifier elimination for FO + LIN.
+
+This gives the closure property of linear constraint databases used
+throughout the paper: applying an FO + LIN query to a semi-linear set
+yields another semi-linear set.  The eliminator works on disjunctive
+normal form; each conjunction of linear constraints has one variable
+eliminated by combining lower and upper bounds (or by substituting an
+equality).  ``Forall`` is handled by dualisation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..logic.formulas import (
+    Compare,
+    Exists,
+    ExistsAdom,
+    FALSE,
+    Forall,
+    ForallAdom,
+    Formula,
+    Or,
+    RelAtom,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+from ..logic.normalform import qf_to_dnf, to_nnf, to_prenex
+from .._errors import QEError, SignatureError
+from .linear import LinConstraint, compare_to_constraints
+
+__all__ = [
+    "eliminate_variable",
+    "qe_linear",
+    "decide_linear",
+    "conjunct_to_constraints",
+    "constraints_to_formula",
+    "is_feasible",
+    "remove_redundant",
+]
+
+
+def conjunct_to_constraints(literals: Iterable[Formula]) -> list[list[LinConstraint]]:
+    """Normalise a conjunction of comparison literals into constraint lists.
+
+    ``!=`` atoms are split, so the result is a *list of alternative
+    conjunctions* (a small DNF) whose disjunction is equivalent to the input
+    conjunction.  Relation atoms are rejected — substitute database
+    definitions first.
+    """
+    alternatives: list[list[LinConstraint]] = [[]]
+    for literal in literals:
+        if not isinstance(literal, Compare):
+            raise QEError(
+                f"non-comparison literal in linear QE: {literal} "
+                "(substitute relation definitions before eliminating)"
+            )
+        if literal.op == "!=":
+            branches = compare_to_constraints(
+                Compare("<", literal.lhs, literal.rhs)
+            ) + compare_to_constraints(Compare(">", literal.lhs, literal.rhs))
+            alternatives = [
+                existing + [branch]
+                for existing in alternatives
+                for branch in branches
+            ]
+        else:
+            extra = compare_to_constraints(literal)
+            alternatives = [existing + extra for existing in alternatives]
+    return alternatives
+
+
+def eliminate_variable(
+    var: str, constraints: Sequence[LinConstraint]
+) -> list[LinConstraint] | None:
+    """Eliminate ``exists var`` from a conjunction of constraints.
+
+    Returns the resulting conjunction, or ``None`` if the conjunction is
+    detected to be infeasible (a constant constraint evaluated false).
+    """
+    equalities: list[LinConstraint] = []
+    lowers: list[LinConstraint] = []   # coeff of var < 0: var >= bound
+    uppers: list[LinConstraint] = []   # coeff of var > 0: var <= bound
+    rest: list[LinConstraint] = []
+    for constraint in constraints:
+        coeff = constraint.coeff(var)
+        if coeff == 0:
+            rest.append(constraint)
+        elif constraint.op == "=":
+            equalities.append(constraint)
+        elif coeff > 0:
+            uppers.append(constraint)
+        else:
+            lowers.append(constraint)
+
+    if equalities:
+        # Solve the first equality for var and substitute everywhere.
+        eq = equalities[0]
+        coeff = eq.coeff(var)
+        replacement = {
+            name: -c / coeff for name, c in eq.coeffs if name != var
+        }
+        replacement_const = -eq.constant / coeff
+        substituted = [
+            c.substitute_var(var, replacement, replacement_const)
+            for c in equalities[1:] + lowers + uppers
+        ] + rest
+        return _clean(substituted)
+
+    combined: list[LinConstraint] = list(rest)
+    for lower in lowers:
+        lower_scaled = lower.scale(Fraction(-1) / lower.coeff(var))
+        # lower_scaled: -var + L  op  0,  i.e.  var >= L (strict if op is <)
+        for upper in uppers:
+            upper_scaled = upper.scale(Fraction(1) / upper.coeff(var))
+            # upper_scaled: var + U  op  0,  i.e.  var <= -U
+            coeffs: dict[str, Fraction] = {}
+            for name, c in lower_scaled.coeffs:
+                if name != var:
+                    coeffs[name] = coeffs.get(name, Fraction(0)) + c
+            for name, c in upper_scaled.coeffs:
+                if name != var:
+                    coeffs[name] = coeffs.get(name, Fraction(0)) + c
+            constant = lower_scaled.constant + upper_scaled.constant
+            op = "<" if (lower.op == "<" or upper.op == "<") else "<="
+            combined.append(LinConstraint.make(coeffs, constant, op))
+    return _clean(combined)
+
+
+def _clean(constraints: Iterable[LinConstraint]) -> list[LinConstraint] | None:
+    """Drop constant-true constraints and duplicates; None if constant-false."""
+    seen = set()
+    result: list[LinConstraint] = []
+    for constraint in constraints:
+        if constraint.is_constant():
+            if not constraint.constant_truth():
+                return None
+            continue
+        if constraint in seen:
+            continue
+        seen.add(constraint)
+        result.append(constraint)
+    return result
+
+
+def is_feasible(constraints: Sequence[LinConstraint]) -> bool:
+    """Exact feasibility of a conjunction of linear constraints over R.
+
+    Decided by eliminating every variable with Fourier-Motzkin.
+    """
+    current = _clean(constraints)
+    if current is None:
+        return False
+    while current:
+        remaining_vars = sorted(set().union(*(c.variables() for c in current)))
+        if not remaining_vars:
+            break
+        current = eliminate_variable(remaining_vars[0], current)
+        if current is None:
+            return False
+    return True
+
+
+def remove_redundant(constraints: Sequence[LinConstraint]) -> list[LinConstraint]:
+    """Remove constraints implied by the rest (exact, via feasibility tests).
+
+    A constraint c is redundant iff (rest AND not-c) is infeasible.  Since
+    ``not c`` can be a disjunction (for equalities), every branch must be
+    infeasible.
+    """
+    kept = list(constraints)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        rest = kept[:index] + kept[index + 1:]
+        negation_branches = candidate.negated_formulas()
+        if all(not is_feasible(rest + [branch]) for branch in negation_branches):
+            kept.pop(index)
+        else:
+            index += 1
+    return kept
+
+
+def constraints_to_formula(constraints: Sequence[LinConstraint]) -> Formula:
+    """Conjunction formula of a constraint list (TRUE when empty)."""
+    return conjunction(*(c.to_formula() for c in constraints))
+
+
+def _eliminate_exists(var: str, matrix: Formula, prune: bool) -> Formula:
+    """Quantifier-free equivalent of ``exists var . matrix`` (matrix QF)."""
+    disjuncts: list[Formula] = []
+    for conjunct in qf_to_dnf(matrix):
+        for constraints in conjunct_to_constraints(conjunct):
+            result = eliminate_variable(var, constraints)
+            if result is None:
+                continue
+            if prune and not is_feasible(result):
+                continue
+            disjuncts.append(constraints_to_formula(result))
+    return disjunction(*disjuncts)
+
+
+def qe_linear(formula: Formula, prune: bool = True) -> Formula:
+    """Eliminate all (natural) quantifiers from an FO + LIN formula.
+
+    The result is a quantifier-free formula with the same free variables,
+    equivalent over the reals.  Relation atoms are not allowed — substitute
+    the database's constraint definitions first
+    (:func:`repro.db.evaluation.expand_relations`).
+
+    ``prune`` additionally removes infeasible disjuncts from intermediate
+    results, which combats the DNF blow-up at some extra cost.
+    """
+    if formula.relation_names():
+        raise QEError(
+            "formula mentions schema relations "
+            f"{sorted(formula.relation_names())}; expand them first"
+        )
+    prenex = to_prenex(formula)
+    for kind, _ in prenex.prefix:
+        if kind in (ExistsAdom, ForallAdom):
+            raise QEError("active-domain quantifiers have no meaning over R; "
+                          "evaluate them against a finite instance instead")
+    matrix = prenex.matrix
+    for kind, var in reversed(prenex.prefix):
+        if kind is Exists:
+            matrix = _eliminate_exists(var, matrix, prune)
+        else:  # Forall
+            matrix = to_nnf(~_eliminate_exists(var, to_nnf(~matrix), prune))
+    return matrix
+
+
+def decide_linear(sentence: Formula) -> bool:
+    """Decide a closed FO + LIN sentence over the reals."""
+    if sentence.free_variables():
+        raise QEError(
+            f"sentence has free variables {sorted(sentence.free_variables())}"
+        )
+    matrix = qe_linear(sentence)
+    # A closed quantifier-free formula: every atom is a constant comparison.
+    for conjunct in qf_to_dnf(matrix):
+        for constraints in conjunct_to_constraints(conjunct):
+            cleaned = _clean(constraints)
+            if cleaned == []:
+                return True
+            # Non-constant constraints cannot appear in a closed formula.
+            if cleaned:
+                raise QEError("internal error: free variables after QE")
+    return False

@@ -1,0 +1,318 @@
+"""Intervals and finite unions of intervals on the real line.
+
+These are the one-dimensional o-minimal definable sets: by o-minimality
+every set definable over the structures of the paper is a finite union of
+points and open intervals.  Endpoints may be rational
+(:class:`~fractions.Fraction`) or real algebraic
+(:class:`~repro.realalg.algebraic.RealAlgebraic`); ``None`` encodes an
+infinite endpoint.  This module is the substrate of the paper's END
+operator: the endpoints of the intervals composing a definable set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+from ..realalg.algebraic import RealAlgebraic
+
+__all__ = ["Endpoint", "Interval", "IntervalUnion", "endpoint_key", "rational_between"]
+
+#: A finite endpoint value.
+Endpoint = Union[Fraction, RealAlgebraic]
+
+
+def endpoint_key(value: Endpoint) -> float:
+    """A float sort key for endpoints (ties broken by exact comparison)."""
+    if isinstance(value, Fraction):
+        return float(value)
+    return float(value)
+
+
+def _eq(a: Endpoint, b: Endpoint) -> bool:
+    return a == b
+
+
+def _lt(a: Endpoint, b: Endpoint) -> bool:
+    return a < b
+
+
+def rational_between(
+    low: Endpoint | None, high: Endpoint | None
+) -> Fraction:
+    """An exact rational strictly between *low* and *high* (None = infinite).
+
+    Requires ``low < high``.
+    """
+    if low is None and high is None:
+        return Fraction(0)
+    if low is None:
+        if isinstance(high, Fraction):
+            return high - 1
+        return high.bounds()[0] - 1
+    if high is None:
+        if isinstance(low, Fraction):
+            return low + 1
+        return low.bounds()[1] + 1
+
+    width = Fraction(1, 2**10)
+    while True:
+        low_hi = low if isinstance(low, Fraction) else low.bounds(width)[1]
+        high_lo = high if isinstance(high, Fraction) else high.bounds(width)[0]
+        if low_hi < high_lo:
+            return (low_hi + high_lo) / 2
+        # Handle a rational endpoint sitting inside the other's enclosure.
+        if isinstance(low, Fraction) and not isinstance(high, Fraction):
+            enclosure_low = high.bounds(width)[0]
+            if low < enclosure_low:
+                return (low + enclosure_low) / 2
+        if isinstance(high, Fraction) and not isinstance(low, Fraction):
+            enclosure_high = low.bounds(width)[1]
+            if enclosure_high < high:
+                return (enclosure_high + high) / 2
+        width /= 2**4
+        if width < Fraction(1, 2**2000):  # pragma: no cover - defensive
+            raise ArithmeticError("endpoints appear equal; no rational between")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A nonempty interval of the real line.
+
+    ``low``/``high`` of ``None`` mean unbounded.  A single point is the
+    closed interval ``[v, v]``.
+    """
+
+    low: Endpoint | None
+    high: Endpoint | None
+    closed_low: bool = False
+    closed_high: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.closed_low:
+            raise ValueError("an infinite endpoint cannot be closed")
+        if self.high is None and self.closed_high:
+            raise ValueError("an infinite endpoint cannot be closed")
+        if self.low is not None and self.high is not None:
+            if _lt(self.high, self.low):
+                raise ValueError(f"empty interval ({self.low}, {self.high})")
+            if _eq(self.low, self.high) and not (self.closed_low and self.closed_high):
+                raise ValueError("a degenerate interval must be closed on both sides")
+
+    @staticmethod
+    def point(value: Endpoint) -> "Interval":
+        return Interval(value, value, True, True)
+
+    @staticmethod
+    def open(low: Endpoint | None, high: Endpoint | None) -> "Interval":
+        return Interval(low, high, False, False)
+
+    @staticmethod
+    def closed(low: Endpoint, high: Endpoint) -> "Interval":
+        return Interval(low, high, True, True)
+
+    def is_point(self) -> bool:
+        return (
+            self.low is not None
+            and self.high is not None
+            and _eq(self.low, self.high)
+        )
+
+    def is_bounded(self) -> bool:
+        return self.low is not None and self.high is not None
+
+    def contains(self, value: Endpoint) -> bool:
+        if self.low is not None:
+            if _lt(value, self.low):
+                return False
+            if _eq(value, self.low):
+                return self.closed_low
+        if self.high is not None:
+            if _lt(self.high, value):
+                return False
+            if _eq(value, self.high):
+                return self.closed_high
+        return True
+
+    def measure(self) -> Fraction | float:
+        """Lebesgue measure; ``inf`` for unbounded intervals.
+
+        Exact when both endpoints are rational; otherwise a float computed
+        from tight algebraic enclosures.
+        """
+        if not self.is_bounded():
+            return float("inf")
+        if isinstance(self.low, Fraction) and isinstance(self.high, Fraction):
+            return self.high - self.low
+        return float(self.high) - float(self.low)  # type: ignore[arg-type]
+
+    def sample(self) -> Fraction:
+        """A rational point inside the interval (exact for point intervals
+        with rational value; raises for irrational point intervals)."""
+        if self.is_point():
+            if isinstance(self.low, Fraction):
+                return self.low
+            raise ValueError("cannot produce a rational sample of an irrational point")
+        return rational_between(self.low, self.high)
+
+    def __str__(self) -> str:
+        left = "[" if self.closed_low else "("
+        right = "]" if self.closed_high else ")"
+        low = "-inf" if self.low is None else str(self.low)
+        high = "+inf" if self.high is None else str(self.high)
+        return f"{left}{low}, {high}{right}"
+
+
+class IntervalUnion:
+    """A finite union of pairwise disjoint intervals, sorted increasingly.
+
+    Overlapping or touching input intervals are merged on construction, so
+    the representation is canonical for rational endpoints.
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        merged = _merge(list(intervals))
+        object.__setattr__(self, "intervals", tuple(merged))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("IntervalUnion is immutable")
+
+    @staticmethod
+    def empty() -> "IntervalUnion":
+        return IntervalUnion(())
+
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def is_bounded(self) -> bool:
+        return all(i.is_bounded() for i in self.intervals)
+
+    def endpoints(self) -> list[Endpoint]:
+        """All finite endpoints of the component intervals, sorted, distinct.
+
+        This realises the paper's END operator applied to a definable
+        subset of R.
+        """
+        out: list[Endpoint] = []
+        for interval in self.intervals:
+            for value in (interval.low, interval.high):
+                if value is None:
+                    continue
+                if out and _eq(out[-1], value):
+                    continue
+                out.append(value)
+        return out
+
+    def measure(self) -> Fraction | float:
+        """Total Lebesgue measure (inf if unbounded; exact if all rational)."""
+        total: Fraction | float = Fraction(0)
+        for interval in self.intervals:
+            part = interval.measure()
+            if part == float("inf"):
+                return float("inf")
+            total = total + part
+        return total
+
+    def contains(self, value: Endpoint) -> bool:
+        return any(interval.contains(value) for interval in self.intervals)
+
+    def clip(self, low: Fraction, high: Fraction) -> "IntervalUnion":
+        """Intersect with the closed interval [low, high]."""
+        clipped: list[Interval] = []
+        for interval in self.intervals:
+            new_low, new_closed_low = interval.low, interval.closed_low
+            new_high, new_closed_high = interval.high, interval.closed_high
+            if new_low is None or _lt(new_low, low):
+                new_low, new_closed_low = low, True
+            if new_high is None or _lt(high, new_high):
+                new_high, new_closed_high = high, True
+            if _lt(new_high, new_low):
+                continue
+            if _eq(new_low, new_high) and not (new_closed_low and new_closed_high):
+                continue
+            clipped.append(Interval(new_low, new_high, new_closed_low, new_closed_high))
+        return IntervalUnion(clipped)
+
+    def __iter__(self):
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IntervalUnion):
+            return NotImplemented
+        return self.intervals == other.intervals
+
+    def __str__(self) -> str:
+        if not self.intervals:
+            return "{}"
+        return " u ".join(str(i) for i in self.intervals)
+
+    def __repr__(self) -> str:
+        return f"IntervalUnion({self})"
+
+
+def _sort_key(interval: Interval):
+    if interval.low is None:
+        return (0, 0.0)
+    return (1, endpoint_key(interval.low))
+
+
+def _merge(intervals: list[Interval]) -> list[Interval]:
+    if not intervals:
+        return []
+    intervals = sorted(intervals, key=_sort_key)
+    # Float keys can mis-order nearly-equal algebraic endpoints; fix up with
+    # exact comparisons via insertion since the list is almost sorted.
+    for i in range(1, len(intervals)):
+        j = i
+        while j > 0 and _exactly_before(intervals[j], intervals[j - 1]):
+            intervals[j], intervals[j - 1] = intervals[j - 1], intervals[j]
+            j -= 1
+    merged = [intervals[0]]
+    for interval in intervals[1:]:
+        previous = merged[-1]
+        joined = _try_join(previous, interval)
+        if joined is not None:
+            merged[-1] = joined
+        else:
+            merged.append(interval)
+    return merged
+
+
+def _exactly_before(a: Interval, b: Interval) -> bool:
+    if a.low is None:
+        return b.low is not None
+    if b.low is None:
+        return False
+    return _lt(a.low, b.low)
+
+
+def _try_join(left: Interval, right: Interval) -> Interval | None:
+    """Join two intervals with left.low <= right.low if they overlap/touch."""
+    if left.high is None:
+        high, closed_high = None, False
+    else:
+        if right.low is not None:
+            if _lt(left.high, right.low):
+                return None
+            if _eq(left.high, right.low) and not (
+                left.closed_high or right.closed_low
+            ):
+                return None
+        if right.high is None:
+            high, closed_high = None, False
+        elif _lt(left.high, right.high):
+            high, closed_high = right.high, right.closed_high
+        elif _eq(left.high, right.high):
+            high, closed_high = left.high, left.closed_high or right.closed_high
+        else:
+            high, closed_high = left.high, left.closed_high
+    closed_low = left.closed_low
+    if right.low is not None and left.low is not None and _eq(left.low, right.low):
+        closed_low = left.closed_low or right.closed_low
+    return Interval(left.low, high, closed_low, closed_high)

@@ -1,0 +1,188 @@
+"""Canonical linear constraints over the ordered group of the reals.
+
+A :class:`LinConstraint` is ``sum_i coeff_i * x_i + constant OP 0`` with
+``OP`` one of ``<``, ``<=``, ``=``.  Comparison atoms of FO + LIN formulas
+are normalised to this form (``>``/``>=`` are flipped, ``!=`` must be split
+into a disjunction by the caller).  These constraints are shared between
+the Fourier-Motzkin eliminator and the polyhedral geometry code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from ..logic.formulas import Compare, Formula, TRUE, FALSE
+from ..logic.terms import Add, Const, Term, Var
+from ..realalg.polynomial import Polynomial, term_to_polynomial
+from .._errors import SignatureError
+
+__all__ = ["LinConstraint", "compare_to_constraints", "linear_parts"]
+
+
+@dataclass(frozen=True)
+class LinConstraint:
+    """A normalised linear constraint ``sum coeffs[v]*v + constant OP 0``.
+
+    ``coeffs`` holds only nonzero coefficients.  ``op`` is ``<``, ``<=`` or
+    ``=``.
+    """
+
+    coeffs: tuple[tuple[str, Fraction], ...]
+    constant: Fraction
+    op: str
+
+    @staticmethod
+    def make(
+        coeffs: Mapping[str, Fraction], constant: Fraction | int, op: str
+    ) -> "LinConstraint":
+        if op not in ("<", "<=", "="):
+            raise ValueError(f"unsupported constraint operator {op!r}")
+        items = tuple(
+            sorted((v, Fraction(c)) for v, c in coeffs.items() if c != 0)
+        )
+        return LinConstraint(items, Fraction(constant), op)
+
+    # -- queries ---------------------------------------------------------------
+    def coeff_map(self) -> dict[str, Fraction]:
+        return dict(self.coeffs)
+
+    def coeff(self, var: str) -> Fraction:
+        for name, value in self.coeffs:
+            if name == var:
+                return value
+        return Fraction(0)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(name for name, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def constant_truth(self) -> bool:
+        """Truth value of a constraint with no variables."""
+        if self.coeffs:
+            raise ValueError("constraint is not constant")
+        if self.op == "<":
+            return self.constant < 0
+        if self.op == "<=":
+            return self.constant <= 0
+        return self.constant == 0
+
+    def evaluate(self, env: Mapping[str, Fraction]) -> bool:
+        value = self.constant
+        for name, coeff in self.coeffs:
+            value += coeff * Fraction(env[name])
+        if self.op == "<":
+            return value < 0
+        if self.op == "<=":
+            return value <= 0
+        return value == 0
+
+    def lhs_value(self, env: Mapping[str, Fraction]) -> Fraction:
+        """Value of the linear form (including the constant) at *env*."""
+        value = self.constant
+        for name, coeff in self.coeffs:
+            value += coeff * Fraction(env[name])
+        return value
+
+    # -- transformations ---------------------------------------------------
+    def scale(self, factor: Fraction) -> "LinConstraint":
+        """Multiply by a *positive* rational factor (keeps the operator)."""
+        factor = Fraction(factor)
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return LinConstraint(
+            tuple((v, c * factor) for v, c in self.coeffs),
+            self.constant * factor,
+            self.op,
+        )
+
+    def substitute_var(
+        self, var: str, replacement_coeffs: Mapping[str, Fraction], replacement_const: Fraction
+    ) -> "LinConstraint":
+        """Substitute ``var := sum replacement_coeffs + replacement_const``."""
+        own = self.coeff_map()
+        factor = own.pop(var, Fraction(0))
+        if factor == 0:
+            return self
+        for name, coeff in replacement_coeffs.items():
+            own[name] = own.get(name, Fraction(0)) + factor * coeff
+        return LinConstraint.make(
+            own, self.constant + factor * Fraction(replacement_const), self.op
+        )
+
+    def negated_formulas(self) -> list["LinConstraint"]:
+        """Constraints whose disjunction is the negation of this constraint.
+
+        ``< -> >=`` gives one constraint; ``= -> !=`` gives two.
+        """
+        flipped = tuple((v, -c) for v, c in self.coeffs)
+        if self.op == "<":
+            return [LinConstraint(flipped, -self.constant, "<=")]
+        if self.op == "<=":
+            return [LinConstraint(flipped, -self.constant, "<")]
+        return [
+            LinConstraint(self.coeffs, self.constant, "<"),
+            LinConstraint(flipped, -self.constant, "<"),
+        ]
+
+    def to_formula(self) -> Formula:
+        """Rebuild a :class:`~repro.logic.formulas.Compare` atom."""
+        parts: list[Term] = []
+        for name, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(Var(name))
+            else:
+                parts.append(Const(coeff) * Var(name))
+        if self.constant != 0 or not parts:
+            parts.append(Const(self.constant))
+        lhs = parts[0] if len(parts) == 1 else Add(tuple(parts))
+        return Compare(self.op, lhs, Const(Fraction(0)))
+
+    def __str__(self) -> str:
+        return str(self.to_formula())
+
+
+def linear_parts(polynomial: Polynomial) -> tuple[dict[str, Fraction], Fraction]:
+    """Split a degree-<=1 polynomial into (coefficients, constant).
+
+    Raises :class:`SignatureError` if the polynomial has degree > 1.
+    """
+    coeffs: dict[str, Fraction] = {}
+    constant = Fraction(0)
+    for mono, coeff in polynomial.coeffs.items():
+        degree = sum(mono)
+        if degree == 0:
+            constant += coeff
+        elif degree == 1:
+            index = next(i for i, e in enumerate(mono) if e == 1)
+            name = polynomial.variables[index]
+            coeffs[name] = coeffs.get(name, Fraction(0)) + coeff
+        else:
+            raise SignatureError(
+                f"nonlinear monomial in a linear context: {polynomial}"
+            )
+    return coeffs, constant
+
+
+def compare_to_constraints(atom: Compare) -> list[LinConstraint]:
+    """Normalise a comparison atom into constraints whose *conjunction* is
+    equivalent to the atom.
+
+    ``<, <=, =`` produce a single constraint; ``>=, >`` are flipped;
+    ``!=`` raises (the caller must split it into a disjunction first, e.g.
+    via :func:`repro.logic.normalform.to_nnf` followed by explicit
+    handling, or by using :func:`repro.qe.fourier_motzkin.atoms_to_dnf`).
+    """
+    if atom.op == "!=":
+        raise ValueError("'!=' atoms must be split into < OR > before normalising")
+    diff = term_to_polynomial(atom.lhs) - term_to_polynomial(atom.rhs)
+    coeffs, constant = linear_parts(diff)
+    op = atom.op
+    if op in (">", ">="):
+        coeffs = {v: -c for v, c in coeffs.items()}
+        constant = -constant
+        op = "<" if op == ">" else "<="
+    return [LinConstraint.make(coeffs, constant, op)]

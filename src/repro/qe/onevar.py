@@ -1,0 +1,174 @@
+"""Exact solution sets of one-variable constraint formulas.
+
+Given a quantifier-free formula with (at most) one free variable over the
+polynomial signature, :func:`solve_univariate` returns the solution set as
+an :class:`~repro.qe.intervals.IntervalUnion` — a finite union of points
+and intervals, as guaranteed by o-minimality of the real field.  This is
+the one-dimensional cylindrical algebraic decomposition, and it is the
+computational heart of the paper's END operator (Section 5).
+
+Formulas with quantifiers are accepted when linear (they are eliminated by
+Fourier-Motzkin first).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..logic.formulas import (
+    And,
+    Compare,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+)
+from ..logic.metrics import max_degree
+from ..logic.normalform import is_quantifier_free
+from ..realalg.algebraic import RealAlgebraic
+from ..realalg.polynomial import term_to_polynomial
+from ..realalg.univariate import UPoly
+from .._errors import QEError
+from .fourier_motzkin import qe_linear
+from .intervals import Endpoint, Interval, IntervalUnion, rational_between
+
+__all__ = ["solve_univariate", "formula_truth_at", "atom_polynomials"]
+
+
+def atom_polynomials(formula: Formula, var: str) -> list[UPoly]:
+    """The univariate polynomials ``lhs - rhs`` of all comparison atoms."""
+    polys: list[UPoly] = []
+    _collect(formula, var, polys)
+    return polys
+
+
+def _collect(formula: Formula, var: str, out: list[UPoly]) -> None:
+    if isinstance(formula, Compare):
+        diff = term_to_polynomial(formula.lhs) - term_to_polynomial(formula.rhs)
+        extra = diff.used_variables() - {var}
+        if extra:
+            raise QEError(
+                f"atom {formula} involves variables {sorted(extra)} besides {var!r}"
+            )
+        out.append(UPoly(_dense(diff, var)))
+    elif isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _collect(arg, var, out)
+    elif isinstance(formula, Not):
+        _collect(formula.arg, var, out)
+    elif isinstance(formula, (TrueFormula, FalseFormula)):
+        pass
+    else:
+        raise QEError(f"unsupported node in one-variable solving: {formula!r}")
+
+
+def _dense(poly, var: str) -> list[Fraction]:
+    coeff_polys = poly.as_univariate_in(var) if var in poly.variables else [poly]
+    return [p.constant_value() for p in coeff_polys]
+
+
+def formula_truth_at(formula: Formula, var: str, value: Endpoint) -> bool:
+    """Exact truth of a quantifier-free one-variable formula at a point.
+
+    The point may be rational or real algebraic.
+    """
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Compare):
+        diff = term_to_polynomial(formula.lhs) - term_to_polynomial(formula.rhs)
+        upoly = UPoly(_dense(diff, var))
+        if isinstance(value, Fraction):
+            sign = upoly.sign_at(value)
+        else:
+            sign = value.sign_of(upoly)
+        if formula.op == "<":
+            return sign < 0
+        if formula.op == "<=":
+            return sign <= 0
+        if formula.op == "=":
+            return sign == 0
+        if formula.op == "!=":
+            return sign != 0
+        if formula.op == ">=":
+            return sign >= 0
+        return sign > 0
+    if isinstance(formula, And):
+        return all(formula_truth_at(a, var, value) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(formula_truth_at(a, var, value) for a in formula.args)
+    if isinstance(formula, Not):
+        return not formula_truth_at(formula.arg, var, value)
+    raise QEError(f"unsupported node in one-variable evaluation: {formula!r}")
+
+
+def solve_univariate(formula: Formula, var: str) -> IntervalUnion:
+    """Solution set ``{ value : formula[var := value] }`` over the reals.
+
+    *formula* must have free variables contained in ``{var}``.  Quantified
+    linear formulas are eliminated first; quantified nonlinear formulas are
+    rejected (use :mod:`repro.qe.cad` to decide sentences instead).
+    """
+    free = formula.free_variables()
+    if not free <= {var}:
+        raise QEError(
+            f"formula has free variables {sorted(free)}, expected only {var!r}"
+        )
+    if not is_quantifier_free(formula):
+        if max_degree(formula) <= 1:
+            formula = qe_linear(formula)
+        else:
+            raise QEError(
+                "quantified nonlinear one-variable formulas are not supported; "
+                "eliminate quantifiers first"
+            )
+
+    polys = [p for p in atom_polynomials(formula, var) if p.degree() >= 1]
+    # Distinct real roots of all atom polynomials, sorted.
+    roots: list[Endpoint] = []
+    for poly in polys:
+        for root in RealAlgebraic.roots_of(poly):
+            value: Endpoint = root.as_fraction() if root.is_rational() else root
+            if not any(_equal(value, existing) for existing in roots):
+                roots.append(value)
+    roots.sort(key=_float_key)
+    roots = _exact_sort(roots)
+
+    # Build the sign-invariant cell decomposition and test each cell.
+    cells: list[tuple[Interval, Endpoint]] = []  # (cell, sample point)
+    if not roots:
+        cells.append((Interval.open(None, None), Fraction(0)))
+    else:
+        cells.append(
+            (Interval.open(None, roots[0]), rational_between(None, roots[0]))
+        )
+        for i, root in enumerate(roots):
+            cells.append((Interval.point(root), root))
+            next_root = roots[i + 1] if i + 1 < len(roots) else None
+            sample = rational_between(root, next_root)
+            cells.append((Interval.open(root, next_root), sample))
+
+    true_intervals = [
+        cell for cell, sample in cells if formula_truth_at(formula, var, sample)
+    ]
+    return IntervalUnion(true_intervals)
+
+
+def _equal(a: Endpoint, b: Endpoint) -> bool:
+    return a == b
+
+
+def _float_key(value: Endpoint) -> float:
+    return float(value)
+
+
+def _exact_sort(values: list[Endpoint]) -> list[Endpoint]:
+    """Insertion fix-up after float pre-sorting (exact comparisons)."""
+    for i in range(1, len(values)):
+        j = i
+        while j > 0 and values[j] < values[j - 1]:
+            values[j], values[j - 1] = values[j - 1], values[j]
+            j -= 1
+    return values

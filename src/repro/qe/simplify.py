@@ -1,0 +1,71 @@
+"""Light-weight logical simplification of quantifier-free formulas.
+
+Constant atoms are folded, duplicate literals removed, and trivially
+contradictory / tautological conjunctions and disjunctions collapsed.
+Used to keep quantifier-elimination outputs readable; it is sound but not
+a decision procedure.
+"""
+
+from __future__ import annotations
+
+from ..logic.evaluate import evaluate_compare
+from ..logic.formulas import (
+    And,
+    Compare,
+    FALSE,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+
+__all__ = ["simplify_qf"]
+
+
+def simplify_qf(formula: Formula) -> Formula:
+    """Simplify a quantifier-free formula (sound, syntax-level)."""
+    if isinstance(formula, Compare):
+        if not formula.free_variables():
+            return TRUE if evaluate_compare(formula, {}) else FALSE
+        return formula
+    if isinstance(formula, (TrueFormula, FalseFormula, RelAtom)):
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify_qf(formula.arg)
+        if isinstance(inner, Compare):
+            return inner.negated()
+        return ~inner
+    if isinstance(formula, And):
+        parts: list[Formula] = []
+        seen: set[Formula] = set()
+        for arg in formula.args:
+            simplified = simplify_qf(arg)
+            if isinstance(simplified, FalseFormula):
+                return FALSE
+            if isinstance(simplified, TrueFormula) or simplified in seen:
+                continue
+            if isinstance(simplified, Compare) and simplified.negated() in seen:
+                return FALSE
+            seen.add(simplified)
+            parts.append(simplified)
+        return conjunction(*parts)
+    if isinstance(formula, Or):
+        parts = []
+        seen = set()
+        for arg in formula.args:
+            simplified = simplify_qf(arg)
+            if isinstance(simplified, TrueFormula):
+                return TRUE
+            if isinstance(simplified, FalseFormula) or simplified in seen:
+                continue
+            if isinstance(simplified, Compare) and simplified.negated() in seen:
+                return TRUE
+            seen.add(simplified)
+            parts.append(simplified)
+        return disjunction(*parts)
+    raise TypeError(f"formula is not quantifier-free: {type(formula).__name__}")

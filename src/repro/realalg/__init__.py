@@ -1,0 +1,31 @@
+"""Exact real algebra: the computational substrate for constraint solving.
+
+Everything here is exact over the rationals: multivariate polynomials,
+univariate division/GCD, Sturm sequences, root isolation, real algebraic
+numbers, and resultants/discriminants.  Floats never appear.
+"""
+
+from .polynomial import Polynomial, term_to_polynomial
+from .univariate import UPoly
+from .sturm import count_real_roots, count_roots, sign_variations_at, sturm_chain
+from .roots import Isolation, isolate_real_roots, real_roots_as_fractions, refine
+from .algebraic import RealAlgebraic
+from .resultant import discriminant, resultant, sylvester_matrix
+
+__all__ = [
+    "Polynomial",
+    "term_to_polynomial",
+    "UPoly",
+    "sturm_chain",
+    "sign_variations_at",
+    "count_roots",
+    "count_real_roots",
+    "Isolation",
+    "isolate_real_roots",
+    "refine",
+    "real_roots_as_fractions",
+    "RealAlgebraic",
+    "resultant",
+    "discriminant",
+    "sylvester_matrix",
+]

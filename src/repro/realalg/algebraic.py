@@ -1,0 +1,218 @@
+"""Real algebraic numbers represented as (square-free polynomial, isolating
+interval) pairs.
+
+Arithmetic on algebraic numbers is deliberately *not* implemented (the
+library never needs it); what is needed — and provided exactly — is:
+
+* comparison with rationals and with other algebraic numbers,
+* the sign of an arbitrary rational polynomial at the number
+  (:meth:`RealAlgebraic.sign_of`), via GCD for the zero test and certified
+  interval refinement otherwise,
+* conversion to ``Fraction``/``float`` approximations of any requested
+  accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import total_ordering
+
+from .roots import Isolation, isolate_real_roots, refine
+from .sturm import count_roots
+from .univariate import UPoly
+
+__all__ = ["RealAlgebraic"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class RealAlgebraic:
+    """A real algebraic number: the unique root of ``poly`` in ``isolation``.
+
+    ``poly`` is square-free and monic.  Construct via :meth:`from_rational`
+    or :meth:`roots_of`; the raw constructor trusts its arguments.
+    """
+
+    poly: UPoly
+    isolation: Isolation
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def from_rational(value: Fraction | int) -> "RealAlgebraic":
+        value = Fraction(value)
+        return RealAlgebraic(
+            UPoly([-value, 1]), Isolation(value, value, exact=value)
+        )
+
+    @staticmethod
+    def roots_of(poly: UPoly) -> list["RealAlgebraic"]:
+        """All real roots of *poly* as algebraic numbers, sorted increasingly."""
+        squarefree = poly.squarefree_part()
+        return [
+            RealAlgebraic(squarefree, isolation)
+            for isolation in isolate_real_roots(squarefree)
+        ]
+
+    # -- queries ---------------------------------------------------------------
+    def is_rational(self) -> bool:
+        return self.isolation.is_exact()
+
+    def as_fraction(self) -> Fraction:
+        """Exact value if rational; raises otherwise."""
+        if self.isolation.exact is None:
+            raise ValueError("number is irrational; use approximate() instead")
+        return self.isolation.exact
+
+    def approximate(self, max_width: Fraction = Fraction(1, 10**15)) -> Fraction:
+        """A rational approximation within *max_width* of the true value."""
+        refined = refine(self.poly, self.isolation, max_width)
+        return refined.exact if refined.is_exact() else refined.midpoint()
+
+    def __float__(self) -> float:
+        return float(self.approximate(Fraction(1, 10**18)))
+
+    def _refined(self, max_width: Fraction) -> Isolation:
+        return refine(self.poly, self.isolation, max_width)
+
+    def bounds(self, max_width: Fraction = Fraction(1, 2**20)) -> tuple[Fraction, Fraction]:
+        """A rational enclosure ``low <= self <= high`` of width < *max_width*.
+
+        For a rational value both bounds equal the value itself.
+        """
+        refined = self._refined(max_width)
+        if refined.is_exact():
+            return refined.exact, refined.exact
+        return refined.low, refined.high
+
+    # -- sign of a polynomial at this number -----------------------------------
+    #: Cheap refinement rounds tried before falling back to a GCD zero-test
+    #: (polynomial GCD over Q is expensive for large coefficients).
+    _QUICK_ROUNDS = 6
+
+    def sign_of(self, other: UPoly, max_iterations: int = 256) -> int:
+        """Exact sign of ``other`` evaluated at this algebraic number."""
+        if self.isolation.is_exact():
+            return other.sign_at(self.isolation.exact)
+        if other.is_zero():
+            return 0
+        # Fast path: a nonzero sign is usually certified by a few rounds of
+        # interval refinement, with no GCD needed.
+        isolation = self.isolation
+        width = isolation.width()
+        for round_index in range(max_iterations):
+            low_bound, high_bound = other.evaluate_interval(
+                isolation.low, isolation.high
+            )
+            if low_bound > 0:
+                return 1
+            if high_bound < 0:
+                return -1
+            if round_index == self._QUICK_ROUNDS:
+                # Zero test: this number is a root of `other` iff
+                # gcd(poly, other) has a root in the isolating interval
+                # (gcd's roots are exactly the common roots, and `poly`
+                # has a single root there).
+                common = self.poly.gcd(other)
+                if common.degree() > 0 and count_roots(
+                    common, isolation.low, isolation.high
+                ) == 1:
+                    return 0
+            width /= 2
+            isolation = refine(self.poly, isolation, width)
+            if isolation.is_exact():
+                return other.sign_at(isolation.exact)
+        raise ArithmeticError(
+            "sign determination did not converge (ill-conditioned input?)"
+        )
+
+    # -- comparisons ---------------------------------------------------------
+    def compare_rational(self, value: Fraction | int) -> int:
+        """Return -1, 0 or 1 for self <, =, > value."""
+        value = Fraction(value)
+        if self.isolation.is_exact():
+            diff = self.isolation.exact - value
+            return (diff > 0) - (diff < 0)
+        if self.poly(value) == 0:
+            # Is that root *our* root?
+            if self.isolation.low < value < self.isolation.high:
+                return 0
+        isolation = self.isolation
+        while isolation.low < value < isolation.high:
+            isolation = refine(self.poly, isolation, isolation.width() / 4)
+            if isolation.is_exact():
+                diff = isolation.exact - value
+                return (diff > 0) - (diff < 0)
+        if isolation.high <= value:
+            return -1
+        return 1
+
+    def _compare_algebraic(self, other: "RealAlgebraic") -> int:
+        if self.isolation.is_exact():
+            return -other.compare_rational(self.isolation.exact)
+        if other.isolation.is_exact():
+            return self.compare_rational(other.isolation.exact)
+        # Try to separate the intervals cheaply before paying for a GCD.
+        mine, theirs = self.isolation, other.isolation
+        for _ in range(self._QUICK_ROUNDS):
+            if mine.high <= theirs.low:
+                return -1
+            if theirs.high <= mine.low:
+                return 1
+            mine = refine(self.poly, mine, mine.width() / 4)
+            theirs = refine(other.poly, theirs, theirs.width() / 4)
+            if mine.is_exact():
+                return -other.compare_rational(mine.exact)
+            if theirs.is_exact():
+                return self.compare_rational(theirs.exact)
+        common = self.poly.gcd(other.poly)
+        while True:
+            if mine.high <= theirs.low:
+                return -1
+            if theirs.high <= mine.low:
+                return 1
+            if common.degree() > 0:
+                union_low = min(mine.low, theirs.low)
+                union_high = max(mine.high, theirs.high)
+                if (
+                    count_roots(common, mine.low, mine.high) == 1
+                    and count_roots(common, theirs.low, theirs.high) == 1
+                    and count_roots(common, union_low, union_high) == 1
+                ):
+                    return 0
+            mine = refine(self.poly, mine, mine.width() / 4)
+            theirs = refine(other.poly, theirs, theirs.width() / 4)
+            if mine.is_exact():
+                return -other.compare_rational(mine.exact)
+            if theirs.is_exact():
+                return self.compare_rational(theirs.exact)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)):
+            return self.compare_rational(other) == 0
+        if isinstance(other, RealAlgebraic):
+            return self._compare_algebraic(other) == 0
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)):
+            return self.compare_rational(other) < 0
+        if isinstance(other, RealAlgebraic):
+            return self._compare_algebraic(other) < 0
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Equal algebraic numbers need not share a defining polynomial or an
+        # isolating interval, and we do not compute minimal polynomials, so
+        # there is no cheap canonical form to hash.  A constant hash keeps
+        # set/dict semantics correct (equality does the real work); the sets
+        # of algebraic numbers the library builds are always small.
+        return 0x5EA1
+
+    def __str__(self) -> str:
+        if self.isolation.is_exact():
+            return str(self.isolation.exact)
+        return f"AlgebraicRoot({self.poly}, ({self.isolation.low}, {self.isolation.high}))"
+
+    def __repr__(self) -> str:
+        return str(self)

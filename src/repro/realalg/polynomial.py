@@ -1,0 +1,325 @@
+"""Sparse multivariate polynomials with exact rational coefficients.
+
+A :class:`Polynomial` is a mapping from exponent vectors (one entry per
+variable in a fixed variable tuple) to nonzero ``Fraction`` coefficients.
+All arithmetic is exact.  Polynomials over different variable tuples are
+aligned automatically by union of variables.
+
+This is the coefficient workhorse behind quantifier elimination
+(:mod:`repro.qe`) and the exact geometry code.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..logic.terms import Add, Const, Mul, Neg, Pow, Term, Var
+
+__all__ = ["Polynomial", "term_to_polynomial"]
+
+Monomial = tuple[int, ...]
+
+
+class Polynomial:
+    """An immutable sparse multivariate polynomial over the rationals."""
+
+    __slots__ = ("variables", "coeffs", "_hash")
+
+    def __init__(
+        self,
+        variables: tuple[str, ...],
+        coeffs: Mapping[Monomial, Fraction],
+    ):
+        cleaned = {
+            mono: Fraction(c) for mono, c in coeffs.items() if c != 0
+        }
+        for mono in cleaned:
+            if len(mono) != len(variables):
+                raise ValueError(
+                    f"monomial {mono} does not match variables {variables}"
+                )
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "coeffs", cleaned)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Polynomial is immutable")
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def constant(value, variables: tuple[str, ...] = ()) -> "Polynomial":
+        """The constant polynomial *value* over *variables*."""
+        value = Fraction(value)
+        if value == 0:
+            return Polynomial(variables, {})
+        zero = (0,) * len(variables)
+        return Polynomial(variables, {zero: value})
+
+    @staticmethod
+    def variable(name: str, variables: tuple[str, ...] | None = None) -> "Polynomial":
+        """The polynomial ``name`` over *variables* (default: just itself)."""
+        if variables is None:
+            variables = (name,)
+        if name not in variables:
+            raise ValueError(f"{name!r} not among variables {variables}")
+        mono = tuple(1 if v == name else 0 for v in variables)
+        return Polynomial(variables, {mono: Fraction(1)})
+
+    # -- basic queries ---------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def is_constant(self) -> bool:
+        return all(all(e == 0 for e in mono) for mono in self.coeffs)
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant polynomial (raises otherwise)."""
+        if not self.is_constant():
+            raise ValueError("polynomial is not constant")
+        if not self.coeffs:
+            return Fraction(0)
+        return next(iter(self.coeffs.values()))
+
+    def total_degree(self) -> int:
+        """The total degree (0 for constants, including the zero polynomial)."""
+        if not self.coeffs:
+            return 0
+        return max(sum(mono) for mono in self.coeffs)
+
+    def degree_in(self, var: str) -> int:
+        """Degree in a single variable (0 if the variable does not occur)."""
+        if var not in self.variables:
+            return 0
+        index = self.variables.index(var)
+        if not self.coeffs:
+            return 0
+        return max(mono[index] for mono in self.coeffs)
+
+    def used_variables(self) -> frozenset[str]:
+        """Variables that actually occur with positive exponent."""
+        used = set()
+        for mono in self.coeffs:
+            for var, exp in zip(self.variables, mono):
+                if exp > 0:
+                    used.add(var)
+        return frozenset(used)
+
+    # -- alignment ---------------------------------------------------------
+    def with_variables(self, variables: tuple[str, ...]) -> "Polynomial":
+        """Re-express this polynomial over the (super)set *variables*."""
+        if variables == self.variables:
+            return self
+        missing = self.used_variables() - set(variables)
+        if missing:
+            raise ValueError(f"cannot drop used variables {sorted(missing)}")
+        index_map = []
+        for var in self.variables:
+            index_map.append(variables.index(var) if var in variables else -1)
+        coeffs: dict[Monomial, Fraction] = {}
+        for mono, coeff in self.coeffs.items():
+            new_mono = [0] * len(variables)
+            for old_index, exp in enumerate(mono):
+                if exp == 0:
+                    continue
+                new_mono[index_map[old_index]] = exp
+            coeffs[tuple(new_mono)] = coeffs.get(tuple(new_mono), Fraction(0)) + coeff
+        return Polynomial(variables, coeffs)
+
+    @staticmethod
+    def align(left: "Polynomial", right: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        """Bring two polynomials over the union of their variables."""
+        if left.variables == right.variables:
+            return left, right
+        merged = tuple(
+            sorted(set(left.variables) | set(right.variables))
+        )
+        return left.with_variables(merged), right.with_variables(merged)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "Polynomial | int | Fraction") -> "Polynomial":
+        other = self._coerce(other)
+        left, right = Polynomial.align(self, other)
+        coeffs = dict(left.coeffs)
+        for mono, coeff in right.coeffs.items():
+            coeffs[mono] = coeffs.get(mono, Fraction(0)) + coeff
+        return Polynomial(left.variables, coeffs)
+
+    def __radd__(self, other) -> "Polynomial":
+        return self + other
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.variables, {m: -c for m, c in self.coeffs.items()})
+
+    def __sub__(self, other) -> "Polynomial":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Polynomial":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Polynomial":
+        other = self._coerce(other)
+        left, right = Polynomial.align(self, other)
+        coeffs: dict[Monomial, Fraction] = {}
+        for mono1, coeff1 in left.coeffs.items():
+            for mono2, coeff2 in right.coeffs.items():
+                mono = tuple(a + b for a, b in zip(mono1, mono2))
+                coeffs[mono] = coeffs.get(mono, Fraction(0)) + coeff1 * coeff2
+        return Polynomial(left.variables, coeffs)
+
+    def __rmul__(self, other) -> "Polynomial":
+        return self * other
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("exponent must be a non-negative integer")
+        result = Polynomial.constant(1, self.variables)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def _coerce(self, other) -> "Polynomial":
+        if isinstance(other, Polynomial):
+            return other
+        if isinstance(other, (int, Fraction)):
+            return Polynomial.constant(other, self.variables)
+        raise TypeError(f"cannot combine Polynomial with {type(other).__name__}")
+
+    # -- evaluation & substitution -------------------------------------------
+    def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
+        """Evaluate at a rational point (all used variables must be bound)."""
+        total = Fraction(0)
+        for mono, coeff in self.coeffs.items():
+            value = coeff
+            for var, exp in zip(self.variables, mono):
+                if exp:
+                    value *= Fraction(env[var]) ** exp
+            total += value
+        return total
+
+    def substitute(self, env: Mapping[str, "Polynomial | Fraction | int"]) -> "Polynomial":
+        """Substitute polynomials (or constants) for some variables."""
+        remaining = tuple(v for v in self.variables if v not in env)
+        result = Polynomial.constant(0, remaining)
+        for mono, coeff in self.coeffs.items():
+            part = Polynomial.constant(coeff, remaining)
+            for var, exp in zip(self.variables, mono):
+                if exp == 0:
+                    continue
+                if var in env:
+                    replacement = env[var]
+                    if not isinstance(replacement, Polynomial):
+                        replacement = Polynomial.constant(replacement)
+                    part = part * replacement ** exp
+                else:
+                    part = part * Polynomial.variable(var, remaining) ** exp
+            result = result + part
+        return result
+
+    # -- univariate views ---------------------------------------------------
+    def as_univariate_in(self, var: str) -> list["Polynomial"]:
+        """Coefficients of this polynomial viewed as univariate in *var*.
+
+        Returns ``[c0, c1, ..., cd]`` with each ``ci`` a polynomial in the
+        remaining variables, so ``self = sum ci * var**i``.
+        """
+        if var not in self.variables:
+            return [self]
+        index = self.variables.index(var)
+        rest = tuple(v for v in self.variables if v != var)
+        degree = self.degree_in(var)
+        buckets: list[dict[Monomial, Fraction]] = [dict() for _ in range(degree + 1)]
+        for mono, coeff in self.coeffs.items():
+            exp = mono[index]
+            rest_mono = tuple(e for i, e in enumerate(mono) if i != index)
+            bucket = buckets[exp]
+            bucket[rest_mono] = bucket.get(rest_mono, Fraction(0)) + coeff
+        return [Polynomial(rest, b) for b in buckets]
+
+    def univariate_coefficients(self) -> list[Fraction]:
+        """Dense coefficient list ``[c0, ..., cd]`` of a univariate polynomial.
+
+        Requires at most one used variable; a constant returns ``[c]``.
+        """
+        used = self.used_variables()
+        if len(used) > 1:
+            raise ValueError(f"polynomial is multivariate in {sorted(used)}")
+        if not used:
+            return [self.constant_value()]
+        var = next(iter(used))
+        coeff_polys = self.as_univariate_in(var)
+        return [p.constant_value() for p in coeff_polys]
+
+    # -- equality / display ---------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)):
+            return self.is_constant() and self.constant_value() == other
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        left, right = Polynomial.align(self, other)
+        return left.coeffs == right.coeffs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            used = sorted(self.used_variables())
+            canon = self.with_variables(tuple(used)) if tuple(used) != self.variables else self
+            value = hash((tuple(used), frozenset(canon.coeffs.items())))
+            object.__setattr__(self, "_hash", value)
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self.coeffs:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self.coeffs.items(), reverse=True):
+            factors = []
+            for var, exp in zip(self.variables, mono):
+                if exp == 1:
+                    factors.append(var)
+                elif exp > 1:
+                    factors.append(f"{var}^{exp}")
+            if not factors:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append("*".join(factors))
+            elif coeff == -1:
+                parts.append("-" + "*".join(factors))
+            else:
+                parts.append(f"{coeff}*" + "*".join(factors))
+        return " + ".join(parts).replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+
+def term_to_polynomial(term: Term, variables: tuple[str, ...] | None = None) -> Polynomial:
+    """Convert a :class:`~repro.logic.terms.Term` to a :class:`Polynomial`."""
+    if variables is None:
+        variables = tuple(sorted(term.variables()))
+    return _convert(term, variables)
+
+
+def _convert(term: Term, variables: tuple[str, ...]) -> Polynomial:
+    if isinstance(term, Var):
+        return Polynomial.variable(term.name, variables)
+    if isinstance(term, Const):
+        return Polynomial.constant(term.value, variables)
+    if isinstance(term, Add):
+        result = Polynomial.constant(0, variables)
+        for arg in term.args:
+            result = result + _convert(arg, variables)
+        return result
+    if isinstance(term, Mul):
+        result = Polynomial.constant(1, variables)
+        for arg in term.args:
+            result = result * _convert(arg, variables)
+        return result
+    if isinstance(term, Neg):
+        return -_convert(term.arg, variables)
+    if isinstance(term, Pow):
+        return _convert(term.base, variables) ** term.exponent
+    raise TypeError(f"unknown term node {type(term).__name__}")

@@ -1,0 +1,139 @@
+"""Resultants and discriminants of multivariate polynomials.
+
+The resultant of two polynomials viewed as univariate in a chosen variable
+is computed as the determinant of the Sylvester matrix, whose entries are
+polynomials in the remaining variables.  The determinant is expanded by
+minors with memoisation over column subsets — exact, and fast enough for
+the small degrees (<= ~6) arising in CAD projection.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+from .polynomial import Polynomial
+
+__all__ = ["sylvester_matrix", "resultant", "discriminant"]
+
+
+def sylvester_matrix(
+    p: Polynomial, q: Polynomial, var: str
+) -> list[list[Polynomial]]:
+    """The Sylvester matrix of *p* and *q* with respect to *var*.
+
+    Both polynomials must have positive degree in *var*.
+    """
+    p_coeffs = p.as_univariate_in(var)  # [c0, ..., cm]
+    q_coeffs = q.as_univariate_in(var)
+    m, n = len(p_coeffs) - 1, len(q_coeffs) - 1
+    if m < 1 or n < 1:
+        raise ValueError("both polynomials must have positive degree in var")
+    size = m + n
+    rest_vars = tuple(sorted((set(p.variables) | set(q.variables)) - {var}))
+    zero = Polynomial.constant(0, rest_vars)
+
+    def aligned(coeffs: list[Polynomial]) -> list[Polynomial]:
+        return [c.with_variables(rest_vars) if c.variables != rest_vars else c
+                for c in coeffs]
+
+    p_row = list(reversed(aligned(p_coeffs)))  # [cm, ..., c0]
+    q_row = list(reversed(aligned(q_coeffs)))
+    matrix: list[list[Polynomial]] = []
+    for shift in range(n):
+        row = [zero] * shift + p_row + [zero] * (size - shift - len(p_row))
+        matrix.append(row)
+    for shift in range(m):
+        row = [zero] * shift + q_row + [zero] * (size - shift - len(q_row))
+        matrix.append(row)
+    return matrix
+
+
+def _determinant(matrix: list[list[Polynomial]]) -> Polynomial:
+    """Determinant by expansion over column subsets with memoisation."""
+    size = len(matrix)
+    if size == 0:
+        return Polynomial.constant(1)
+    full_mask = (1 << size) - 1
+
+    cache: dict[int, Polynomial] = {}
+
+    def minor(row: int, columns_mask: int) -> Polynomial:
+        # Determinant of the submatrix of rows row..size-1 and the columns
+        # present in columns_mask.
+        if row == size:
+            return Polynomial.constant(1)
+        cached = cache.get(columns_mask)
+        if cached is not None:
+            return cached
+        total = Polynomial.constant(0)
+        sign = 1
+        mask = columns_mask
+        position = 0
+        while mask:
+            column = (mask & -mask).bit_length() - 1
+            entry = matrix[row][column]
+            if not entry.is_zero():
+                sub = minor(row + 1, columns_mask & ~(1 << column))
+                contribution = entry * sub
+                total = total + (contribution if sign > 0 else -contribution)
+            sign = -sign
+            mask &= mask - 1
+            position += 1
+        cache[columns_mask] = total
+        return total
+
+    # Note: the cache key omits `row`, which is safe because the number of
+    # remaining rows always equals the popcount of columns_mask.
+    return minor(0, full_mask)
+
+
+def resultant(p: Polynomial, q: Polynomial, var: str) -> Polynomial:
+    """Resultant of *p* and *q* with respect to *var*.
+
+    The resultant vanishes at exactly the points of the remaining variables
+    where *p* and *q* have a common root in *var* (or both leading
+    coefficients vanish) — the key fact used in CAD projection.
+    """
+    dp, dq = p.degree_in(var), q.degree_in(var)
+    if dp == 0 and dq == 0:
+        raise ValueError("at least one polynomial must involve var")
+    if dp == 0:
+        # res(c, q) = c^deg(q)
+        return p ** dq
+    if dq == 0:
+        return q ** dp
+    return _determinant(sylvester_matrix(p, q, var))
+
+
+def discriminant(p: Polynomial, var: str) -> Polynomial:
+    """Discriminant of *p* with respect to *var* (up to leading coefficient).
+
+    We return ``res(p, dp/dvar)`` rather than dividing by the leading
+    coefficient; for CAD projection only the *zero set* matters and the two
+    agree outside the vanishing of the leading coefficient, which is added
+    to the projection set separately.
+    """
+    degree = p.degree_in(var)
+    if degree < 2:
+        return Polynomial.constant(1)
+    derivative = _derivative_in(p, var)
+    if derivative.is_zero():
+        return Polynomial.constant(0)
+    return resultant(p, derivative, var)
+
+
+def _derivative_in(p: Polynomial, var: str) -> Polynomial:
+    if var not in p.variables:
+        return Polynomial.constant(0)
+    index = p.variables.index(var)
+    coeffs: dict[tuple[int, ...], Fraction] = {}
+    for mono, coeff in p.coeffs.items():
+        exp = mono[index]
+        if exp == 0:
+            continue
+        new_mono = tuple(
+            e - 1 if i == index else e for i, e in enumerate(mono)
+        )
+        coeffs[new_mono] = coeffs.get(new_mono, Fraction(0)) + coeff * exp
+    return Polynomial(p.variables, coeffs)

@@ -1,0 +1,218 @@
+"""Exact isolation and refinement of real roots of rational polynomials.
+
+Roots are isolated by bisection driven by Sturm counts.  Each root is
+reported as an :class:`Isolation`: either an exact rational root or an open
+interval with rational endpoints containing exactly one root of the
+(square-free part of the) polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .sturm import count_roots, sturm_chain
+from .univariate import UPoly
+
+__all__ = ["Isolation", "isolate_real_roots", "refine", "real_roots_as_fractions"]
+
+
+@dataclass(frozen=True)
+class Isolation:
+    """An isolated real root.
+
+    If ``exact`` is not None the root is the rational number ``exact`` and
+    ``low == high == exact``.  Otherwise the (square-free) polynomial has
+    exactly one root in the open interval ``(low, high)`` and no root at
+    either endpoint.
+    """
+
+    low: Fraction
+    high: Fraction
+    exact: Fraction | None = None
+
+    def is_exact(self) -> bool:
+        return self.exact is not None
+
+    def width(self) -> Fraction:
+        return self.high - self.low
+
+    def midpoint(self) -> Fraction:
+        if self.exact is not None:
+            return self.exact
+        return (self.low + self.high) / 2
+
+
+def isolate_real_roots(poly: UPoly) -> list[Isolation]:
+    """Isolate all distinct real roots of *poly*, sorted increasingly."""
+    if poly.is_zero():
+        raise ValueError("the zero polynomial has infinitely many roots")
+    if poly.degree() <= 0:
+        return []
+    squarefree = poly.squarefree_part()
+    chain = sturm_chain(squarefree)
+    bound = squarefree.cauchy_root_bound()
+    low, high = -bound, bound
+    # Ensure endpoints are not roots (Cauchy bound is strict, but be safe).
+    while squarefree(low) == 0:
+        low -= 1
+    while squarefree(high) == 0:
+        high += 1
+    total = count_roots(squarefree, low, high, chain=chain)
+    results: list[Isolation] = []
+    _isolate(squarefree, chain, low, high, total, results)
+    results = [_recognise_rational(squarefree, iso) for iso in results]
+    results.sort(key=lambda iso: (iso.low, iso.high))
+    return results
+
+
+#: Skip rational-root search when the coefficient integers have more
+#: divisors than this (the search would cost more than it saves).
+_MAX_DIVISORS = 64
+
+
+#: Trial-division budget: give up on integers whose square root exceeds
+#: this many candidate divisors (rational-root recognition is an
+#: optimisation, never a correctness requirement).
+_MAX_TRIAL_DIVISIONS = 50_000
+
+
+def _divisors(n: int) -> list[int] | None:
+    n = abs(n)
+    if n == 0:
+        return None
+    if n > _MAX_TRIAL_DIVISIONS**2:
+        return None
+    found = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            found.append(d)
+            if d != n // d:
+                found.append(n // d)
+            if len(found) > _MAX_DIVISORS:
+                return None
+        d += 1
+    return found
+
+
+def _recognise_rational(poly: UPoly, isolation: Isolation) -> Isolation:
+    """Replace an interval isolation by an exact one when the root is a
+    recognisable rational (degree 1, or by the rational root theorem)."""
+    if isolation.is_exact():
+        return isolation
+    if poly.degree() == 1:
+        root = -poly.coeffs[0] / poly.coeffs[1]
+        return Isolation(root, root, exact=root)
+    # Clear denominators to an integer polynomial and apply the rational
+    # root theorem: any rational root p/q has p | constant, q | leading.
+    denominators = 1
+    for coeff in poly.coeffs:
+        denominators = denominators * coeff.denominator // _gcd(
+            denominators, coeff.denominator
+        )
+    ints = [int(c * denominators) for c in poly.coeffs]
+    # Strip powers of x dividing the polynomial (root 0 handled separately).
+    shift = 0
+    while shift < len(ints) and ints[shift] == 0:
+        shift += 1
+    if shift and isolation.low < 0 < isolation.high:
+        zero = Fraction(0)
+        return Isolation(zero, zero, exact=zero)
+    constant, leading = ints[shift], ints[-1]
+    numerators = _divisors(constant)
+    denominators_list = _divisors(leading)
+    if numerators is None or denominators_list is None:
+        return isolation
+    if len(numerators) * len(denominators_list) > _MAX_DIVISORS * 4:
+        return isolation
+    for p in numerators:
+        for q in denominators_list:
+            for candidate in (Fraction(p, q), Fraction(-p, q)):
+                if isolation.low < candidate < isolation.high and poly(candidate) == 0:
+                    return Isolation(candidate, candidate, exact=candidate)
+    return isolation
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _isolate(
+    poly: UPoly,
+    chain: list[UPoly],
+    low: Fraction,
+    high: Fraction,
+    count: int,
+    out: list[Isolation],
+) -> None:
+    """Recursively isolate *count* roots known to lie in (low, high).
+
+    Invariant: the endpoints are never roots of *poly*.
+    """
+    if count == 0:
+        return
+    if count == 1:
+        out.append(Isolation(low, high))
+        return
+    mid = (low + high) / 2
+    if poly(mid) == 0:
+        out.append(Isolation(mid, mid, exact=mid))
+        # Shrink away from the exact root so the sub-interval endpoints are
+        # not roots; the gap (eps) is halved until it excludes other roots.
+        eps = (high - low) / 4
+        while poly(mid - eps) == 0 or poly(mid + eps) == 0 or count_roots(
+            poly, mid - eps, mid + eps, chain=chain
+        ) > 1:
+            eps /= 2
+        left_count = count_roots(poly, low, mid - eps, chain=chain)
+        right_count = count_roots(poly, mid + eps, high, chain=chain)
+        _isolate(poly, chain, low, mid - eps, left_count, out)
+        _isolate(poly, chain, mid + eps, high, right_count, out)
+        return
+    left_count = count_roots(poly, low, mid, chain=chain)
+    _isolate(poly, chain, low, mid, left_count, out)
+    _isolate(poly, chain, mid, high, count - left_count, out)
+
+
+def refine(poly: UPoly, isolation: Isolation, max_width: Fraction) -> Isolation:
+    """Shrink an isolating interval to width < *max_width* by bisection.
+
+    If the bisection lands exactly on the root, an exact isolation is
+    returned.  The polynomial should be the same (square-free) polynomial
+    the isolation was produced for.
+    """
+    if isolation.is_exact():
+        return isolation
+    squarefree = poly.squarefree_part()
+    low, high = isolation.low, isolation.high
+    sign_low = squarefree.sign_at(low)
+    while high - low >= max_width:
+        mid = (low + high) / 2
+        value = squarefree(mid)
+        if value == 0:
+            return Isolation(mid, mid, exact=mid)
+        if ((value > 0) - (value < 0)) == sign_low:
+            low = mid
+        else:
+            high = mid
+    return Isolation(low, high)
+
+
+def real_roots_as_fractions(
+    poly: UPoly, precision: Fraction = Fraction(1, 10**12)
+) -> list[Fraction]:
+    """All distinct real roots as rationals: exact where rational, otherwise
+    the midpoint of an isolating interval refined to *precision*.
+
+    Useful when downstream code only needs numeric approximations with a
+    controlled error (e.g. plotting or Monte Carlo seeding); exact
+    comparisons should use :class:`~repro.realalg.algebraic.RealAlgebraic`.
+    """
+    results = []
+    for isolation in isolate_real_roots(poly):
+        refined = refine(poly, isolation, precision)
+        results.append(refined.exact if refined.is_exact() else refined.midpoint())
+    return results

@@ -1,0 +1,113 @@
+"""Sturm sequences and exact real-root counting.
+
+The Sturm chain of a square-free polynomial p is
+
+    p0 = p,  p1 = p',  p_{i+1} = -rem(p_{i-1}, p_i)
+
+and the number of distinct real roots of p in a half-open interval
+``(a, b]`` equals ``V(a) - V(b)`` where ``V(t)`` counts sign changes in the
+chain evaluated at ``t``.  We use the standard convention and expose
+counting over open intervals and the whole line.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+from .univariate import UPoly
+
+__all__ = ["sturm_chain", "sign_variations_at", "count_roots", "count_real_roots"]
+
+
+def sturm_chain(poly: UPoly) -> list[UPoly]:
+    """Return the Sturm chain of *poly* (which should be square-free).
+
+    Cached: chains are requested repeatedly for the same polynomial during
+    root isolation, refinement, and algebraic-number comparison.
+    """
+    return list(_sturm_chain_cached(poly))
+
+
+@lru_cache(maxsize=8192)
+def _sturm_chain_cached(poly: UPoly) -> tuple[UPoly, ...]:
+    if poly.is_zero():
+        return (poly,)
+    chain = [poly, poly.derivative()]
+    while not chain[-1].is_zero() and chain[-1].degree() > 0:
+        chain.append(-(chain[-2] % chain[-1]))
+    if chain[-1].is_zero():
+        chain.pop()
+    return tuple(chain)
+
+
+def sign_variations_at(chain: list[UPoly], point: Fraction) -> int:
+    """Count sign changes of the chain at a rational point (zeros skipped)."""
+    signs = []
+    for poly in chain:
+        sign = poly.sign_at(point)
+        if sign != 0:
+            signs.append(sign)
+    return _variations(signs)
+
+
+def _sign_variations_at_infinity(chain: list[UPoly], positive: bool) -> int:
+    signs = []
+    for poly in chain:
+        if poly.is_zero():
+            continue
+        lead = poly.leading_coefficient()
+        sign = (lead > 0) - (lead < 0)
+        if not positive and poly.degree() % 2 == 1:
+            sign = -sign
+        if sign != 0:
+            signs.append(sign)
+    return _variations(signs)
+
+
+def _variations(signs: list[int]) -> int:
+    count = 0
+    for previous, current in zip(signs, signs[1:]):
+        if previous != current:
+            count += 1
+    return count
+
+
+def count_roots(
+    poly: UPoly,
+    low: Fraction | None = None,
+    high: Fraction | None = None,
+    chain: list[UPoly] | None = None,
+) -> int:
+    """Number of distinct real roots of *poly* in the open interval (low, high).
+
+    ``None`` endpoints mean -infinity / +infinity.  Roots exactly at a
+    finite endpoint are *excluded*.  The polynomial is replaced by its
+    square-free part, so multiplicities are ignored.
+    """
+    if poly.is_zero():
+        raise ValueError("the zero polynomial has infinitely many roots")
+    if poly.degree() == 0:
+        return 0
+    squarefree = poly.squarefree_part()
+    if chain is None:
+        chain = sturm_chain(squarefree)
+
+    if low is None:
+        at_low = _sign_variations_at_infinity(chain, positive=False)
+    else:
+        at_low = sign_variations_at(chain, Fraction(low))
+    if high is None:
+        at_high = _sign_variations_at_infinity(chain, positive=True)
+    else:
+        at_high = sign_variations_at(chain, Fraction(high))
+    count = at_low - at_high
+    # Sturm counts roots in (low, high]; exclude a root at the right endpoint.
+    if high is not None and squarefree(Fraction(high)) == 0:
+        count -= 1
+    return count
+
+
+def count_real_roots(poly: UPoly) -> int:
+    """Number of distinct real roots of *poly* over the whole line."""
+    return count_roots(poly)

@@ -1,0 +1,248 @@
+"""Dense univariate polynomials over the rationals.
+
+Coefficients are stored low-degree first: ``UPoly([c0, c1, c2])`` is
+``c0 + c1*x + c2*x^2``.  This module provides the exact arithmetic needed
+by Sturm sequences and root isolation: division with remainder, GCD,
+derivative, square-free part, and evaluation (including interval
+evaluation for algebraic-number sign determination).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+__all__ = ["UPoly"]
+
+
+class UPoly:
+    """An immutable dense univariate polynomial over Q."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Iterable[Fraction | int]):
+        values = [Fraction(c) for c in coeffs]
+        while values and values[-1] == 0:
+            values.pop()
+        object.__setattr__(self, "coeffs", tuple(values))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("UPoly is immutable")
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def zero() -> "UPoly":
+        return UPoly([])
+
+    @staticmethod
+    def constant(value) -> "UPoly":
+        return UPoly([Fraction(value)])
+
+    @staticmethod
+    def x() -> "UPoly":
+        return UPoly([0, 1])
+
+    @staticmethod
+    def from_roots(roots: Sequence[Fraction | int]) -> "UPoly":
+        """The monic polynomial with the given rational roots."""
+        result = UPoly([1])
+        for root in roots:
+            result = result * UPoly([-Fraction(root), 1])
+        return result
+
+    # -- queries ---------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def degree(self) -> int:
+        """Degree; the zero polynomial has degree -1 by convention."""
+        return len(self.coeffs) - 1
+
+    def leading_coefficient(self) -> Fraction:
+        if not self.coeffs:
+            return Fraction(0)
+        return self.coeffs[-1]
+
+    def monic(self) -> "UPoly":
+        """Divide by the leading coefficient (zero polynomial unchanged)."""
+        if not self.coeffs:
+            return self
+        lead = self.coeffs[-1]
+        return UPoly([c / lead for c in self.coeffs])
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "UPoly") -> "UPoly":
+        other = self._coerce(other)
+        size = max(len(self.coeffs), len(other.coeffs))
+        return UPoly(
+            [
+                (self.coeffs[i] if i < len(self.coeffs) else Fraction(0))
+                + (other.coeffs[i] if i < len(other.coeffs) else Fraction(0))
+                for i in range(size)
+            ]
+        )
+
+    def __radd__(self, other) -> "UPoly":
+        return self + other
+
+    def __neg__(self) -> "UPoly":
+        return UPoly([-c for c in self.coeffs])
+
+    def __sub__(self, other) -> "UPoly":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "UPoly":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "UPoly":
+        other = self._coerce(other)
+        if self.is_zero() or other.is_zero():
+            return UPoly.zero()
+        result = [Fraction(0)] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                result[i + j] += a * b
+        return UPoly(result)
+
+    def __rmul__(self, other) -> "UPoly":
+        return self * other
+
+    def __pow__(self, exponent: int) -> "UPoly":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("exponent must be a non-negative integer")
+        result = UPoly([1])
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def _coerce(self, other) -> "UPoly":
+        if isinstance(other, UPoly):
+            return other
+        if isinstance(other, (int, Fraction)):
+            return UPoly.constant(other)
+        raise TypeError(f"cannot combine UPoly with {type(other).__name__}")
+
+    def divmod(self, divisor: "UPoly") -> tuple["UPoly", "UPoly"]:
+        """Exact polynomial division with remainder over Q."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coeffs)
+        quotient = [Fraction(0)] * max(0, len(remainder) - len(divisor.coeffs) + 1)
+        divisor_lead = divisor.coeffs[-1]
+        divisor_deg = divisor.degree()
+        for i in range(len(remainder) - 1, divisor_deg - 1, -1):
+            if remainder[i] == 0:
+                continue
+            factor = remainder[i] / divisor_lead
+            quotient[i - divisor_deg] = factor
+            for j, c in enumerate(divisor.coeffs):
+                remainder[i - divisor_deg + j] -= factor * c
+        return UPoly(quotient), UPoly(remainder)
+
+    def __mod__(self, divisor: "UPoly") -> "UPoly":
+        return self.divmod(divisor)[1]
+
+    def __floordiv__(self, divisor: "UPoly") -> "UPoly":
+        return self.divmod(divisor)[0]
+
+    def gcd(self, other: "UPoly") -> "UPoly":
+        """Monic greatest common divisor."""
+        a, b = self, other
+        while not b.is_zero():
+            a, b = b, a % b
+        return a.monic()
+
+    def derivative(self) -> "UPoly":
+        return UPoly([i * c for i, c in enumerate(self.coeffs)][1:])
+
+    def squarefree_part(self) -> "UPoly":
+        """The square-free part ``p / gcd(p, p')`` (monic).
+
+        Cached: polynomials are immutable and this is recomputed heavily by
+        root isolation and algebraic-number comparisons.
+        """
+        return _squarefree_part_cached(self)
+
+    # -- evaluation ---------------------------------------------------------
+    def __call__(self, point: Fraction | int) -> Fraction:
+        """Evaluate via Horner's rule."""
+        point = Fraction(point)
+        total = Fraction(0)
+        for coeff in reversed(self.coeffs):
+            total = total * point + coeff
+        return total
+
+    def sign_at(self, point: Fraction | int) -> int:
+        value = self(point)
+        return (value > 0) - (value < 0)
+
+    def evaluate_interval(
+        self, low: Fraction, high: Fraction
+    ) -> tuple[Fraction, Fraction]:
+        """Outward interval evaluation: bounds on p([low, high]).
+
+        Uses a straightforward power-basis interval Horner; bounds are valid
+        (conservative) though not tight.
+        """
+        lo, hi = Fraction(0), Fraction(0)
+        for coeff in reversed(self.coeffs):
+            # interval multiply (lo, hi) * (low, high)
+            candidates = (lo * low, lo * high, hi * low, hi * high)
+            lo, hi = min(candidates), max(candidates)
+            lo, hi = lo + coeff, hi + coeff
+        return lo, hi
+
+    # -- misc ------------------------------------------------------------------
+    def cauchy_root_bound(self) -> Fraction:
+        """A bound B with all real roots in (-B, B) (Cauchy's bound)."""
+        if self.degree() <= 0:
+            return Fraction(1)
+        lead = abs(self.coeffs[-1])
+        return 1 + max(abs(c) for c in self.coeffs[:-1]) / lead
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = UPoly.constant(other)
+        if not isinstance(other, UPoly):
+            return NotImplemented
+        return self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs)
+
+    def __str__(self) -> str:
+        if not self.coeffs:
+            return "0"
+        parts = []
+        for i, c in enumerate(self.coeffs):
+            if c == 0:
+                continue
+            if i == 0:
+                parts.append(str(c))
+            elif i == 1:
+                parts.append(f"{c}*x" if c != 1 else "x")
+            else:
+                parts.append(f"{c}*x^{i}" if c != 1 else f"x^{i}")
+        return " + ".join(reversed(parts))
+
+    def __repr__(self) -> str:
+        return f"UPoly({self})"
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=8192)
+def _squarefree_part_cached(poly: UPoly) -> UPoly:
+    if poly.degree() <= 0:
+        return poly.monic() if not poly.is_zero() else poly
+    g = poly.gcd(poly.derivative())
+    if g.degree() == 0:
+        return poly.monic()
+    return (poly // g).monic()

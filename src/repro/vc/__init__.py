@@ -1,0 +1,26 @@
+"""VC dimension: exact shattering, definable families, and the paper's bounds."""
+
+from .shatter import family_to_masks, is_shattered, vc_dimension
+from .definable import family_trace, family_vc_dimension
+from .bounds import (
+    blumer_sample_size,
+    goldberg_jerrum_constant,
+    goldberg_jerrum_constant_for_query,
+    vc_dimension_bound,
+)
+from .prop5 import prop5_instance, prop5_measured_vc_dimension, prop5_query
+
+__all__ = [
+    "vc_dimension",
+    "is_shattered",
+    "family_to_masks",
+    "family_trace",
+    "family_vc_dimension",
+    "blumer_sample_size",
+    "goldberg_jerrum_constant",
+    "goldberg_jerrum_constant_for_query",
+    "vc_dimension_bound",
+    "prop5_instance",
+    "prop5_query",
+    "prop5_measured_vc_dimension",
+]

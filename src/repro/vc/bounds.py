@@ -1,0 +1,78 @@
+"""The paper's quantitative VC bounds.
+
+* **Sample complexity** (Blumer-Ehrenfeucht-Haussler-Warmuth, as quoted in
+  Section 3): for a family of VC dimension d and accuracy/confidence
+  ``(epsilon, delta)``, a random sample of size
+
+      M > max( (4/eps) log(2/delta), (8 d/eps) log(13/eps) )
+
+  is an epsilon-net/epsilon-approximation with probability >= 1 - delta,
+  uniformly over the family.
+
+* **Goldberg-Jerrum constant** (end of Section 6.2): for an active-
+  semantics FO + POLY query with ``k = |y|``, quantifier rank ``q``,
+  maximal schema arity ``p``, maximal constraint degree ``d`` and ``s``
+  atomic subformulae, ``VCdim(F_phi(D)) < C log |D|`` with
+
+      C = 16 k (p + q) (log(8 e d p s) + 1).
+
+Logarithms are base 2, following the learning-theory sources.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..logic.formulas import Formula
+from ..logic.metrics import count_atoms, max_degree, quantifier_rank
+from .._errors import ApproximationError
+
+__all__ = [
+    "blumer_sample_size",
+    "goldberg_jerrum_constant",
+    "goldberg_jerrum_constant_for_query",
+    "vc_dimension_bound",
+]
+
+
+def blumer_sample_size(epsilon: float, delta: float, vc_dim: float) -> int:
+    """The paper's sample size M(epsilon, delta, d) (Section 3)."""
+    if not (0 < epsilon < 1) or not (0 < delta < 1):
+        raise ApproximationError("epsilon and delta must lie in (0, 1)")
+    if vc_dim < 0:
+        raise ApproximationError("VC dimension must be non-negative")
+    first = (4.0 / epsilon) * math.log2(2.0 / delta)
+    second = (8.0 * vc_dim / epsilon) * math.log2(13.0 / epsilon)
+    return math.floor(max(first, second)) + 1
+
+
+def goldberg_jerrum_constant(k: int, p: int, q: int, d: int, s: int) -> float:
+    """C = 16 k (p + q) (log2(8 e d p s) + 1).
+
+    Parameters follow the paper: k = number of point variables, p = maximal
+    relation arity, q = quantifier rank, d = maximal polynomial degree
+    (>= 1), s = number of atomic subformulae.
+    """
+    if min(k, p, d, s) < 1 or q < 0:
+        raise ApproximationError("parameters out of range for the GJ constant")
+    return 16.0 * k * (p + q) * (math.log2(8.0 * math.e * d * p * s) + 1.0)
+
+
+def goldberg_jerrum_constant_for_query(
+    query: Formula, point_arity: int, max_relation_arity: int
+) -> float:
+    """Instantiate the Goldberg-Jerrum constant from a query's syntax."""
+    return goldberg_jerrum_constant(
+        k=point_arity,
+        p=max_relation_arity,
+        q=quantifier_rank(query),
+        d=max(1, max_degree(query)),
+        s=max(1, count_atoms(query)),
+    )
+
+
+def vc_dimension_bound(constant: float, database_size: int) -> float:
+    """Proposition 6's bound ``VCdim(F_phi(D)) < C log |D|`` (base-2 log)."""
+    if database_size < 2:
+        return constant  # log kicks in from size 2; keep the bound positive
+    return constant * math.log2(database_size)

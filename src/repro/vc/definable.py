@@ -1,0 +1,87 @@
+"""Definable families F_phi(D) = { phi(a, D) : a } and their traces.
+
+Section 4's Remark and Section 6.2 both hinge on the VC dimension of the
+family of sets cut out by a parameterised query over a fixed database.
+This module materialises the *trace* of such a family on a finite ground
+set of points, producing input for the exact shattering search.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..db.evaluation import expand_relations, resolve_adom_quantifiers
+from ..db.instance import FiniteInstance
+from ..logic.evaluate import evaluate
+from ..logic.formulas import Formula
+from ..logic.metrics import max_degree
+from ..logic.normalform import is_quantifier_free
+from ..logic.substitution import substitute
+from ..logic.terms import Const
+from ..qe.fourier_motzkin import qe_linear
+from .._errors import EvaluationError
+from .shatter import vc_dimension
+
+__all__ = ["family_trace", "family_vc_dimension"]
+
+
+def family_trace(
+    query: Formula,
+    instance,
+    param_vars: Sequence[str],
+    point_vars: Sequence[str],
+    parameters: Sequence[Sequence[Fraction]],
+    ground_points: Sequence[Sequence[Fraction]],
+) -> list[frozenset[int]]:
+    """Trace of the definable family on *ground_points*.
+
+    For each parameter tuple ``a`` the set
+    ``{ i : D |= query(a, ground_points[i]) }`` is computed exactly.
+    The query (after expanding relations) must be quantifier-free or
+    linear; arbitrary quantified polynomial queries would require a CAD
+    decision per (parameter, point) pair.
+    """
+    if isinstance(instance, FiniteInstance):
+        query = resolve_adom_quantifiers(query, instance)
+    expanded = expand_relations(query, instance)
+    if not is_quantifier_free(expanded):
+        if max_degree(expanded) > 1:
+            raise EvaluationError(
+                "family_trace supports quantifier-free or linear queries"
+            )
+        expanded = qe_linear(expanded)
+
+    trace: list[frozenset[int]] = []
+    for parameter in parameters:
+        bound = substitute(
+            expanded,
+            {v: Const(Fraction(c)) for v, c in zip(param_vars, parameter)},
+        )
+        members = set()
+        for index, point in enumerate(ground_points):
+            env = {v: Fraction(c) for v, c in zip(point_vars, point)}
+            if evaluate(bound, env):
+                members.add(index)
+        trace.append(frozenset(members))
+    return trace
+
+
+def family_vc_dimension(
+    query: Formula,
+    instance,
+    param_vars: Sequence[str],
+    point_vars: Sequence[str],
+    parameters: Sequence[Sequence[Fraction]],
+    ground_points: Sequence[Sequence[Fraction]],
+) -> int:
+    """VC dimension of the family's trace on the given ground points.
+
+    This is a *lower bound* on VCdim(F_phi(D)) (the true dimension takes a
+    supremum over all ground sets); equality holds when the ground set is
+    chosen to witness shattering, as in the Proposition 5 construction.
+    """
+    trace = family_trace(
+        query, instance, param_vars, point_vars, parameters, ground_points
+    )
+    return vc_dimension(trace, len(ground_points))

@@ -1,0 +1,59 @@
+"""Proposition 5: a quantifier-free query whose definable families have
+VC dimension >= log |D|.
+
+The construction: the database stores the bit-graph of all subsets of a
+k-element ground set — S(a, j) holds iff bit j of the subset code a is
+set.  The quantifier-free query ``phi(x, y) = S(x, y)`` then cuts out, as
+x ranges over the codes, *every* subset of the ground points {0..k-1}:
+the family shatters all k points, so
+
+    VCdim(F_phi(D_k)) >= k  >=  log2 |D_k|,
+
+while |D_k| <= 2^k + k.  This is the obstruction to making the
+Karpinski-Macintyre approximation uniform: the quantifier prefix of their
+construction grows with the VC dimension, hence with log of the database.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..db.instance import FiniteInstance
+from ..db.schema import Schema
+from ..logic.builders import Relation, variables
+from ..logic.formulas import Formula
+from .definable import family_vc_dimension
+
+__all__ = ["prop5_instance", "prop5_query", "prop5_measured_vc_dimension"]
+
+
+def prop5_instance(k: int) -> FiniteInstance:
+    """The database D_k: bit-graph of all subsets of {0, ..., k-1}."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    schema = Schema.make({"S": 2})
+    rows = []
+    for code in range(2**k):
+        for bit in range(k):
+            if code >> bit & 1:
+                rows.append((Fraction(code), Fraction(bit)))
+    return FiniteInstance.make(schema, {"S": rows})
+
+
+def prop5_query() -> Formula:
+    """The quantifier-free query phi(x, y) = S(x, y)."""
+    x, y = variables("x y")
+    S = Relation("S", 2)
+    return S(x, y)
+
+
+def prop5_measured_vc_dimension(k: int) -> tuple[int, int]:
+    """(measured VC dimension, |D_k|) for the Proposition 5 family."""
+    instance = prop5_instance(k)
+    parameters = [(Fraction(code),) for code in range(2**k)]
+    ground = [(Fraction(bit),) for bit in range(k)]
+    dimension = family_vc_dimension(
+        prop5_query(), instance, ("x",), ("y",), parameters, ground
+    )
+    return dimension, instance.size()

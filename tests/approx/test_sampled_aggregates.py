@@ -1,0 +1,65 @@
+"""Sampling-based approximation of classical aggregates ([16, 22])."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.approx import sample_avg, sample_sum
+from repro.db import FiniteInstance, Schema
+from repro._errors import ApproximationError, EvaluationError
+
+
+@pytest.fixture
+def big_relation():
+    schema = Schema.make({"T": 2})
+    rows = [(i, Fraction(i % 100, 100)) for i in range(2000)]
+    return FiniteInstance.make(schema, {"T": rows})
+
+
+class TestSampleAvg:
+    def test_estimate_near_truth(self, big_relation, rng):
+        estimate = sample_avg(
+            big_relation, "T", 1, samples=2000, rng=rng, value_range=(0.0, 1.0)
+        )
+        truth = 0.495  # mean of {0, .01, ..., .99} repeated
+        assert abs(estimate.estimate - truth) < estimate.confidence_radius
+
+    def test_interval_contains_truth_with_range(self, big_relation, rng):
+        estimate = sample_avg(
+            big_relation, "T", 1, samples=500, rng=rng,
+            value_range=(0.0, 1.0), delta=0.01,
+        )
+        low, high = estimate.interval()
+        assert low <= 0.495 <= high
+
+    def test_radius_shrinks_with_samples(self, big_relation, rng):
+        small = sample_avg(big_relation, "T", 1, 100, rng, value_range=(0, 1))
+        large = sample_avg(big_relation, "T", 1, 10_000, rng, value_range=(0, 1))
+        assert large.confidence_radius < small.confidence_radius
+
+    def test_heuristic_spread_without_range(self, big_relation, rng):
+        estimate = sample_avg(big_relation, "T", 1, 200, rng)
+        assert estimate.confidence_radius > 0
+
+    def test_validation(self, big_relation, rng):
+        with pytest.raises(ApproximationError):
+            sample_avg(big_relation, "T", 1, 0, rng)
+        with pytest.raises(ApproximationError):
+            sample_avg(big_relation, "T", 1, 10, rng, delta=2.0)
+        with pytest.raises(EvaluationError):
+            sample_avg(big_relation, "T", 5, 10, rng)
+
+    def test_empty_relation_rejected(self, rng):
+        schema = Schema.make({"T": 1})
+        empty = FiniteInstance.make(schema, {"T": []})
+        with pytest.raises(EvaluationError):
+            sample_avg(empty, "T", 0, 10, rng)
+
+
+class TestSampleSum:
+    def test_scales_by_cardinality(self, big_relation, rng):
+        estimate = sample_sum(
+            big_relation, "T", 1, samples=5000, rng=rng, value_range=(0.0, 1.0)
+        )
+        truth = 2000 * 0.495
+        assert abs(estimate.estimate - truth) < estimate.confidence_radius

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.db import FiniteInstance, FRInstance, Schema
+from repro.logic import Relation, between, variables
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded NumPy generator."""
+    return np.random.default_rng(20260704)
+
+
+@pytest.fixture
+def xy():
+    """The two workhorse variables."""
+    return variables("x y")
+
+
+@pytest.fixture
+def unary_schema() -> Schema:
+    return Schema.make({"U": 1})
+
+
+@pytest.fixture
+def unary_instance(unary_schema) -> FiniteInstance:
+    """U = {1/4, 1/2, 3/4}."""
+    return FiniteInstance.make(
+        unary_schema, {"U": [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]}
+    )
+
+
+@pytest.fixture
+def triangle_instance() -> FRInstance:
+    """S(x, y) = the triangle 0 <= y <= x <= 1 (area 1/2)."""
+    x, y = variables("x y")
+    schema = Schema.make({"S": 2})
+    body = (0 <= y) & (y <= x) & (x <= 1)
+    return FRInstance.make(schema, {"S": ((x, y), body)})
+
+
+@pytest.fixture
+def square_instance() -> FRInstance:
+    """S(x, y) = the unit square."""
+    x, y = variables("x y")
+    schema = Schema.make({"S": 2})
+    body = between(0, x, 1) & between(0, y, 1)
+    return FRInstance.make(schema, {"S": ((x, y), body)})

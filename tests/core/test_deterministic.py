@@ -1,0 +1,80 @@
+"""Determinism checking of formulas (decidable per the paper)."""
+
+import pytest
+
+from repro.core import DetFormula, check_deterministic, explicit_function_term, is_deterministic
+from repro.logic import Var, variables
+from repro._errors import NotDeterministicError
+
+x, w = variables("x w")
+
+
+class TestExplicitForm:
+    def test_lhs_form(self):
+        gamma = DetFormula.make("x", ("w",), x.eq(2 * w + 1))
+        term = explicit_function_term(gamma)
+        assert term is not None
+        assert term.evaluate({"w": 3}) == 7
+
+    def test_rhs_form(self):
+        gamma = DetFormula.make("x", ("w",), (2 * w).eq(x))
+        assert explicit_function_term(gamma) is not None
+
+    def test_self_referencing_not_explicit(self):
+        gamma = DetFormula.make("x", ("w",), x.eq(x + w))
+        assert explicit_function_term(gamma) is None
+
+    def test_non_equality_not_explicit(self):
+        gamma = DetFormula.make("x", ("w",), x < w)
+        assert explicit_function_term(gamma) is None
+
+
+class TestLinearDecision:
+    def test_explicit_is_deterministic(self):
+        gamma = DetFormula.make("x", ("w",), x.eq(w + 1))
+        assert is_deterministic(gamma) is True
+
+    def test_linear_equation_deterministic(self):
+        # 2x + w = 0 determines x.
+        gamma = DetFormula.make("x", ("w",), (2 * x + w).eq(0))
+        assert is_deterministic(gamma) is True
+
+    def test_interval_not_deterministic(self):
+        gamma = DetFormula.make("x", ("w",), (x > w) & (x < w + 1))
+        assert is_deterministic(gamma) is False
+        with pytest.raises(NotDeterministicError):
+            check_deterministic(gamma)
+
+    def test_two_point_disjunction_not_deterministic(self):
+        gamma = DetFormula.make("x", ("w",), x.eq(w) | x.eq(w + 1))
+        assert is_deterministic(gamma) is False
+
+
+class TestPolynomialDecision:
+    def test_square_not_deterministic(self):
+        # x^2 = w has two solutions for w > 0.
+        gamma = DetFormula.make("x", ("w",), (x**2).eq(w))
+        assert is_deterministic(gamma) is False
+
+    def test_constrained_square_root_deterministic(self):
+        # The non-negative square root is unique.
+        gamma = DetFormula.make("x", ("w",), (x**2).eq(w) & (x >= 0))
+        assert is_deterministic(gamma) is True
+
+    def test_cube_deterministic(self):
+        gamma = DetFormula.make("x", ("w",), (x**3).eq(w))
+        assert is_deterministic(gamma) is True
+
+    def test_variable_limit(self):
+        gamma = DetFormula.make(
+            "x", ("a", "b", "c"), (x**2).eq(Var("a") * Var("b") * Var("c"))
+        )
+        with pytest.raises(NotDeterministicError):
+            is_deterministic(gamma)
+
+    def test_absolute_value_form_deterministic(self):
+        # v >= 0 and (v = w or v = -w): |w| is a function.
+        gamma = DetFormula.make(
+            "x", ("w",), (x >= 0) & (x.eq(w) | x.eq(-w))
+        )
+        assert is_deterministic(gamma) is True

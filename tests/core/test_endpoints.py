@@ -1,0 +1,90 @@
+"""The END operator: interval endpoints of definable sets."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import definable_set, end_set
+from repro.db import FiniteInstance, FRInstance, Schema
+from repro.logic import Relation, exists, exists_adom, variables
+from repro._errors import SafetyError
+
+x, y, z = variables("x y z")
+U = Relation("U", 1)
+S = Relation("S", 2)
+
+
+class TestFiniteInstances:
+    def test_points_are_their_own_endpoints(self, unary_instance):
+        ends = end_set(unary_instance, "x", U(x))
+        assert ends == [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+
+    def test_interval_union_endpoints(self, unary_instance):
+        # { x : exists u in U, 0 < x < u } = (0, 3/4): endpoints 0, 3/4.
+        body = exists_adom(y, U(y) & (0 < x) & (x < y))
+        ends = end_set(unary_instance, "x", body)
+        assert ends == [0, Fraction(3, 4)]
+
+    def test_parameterised_endpoints(self, unary_instance):
+        body = U(x) & (x < z)
+        assert end_set(unary_instance, "x", body, {"z": Fraction(1, 2)}) == [
+            Fraction(1, 4)
+        ]
+        assert end_set(unary_instance, "x", body, {"z": Fraction(1)}) == [
+            Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)
+        ]
+
+    def test_unbound_parameters_rejected(self, unary_instance):
+        with pytest.raises(SafetyError):
+            end_set(unary_instance, "x", U(x) & (x < z))
+
+
+class TestFRInstances:
+    def test_triangle_slice(self, triangle_instance):
+        # { y : S(1/2, y) } = [0, 1/2]
+        ends = end_set(
+            triangle_instance, "y", S(x, y), {"x": Fraction(1, 2)}
+        )
+        assert ends == [0, Fraction(1, 2)]
+
+    def test_projection_via_quantifier(self, triangle_instance):
+        # { x : exists y S(x, y) } = [0, 1]
+        ends = end_set(triangle_instance, "x", exists(y, S(x, y)))
+        assert ends == [0, 1]
+
+    def test_unbounded_set_contributes_finite_endpoints(self):
+        schema = Schema.make({"H": 1})
+        half = FRInstance.make(schema, {"H": ((x,), x > 3)})
+        H = Relation("H", 1)
+        ends = end_set(half, "x", H(x))
+        assert ends == [3]
+
+    def test_whole_line_has_no_endpoints(self):
+        schema = Schema.make({"A": 1})
+        all_reals = FRInstance.make(schema, {"A": ((x,), x.eq(x))})
+        A = Relation("A", 1)
+        assert end_set(all_reals, "x", A(x)) == []
+
+    def test_definable_set_structure(self, triangle_instance):
+        union = definable_set(
+            triangle_instance, "y", S(x, y) & y.ne(Fraction(1, 4)),
+            {"x": Fraction(1, 2)},
+        )
+        assert len(union) == 2
+        assert union.measure() == Fraction(1, 2)
+
+    def test_semialgebraic_endpoints(self):
+        schema = Schema.make({"D": 2})
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 1)})
+        D = Relation("D", 2)
+        ends = end_set(disk, "y", D(x, y), {"x": Fraction(0)})
+        assert len(ends) == 2
+        assert ends[0] == -1 and ends[1] == 1
+
+    def test_irrational_endpoints(self):
+        schema = Schema.make({"D": 2})
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 2)})
+        D = Relation("D", 2)
+        ends = end_set(disk, "y", D(x, y), {"x": Fraction(0)})
+        assert len(ends) == 2
+        assert abs(float(ends[1]) - 2**0.5) < 1e-9

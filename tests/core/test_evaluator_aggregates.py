@@ -1,0 +1,166 @@
+"""The FO + POLY + SUM evaluator and the classical aggregates."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    DetFormula,
+    RangeRestricted,
+    SumEvaluator,
+    SumTerm,
+    aggregate_avg,
+    aggregate_count,
+    aggregate_max,
+    aggregate_min,
+    aggregate_sum,
+    endpoints_range,
+    sum_of_endpoints,
+)
+from repro.db import FiniteInstance, Schema
+from repro.logic import Relation, TRUE, Var, exists, exists_adom, variables
+from repro._errors import EvaluationError, NotDeterministicError, SafetyError
+
+x, y, w = variables("x y w")
+U = Relation("U", 1)
+
+
+@pytest.fixture
+def numbers_instance():
+    schema = Schema.make({"U": 1})
+    return FiniteInstance.make(schema, {"U": [1, 2, 3, 4]})
+
+
+class TestSumTermEvaluation:
+    def test_sum_of_relation_elements(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        assert aggregate_sum(numbers_instance, rho, Var("w")) == 10
+
+    def test_count(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        assert aggregate_count(numbers_instance, rho) == 4
+
+    def test_avg(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        assert aggregate_avg(numbers_instance, rho, Var("w")) == Fraction(5, 2)
+
+    def test_min_max(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        assert aggregate_min(numbers_instance, rho, Var("w")) == 1
+        assert aggregate_max(numbers_instance, rho, Var("w")) == 4
+
+    def test_sum_with_guard(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")), guard=Var("w") > 2)
+        assert aggregate_sum(numbers_instance, rho, Var("w")) == 7
+
+    def test_sum_of_function_values(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        assert aggregate_sum(numbers_instance, rho, Var("w") ** 2) == 30
+
+    def test_avg_empty_raises(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")), guard=Var("w") > 100)
+        with pytest.raises(EvaluationError):
+            aggregate_avg(numbers_instance, rho, Var("w"))
+
+    def test_sum_of_endpoints_example(self, unary_instance):
+        # The paper's first worked example on { x : exists u. U(u), 0<x<u }.
+        body = exists_adom(y, U(y) & (0 < x) & (x < y))
+        assert sum_of_endpoints(unary_instance, x, body) == Fraction(3, 4)
+
+    def test_nested_aggregation(self, numbers_instance):
+        # Inner sum total = 10; outer sums (w + 10) over 4 elements = 50.
+        inner_rho = endpoints_range("v", U(Var("v")))
+        inner = SumTerm(
+            DetFormula.from_term("_i", ("v",), Var("v")), inner_rho
+        )
+        outer_rho = endpoints_range("w", U(Var("w")))
+        evaluator = SumEvaluator(numbers_instance)
+        outer = SumTerm(
+            DetFormula.from_term("_o", ("w",), Var("w")), outer_rho
+        )
+        total = evaluator.term_value(outer + inner)
+        assert total == 20
+
+
+class TestGammaApplication:
+    def test_explicit_gamma(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        gamma = DetFormula.from_term("v", ("w",), 2 * Var("w"))
+        assert evaluator.apply_gamma(gamma, [Fraction(3)]) == 6
+
+    def test_implicit_gamma_solved(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        gamma = DetFormula.make("v", ("w",), (2 * Var("v")).eq(Var("w")))
+        assert evaluator.apply_gamma(gamma, [Fraction(3)]) == Fraction(3, 2)
+
+    def test_partial_gamma_returns_none(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        gamma = DetFormula.make(
+            "v", ("w",), (Var("v") ** 2).eq(Var("w")) & (Var("v") >= 0)
+        )
+        assert evaluator.apply_gamma(gamma, [Fraction(-1)]) is None
+
+    def test_runtime_determinism_violation(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        gamma = DetFormula.make("v", ("w",), (Var("v") ** 2).eq(Var("w")))
+        with pytest.raises(NotDeterministicError):
+            evaluator.apply_gamma(gamma, [Fraction(4)])
+
+    def test_interval_gamma_rejected(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        gamma = DetFormula.make("v", ("w",), (Var("v") > 0) & (Var("v") < Var("w")))
+        with pytest.raises(NotDeterministicError):
+            evaluator.apply_gamma(gamma, [Fraction(1)])
+
+
+class TestFormulaTruth:
+    def test_comparison_of_sum_terms(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        total = SumTerm(DetFormula.from_term("v", ("w",), Var("w")), rho)
+        evaluator = SumEvaluator(numbers_instance)
+        assert evaluator.formula_truth(total < 11)
+        assert evaluator.formula_truth(total.eq(10))
+        assert not evaluator.formula_truth(total > 10)
+
+    def test_relation_atom_membership(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        assert evaluator.formula_truth(U(x), {"x": 1})
+        assert not evaluator.formula_truth(U(x), {"x": 5})
+
+    def test_quantifier_over_pure_formula(self, numbers_instance):
+        evaluator = SumEvaluator(numbers_instance)
+        f = exists(y, U(y) & (y > x))
+        assert evaluator.formula_truth(f, {"x": Fraction(7, 2)})
+        assert not evaluator.formula_truth(f, {"x": Fraction(9, 2)})
+
+    def test_quantifier_over_sum_term_rejected(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")))
+        total = SumTerm(DetFormula.from_term("v", ("w",), Var("w")), rho)
+        evaluator = SumEvaluator(numbers_instance)
+        with pytest.raises(SafetyError):
+            evaluator.formula_truth(exists(x, x.eq(total)))
+
+    def test_end_formula_node(self, numbers_instance):
+        from repro.core import End
+
+        evaluator = SumEvaluator(numbers_instance)
+        end = End("y", U(Var("y")), x)
+        assert evaluator.formula_truth(end, {"x": 2})
+        assert not evaluator.formula_truth(end, {"x": 5})
+
+
+class TestSafetyGuards:
+    def test_candidate_explosion_guarded(self, numbers_instance):
+        # 4 endpoints, 12 tuple positions -> 4^12 = 16M > guard.
+        names = tuple(f"w{i}" for i in range(12))
+        rho = RangeRestricted.make(names, TRUE, "y", U(Var("y")))
+        gamma = DetFormula.from_term("v", names, Var(names[0]))
+        evaluator = SumEvaluator(numbers_instance)
+        with pytest.raises(SafetyError):
+            evaluator.term_value(SumTerm(gamma, rho))
+
+    def test_unbound_parameters_rejected(self, numbers_instance):
+        rho = endpoints_range("w", U(Var("w")) & (Var("w") < x))
+        evaluator = SumEvaluator(numbers_instance)
+        with pytest.raises(EvaluationError):
+            evaluator.range_set(rho)

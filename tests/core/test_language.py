@@ -1,0 +1,114 @@
+"""FO + POLY + SUM syntax: DetFormula, End, RangeRestricted, SumTerm."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    DetFormula,
+    End,
+    RangeRestricted,
+    SumTerm,
+    contains_sum_term,
+)
+from repro.logic import Relation, TRUE, Var, variables
+from repro._errors import SafetyError
+
+x, y, w, u = variables("x y w u")
+U = Relation("U", 1)
+
+
+class TestDetFormula:
+    def test_from_term(self):
+        gamma = DetFormula.from_term("v", ("a", "b"), Var("a") + Var("b"))
+        assert gamma.x == "v"
+        assert gamma.w == ("a", "b")
+        assert gamma.arity() == 2
+
+    def test_output_cannot_be_parameter(self):
+        with pytest.raises(ValueError):
+            DetFormula.make("v", ("v",), TRUE)
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DetFormula.make("v", ("a", "a"), TRUE)
+
+    def test_relations_rejected(self):
+        with pytest.raises(ValueError):
+            DetFormula.make("v", ("a",), U(Var("a")))
+
+    def test_stray_variables_rejected(self):
+        with pytest.raises(ValueError):
+            DetFormula.make("v", ("a",), Var("v").eq(Var("b")))
+
+    def test_accepts_var_objects(self):
+        gamma = DetFormula.from_term(x, (w,), w + 1)
+        assert gamma.x == "x"
+
+
+class TestEnd:
+    def test_free_variables(self):
+        end = End("y", U(y) & (y < x), u)
+        assert end.free_variables() == {"x", "u"}
+
+    def test_relation_names(self):
+        end = End("y", U(y), u)
+        assert end.relation_names() == {"U"}
+
+    def test_str(self):
+        end = End("y", U(y), u)
+        assert "END" in str(end)
+
+
+class TestRangeRestricted:
+    def test_parameters(self):
+        rho = RangeRestricted.make(("w",), Var("w") < x, "y", U(y) & (y < x))
+        assert rho.parameters() == {"x"}
+        assert rho.arity() == 1
+
+    def test_needs_parameters(self):
+        with pytest.raises(ValueError):
+            RangeRestricted.make((), TRUE, "y", U(y))
+
+    def test_end_var_disjoint_from_w(self):
+        with pytest.raises(ValueError):
+            RangeRestricted.make(("y",), TRUE, "y", U(y))
+
+    def test_duplicate_w_rejected(self):
+        with pytest.raises(ValueError):
+            RangeRestricted.make(("w", "w"), TRUE, "y", U(y))
+
+
+class TestSumTerm:
+    def make_term(self):
+        rho = RangeRestricted.make(("w",), TRUE, "y", U(y) & (y < x))
+        gamma = DetFormula.from_term("v", ("w",), Var("w"))
+        return SumTerm(gamma, rho)
+
+    def test_free_variables_are_parameters(self):
+        term = self.make_term()
+        assert term.variables() == {"x"}
+
+    def test_arity_mismatch_rejected(self):
+        rho = RangeRestricted.make(("w",), TRUE, "y", U(y))
+        gamma = DetFormula.from_term("v", ("a", "b"), Var("a"))
+        with pytest.raises(SafetyError):
+            SumTerm(gamma, rho)
+
+    def test_cannot_evaluate_without_database(self):
+        with pytest.raises(SafetyError):
+            self.make_term().evaluate({"x": Fraction(1)})
+
+    def test_composes_with_arithmetic(self):
+        term = self.make_term()
+        composed = 2 * term + 1
+        assert contains_sum_term(composed)
+
+    def test_composes_into_formulas(self):
+        term = self.make_term()
+        formula = term < 5
+        assert contains_sum_term(formula)
+
+    def test_contains_sum_term_negative(self):
+        assert not contains_sum_term(x + y)
+        assert not contains_sum_term(U(x))

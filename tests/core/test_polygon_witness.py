@@ -1,0 +1,157 @@
+"""The polygon-area worked example and the witness extension (Theorem 4)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SumEvaluator,
+    UniformVolumeApproximator,
+    absolute_area_gamma,
+    polygon_area,
+    polygon_area_sum_term,
+    polygon_instance,
+    signed_area_gamma,
+    theorem4_sample_size,
+    witness,
+)
+from repro.db import FRInstance, Schema
+from repro.geometry import shoelace_area
+from repro.logic import Relation, between, variables
+from repro.vc import goldberg_jerrum_constant_for_query
+from repro._errors import ApproximationError, GeometryError
+
+x, y = variables("x y")
+
+
+def F(*args):
+    return Fraction(*args)
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        square = [(F(0), F(0)), (F(1), F(0)), (F(1), F(1)), (F(0), F(1))]
+        assert polygon_area(square) == 1
+
+    def test_triangle(self):
+        tri = [(F(0), F(0)), (F(2), F(0)), (F(0), F(2))]
+        assert polygon_area(tri) == 2
+
+    def test_matches_shoelace_on_polygons(self):
+        shapes = [
+            [(F(0), F(0)), (F(3), F(0)), (F(3), F(2)), (F(0), F(2))],
+            [(F(0), F(0)), (F(2), F(0)), (F(3), F(1)), (F(2), F(2)), (F(0), F(2)), (F(-1), F(1))],
+            [(F(0), F(0)), (F(4), F(1)), (F(5), F(4)), (F(1), F(5)), (F(-2), F(2))],
+        ]
+        for shape in shapes:
+            assert polygon_area(shape) == shoelace_area(shape)
+
+    def test_rational_coordinates(self):
+        shape = [(F(0), F(0)), (F(1, 3), F(0)), (F(1, 3), F(1, 7)), (F(0), F(1, 7))]
+        assert polygon_area(shape) == F(1, 21)
+
+    def test_input_order_irrelevant(self):
+        square = [(F(1), F(1)), (F(0), F(0)), (F(1), F(0)), (F(0), F(1))]
+        assert polygon_area(square) == 1
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            polygon_area([(F(0), F(0)), (F(1), F(1))])
+
+    def test_gamma_formulas_deterministic(self):
+        from repro.core import is_deterministic
+
+        assert is_deterministic(signed_area_gamma())
+        # absolute_area_gamma has 6 parameters (beyond the CAD limit);
+        # its determinism is verified pointwise by the evaluator instead.
+
+    def test_sum_term_structure(self):
+        term = polygon_area_sum_term()
+        assert term.rho.arity() == 6
+        assert term.gamma.arity() == 6
+
+    def test_derived_instance(self):
+        inst = polygon_instance([(F(0), F(0)), (F(1), F(0)), (F(0), F(1))])
+        assert len(inst.relation("VERT")) == 3
+        assert len(inst.relation("ADJ")) == 6  # symmetric pairs
+
+
+class TestWitness:
+    def test_witness_selects_member(self, rng):
+        candidates = [1, 2, 3]
+        assert witness(candidates, rng) in candidates
+
+    def test_witness_empty(self, rng):
+        assert witness([], rng) is None
+
+    def test_sample_size_formula(self):
+        m = theorem4_sample_size(0.1, 0.1, constant=100.0, database_size=16)
+        assert m > 0
+        # grows with log|D|
+        assert theorem4_sample_size(0.1, 0.1, 100.0, 256) > m
+        with pytest.raises(ApproximationError):
+            theorem4_sample_size(0.0, 0.1, 100.0, 16)
+
+
+class TestUniformVolumeApproximator:
+    @pytest.fixture
+    def strip_instance(self):
+        schema = Schema.make({"T": 1})
+        from repro.db import FiniteInstance
+
+        return FiniteInstance.make(schema, {"T": [F(1, 2)]})
+
+    def test_uniform_accuracy_over_parameters(self, strip_instance, rng):
+        # phi(a, y): 0 <= y <= min(a, t) with t = 1/2 from the database.
+        T = Relation("T", 1)
+        a, yv, t = variables("a yv t")
+        from repro.logic import exists_adom
+
+        q = exists_adom(t, T(t) & (0 <= yv) & (yv <= a) & (yv <= t))
+        approx = UniformVolumeApproximator(
+            q, strip_instance, ("a",), ("yv",),
+            epsilon=0.05, delta=0.05, rng=rng, sample_size=5000,
+        )
+        grid = [0.1, 0.3, 0.5, 0.7, 0.9]
+        estimates = approx.estimate_many([[v] for v in grid])
+        for value, estimate in zip(grid, estimates):
+            truth = min(value, 0.5)
+            assert abs(estimate - truth) < 0.05
+
+    def test_sample_size_from_constant(self, strip_instance, rng):
+        T = Relation("T", 1)
+        a, yv, t = variables("a yv t")
+        from repro.logic import exists_adom
+
+        q = exists_adom(t, T(t) & (0 <= yv) & (yv <= a) & (yv <= t))
+        constant = goldberg_jerrum_constant_for_query(
+            q, point_arity=1, max_relation_arity=1
+        )
+        approx = UniformVolumeApproximator(
+            q, strip_instance, ("a",), ("yv",),
+            epsilon=0.2, delta=0.2, rng=rng, constant=constant,
+        )
+        assert approx.sample_size == theorem4_sample_size(
+            0.2, 0.2, constant, max(2, strip_instance.size())
+        )
+
+    def test_requires_constant_or_size(self, strip_instance, rng):
+        T = Relation("T", 1)
+        a, yv = variables("a yv")
+        q = (0 <= yv) & (yv <= a)
+        with pytest.raises(ApproximationError):
+            UniformVolumeApproximator(
+                q, strip_instance, ("a",), ("yv",),
+                epsilon=0.1, delta=0.1, rng=rng,
+            )
+
+    def test_parameter_arity_checked(self, strip_instance, rng):
+        a, yv = variables("a yv")
+        q = (0 <= yv) & (yv <= a)
+        approx = UniformVolumeApproximator(
+            q, strip_instance, ("a",), ("yv",),
+            epsilon=0.1, delta=0.1, rng=rng, sample_size=100,
+        )
+        with pytest.raises(ApproximationError):
+            approx.estimate([0.1, 0.2])

@@ -1,0 +1,133 @@
+"""Safety and closure properties of FO + POLY + SUM (Lemma 4 flavour).
+
+The language's design guarantee: aggregation can only be applied to sets
+that are finite *by construction*.  These tests exercise that guarantee
+from several angles, including adversarial ones.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    DetFormula,
+    RangeRestricted,
+    SumEvaluator,
+    SumTerm,
+    end_set,
+    endpoints_range,
+)
+from repro.db import FRInstance, FiniteInstance, Schema
+from repro.logic import Relation, TRUE, Var, variables
+from repro._errors import SafetyError
+
+x, y, w = variables("x y w")
+U = Relation("U", 1)
+S = Relation("S", 2)
+
+
+class TestEndFiniteness:
+    """o-minimality in action: END sets are always finite."""
+
+    def test_end_of_unbounded_set_is_finite(self):
+        schema = Schema.make({"H": 1})
+        H = Relation("H", 1)
+        half_line = FRInstance.make(schema, {"H": ((x,), x > 0)})
+        assert end_set(half_line, "x", H(x)) == [0]
+
+    def test_end_of_dense_set_is_finite(self):
+        # The whole of R has no endpoints at all.
+        schema = Schema.make({"A": 1})
+        A = Relation("A", 1)
+        everything = FRInstance.make(schema, {"A": ((x,), TRUE)})
+        assert end_set(everything, "x", A(x)) == []
+
+    def test_end_of_many_intervals(self):
+        schema = Schema.make({"U": 1})
+        points = [Fraction(i, 10) for i in range(0, 10, 2)]
+        D = FiniteInstance.make(schema, {"U": points})
+        from repro.logic import exists_adom
+
+        # union over u in U of (u, u + 1/20)
+        body = exists_adom(y, U(y) & (y < x) & (x < y + Fraction(1, 20)))
+        ends = end_set(D, "x", body)
+        assert len(ends) == 2 * len(points)
+
+
+class TestRangeRestrictionIsTheOnlyDoor:
+    """There is no way to sum over a set not given by a range-restricted
+    expression: SumTerm's constructor demands one."""
+
+    def test_sum_term_requires_range_restricted(self):
+        gamma = DetFormula.from_term("v", ("w",), Var("w"))
+        with pytest.raises(AttributeError):
+            SumTerm(gamma, U(Var("w")))  # a bare formula is not a range
+
+    def test_guard_cannot_widen_the_range(self):
+        # The guard only *filters* END points; a guard true everywhere
+        # still yields a finite range.
+        schema = Schema.make({"U": 1})
+        D = FiniteInstance.make(schema, {"U": [1, 2, 3]})
+        rho = endpoints_range("w", U(Var("w")), guard=TRUE)
+        evaluator = SumEvaluator(D)
+        assert len(evaluator.range_set(rho)) == 3
+
+
+class TestDeterminismIsVerified:
+    def test_partiality_is_allowed(self):
+        """f_gamma may be undefined at some tuples — those contribute
+        nothing (bag semantics with partial functions)."""
+        schema = Schema.make({"U": 1})
+        D = FiniteInstance.make(schema, {"U": [-1, 4]})
+        rho = endpoints_range("w", U(Var("w")))
+        # gamma: v = sqrt(w), undefined for w < 0.
+        gamma = DetFormula.make(
+            "v", ("w",), (Var("v") ** 2).eq(Var("w")) & (Var("v") >= 0)
+        )
+        total = Fraction(0)
+        evaluator = SumEvaluator(D)
+        for args in evaluator.range_set(rho):
+            value = evaluator.apply_gamma(gamma, args)
+            if value is not None:
+                total += value
+        assert total == 2  # sqrt(4) only
+
+    def test_cheating_gamma_caught_at_runtime(self):
+        """A gamma that claims determinism but is two-valued at an
+        evaluated point fails loudly, not silently."""
+        from repro._errors import NotDeterministicError
+
+        schema = Schema.make({"U": 1})
+        D = FiniteInstance.make(schema, {"U": [4]})
+        evaluator = SumEvaluator(D)
+        two_valued = DetFormula.make("v", ("w",), (Var("v") ** 2).eq(Var("w")))
+        with pytest.raises(NotDeterministicError):
+            evaluator.apply_gamma(two_valued, [Fraction(4)])
+
+
+class TestClosureUnderComposition:
+    """Terms compose with +,* and stay evaluable (the Lemma 4 closure)."""
+
+    def test_arithmetic_over_sum_terms(self):
+        schema = Schema.make({"U": 1})
+        D = FiniteInstance.make(schema, {"U": [1, 2]})
+        rho = endpoints_range("w", U(Var("w")))
+        total = SumTerm(DetFormula.from_term("v", ("w",), Var("w")), rho)
+        count = SumTerm(
+            DetFormula.from_term("v", ("w",), Var("w") * 0 + 1), rho
+        )
+        evaluator = SumEvaluator(D)
+        # AVG as a composed term: SUM * (1/COUNT) is not a term (no
+        # division), but SUM and COUNT compose with * and +:
+        assert evaluator.term_value(total * count) == 6
+        assert evaluator.term_value(total + count + 1) == 6
+        assert evaluator.term_value(total**2) == 9
+
+    def test_formulas_over_composed_terms(self):
+        schema = Schema.make({"U": 1})
+        D = FiniteInstance.make(schema, {"U": [1, 2]})
+        rho = endpoints_range("w", U(Var("w")))
+        total = SumTerm(DetFormula.from_term("v", ("w",), Var("w")), rho)
+        evaluator = SumEvaluator(D)
+        assert evaluator.formula_truth((2 * total).eq(6))
+        assert evaluator.formula_truth((total**2) > 8)

@@ -1,0 +1,161 @@
+"""The VOL term-former (Section 2) and grouping (the conclusion's open
+problem), plus the variable-independence baseline of [11]."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DetFormula,
+    GroupedAggregate,
+    SumTerm,
+    VolTerm,
+    endpoints_range,
+    evaluate_vol,
+    group_by,
+)
+from repro.db import FiniteInstance, FRInstance, Schema
+from repro.geometry import (
+    is_variable_independent,
+    variable_independent_volume,
+)
+from repro.logic import Relation, Var, between, variables
+from repro._errors import ApproximationError, EvaluationError, GeometryError
+
+x, y, g = variables("x y g")
+S = Relation("S", 2)
+U = Relation("U", 1)
+
+
+class TestVolTerm:
+    def test_exact_on_semilinear(self, triangle_instance):
+        term = VolTerm(("x", "y"), S(x, y))
+        assert evaluate_vol(term, triangle_instance) == Fraction(1, 2)
+
+    def test_parameterised(self, triangle_instance):
+        # VOL_I { y : S(x0, y) } = x0 for x0 in [0, 1].
+        term = VolTerm(("y",), S(x, y))
+        assert term.parameters() == {"x"}
+        assert evaluate_vol(term, triangle_instance, {"x": Fraction(1, 4)}) == Fraction(1, 4)
+
+    def test_unbound_parameters_rejected(self, triangle_instance):
+        term = VolTerm(("y",), S(x, y))
+        with pytest.raises(EvaluationError):
+            evaluate_vol(term, triangle_instance)
+
+    def test_unbounded_variant(self, triangle_instance):
+        term = VolTerm(("x", "y"), S(x, y), bounded=False)
+        assert evaluate_vol(term, triangle_instance) == Fraction(1, 2)
+
+    def test_exact_refuses_polynomial(self):
+        schema = Schema.make({"D": 2})
+        D = Relation("D", 2)
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 1)})
+        term = VolTerm(("x", "y"), D(x, y))
+        with pytest.raises(EvaluationError):
+            evaluate_vol(term, disk, strategy="exact")
+
+    def test_montecarlo_on_semialgebraic(self, rng):
+        schema = Schema.make({"D": 2})
+        D = Relation("D", 2)
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 1)})
+        term = VolTerm(("x", "y"), D(x, y))
+        import math
+
+        estimate = evaluate_vol(
+            term, disk, strategy="montecarlo", epsilon=0.03, delta=0.05, rng=rng
+        )
+        assert abs(estimate - math.pi / 4) < 0.03
+
+    def test_montecarlo_needs_rng(self, triangle_instance):
+        term = VolTerm(("x", "y"), S(x, y))
+        with pytest.raises(ApproximationError):
+            evaluate_vol(term, triangle_instance, strategy="montecarlo")
+
+    def test_trivial_strategy(self, triangle_instance):
+        term = VolTerm(("x", "y"), S(x, y))
+        assert evaluate_vol(term, triangle_instance, strategy="trivial") == Fraction(1, 2)
+
+    def test_unknown_strategy(self, triangle_instance):
+        term = VolTerm(("x", "y"), S(x, y))
+        with pytest.raises(ApproximationError):
+            evaluate_vol(term, triangle_instance, strategy="magic")
+
+
+class TestGrouping:
+    @pytest.fixture
+    def sales_instance(self):
+        # S(region, amount) as a finite relation.
+        schema = Schema.make({"S": 2, "U": 1})
+        return FiniteInstance.make(
+            schema,
+            {
+                "S": [(1, 10), (1, 20), (2, 5), (3, 7), (3, 8)],
+                "U": [1, 2, 3],
+            },
+        )
+
+    def grouped_sum(self):
+        # keys: the END-points of U (= the region ids)
+        keys = endpoints_range("g", U(Var("g")))
+        # inner: sum amounts of rows whose region equals g
+        rho = endpoints_range(
+            "w", exists_amount(), guard=S(Var("g"), Var("w"))
+        )
+        term = SumTerm(DetFormula.from_term("v", ("w",), Var("w")), rho)
+        return GroupedAggregate("g", keys, term)
+
+    def test_group_by_sums(self, sales_instance):
+        grouped = self.grouped_sum()
+        result = group_by(sales_instance, grouped)
+        assert result == {
+            Fraction(1): Fraction(30),
+            Fraction(2): Fraction(5),
+            Fraction(3): Fraction(15),
+        }
+
+    def test_key_arity_validated(self):
+        keys = endpoints_range("g", U(Var("g")))
+        rho = endpoints_range("w", U(Var("w")))
+        term = SumTerm(DetFormula.from_term("v", ("w",), Var("w")), rho)
+        # term does not mention g
+        with pytest.raises(EvaluationError):
+            GroupedAggregate("g", keys, term)
+
+
+def exists_amount():
+    """{ w : w is an amount value } via the S relation."""
+    from repro.logic import exists_adom
+
+    r = Var("_r")
+    return exists_adom(r, S(r, Var("w")))
+
+
+class TestVariableIndependence:
+    def test_boxes_are_independent(self):
+        f = between(0, x, 1) & between(0, y, Fraction(1, 2))
+        assert is_variable_independent(f, ("x", "y"))
+        assert variable_independent_volume(f, ("x", "y")) == Fraction(1, 2)
+
+    def test_union_of_boxes(self):
+        f = (between(0, x, 1) & between(0, y, 1)) | (
+            between(Fraction(1, 2), x, Fraction(3, 2)) & between(0, y, 1)
+        )
+        assert variable_independent_volume(f, ("x", "y")) == Fraction(3, 2)
+
+    def test_coupled_constraints_rejected(self):
+        f = (x >= 0) & (y >= 0) & (x + y <= 1)
+        assert not is_variable_independent(f, ("x", "y"))
+        with pytest.raises(GeometryError):
+            variable_independent_volume(f, ("x", "y"))
+
+    def test_agrees_with_general_volume(self):
+        from repro.geometry import formula_volume
+
+        f = (between(0, x, Fraction(2, 3)) & between(Fraction(1, 3), y, 1)) | (
+            between(Fraction(1, 2), x, 1) & between(0, y, Fraction(1, 2))
+        )
+        assert variable_independent_volume(f, ("x", "y")) == formula_volume(
+            f, ("x", "y")
+        )

@@ -1,0 +1,153 @@
+"""Theorem 3: exact volumes of semi-linear sets via FO + POLY + SUM."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    SumEvaluator,
+    maximal_interval_range,
+    slice_measure_term,
+    volume_2d_fo_poly_sum,
+    volume_of_query,
+    volume_of_relation,
+)
+from repro.db import FRInstance, Schema
+from repro.logic import Relation, between, exists, variables
+from repro._errors import UnboundedSetError
+
+x, y, z = variables("x y z")
+S = Relation("S", 2)
+
+
+class TestSliceMeasure:
+    def test_triangle_slices(self, triangle_instance):
+        g = slice_measure_term("y", S(x, y))
+        evaluator = SumEvaluator(triangle_instance)
+        for t in (Fraction(1, 4), Fraction(1, 2), Fraction(9, 10)):
+            assert evaluator.term_value(g, {"x": t}) == t
+
+    def test_empty_slice(self, triangle_instance):
+        g = slice_measure_term("y", S(x, y))
+        evaluator = SumEvaluator(triangle_instance)
+        assert evaluator.term_value(g, {"x": Fraction(2)}) == 0
+
+    def test_disconnected_slice(self):
+        schema = Schema.make({"T": 2})
+        T = Relation("T", 2)
+        body = between(0, y, 1) & y.ne(x) & between(0, x, 1)
+        # measure is 1 regardless of the puncture
+        inst = FRInstance.make(schema, {"T": ((x, y), body)})
+        g = slice_measure_term("y", T(x, y))
+        assert SumEvaluator(inst).term_value(g, {"x": Fraction(1, 2)}) == 1
+
+    def test_two_intervals(self):
+        schema = Schema.make({"T": 2})
+        T = Relation("T", 2)
+        body = (between(0, y, x) | between(2, y, 2 + x)) & between(0, x, 1)
+        inst = FRInstance.make(schema, {"T": ((x, y), body)})
+        g = slice_measure_term("y", T(x, y))
+        assert SumEvaluator(inst).term_value(g, {"x": Fraction(1, 2)}) == 1
+
+
+class TestMaximalIntervalRange:
+    def test_pairs_are_maximal_intervals(self, triangle_instance):
+        rho = maximal_interval_range("l", "u", "y", S(x, y))
+        evaluator = SumEvaluator(triangle_instance)
+        pairs = evaluator.range_set(rho, {"x": Fraction(1, 2)})
+        assert pairs == [(Fraction(0), Fraction(1, 2))]
+
+    def test_no_spanning_of_gaps(self):
+        schema = Schema.make({"T": 1})
+        T = Relation("T", 1)
+        body = between(0, x, 1) | between(2, x, 3)
+        inst = FRInstance.make(schema, {"T": ((x,), body)})
+        rho = maximal_interval_range("l", "u", "x", T(x))
+        pairs = SumEvaluator(inst).range_set(rho)
+        assert pairs == [(0, 1), (2, 3)]
+
+
+class TestVolume2D:
+    def test_triangle(self, triangle_instance):
+        assert volume_2d_fo_poly_sum(triangle_instance, S(x, y), "x", "y") == Fraction(1, 2)
+
+    def test_square(self, square_instance):
+        assert volume_2d_fo_poly_sum(square_instance, S(x, y), "x", "y") == 1
+
+    def test_union_shape(self):
+        schema = Schema.make({"T": 2})
+        T = Relation("T", 2)
+        body = (between(0, x, 1) & between(0, y, 1)) | (
+            between(Fraction(1, 2), x, Fraction(3, 2)) & between(0, y, Fraction(1, 2))
+        )
+        inst = FRInstance.make(schema, {"T": ((x, y), body)})
+        assert volume_2d_fo_poly_sum(inst, T(x, y), "x", "y") == Fraction(5, 4)
+
+    def test_query_output_volume(self, triangle_instance):
+        # lower half of the triangle: y <= 1/4
+        q = S(x, y) & (y <= Fraction(1, 4))
+        got = volume_2d_fo_poly_sum(triangle_instance, q, "x", "y")
+        # trapezoid: integral of min(x, 1/4) over [0,1] = 1/32 + 3/16
+        assert got == Fraction(1, 32) + Fraction(3, 16)
+
+    def test_unbounded_raises(self):
+        schema = Schema.make({"T": 2})
+        T = Relation("T", 2)
+        inst = FRInstance.make(schema, {"T": ((x, y), y > x)})
+        with pytest.raises(UnboundedSetError):
+            volume_2d_fo_poly_sum(inst, T(x, y), "x", "y")
+
+    def test_crossing_edges_regression(self):
+        """The union slice measure kinks where two cells' skew edges cross
+        — a breakpoint that is a vertex of the pairwise intersection but
+        of neither cell.  Two overlapping 'hourglass-wing' triangles."""
+        from repro.core import volume_of_query
+
+        schema = Schema.make({"T": 2})
+        T = Relation("T", 2)
+        # Triangle A: (0,0), (2,0), (2,2) — below y = x.
+        # Triangle B: (0,2), (2,2), (2,0) shifted: use y >= x on [0,2] but
+        # clipped to x <= 3/2, so hypotenuses cross at an interior point.
+        body = (
+            between(0, x, 2) & (0 <= y) & (y <= x)
+        ) | (
+            between(0, x, Fraction(3, 2)) & (y >= 1 - x) & (0 <= y) & (y <= 1)
+        )
+        inst = FRInstance.make(schema, {"T": ((x, y), body)})
+        via_proof = volume_2d_fo_poly_sum(inst, T(x, y), "x", "y")
+        via_production = volume_of_query(T(x, y), inst, ("x", "y"))
+        assert via_proof == via_production
+
+
+class TestVolumeOfQuery:
+    def test_matches_2d_path(self, triangle_instance):
+        q = S(x, y) & (y <= Fraction(1, 4))
+        a = volume_of_query(q, triangle_instance, ("x", "y"))
+        b = volume_2d_fo_poly_sum(triangle_instance, q, "x", "y")
+        assert a == b
+
+    def test_3d_query(self):
+        schema = Schema.make({"C": 3})
+        C = Relation("C", 3)
+        body = between(0, x, 1) & between(0, y, 1) & between(0, z, 1) & (
+            x + y + z <= 1
+        )
+        inst = FRInstance.make(schema, {"C": ((x, y, z), body)})
+        assert volume_of_query(C(x, y, z), inst, ("x", "y", "z")) == Fraction(1, 6)
+
+    def test_volume_of_relation(self, triangle_instance):
+        assert volume_of_relation(triangle_instance, "S") == Fraction(1, 2)
+
+    def test_quantified_query(self, triangle_instance):
+        # { (x, y) : exists z. S(z, y), x in [0, 1/2] } with y <= z <= 1
+        q = exists(z, S(z, y)) & between(0, x, Fraction(1, 2))
+        # exists z: 0 <= y <= z <= 1 -> y in [0, 1]; area = 1/2 * 1 = 1/2
+        assert volume_of_query(q, triangle_instance, ("x", "y")) == Fraction(1, 2)
+
+    def test_box_clipping(self, triangle_instance):
+        q = S(x, y)
+        clipped = volume_of_query(
+            q, triangle_instance, ("x", "y"),
+            box=[(Fraction(0), Fraction(1, 2)), (Fraction(0), Fraction(1))],
+        )
+        assert clipped == Fraction(1, 8)

@@ -1,0 +1,128 @@
+"""The natural-active collapse for dense-order queries ([6], used in
+Lemma 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db import (
+    FiniteInstance,
+    Schema,
+    collapse_dense_order,
+    evaluate_collapsed,
+    evaluate_natural,
+)
+from repro.logic import (
+    Exists,
+    Forall,
+    Relation,
+    exists,
+    forall,
+    variables,
+)
+from repro._errors import SignatureError
+
+x, y = variables("x y")
+U = Relation("U", 1)
+schema = Schema.make({"U": 1})
+
+
+def instance(*values) -> FiniteInstance:
+    return FiniteInstance.make(schema, {"U": [Fraction(v) for v in values]})
+
+
+def _contains_natural_quantifier(formula) -> bool:
+    from repro.logic import And, Compare, Not, Or, RelAtom
+    from repro.logic import ExistsAdom, ForallAdom, TrueFormula, FalseFormula
+
+    if isinstance(formula, (Exists, Forall)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return any(_contains_natural_quantifier(a) for a in formula.args)
+    if isinstance(formula, Not):
+        return _contains_natural_quantifier(formula.arg)
+    if isinstance(formula, (ExistsAdom, ForallAdom)):
+        return _contains_natural_quantifier(formula.body)
+    return False
+
+
+class TestSyntacticShape:
+    def test_output_has_only_active_quantifiers(self):
+        collapsed = collapse_dense_order(exists(x, U(x) & (x > 1)))
+        assert not _contains_natural_quantifier(collapsed)
+
+    def test_nonlinear_signature_rejected(self):
+        with pytest.raises(SignatureError):
+            collapse_dense_order(exists(x, x + y < 1))
+
+    def test_active_quantifiers_untouched(self):
+        from repro.logic import exists_adom
+
+        f = exists_adom(x, U(x))
+        assert collapse_dense_order(f) == f
+
+
+class TestSemanticAgreement:
+    """The collapse theorem: collapsed-active == natural on every finite
+    instance, including the cases genericity alone cannot handle
+    (constants, points outside the active domain, empty instances)."""
+
+    INSTANCES = [
+        (),
+        (0,),
+        (Fraction(1, 2),),
+        (0, 2),
+        (-1, Fraction(1, 3), 3),
+    ]
+
+    @pytest.mark.parametrize("values", INSTANCES)
+    def test_witness_beyond_adom(self, values):
+        f = exists(x, x > 1)  # always true naturally
+        D = instance(*values)
+        assert evaluate_collapsed(f, D) is evaluate_natural(f, D) is True
+
+    @pytest.mark.parametrize("values", INSTANCES)
+    def test_witness_between_adom_points(self, values):
+        f = exists(x, (~U(x)) & (x > 0) & (x < 1))
+        D = instance(*values)
+        assert evaluate_collapsed(f, D) == evaluate_natural(f, D)
+
+    @pytest.mark.parametrize("values", INSTANCES)
+    def test_universal_with_constants(self, values):
+        f = forall(x, (x <= 5) | (x > 3))
+        D = instance(*values)
+        assert evaluate_collapsed(f, D) is evaluate_natural(f, D) is True
+
+    @pytest.mark.parametrize("values", INSTANCES)
+    def test_false_universal(self, values):
+        f = forall(x, x < 100)
+        D = instance(*values)
+        assert evaluate_collapsed(f, D) is evaluate_natural(f, D) is False
+
+    @pytest.mark.parametrize("values", INSTANCES)
+    def test_nested_quantifiers(self, values):
+        # "some point below all of U": true iff naturally (always true
+        # over R unless U unbounded below, which finite U never is).
+        f = exists(x, forall(y, U(y).implies(x < y)))
+        D = instance(*values)
+        assert evaluate_collapsed(f, D) is evaluate_natural(f, D) is True
+
+    @pytest.mark.parametrize("values", INSTANCES)
+    def test_mixed_boolean_structure(self, values):
+        f = exists(x, U(x)) & forall(y, U(y).implies(y < 10))
+        D = instance(*values)
+        assert evaluate_collapsed(f, D) == evaluate_natural(f, D)
+
+    def test_exhaustive_small_formulas(self):
+        """A small systematic sweep of one-quantifier formulas."""
+        atoms = [U(x), ~U(x), x > 0, x < 1, x.eq(Fraction(1, 2))]
+        import itertools
+
+        for a, b in itertools.product(atoms, repeat=2):
+            for kind in (exists, forall):
+                f = kind(x, a & b)
+                for values in self.INSTANCES:
+                    D = instance(*values)
+                    assert evaluate_collapsed(f, D) == evaluate_natural(f, D), (
+                        f, values,
+                    )

@@ -1,0 +1,161 @@
+"""Query evaluation over instances: active, natural, and closure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db import (
+    FiniteInstance,
+    FRInstance,
+    Schema,
+    evaluate_active,
+    evaluate_natural,
+    expand_relations,
+    output_formula,
+    query_output_tuples,
+)
+from repro.logic import (
+    Relation,
+    between,
+    evaluate,
+    exists,
+    exists_adom,
+    forall,
+    forall_adom,
+    variables,
+)
+from repro._errors import EvaluationError
+
+x, y, z = variables("x y z")
+U = Relation("U", 1)
+S = Relation("S", 2)
+
+
+class TestExpandRelations:
+    def test_finite_encoding(self, unary_instance):
+        expanded = expand_relations(U(x), unary_instance)
+        assert expanded.relation_names() == frozenset()
+        assert evaluate(expanded, {"x": Fraction(1, 2)}) is True
+        assert evaluate(expanded, {"x": Fraction(1, 3)}) is False
+
+    def test_fr_substitution(self, triangle_instance):
+        expanded = expand_relations(S(x, y) & (x > 0), triangle_instance)
+        assert expanded.relation_names() == frozenset()
+        assert evaluate(expanded, {"x": Fraction(1, 2), "y": Fraction(1, 4)}) is True
+
+    def test_argument_terms_substituted(self, triangle_instance):
+        expanded = expand_relations(S(x + y, y), triangle_instance)
+        # S(x + y, y): 0 <= y <= x + y <= 1
+        assert evaluate(expanded, {"x": Fraction(1, 2), "y": Fraction(1, 4)}) is True
+        assert evaluate(expanded, {"x": Fraction(1), "y": Fraction(1, 4)}) is False
+
+    def test_quantifiers_preserved(self, unary_instance):
+        f = exists(y, U(y) & (y > x))
+        expanded = expand_relations(f, unary_instance)
+        from repro.logic import Exists
+
+        assert isinstance(expanded, Exists)
+
+
+class TestActiveSemantics:
+    def test_exists_adom(self, unary_instance):
+        assert evaluate_active(exists_adom(x, U(x)), unary_instance) is True
+
+    def test_forall_adom(self, unary_instance):
+        f = forall_adom(x, U(x).implies(x > 0))
+        assert evaluate_active(f, unary_instance) is True
+
+    def test_natural_quantifier_over_adom(self, unary_instance):
+        # In FO_act evaluation both quantifier kinds range over adom.
+        f = exists(x, U(x) & (x > Fraction(1, 2)))
+        assert evaluate_active(f, unary_instance) is True
+
+    def test_env_binding(self, unary_instance):
+        assert evaluate_active(U(x), unary_instance, {"x": Fraction(1, 4)}) is True
+
+
+class TestNaturalSemantics:
+    def test_linear_sentence(self, unary_instance):
+        f = exists(x, U(x) & (x > Fraction(1, 2)))
+        assert evaluate_natural(f, unary_instance) is True
+        g = exists(x, U(x) & (x > 1))
+        assert evaluate_natural(g, unary_instance) is False
+
+    def test_natural_differs_from_active(self, unary_instance):
+        # "exists a point strictly between two U elements not in U":
+        # true naturally, false actively.
+        f = exists(x, (~U(x)) & (Fraction(1, 4) < x) & (x < Fraction(1, 2)))
+        assert evaluate_natural(f, unary_instance) is True
+        assert evaluate_active(f, unary_instance) is False
+
+    def test_fr_instance(self, triangle_instance):
+        f = exists([x, y], S(x, y) & (y > Fraction(1, 2)))
+        assert evaluate_natural(f, triangle_instance) is True
+
+    def test_polynomial_path(self):
+        schema = Schema.make({"D": 2})
+        D = Relation("D", 2)
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 1)})
+        assert evaluate_natural(exists([x, y], D(x, y) & (x > y)), disk) is True
+        assert evaluate_natural(exists([x, y], D(x, y) & (x > 2)), disk) is False
+
+    def test_env_substitution(self, triangle_instance):
+        f = exists(y, S(x, y))
+        assert evaluate_natural(f, triangle_instance, {"x": Fraction(1, 2)}) is True
+        assert evaluate_natural(f, triangle_instance, {"x": Fraction(2)}) is False
+
+    def test_unbound_variables_rejected(self, triangle_instance):
+        with pytest.raises(EvaluationError):
+            evaluate_natural(S(x, y), triangle_instance)
+
+    def test_adom_quantifier_resolved_first(self, unary_instance):
+        f = exists_adom(x, U(x) & exists(y, (y > x) & (y < 1)))
+        assert evaluate_natural(f, unary_instance) is True
+
+
+class TestClosure:
+    def test_output_is_quantifier_free(self, triangle_instance):
+        from repro.logic import is_quantifier_free
+
+        out = output_formula(exists(y, S(x, y) & (y > Fraction(1, 4))), triangle_instance)
+        assert is_quantifier_free(out)
+        assert out.free_variables() <= {"x"}
+
+    def test_output_semantics(self, triangle_instance):
+        out = output_formula(exists(y, S(x, y)), triangle_instance)
+        # projection of the triangle onto x: [0, 1]
+        assert evaluate(out, {"x": Fraction(1, 2)}) is True
+        assert evaluate(out, {"x": Fraction(2)}) is False
+
+    def test_finite_instance_closure(self, unary_instance):
+        out = output_formula(exists(y, U(y) & (x < y)), unary_instance)
+        assert evaluate(out, {"x": Fraction(0)}) is True
+        assert evaluate(out, {"x": Fraction(1)}) is False
+
+    def test_polynomial_rejected(self):
+        schema = Schema.make({"D": 2})
+        D = Relation("D", 2)
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 1)})
+        with pytest.raises(EvaluationError):
+            output_formula(exists(y, D(x, y)), disk)
+
+
+class TestOutputTuples:
+    def test_classical_query(self):
+        schema = Schema.make({"S": 2})
+        D = FiniteInstance.make(schema, {"S": [(1, 2), (2, 3), (3, 1)]})
+        # pairs (a, b) with S(a, b) and a < b
+        out = query_output_tuples(S(x, y) & (x < y), D, ("x", "y"))
+        assert out == {(1, 2), (2, 3)}
+
+    def test_projection_query(self):
+        schema = Schema.make({"S": 2})
+        D = FiniteInstance.make(schema, {"S": [(1, 2), (2, 3)]})
+        out = query_output_tuples(exists_adom(y, S(x, y)), D, ("x",))
+        assert out == {(1,), (2,)}
+
+    def test_free_variable_check(self):
+        schema = Schema.make({"S": 2})
+        D = FiniteInstance.make(schema, {"S": [(1, 2)]})
+        with pytest.raises(EvaluationError):
+            query_output_tuples(S(x, y), D, ("x",))

@@ -1,0 +1,139 @@
+"""Serialisation round-trips and bag semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db import FiniteInstance, FRInstance, Schema
+from repro.db.bags import Bag, bag_avg, bag_count, bag_max, bag_min, bag_sum
+from repro.db.io import dumps_instance, loads_instance
+from repro.logic import ParseError, variables
+from repro._errors import EvaluationError
+
+x, y = variables("x y")
+
+
+class TestSerialisation:
+    def test_finite_roundtrip(self):
+        schema = Schema.make({"U": 1, "S": 2})
+        instance = FiniteInstance.make(
+            schema,
+            {"U": [Fraction(1, 3), 2], "S": [(0, 1), (Fraction(-1, 2), 3)]},
+        )
+        text = dumps_instance(instance)
+        loaded = loads_instance(text)
+        assert isinstance(loaded, FiniteInstance)
+        assert loaded.relation("U") == instance.relation("U")
+        assert loaded.relation("S") == instance.relation("S")
+
+    def test_fr_roundtrip(self, triangle_instance):
+        text = dumps_instance(triangle_instance)
+        loaded = loads_instance(text)
+        assert isinstance(loaded, FRInstance)
+        params, body = loaded.definition("S")
+        original_params, original_body = triangle_instance.definition("S")
+        assert params == original_params
+        assert body == original_body
+
+    def test_empty_relation_roundtrip(self):
+        schema = Schema.make({"U": 1})
+        instance = FiniteInstance.make(schema, {})
+        loaded = loads_instance(dumps_instance(instance))
+        assert loaded.relation("U") == frozenset()
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nFINITE\n# another\nU/1: 5\n"
+        loaded = loads_instance(text)
+        assert loaded.relation("U") == {(Fraction(5),)}
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ParseError):
+            loads_instance("WEIRD\nU/1: 5\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            loads_instance("\n# only comments\n")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            loads_instance("FINITE\nS/2: 1\n")
+
+    def test_malformed_fr_rejected(self):
+        with pytest.raises(ParseError):
+            loads_instance("FR\nS(x, y) 0 <= x\n")
+
+    def test_stream_api(self, tmp_path, triangle_instance):
+        from repro.db.io import dump_instance, load_instance
+
+        path = tmp_path / "db.txt"
+        with open(path, "w") as f:
+            dump_instance(triangle_instance, f)
+        with open(path) as f:
+            loaded = load_instance(f)
+        assert loaded.definition("S") == triangle_instance.definition("S")
+
+
+class TestBags:
+    def test_make_counts_duplicates(self):
+        bag = Bag.make([1, 2, 2, 3])
+        assert bag.multiplicity([2]) == 2
+        assert bag.cardinality() == 4
+        assert len(bag.support()) == 3
+
+    def test_union_adds(self):
+        a = Bag.make([1, 2])
+        b = Bag.make([2, 3])
+        u = a.union(b)
+        assert u.multiplicity([2]) == 2
+        assert u.cardinality() == 4
+
+    def test_iteration_respects_multiplicity(self):
+        bag = Bag.make([1, 1, 5])
+        assert sorted(row[0] for row in bag) == [1, 1, 5]
+
+    def test_map_values_keeps_multiplicity(self):
+        bag = Bag.make([1, 1, 2])
+        squared = bag.map_values(lambda row: row[0] ** 2)
+        assert squared.multiplicity([1]) == 2
+        assert squared.multiplicity([4]) == 1
+
+    def test_map_values_partiality(self):
+        bag = Bag.make([-1, 4])
+        roots = bag.map_values(
+            lambda row: None if row[0] < 0 else row[0]
+        )
+        assert roots.cardinality() == 1
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Bag.from_counts({(Fraction(1),): -1})
+
+
+class TestBagAggregates:
+    def test_bag_vs_set_avg(self):
+        """The paper's footnote: bag AVG differs from set AVG on repeated
+        values — the witnessing instance."""
+        bag = Bag.make([0, 0, 3])
+        assert bag_avg(bag) == 1  # (0 + 0 + 3)/3
+        set_avg = sum(r[0] for r in bag.support()) / len(bag.support())
+        assert set_avg == Fraction(3, 2)
+        assert bag_avg(bag) != set_avg
+
+    def test_sum_and_count(self):
+        bag = Bag.make([1, 1, 2])
+        assert bag_sum(bag) == 4
+        assert bag_count(bag) == 3
+
+    def test_min_max(self):
+        bag = Bag.make([5, 1, 1])
+        assert bag_min(bag) == 1
+        assert bag_max(bag) == 5
+
+    def test_empty_avg_rejected(self):
+        with pytest.raises(EvaluationError):
+            bag_avg(Bag.make([]))
+
+    def test_scalar_aggregate_requires_unary(self):
+        bag = Bag.make([(1, 2)])
+        with pytest.raises(EvaluationError):
+            bag_sum(bag)

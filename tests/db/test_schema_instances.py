@@ -1,0 +1,131 @@
+"""Schemas, finite instances, and f.r. instances."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db import FiniteInstance, FRInstance, Schema
+from repro.logic import between, variables
+from repro._errors import SignatureError
+
+x, y = variables("x y")
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = Schema.make({"U": 1, "S": 2})
+        assert schema.arity("U") == 1
+        assert schema.arity("S") == 2
+        assert "U" in schema and "T" not in schema
+        assert schema.names() == ("S", "U")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.make({})
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.make({"U": 0})
+
+    def test_unknown_relation(self):
+        schema = Schema.make({"U": 1})
+        with pytest.raises(KeyError):
+            schema.arity("V")
+
+    def test_symbols(self):
+        schema = Schema.make({"S": 2})
+        S = schema.symbols()["S"]
+        atom = S(x, y)
+        assert atom.name == "S"
+
+
+class TestFiniteInstance:
+    def test_unary_shorthand(self, unary_schema):
+        D = FiniteInstance.make(unary_schema, {"U": [1, 2]})
+        assert (Fraction(1),) in D.relation("U")
+
+    def test_active_domain(self):
+        schema = Schema.make({"S": 2})
+        D = FiniteInstance.make(schema, {"S": [(1, 2), (2, 3)]})
+        assert D.active_domain() == {1, 2, 3}
+        assert D.size() == 3
+
+    def test_missing_relation_defaults_empty(self, unary_schema):
+        D = FiniteInstance.make(unary_schema, {})
+        assert D.relation("U") == frozenset()
+        assert D.size() == 0
+
+    def test_arity_mismatch_rejected(self, unary_schema):
+        with pytest.raises(ValueError):
+            FiniteInstance.make(unary_schema, {"U": [(1, 2)]})
+
+    def test_unknown_relation_rejected(self, unary_schema):
+        with pytest.raises(ValueError):
+            FiniteInstance.make(unary_schema, {"V": [1]})
+
+    def test_total_tuples(self):
+        schema = Schema.make({"S": 2, "U": 1})
+        D = FiniteInstance.make(schema, {"S": [(1, 2)], "U": [1, 2, 3]})
+        assert D.total_tuples() == 4
+
+    def test_duplicates_collapse(self, unary_schema):
+        D = FiniteInstance.make(unary_schema, {"U": [1, 1, 1]})
+        assert len(D.relation("U")) == 1
+
+
+class TestFRInstance:
+    def test_triangle(self, triangle_instance):
+        variables_, body = triangle_instance.definition("S")
+        assert variables_ == ("x", "y")
+        assert body.free_variables() == {"x", "y"}
+
+    def test_instantiate(self, triangle_instance):
+        from repro.logic import Const, evaluate
+
+        inst = triangle_instance.instantiate(
+            "S", [Const(Fraction(1, 2)), Const(Fraction(1, 4))]
+        )
+        assert evaluate(inst) is True
+        inst2 = triangle_instance.instantiate(
+            "S", [Const(Fraction(1, 4)), Const(Fraction(1, 2))]
+        )
+        assert evaluate(inst2) is False
+
+    def test_semilinear_check(self, triangle_instance):
+        assert triangle_instance.is_semilinear()
+        triangle_instance.check_semilinear()
+
+    def test_semialgebraic_flagged(self):
+        schema = Schema.make({"D": 2})
+        disk = FRInstance.make(schema, {"D": ((x, y), x**2 + y**2 < 1)})
+        assert not disk.is_semilinear()
+        with pytest.raises(SignatureError):
+            disk.check_semilinear()
+
+    def test_quantified_definition_rejected(self):
+        from repro.logic import exists
+
+        schema = Schema.make({"U": 1})
+        with pytest.raises(ValueError):
+            FRInstance.make(schema, {"U": ((x,), exists(y, y > x))})
+
+    def test_missing_definition_rejected(self):
+        schema = Schema.make({"U": 1, "V": 1})
+        with pytest.raises(ValueError):
+            FRInstance.make(schema, {"U": ((x,), x > 0)})
+
+    def test_stray_variables_rejected(self):
+        schema = Schema.make({"U": 1})
+        with pytest.raises(ValueError):
+            FRInstance.make(schema, {"U": ((x,), x < y)})
+
+    def test_arity_checked(self):
+        schema = Schema.make({"U": 1})
+        with pytest.raises(ValueError):
+            FRInstance.make(schema, {"U": ((x, y), x < y)})
+
+    def test_instantiate_arity_checked(self, triangle_instance):
+        from repro.logic import Const
+
+        with pytest.raises(ValueError):
+            triangle_instance.instantiate("S", [Const(Fraction(0))])

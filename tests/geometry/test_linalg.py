@@ -1,0 +1,77 @@
+"""Exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import determinant, gaussian_elimination_rank, solve_linear_system
+
+
+class TestSolve:
+    def test_unique_solution(self):
+        sol = solve_linear_system(
+            [[Fraction(2), Fraction(1)], [Fraction(1), Fraction(-1)]],
+            [Fraction(3), Fraction(0)],
+        )
+        assert sol == (Fraction(1), Fraction(1))
+
+    def test_singular_returns_none(self):
+        sol = solve_linear_system(
+            [[Fraction(1), Fraction(1)], [Fraction(2), Fraction(2)]],
+            [Fraction(1), Fraction(2)],
+        )
+        assert sol is None
+
+    def test_exactness(self):
+        sol = solve_linear_system(
+            [[Fraction(1, 3), Fraction(1, 7)], [Fraction(1, 11), Fraction(1, 13)]],
+            [Fraction(1), Fraction(2)],
+        )
+        a, b = sol
+        assert a * Fraction(1, 3) + b * Fraction(1, 7) == 1
+        assert a * Fraction(1, 11) + b * Fraction(1, 13) == 2
+
+    def test_empty_system(self):
+        assert solve_linear_system([], []) == ()
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[Fraction(1)]], [Fraction(1), Fraction(2)])
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert determinant([[Fraction(1), Fraction(0)], [Fraction(0), Fraction(1)]]) == 1
+
+    def test_swap_changes_sign(self):
+        m = [[Fraction(0), Fraction(1)], [Fraction(1), Fraction(0)]]
+        assert determinant(m) == -1
+
+    def test_singular(self):
+        m = [[Fraction(1), Fraction(2)], [Fraction(2), Fraction(4)]]
+        assert determinant(m) == 0
+
+    def test_3x3(self):
+        m = [
+            [Fraction(2), Fraction(0), Fraction(0)],
+            [Fraction(0), Fraction(3), Fraction(0)],
+            [Fraction(1), Fraction(1), Fraction(4)],
+        ]
+        assert determinant(m) == 24
+
+
+class TestRank:
+    def test_full_rank(self):
+        m = [[Fraction(1), Fraction(0)], [Fraction(0), Fraction(1)]]
+        assert gaussian_elimination_rank(m) == 2
+
+    def test_rank_deficient(self):
+        m = [[Fraction(1), Fraction(2)], [Fraction(2), Fraction(4)]]
+        assert gaussian_elimination_rank(m) == 1
+
+    def test_wide_matrix(self):
+        m = [[Fraction(1), Fraction(0), Fraction(5)]]
+        assert gaussian_elimination_rank(m) == 1
+
+    def test_empty(self):
+        assert gaussian_elimination_rank([]) == 0

@@ -1,0 +1,168 @@
+"""Monte Carlo sampling, triangulation baselines, and MVEE."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.logic import between, variables
+from repro.geometry import (
+    compile_formula_numpy,
+    convex_hull_volume_float,
+    exact_membership,
+    fan_triangulation_area,
+    hit_or_miss_volume,
+    hoeffding_sample_size,
+    john_volume_estimate,
+    mvee,
+    shoelace_area,
+    simplex_volume,
+    sort_ccw,
+    triangle_area,
+    unit_ball_volume,
+)
+from repro._errors import ApproximationError, GeometryError
+
+x, y = variables("x y")
+
+
+class TestCompiled:
+    def test_predicate_matches_exact(self, rng):
+        f = (x**2 + y**2 < 1) & (y > x * Fraction(1, 2))
+        compiled = compile_formula_numpy(f, ("x", "y"))
+        member = exact_membership(f, ("x", "y"))
+        pts = rng.random((200, 2))
+        flags = compiled(pts)
+        for point, flag in zip(pts, flags):
+            exact = member([Fraction(point[0]).limit_denominator(10**9),
+                            Fraction(point[1]).limit_denominator(10**9)])
+            assert exact == bool(flag)
+
+    def test_boolean_structure(self, rng):
+        f = ((x < Fraction(1, 2)) | (y < Fraction(1, 2))) & ~(x.eq(y))
+        compiled = compile_formula_numpy(f, ("x", "y"))
+        pts = np.array([[0.2, 0.9], [0.9, 0.9], [0.3, 0.3]])
+        assert list(compiled(pts)) == [True, False, False]
+
+    def test_quantifier_rejected(self):
+        from repro.logic import exists
+
+        with pytest.raises(ApproximationError):
+            compile_formula_numpy(exists(y, y > x), ("x",))
+
+
+class TestMonteCarlo:
+    def test_quarter_disk(self, rng):
+        est = hit_or_miss_volume(x**2 + y**2 < 1, ("x", "y"), 40_000, rng)
+        assert abs(est.estimate - math.pi / 4) < 0.02
+
+    def test_confidence_radius_shrinks(self, rng):
+        small = hit_or_miss_volume(x < Fraction(1, 2), ("x",), 100, rng)
+        large = hit_or_miss_volume(x < Fraction(1, 2), ("x",), 10_000, rng)
+        assert large.confidence_radius < small.confidence_radius
+
+    def test_custom_box_scales(self, rng):
+        est = hit_or_miss_volume(
+            between(0, x, 2), ("x",), 1000, rng, box=[(0.0, 2.0)]
+        )
+        assert est.estimate == pytest.approx(2.0)
+
+    def test_hoeffding_sample_size_monotone(self):
+        assert hoeffding_sample_size(0.01, 0.05) > hoeffding_sample_size(0.1, 0.05)
+        with pytest.raises(ApproximationError):
+            hoeffding_sample_size(0.0, 0.05)
+
+    def test_zero_samples_rejected(self, rng):
+        with pytest.raises(ApproximationError):
+            hit_or_miss_volume(x < 1, ("x",), 0, rng)
+
+
+class TestTriangulation:
+    def test_triangle_area_formula(self):
+        a, b, c = (Fraction(0), Fraction(0)), (Fraction(1), Fraction(0)), (Fraction(0), Fraction(1))
+        assert triangle_area(a, b, c) == Fraction(1, 2)
+        # orientation-independent
+        assert triangle_area(a, c, b) == Fraction(1, 2)
+
+    def test_degenerate_triangle(self):
+        a, b, c = (Fraction(0), Fraction(0)), (Fraction(1), Fraction(1)), (Fraction(2), Fraction(2))
+        assert triangle_area(a, b, c) == 0
+
+    def test_simplex_volume_3d(self):
+        vertices = [
+            (Fraction(0), Fraction(0), Fraction(0)),
+            (Fraction(1), Fraction(0), Fraction(0)),
+            (Fraction(0), Fraction(1), Fraction(0)),
+            (Fraction(0), Fraction(0), Fraction(1)),
+        ]
+        assert simplex_volume(vertices) == Fraction(1, 6)
+
+    def test_simplex_vertex_count_checked(self):
+        with pytest.raises(GeometryError):
+            simplex_volume([(Fraction(0), Fraction(0))])
+
+    def test_fan_equals_shoelace(self):
+        pentagon = [
+            (Fraction(0), Fraction(0)),
+            (Fraction(2), Fraction(0)),
+            (Fraction(3), Fraction(2)),
+            (Fraction(1), Fraction(3)),
+            (Fraction(-1), Fraction(1)),
+        ]
+        assert fan_triangulation_area(pentagon) == shoelace_area(pentagon)
+
+    def test_fan_input_order_independent(self):
+        square = [
+            (Fraction(0), Fraction(0)),
+            (Fraction(1), Fraction(1)),
+            (Fraction(1), Fraction(0)),
+            (Fraction(0), Fraction(1)),
+        ]
+        assert fan_triangulation_area(square) == 1
+
+    def test_sort_ccw_produces_positive_shoelace(self):
+        scrambled = [
+            (Fraction(1), Fraction(1)),
+            (Fraction(0), Fraction(0)),
+            (Fraction(0), Fraction(1)),
+            (Fraction(1), Fraction(0)),
+        ]
+        assert shoelace_area(sort_ccw(scrambled)) == 1
+
+    def test_qhull_agreement(self):
+        pts = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        assert convex_hull_volume_float(pts) == pytest.approx(1.0)
+
+
+class TestEllipsoid:
+    def test_unit_ball_volumes(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4 * math.pi / 3)
+
+    def test_mvee_contains_points(self):
+        pts = [(0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (0.0, 1.0), (2.0, 0.5)]
+        e = mvee(pts)
+        for p in pts:
+            assert e.contains(np.array(p), slack=1e-6)
+
+    def test_mvee_of_square_is_circle_like(self):
+        pts = [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)]
+        e = mvee(pts, tolerance=1e-9)
+        # MVEE of the square [-1,1]^2 is the circle of radius sqrt(2).
+        assert e.volume() == pytest.approx(math.pi * 2.0, rel=1e-3)
+
+    def test_john_bracket(self):
+        pts = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        estimate, lower, upper = john_volume_estimate(pts)
+        assert lower <= 1.0 <= upper * (1 + 1e-6)
+        assert lower <= estimate <= upper
+
+    def test_mvee_needs_enough_points(self):
+        with pytest.raises(GeometryError):
+            mvee([(0.0, 0.0), (1.0, 0.0)])
+
+    def test_degenerate_points_rejected(self):
+        with pytest.raises(GeometryError):
+            mvee([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])

@@ -1,0 +1,259 @@
+"""Section 4 machinery: structures, EF games, reductions, circuits."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.inexpressibility import (
+    GoodInstance,
+    OrderedStructure,
+    avg_reduction,
+    check_separating_on_instances,
+    compile_sentence,
+    delta_for_epsilon,
+    distinguishing_rank,
+    duplicator_wins,
+    ef_refutation_pair,
+    good_constants,
+    interval_sets,
+    pure_order_equivalent,
+    refute_rank,
+    separates_cardinalities,
+    separation_constants,
+    two_set_instance,
+    volume_decision,
+)
+from repro.logic import Relation, exists_adom, forall_adom, variables
+from repro._errors import ApproximationError
+
+x, y = variables("x y")
+B = Relation("B", 1)
+
+
+class TestStructures:
+    def test_two_set_instance(self):
+        s = two_set_instance(3, 2)
+        assert s.size == 5
+        assert s.cardinalities() == {"U1": 3, "U2": 2}
+
+    def test_colour(self):
+        s = two_set_instance(1, 1)
+        assert s.colour(0) == (True, False)
+        assert s.colour(1) == (False, True)
+
+    def test_members_validated(self):
+        with pytest.raises(ValueError):
+            OrderedStructure.make(3, {"U": [5]})
+
+
+class TestEFGames:
+    def test_pure_order_threshold(self):
+        # Orders of size >= 2^r - 1 are r-equivalent.
+        for r in (1, 2, 3):
+            big = 2**r - 1
+            a = OrderedStructure.make(big, {})
+            b = OrderedStructure.make(big + 5, {})
+            assert duplicator_wins(a, b, r) is True
+
+    def test_pure_order_below_threshold(self):
+        a = OrderedStructure.make(2, {})
+        b = OrderedStructure.make(3, {})
+        assert duplicator_wins(a, b, 2) is False
+
+    def test_oracle_agreement(self):
+        for size_a in range(1, 9):
+            for size_b in range(1, 9):
+                for r in (1, 2):
+                    a = OrderedStructure.make(size_a, {})
+                    b = OrderedStructure.make(size_b, {})
+                    assert duplicator_wins(a, b, r) == pure_order_equivalent(
+                        size_a, size_b, r
+                    ), (size_a, size_b, r)
+
+    def test_colours_matter(self):
+        a = OrderedStructure.make(2, {"U": [0]})
+        b = OrderedStructure.make(2, {"U": []})
+        assert duplicator_wins(a, b, 1) is False
+
+    def test_identical_structures_equivalent(self):
+        s = two_set_instance(4, 4)
+        assert duplicator_wins(s, s, 5) is True
+
+    def test_distinguishing_rank(self):
+        a = two_set_instance(1, 0)
+        b = two_set_instance(2, 0)
+        # card(U1)=1 vs 2 distinguished at some small rank
+        rank = distinguishing_rank(a, b, max_rounds=3)
+        assert rank is not None and rank <= 2
+
+    def test_predicate_names_must_match(self):
+        a = OrderedStructure.make(2, {"U": [0]})
+        b = OrderedStructure.make(2, {"V": [0]})
+        with pytest.raises(ValueError):
+            duplicator_wins(a, b, 1)
+
+
+class TestSeparatingSentences:
+    def test_refutation_pairs_straddle_band(self):
+        a, b = ef_refutation_pair(2.0, 2.0, 2)
+        ca, cb = a.cardinalities(), b.cardinalities()
+        assert ca["U1"] > 2.0 * ca["U2"]
+        assert cb["U2"] > 2.0 * cb["U1"]
+
+    @pytest.mark.parametrize("rank", [1, 2, 3])
+    def test_refutation_succeeds(self, rank):
+        assert refute_rank(2.0, 2.0, rank) is True
+
+    def test_candidate_sentence_fails(self):
+        # "U1 is nonempty" is not (2, 2)-separating.
+        def sentence(structure):
+            return structure.cardinalities()["U1"] > 0
+
+        instances = [two_set_instance(1, 10), two_set_instance(10, 1)]
+        counterexample = check_separating_on_instances(sentence, 2, 2, instances)
+        assert counterexample is not None
+        assert counterexample.expected is False  # claimed True where U2-heavy
+
+    def test_cardinality_oracle_is_separating(self):
+        # A non-FO oracle *can* separate — sanity check of the contract.
+        def oracle(structure):
+            cards = structure.cardinalities()
+            return cards["U1"] > cards["U2"]
+
+        instances = [two_set_instance(a, b) for a in range(1, 6) for b in range(1, 6)]
+        assert check_separating_on_instances(oracle, 2, 2, instances) is None
+
+    def test_constants_validated(self):
+        with pytest.raises(ValueError):
+            check_separating_on_instances(lambda s: True, 0.5, 2, [])
+
+
+class TestAvgReduction:
+    def test_translation_layout(self):
+        red = avg_reduction([1, 5, 9], [2], Fraction(1, 10))
+        assert all(0 < v < red.delta for v in red.translated_u1)
+        assert all(1 - red.delta < v < 1 for v in red.translated_u2)
+
+    def test_average_monotone_in_ratio(self):
+        eps = Fraction(1, 10)
+        averages = [
+            avg_reduction(list(range(n1)), [0], eps).average for n1 in (1, 5, 20)
+        ]
+        # more U1 mass -> average drops toward 0.
+        assert averages[0] > averages[1] > averages[2]
+
+    def test_decision_with_exact_average(self):
+        eps = Fraction(1, 10)
+        c, _ = separation_constants(eps)
+        heavy_u1 = avg_reduction(list(range(int(4 * c))), [0], eps)
+        assert heavy_u1.decide_ratio(heavy_u1.average, c) == "U1-heavy"
+        heavy_u2 = avg_reduction([0], list(range(int(4 * c))), eps)
+        assert heavy_u2.decide_ratio(heavy_u2.average, c) == "U2-heavy"
+
+    def test_decision_robust_to_epsilon_noise(self):
+        eps = Fraction(1, 10)
+        c, _ = separation_constants(eps)
+        heavy_u1 = avg_reduction(list(range(int(4 * c) + 1)), [0], eps)
+        for noise in (-eps + Fraction(1, 100), 0, eps - Fraction(1, 100)):
+            assert heavy_u1.decide_ratio(heavy_u1.average + noise, c) == "U1-heavy"
+
+    def test_validation(self):
+        with pytest.raises(ApproximationError):
+            delta_for_epsilon(Fraction(1, 2))
+        with pytest.raises(ApproximationError):
+            avg_reduction([], [1], Fraction(1, 10))
+
+
+class TestGoodInstances:
+    def test_vol_x_equals_density(self):
+        for n, b in [(10, range(8)), (10, [0, 2, 4, 6]), (6, [1, 3])]:
+            instance = GoodInstance.make(n, list(b))
+            x_set, y_set = interval_sets(instance)
+            assert x_set.measure() == Fraction(len(list(b)), n)
+            assert y_set.measure() == Fraction(n - len(list(b)), n)
+
+    def test_x_and_y_partition_unit_interval(self):
+        instance = GoodInstance.make(8, [1, 2, 5])
+        x_set, y_set = interval_sets(instance)
+        assert x_set.measure() + y_set.measure() == 1
+
+    def test_constants(self):
+        c1, c2 = good_constants(Fraction(1, 10))
+        assert c1 == Fraction(8, 30)
+        assert c2 == Fraction(22, 30)
+
+    def test_decision_contract(self):
+        eps = Fraction(1, 10)
+        c1, c2 = good_constants(eps)
+        n = 30
+        for size in range(1, n):
+            instance = GoodInstance.make(n, list(range(size)))
+            decision = volume_decision(instance, eps)
+            if size > c2 * n:
+                assert decision is True
+            if size < c1 * n:
+                assert decision is False
+
+    def test_decision_with_noisy_estimate(self):
+        eps = Fraction(1, 10)
+        c1, c2 = good_constants(eps)
+        n = 30
+        size = 25  # > c2 * n = 22
+        instance = GoodInstance.make(n, list(range(size)))
+        x_set, _ = interval_sets(instance)
+        noisy = x_set.measure() - eps + Fraction(1, 1000)
+        assert volume_decision(instance, eps, x_estimate=noisy) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoodInstance.make(5, [])
+        with pytest.raises(ValueError):
+            GoodInstance.make(5, list(range(5)))
+
+
+class TestCircuits:
+    def test_exists_compiles_to_or(self):
+        circuit = compile_sentence(exists_adom(x, B(x)), 6)
+        assert circuit.depth() == 1
+        assert circuit.evaluate([False] * 6) is False
+        assert circuit.evaluate([False, True] + [False] * 4) is True
+
+    def test_forall_compiles_to_and(self):
+        circuit = compile_sentence(forall_adom(x, B(x)), 4)
+        assert circuit.evaluate([True] * 4) is True
+        assert circuit.evaluate([True, False, True, True]) is False
+
+    def test_order_atoms_are_constants(self):
+        sentence = exists_adom(x, B(x) & (x < 2))
+        circuit = compile_sentence(sentence, 5)
+        assert circuit.evaluate([False, True, False, False, False]) is True
+        assert circuit.evaluate([False, False, False, True, False]) is False
+
+    def test_size_polynomial_depth_constant(self):
+        sentence = exists_adom(x, forall_adom(y, B(x) | (y < x)))
+        small = compile_sentence(sentence, 4)
+        large = compile_sentence(sentence, 16)
+        assert large.depth() == small.depth()
+        assert large.size() > small.size()
+        assert large.size() <= 16 * 16 * 8  # O(n^rank)
+
+    def test_fixed_sentence_fails_to_separate(self):
+        # "exists two consecutive B elements" — not a cardinality separator.
+        sentence = exists_adom(
+            x, exists_adom(y, B(x) & B(y) & (y.eq(x + 1)))
+        )
+        circuit = compile_sentence(sentence, 12)
+        assert separates_cardinalities(circuit, 1 / 3, 2 / 3) is False
+
+    def test_free_variables_rejected(self):
+        from repro._errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            compile_sentence(B(x), 4)
+
+    def test_unknown_relation_rejected(self):
+        from repro._errors import EvaluationError
+
+        C = Relation("C", 1)
+        with pytest.raises(EvaluationError):
+            compile_sentence(exists_adom(x, C(x)), 4)

@@ -1,0 +1,37 @@
+"""The ``python -m repro`` command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.__main__ import main
+
+
+def run_cli(*argv: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    assert code == 0
+    return buffer.getvalue()
+
+
+class TestCLI:
+    def test_default_demo(self):
+        output = run_cli()
+        assert "PODS 1999" in output
+        assert "7/32" in output
+
+    def test_demo_subcommand(self):
+        assert "Theorem 3" in run_cli("demo")
+
+    def test_volume(self):
+        output = run_cli("volume", "0 <= y AND y <= x AND x <= 1")
+        assert "= 1/2 =" in output
+
+    def test_volume_union(self):
+        output = run_cli("volume", "x < 1/4 OR x > 3/4")
+        assert "= 1/2 =" in output
+
+    def test_experiments_listing(self):
+        output = run_cli("experiments")
+        assert "bench_e1_km_blowup.py" in output
+        assert "E10" in output

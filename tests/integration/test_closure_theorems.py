@@ -1,0 +1,124 @@
+"""Cross-module integration: closure, Theorem 3 agreement, Theorem 4."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UniformVolumeApproximator,
+    volume_2d_fo_poly_sum,
+    volume_of_query,
+)
+from repro.db import FRInstance, FiniteInstance, Schema, output_formula
+from repro.geometry import (
+    formula_to_cells,
+    formula_volume,
+    hit_or_miss_volume,
+    polytope_volume,
+)
+from repro.logic import (
+    Relation,
+    between,
+    evaluate,
+    exists,
+    is_quantifier_free,
+    variables,
+)
+
+x, y, z = variables("x y z")
+S = Relation("S", 2)
+
+
+class TestClosureProperty:
+    """FO + LIN queries on semi-linear instances stay semi-linear, and the
+    output formula can be queried again (Lemma 4 flavour)."""
+
+    def test_closure_composes(self, triangle_instance):
+        # First query: shrink the triangle.
+        q1 = S(x, y) & (y <= Fraction(1, 2))
+        out1 = output_formula(q1, triangle_instance)
+        assert is_quantifier_free(out1)
+        # Re-wrap the output as a new database and query again.
+        schema2 = Schema.make({"T": 2})
+        db2 = FRInstance.make(schema2, {"T": ((x, y), out1)})
+        T = Relation("T", 2)
+        q2 = exists(y, T(x, y))
+        out2 = output_formula(q2, db2)
+        assert is_quantifier_free(out2)
+        # x-projection of the shrunk triangle is [0, 1].
+        assert evaluate(out2, {"x": Fraction(1, 2)}) is True
+        assert evaluate(out2, {"x": Fraction(3, 2)}) is False
+
+    def test_volume_after_composition(self, triangle_instance):
+        q1 = S(x, y) & (y <= Fraction(1, 2))
+        out1 = output_formula(q1, triangle_instance)
+        vol = formula_volume(out1, ("x", "y"))
+        # triangle minus its top: 1/2 - 1/8 = 3/8
+        assert vol == Fraction(3, 8)
+
+
+class TestVolumeAgreement:
+    """Three independent volume computations agree: Theorem 3 (exact, two
+    implementations) and Monte Carlo (within its Hoeffding radius)."""
+
+    @pytest.fixture
+    def bowtie_instance(self):
+        schema = Schema.make({"P": 2})
+        body = (between(0, x, 1) & between(0, y, x)) | (
+            between(0, x, 1) & between(x, y, 1) & (y >= Fraction(3, 4))
+        )
+        return FRInstance.make(schema, {"P": ((x, y), body)})
+
+    def test_exact_paths_agree(self, bowtie_instance):
+        P = Relation("P", 2)
+        a = volume_of_query(P(x, y), bowtie_instance, ("x", "y"))
+        b = volume_2d_fo_poly_sum(bowtie_instance, P(x, y), "x", "y")
+        assert a == b
+
+    def test_monte_carlo_agrees(self, bowtie_instance, rng):
+        P = Relation("P", 2)
+        exact = float(volume_of_query(P(x, y), bowtie_instance, ("x", "y")))
+        expanded = output_formula(P(x, y), bowtie_instance)
+        estimate = hit_or_miss_volume(expanded, ("x", "y"), 40_000, rng)
+        assert abs(estimate.estimate - exact) < 3 * estimate.confidence_radius
+
+
+class TestTheorem4EndToEnd:
+    def test_uniform_error_over_grid(self, rng):
+        """Theorem 4: a single sample approximates VOL_I(phi(a, D))
+        uniformly over the parameter a."""
+        schema = Schema.make({"U": 1})
+        D = FiniteInstance.make(
+            schema, {"U": [Fraction(1, 4), Fraction(3, 4)]}
+        )
+        U = Relation("U", 1)
+        a = variables("a")[0]
+        from repro.logic import exists_adom
+
+        # phi(a, y): y below a, above the smallest U element.
+        q = exists_adom(x, U(x) & (x <= y) & (y <= a))
+        approx = UniformVolumeApproximator(
+            q, D, ("a",), ("y",), epsilon=0.04, delta=0.05,
+            rng=rng, sample_size=8000,
+        )
+        failures = 0
+        for av in np.linspace(0.0, 1.0, 21):
+            # the set is [1/4, a] (the 3/4-interval is contained in it)
+            truth = max(0.0, min(av, 1.0) - 0.25)
+            estimate = approx.estimate([av])
+            if abs(estimate - truth) >= 0.04:
+                failures += 1
+        # sup-error < eps must hold for the whole grid simultaneously.
+        assert failures == 0
+
+
+class TestCellsRoundTrip:
+    def test_cells_cover_formula(self, triangle_instance):
+        out = output_formula(S(x, y), triangle_instance)
+        cells = formula_to_cells(out, ("x", "y"))
+        point_in = (Fraction(1, 2), Fraction(1, 4))
+        point_out = (Fraction(1, 4), Fraction(1, 2))
+        assert any(c.contains(point_in) for c in cells)
+        assert not any(c.contains(point_out) for c in cells)
+        assert sum((polytope_volume(c) for c in cells), Fraction(0)) >= Fraction(1, 2)

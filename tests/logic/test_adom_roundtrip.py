@@ -1,0 +1,34 @@
+"""Round-trips and structure for active-domain quantifier syntax."""
+
+from repro.logic import (
+    ExistsAdom,
+    ForallAdom,
+    exists_adom,
+    forall_adom,
+    parse,
+    variables,
+)
+
+x, y = variables("x y")
+
+
+class TestAdomSyntax:
+    def test_print_parse_exists_adom(self):
+        f = exists_adom(x, x < 1)
+        assert parse(str(f)) == f
+
+    def test_print_parse_forall_adom(self):
+        f = forall_adom(x, exists_adom(y, x < y))
+        assert parse(str(f)) == f
+
+    def test_keyword_parsing(self):
+        f = parse("EXISTSADOM x. x < 1")
+        assert isinstance(f, ExistsAdom)
+        g = parse("FORALLADOM x. x < 1")
+        assert isinstance(g, ForallAdom)
+
+    def test_mixed_quantifier_roundtrip(self):
+        from repro.logic import exists
+
+        f = exists(y, forall_adom(x, (x < y) | x.eq(y)))
+        assert parse(str(f)) == f

@@ -1,0 +1,117 @@
+"""Builder helpers: variables, relations, quantifier sugar, range sugar."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import (
+    Exists,
+    ExistsAdom,
+    Forall,
+    ForallAdom,
+    Relation,
+    between,
+    const,
+    evaluate,
+    exists,
+    exists_adom,
+    forall,
+    forall_adom,
+    iff,
+    implies,
+    in_unit_cube,
+    in_unit_interval,
+    land,
+    lor,
+    variables,
+)
+
+x, y, z = variables("x y z")
+
+
+class TestVariables:
+    def test_from_string(self):
+        a, b = variables("a b")
+        assert a.name == "a" and b.name == "b"
+
+    def test_from_iterable(self):
+        (a,) = variables(["a"])
+        assert a.name == "a"
+
+
+class TestConst:
+    def test_from_int(self):
+        assert const(3).value == 3
+
+    def test_from_string_fraction(self):
+        assert const("3/7").value == Fraction(3, 7)
+
+
+class TestRelation:
+    def test_arity_enforced(self):
+        R = Relation("R", 2)
+        with pytest.raises(ValueError):
+            R(x)
+
+    def test_positive_arity_required(self):
+        with pytest.raises(ValueError):
+            Relation("R", 0)
+
+    def test_arguments_coerced(self):
+        R = Relation("R", 2)
+        atom = R(x, 1)
+        from repro.logic import Const
+
+        assert atom.args[1] == Const(Fraction(1))
+
+
+class TestQuantifierSugar:
+    def test_single_variable(self):
+        assert isinstance(exists(x, x < 1), Exists)
+        assert isinstance(forall(x, x < 1), Forall)
+        assert isinstance(exists_adom(x, x < 1), ExistsAdom)
+        assert isinstance(forall_adom(x, x < 1), ForallAdom)
+
+    def test_string_variable(self):
+        assert exists("x", x < 1) == exists(x, x < 1)
+
+    def test_sequence_binds_in_order(self):
+        f = exists([x, y], x < y)
+        assert isinstance(f, Exists)
+        assert f.var == "x"
+        assert isinstance(f.body, Exists)
+        assert f.body.var == "y"
+
+
+class TestConnectiveSugar:
+    def test_land_lor(self):
+        assert evaluate(land(x < 1, x > 0), {"x": Fraction(1, 2)})
+        assert evaluate(lor(x < 0, x > 1), {"x": Fraction(1, 2)}) is False
+
+    def test_implies(self):
+        f = implies(x > 0, x >= 0)
+        assert evaluate(f, {"x": 1}) and evaluate(f, {"x": -1})
+
+    def test_iff(self):
+        f = iff(x > 0, 0 < x)
+        assert evaluate(f, {"x": 5}) and evaluate(f, {"x": -5})
+
+
+class TestRangeSugar:
+    def test_between_closed(self):
+        f = between(0, x, 1)
+        assert evaluate(f, {"x": 0}) and evaluate(f, {"x": 1})
+
+    def test_between_strict(self):
+        f = between(0, x, 1, strict=True)
+        assert not evaluate(f, {"x": 0})
+        assert evaluate(f, {"x": Fraction(1, 2)})
+
+    def test_unit_interval(self):
+        assert evaluate(in_unit_interval(x), {"x": Fraction(1, 2)})
+        assert not evaluate(in_unit_interval(x), {"x": 2})
+
+    def test_unit_cube(self):
+        f = in_unit_cube((x, y))
+        assert evaluate(f, {"x": Fraction(1, 2), "y": 1})
+        assert not evaluate(f, {"x": Fraction(1, 2), "y": 2})

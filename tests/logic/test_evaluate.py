@@ -1,0 +1,92 @@
+"""Direct evaluation of formulas (finite semantics)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import (
+    Relation,
+    evaluate,
+    exists,
+    exists_adom,
+    forall,
+    forall_adom,
+    variables,
+)
+from repro._errors import EvaluationError
+
+x, y = variables("x y")
+U = Relation("U", 1)
+S = Relation("S", 2)
+
+
+class TestAtoms:
+    def test_exact_comparison(self):
+        assert evaluate(x * 3 < 1, {"x": Fraction(1, 3)}) is False
+        assert evaluate((x * 3).eq(1), {"x": Fraction(1, 3)}) is True
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("<", True), ("<=", True), ("=", False), ("!=", True), (">=", False), (">", False)],
+    )
+    def test_all_operators(self, op, expected):
+        from repro.logic import Compare
+
+        assert evaluate(Compare(op, x, y), {"x": 1, "y": 2}) is expected
+
+    def test_relation_lookup(self):
+        rels = {"U": {(Fraction(1),)}}
+        assert evaluate(U(x), {"x": 1}, relations=rels) is True
+        assert evaluate(U(x), {"x": 2}, relations=rels) is False
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(U(x), {"x": 1})
+
+
+class TestQuantifiers:
+    def test_adom_exists(self):
+        f = exists_adom(x, x.eq(2))
+        assert evaluate(f, adom=[1, 2, 3]) is True
+        assert evaluate(f, adom=[1, 3]) is False
+
+    def test_adom_forall(self):
+        f = forall_adom(x, x > 0)
+        assert evaluate(f, adom=[1, 2]) is True
+        assert evaluate(f, adom=[0, 1]) is False
+
+    def test_adom_without_domain_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(exists_adom(x, x.eq(1)))
+
+    def test_natural_requires_domain(self):
+        with pytest.raises(EvaluationError):
+            evaluate(exists(x, x.eq(1)))
+
+    def test_natural_over_explicit_domain(self):
+        f = forall(x, exists(y, y > x))
+        assert evaluate(f, domain=[1, 2, 3]) is False
+        assert evaluate(f, domain=[]) is True
+
+    def test_quantifier_restores_outer_binding(self):
+        f = exists_adom(x, x.eq(2)) & x.eq(5)
+        assert evaluate(f, {"x": 5}, adom=[2]) is True
+
+    def test_nested_quantifiers(self):
+        f = forall_adom(x, exists_adom(y, y > x))
+        assert evaluate(f, adom=[1, 2, 3]) is False  # no y > 3
+        g = forall_adom(x, exists_adom(y, y >= x))
+        assert evaluate(g, adom=[1, 2, 3]) is True
+
+
+class TestBooleans:
+    def test_connectives(self):
+        assert evaluate((x < 1) | (x > 2), {"x": 0}) is True
+        assert evaluate((x < 1) & (x > 2), {"x": 0}) is False
+        assert evaluate(~(x < 1), {"x": 0}) is False
+
+    def test_constants(self):
+        from repro.logic import TRUE, FALSE
+
+        assert evaluate(TRUE) is True
+        assert evaluate(FALSE) is False

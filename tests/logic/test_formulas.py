@@ -1,0 +1,141 @@
+"""Unit tests for formula construction and structure."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Compare,
+    Exists,
+    ExistsAdom,
+    FALSE,
+    Forall,
+    ForallAdom,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    conjunction,
+    disjunction,
+    variables,
+)
+
+
+x, y, z = variables("x y z")
+
+
+class TestAtoms:
+    def test_comparison_operators_build_atoms(self):
+        assert (x < y).op == "<"
+        assert (x <= y).op == "<="
+        assert (x > y).op == ">"
+        assert (x >= y).op == ">="
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            Compare("<<", x, y)
+
+    def test_negated_atom(self):
+        assert (x < y).negated().op == ">="
+        assert (x.eq(y)).negated().op == "!="
+
+    def test_flipped_atom(self):
+        flipped = (x < y).flipped()
+        assert flipped.op == ">"
+        assert flipped.lhs == y
+
+    def test_free_variables_of_atom(self):
+        assert (x + y < z).free_variables() == {"x", "y", "z"}
+
+    def test_rel_atom_relation_names(self):
+        atom = RelAtom("R", (x, y))
+        assert atom.relation_names() == {"R"}
+        assert atom.free_variables() == {"x", "y"}
+
+
+class TestConnectives:
+    def test_and_flattens(self):
+        f = (x < y) & ((y < z) & (x < z))
+        assert isinstance(f, And)
+        assert len(f.args) == 3
+
+    def test_or_flattens(self):
+        f = (x < y) | ((y < z) | (x < z))
+        assert isinstance(f, Or)
+        assert len(f.args) == 3
+
+    def test_conjunction_true_unit(self):
+        assert conjunction(TRUE, x < y) == (x < y)
+
+    def test_conjunction_false_annihilates(self):
+        assert conjunction(x < y, FALSE) == FALSE
+
+    def test_empty_conjunction_is_true(self):
+        assert conjunction() == TRUE
+
+    def test_disjunction_false_unit(self):
+        assert disjunction(FALSE, x < y) == (x < y)
+
+    def test_disjunction_true_annihilates(self):
+        assert disjunction(x < y, TRUE) == TRUE
+
+    def test_empty_disjunction_is_false(self):
+        assert disjunction() == FALSE
+
+    def test_double_negation_collapses(self):
+        f = x < y
+        assert ~~f == f
+
+    def test_negating_constants(self):
+        assert ~TRUE == FALSE
+        assert ~FALSE == TRUE
+
+    def test_implies(self):
+        f = (x < y).implies(x < z)
+        assert isinstance(f, Or)
+
+    def test_iff(self):
+        f = (x < y).iff(y > x)
+        assert isinstance(f, And)
+
+
+class TestQuantifiers:
+    def test_exists_binds(self):
+        f = Exists("y", x < y)
+        assert f.free_variables() == {"x"}
+
+    def test_forall_binds(self):
+        f = Forall("x", Exists("y", x < y))
+        assert f.free_variables() == set()
+
+    def test_adom_quantifiers_bind(self):
+        assert ExistsAdom("x", x < y).free_variables() == {"y"}
+        assert ForallAdom("x", x < y).free_variables() == {"y"}
+
+    def test_relation_names_propagate(self):
+        f = Exists("x", RelAtom("R", (x,)) & (x < 1))
+        assert f.relation_names() == {"R"}
+
+    def test_shadowing(self):
+        f = Exists("x", Exists("x", x < 1))
+        assert f.free_variables() == set()
+
+
+class TestRequiredArity:
+    def test_and_needs_two(self):
+        with pytest.raises(ValueError):
+            And((x < y,))
+
+    def test_or_needs_two(self):
+        with pytest.raises(ValueError):
+            Or((x < y,))
+
+
+class TestHashability:
+    def test_formulas_are_hashable(self):
+        f1 = Exists("y", (x < y) & (y < 1))
+        f2 = Exists("y", (x < y) & (y < 1))
+        assert len({f1, f2}) == 1
+
+    def test_not_wraps(self):
+        f = Not(RelAtom("R", (x,)))
+        assert f.free_variables() == {"x"}

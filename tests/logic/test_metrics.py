@@ -1,0 +1,86 @@
+"""Formula size metrics."""
+
+from repro.logic import (
+    count_atoms,
+    count_quantifiers,
+    exists,
+    forall,
+    formula_depth,
+    max_degree,
+    quantifier_rank,
+    term_degree,
+    variables,
+    Relation,
+    TRUE,
+)
+
+x, y, z = variables("x y z")
+R = Relation("R", 1)
+
+
+class TestAtomCounting:
+    def test_single_atom(self):
+        assert count_atoms(x < 1) == 1
+
+    def test_counts_occurrences_not_distinct(self):
+        assert count_atoms((x < 1) & (x < 1)) == 2
+
+    def test_relation_atoms_count(self):
+        assert count_atoms(R(x) & (x < 1)) == 2
+
+    def test_true_has_no_atoms(self):
+        assert count_atoms(TRUE) == 0
+
+    def test_through_quantifiers(self):
+        assert count_atoms(exists(y, (x < y) & (y < 1))) == 2
+
+
+class TestQuantifierCounting:
+    def test_count_vs_rank(self):
+        f = exists(x, x < 1) & exists(y, y < 1)
+        assert count_quantifiers(f) == 2
+        assert quantifier_rank(f) == 1
+
+    def test_nested_rank(self):
+        f = forall(x, exists(y, forall(z, (x < y) & (y < z))))
+        assert quantifier_rank(f) == 3
+        assert count_quantifiers(f) == 3
+
+    def test_quantifier_free(self):
+        assert count_quantifiers(x < 1) == 0
+        assert quantifier_rank(x < 1) == 0
+
+
+class TestDegrees:
+    def test_linear_term(self):
+        assert term_degree(2 * x + y) == 1
+
+    def test_product_degree(self):
+        assert term_degree(x * y) == 2
+
+    def test_power_degree(self):
+        assert term_degree(x**3 * y) == 4
+
+    def test_constant_degree(self):
+        from repro.logic import Const
+
+        assert term_degree(Const(5)) == 0
+
+    def test_max_degree_of_formula(self):
+        f = (x < 1) & (x * y**2 > 3)
+        assert max_degree(f) == 3
+
+    def test_max_degree_defaults_to_one(self):
+        assert max_degree(TRUE) == 1
+        assert max_degree(x < 1) == 1
+
+
+class TestDepth:
+    def test_atom_depth(self):
+        assert formula_depth(x < 1) == 1
+
+    def test_connective_depth(self):
+        assert formula_depth((x < 1) & ((y < 1) | (z < 1))) == 3
+
+    def test_quantifier_adds_depth(self):
+        assert formula_depth(exists(x, x < 1)) == 2

@@ -1,0 +1,87 @@
+"""Capture-avoiding substitution and bound-variable renaming."""
+
+from fractions import Fraction
+
+from repro.logic import (
+    Const,
+    Exists,
+    Var,
+    evaluate,
+    rename_bound,
+    substitute,
+    substitute_term,
+    fresh_variable,
+    variables,
+)
+
+x, y, z = variables("x y z")
+
+
+class TestTermSubstitution:
+    def test_substitute_variable(self):
+        t = substitute_term(x + y, {"x": Const(Fraction(2))})
+        assert t.evaluate({"y": Fraction(1)}) == 3
+
+    def test_simultaneous(self):
+        # x := y, y := x swaps, no chain effects.
+        t = substitute_term(x - y, {"x": y, "y": x})
+        assert t.evaluate({"x": Fraction(1), "y": Fraction(5)}) == 4
+
+    def test_untouched_variables(self):
+        t = substitute_term(x + z, {"y": Const(Fraction(0))})
+        assert t == x + z
+
+
+class TestFormulaSubstitution:
+    def test_free_occurrence_substituted(self):
+        f = substitute(x < y, {"x": Const(Fraction(0))})
+        assert f.free_variables() == {"y"}
+
+    def test_bound_occurrence_untouched(self):
+        f = Exists("x", x < y)
+        g = substitute(f, {"x": Const(Fraction(0))})
+        assert g == f
+
+    def test_capture_avoided(self):
+        # substituting y := x into (exists x . x < y) must not capture x.
+        f = Exists("x", x < y)
+        g = substitute(f, {"y": x})
+        # Semantically: "exists v . v < x" — true for every x over R,
+        # but the key point is the bound variable was renamed.
+        assert isinstance(g, Exists)
+        assert g.var != "x"
+        assert "x" in g.free_variables()
+
+    def test_no_mapping_is_identity(self):
+        f = Exists("x", x < y)
+        assert substitute(f, {}) is f
+
+    def test_substitution_semantics(self):
+        f = (x + y < 4)
+        g = substitute(f, {"x": y + 1})
+        assert evaluate(g, {"y": 1}) == evaluate(f, {"x": 2, "y": 1})
+
+
+class TestRenameBound:
+    def test_renames_collision_with_free(self):
+        f = (x < 1) & Exists("x", x > 2)
+        g = rename_bound(f)
+        # The inner bound variable no longer clashes with the free x.
+        inner = g.args[1]
+        assert isinstance(inner, Exists)
+        assert inner.var != "x"
+
+    def test_distinct_binders_get_distinct_names(self):
+        f = Exists("y", y > x) & Exists("y", y < x)
+        g = rename_bound(f)
+        binders = [part.var for part in g.args]
+        assert len(set(binders)) == 2
+
+
+class TestFreshVariable:
+    def test_prefers_stem(self):
+        assert fresh_variable({"a", "b"}, "x") == "x"
+
+    def test_avoids_taken(self):
+        name = fresh_variable({"x", "x_0"}, "x")
+        assert name not in {"x", "x_0"}

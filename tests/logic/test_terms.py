@@ -1,0 +1,125 @@
+"""Unit tests for the term language."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import Add, Const, Mul, Neg, Pow, Var, as_term, ONE, ZERO
+
+
+class TestConstruction:
+    def test_var_has_name(self):
+        assert Var("x").name == "x"
+
+    def test_const_coerces_to_fraction(self):
+        assert Const(3).value == Fraction(3)
+        assert isinstance(Const(3).value, Fraction)
+
+    def test_as_term_accepts_int(self):
+        assert as_term(5) == Const(Fraction(5))
+
+    def test_as_term_accepts_fraction(self):
+        assert as_term(Fraction(2, 3)) == Const(Fraction(2, 3))
+
+    def test_as_term_accepts_string_as_variable(self):
+        assert as_term("z") == Var("z")
+
+    def test_as_term_passes_terms_through(self):
+        t = Var("x") + 1
+        assert as_term(t) is t
+
+    def test_as_term_rejects_float(self):
+        with pytest.raises(TypeError):
+            as_term(0.5)
+
+    def test_add_requires_two_args(self):
+        with pytest.raises(ValueError):
+            Add((Var("x"),))
+
+    def test_mul_requires_two_args(self):
+        with pytest.raises(ValueError):
+            Mul((Var("x"),))
+
+    def test_pow_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            Pow(Var("x"), -1)
+        with pytest.raises(ValueError):
+            Var("x") ** -2
+
+
+class TestOperators:
+    def test_addition_builds_add(self):
+        t = Var("x") + Var("y")
+        assert isinstance(t, Add)
+
+    def test_radd_with_int(self):
+        t = 2 + Var("x")
+        assert isinstance(t, Add)
+        assert t.evaluate({"x": Fraction(3)}) == 5
+
+    def test_subtraction_negates(self):
+        t = Var("x") - 1
+        assert t.evaluate({"x": Fraction(4)}) == 3
+
+    def test_rsub(self):
+        t = 10 - Var("x")
+        assert t.evaluate({"x": Fraction(4)}) == 6
+
+    def test_multiplication(self):
+        t = 3 * Var("x") * Var("y")
+        assert t.evaluate({"x": Fraction(2), "y": Fraction(5)}) == 30
+
+    def test_negation(self):
+        assert (-Var("x")).evaluate({"x": Fraction(7)}) == -7
+
+    def test_power(self):
+        assert (Var("x") ** 3).evaluate({"x": Fraction(2)}) == 8
+
+    def test_power_zero_is_one(self):
+        assert (Var("x") ** 0).evaluate({"x": Fraction(99)}) == 1
+
+
+class TestVariables:
+    def test_var_variables(self):
+        assert Var("x").variables() == frozenset({"x"})
+
+    def test_const_variables_empty(self):
+        assert Const(1).variables() == frozenset()
+
+    def test_compound_variables(self):
+        t = (Var("x") + Var("y")) * Var("z") ** 2
+        assert t.variables() == frozenset({"x", "y", "z"})
+
+
+class TestEvaluation:
+    def test_exact_rational_arithmetic(self):
+        t = Var("x") * Fraction(1, 3) + Fraction(1, 6)
+        assert t.evaluate({"x": Fraction(1, 2)}) == Fraction(1, 3)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("x").evaluate({})
+
+    def test_zero_and_one_constants(self):
+        assert ZERO.evaluate({}) == 0
+        assert ONE.evaluate({}) == 1
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert Var("x") + 1 == Var("x") + 1
+
+    def test_hashable(self):
+        seen = {Var("x"), Var("x"), Var("y")}
+        assert len(seen) == 2
+
+    def test_eq_method_builds_formula(self):
+        from repro.logic import Compare
+
+        atom = Var("x").eq(1)
+        assert isinstance(atom, Compare)
+        assert atom.op == "="
+
+    def test_ne_method_builds_formula(self):
+        atom = Var("x").ne(1)
+        assert atom.op == "!="

@@ -1,0 +1,164 @@
+"""Property-based tests: exact volumes and FO + POLY + SUM invariants."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import aggregate_avg, aggregate_count, aggregate_sum, endpoints_range
+from repro.db import FiniteInstance, Schema
+from repro.geometry import (
+    Polyhedron,
+    fan_triangulation_area,
+    formula_to_cells,
+    polytope_volume,
+    shoelace_area,
+    simplex_volume,
+    union_volume,
+)
+from repro.logic import Const, Relation, Var, between, variables
+
+x, y = variables("x y")
+U = Relation("U", 1)
+
+coords = st.fractions(
+    min_value=Fraction(-10), max_value=Fraction(10), max_denominator=8
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coords, coords, coords, coords)
+def test_box_volume_is_product(a, b, c, d):
+    assume(a < b and c < d)
+    (box,) = formula_to_cells(
+        between(a, x, b) & between(c, y, d), ("x", "y")
+    )
+    assert polytope_volume(box) == (b - a) * (d - c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords, coords, coords, coords, coords, coords)
+def test_triangle_volume_matches_determinant(ax, ay, bx, by, cx, cy):
+    a, b, c = (ax, ay), (bx, by), (cx, cy)
+    area = simplex_volume([a, b, c])
+    assume(area > 0)
+    polygon = Polyhedron.from_vertices_2d(("x", "y"), _ccw([a, b, c]))
+    assert polytope_volume(polygon) == area
+
+
+def _ccw(points):
+    from repro.geometry import sort_ccw
+
+    return sort_ccw(points)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(coords, coords), min_size=3, max_size=7, unique=True))
+def test_fan_area_equals_shoelace_on_hulls(points):
+    # Use the convex hull of the sample (vertices in CCW order).
+    hull = _convex_hull(points)
+    assume(len(hull) >= 3)
+    assert fan_triangulation_area(hull) == shoelace_area(hull)
+
+
+def _convex_hull(points):
+    """Exact Andrew monotone chain."""
+    pts = sorted(set(points))
+    if len(pts) < 3:
+        return pts
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower, upper = [], []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    for p in reversed(pts):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(coords, coords).filter(lambda p: p[0] < p[1]),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_union_volume_bounds(intervals):
+    cells = []
+    for low, high in intervals:
+        (cell,) = formula_to_cells(between(low, x, high), ("x",))
+        cells.append(cell)
+    total = union_volume(cells)
+    individual = [polytope_volume(c) for c in cells]
+    assert max(individual) <= total <= sum(individual)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(coords, min_size=1, max_size=8, unique=True))
+def test_aggregates_match_python(values):
+    schema = Schema.make({"U": 1})
+    D = FiniteInstance.make(schema, {"U": values})
+    rho = endpoints_range("w", U(Var("w")))
+    assert aggregate_count(D, rho) == len(values)
+    assert aggregate_sum(D, rho, Var("w")) == sum(values)
+    assert aggregate_avg(D, rho, Var("w")) == Fraction(sum(values), len(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(coords, min_size=2, max_size=6, unique=True), coords)
+def test_guarded_aggregate_matches_filter(values, threshold):
+    schema = Schema.make({"U": 1})
+    D = FiniteInstance.make(schema, {"U": values})
+    rho = endpoints_range("w", U(Var("w")), guard=Var("w") > threshold)
+    kept = [v for v in values if v > threshold]
+    assert aggregate_count(D, rho) == len(kept)
+    assert aggregate_sum(D, rho, Var("w")) == sum(kept, Fraction(0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.fractions(min_value=Fraction(0), max_value=Fraction(2), max_denominator=4),
+            st.fractions(min_value=Fraction(0), max_value=Fraction(2), max_denominator=4),
+            st.fractions(min_value=Fraction(-1), max_value=Fraction(1), max_denominator=2),
+        ),
+        min_size=1,
+        max_size=2,
+    )
+)
+def test_theorem3_paths_agree_on_skew_unions(cells_spec):
+    """The d=2 proof transcription and the production slicing volume agree
+    on unions of skewed (non-axis-aligned) cells."""
+    from repro.core import volume_2d_fo_poly_sum, volume_of_query
+    from repro.db import FRInstance, Schema
+    from repro.logic import Relation, between, disjunction
+
+    parts = []
+    for x0, width, slope in cells_spec:
+        if width == 0:
+            continue
+        x1 = x0 + width
+        # cell: x in [x0, x1], 0 <= y <= 1 + slope * (x - x0)
+        upper = 1 + Var("x") * slope - Const(slope * x0)
+        parts.append(
+            between(x0, Var("x"), x1)
+            & (Const(Fraction(0)) <= Var("y"))
+            & (Var("y") <= upper)
+        )
+    assume(parts)
+    body = disjunction(*parts)
+    schema = Schema.make({"P": 2})
+    from repro.logic import variables as _vars
+    xv, yv = _vars("x y")
+    instance = FRInstance.make(schema, {"P": ((xv, yv), body)})
+    P = Relation("P", 2)
+    via_proof = volume_2d_fo_poly_sum(instance, P(xv, yv), "x", "y")
+    via_production = volume_of_query(P(xv, yv), instance, ("x", "y"))
+    assert via_proof == via_production

@@ -1,0 +1,106 @@
+"""Property-based tests for the exact real algebra substrate."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.realalg import (
+    RealAlgebraic,
+    UPoly,
+    count_real_roots,
+    isolate_real_roots,
+)
+
+rationals = st.fractions(
+    min_value=Fraction(-50), max_value=Fraction(50), max_denominator=20
+)
+
+small_polys = st.lists(rationals, min_size=1, max_size=6).map(UPoly)
+
+
+@st.composite
+def nonzero_polys(draw):
+    poly = draw(small_polys)
+    if poly.is_zero():
+        return UPoly([draw(rationals.filter(lambda r: r != 0))])
+    return poly
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(rationals, min_size=1, max_size=5))
+def test_count_matches_distinct_roots(roots):
+    poly = UPoly.from_roots(roots)
+    assert count_real_roots(poly) == len(set(roots))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(rationals, min_size=1, max_size=5))
+def test_isolation_finds_every_root(roots):
+    poly = UPoly.from_roots(roots)
+    isolations = isolate_real_roots(poly)
+    assert len(isolations) == len(set(roots))
+    for root in set(roots):
+        assert any(
+            iso.exact == root if iso.is_exact() else iso.low < root < iso.high
+            for iso in isolations
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(nonzero_polys(), nonzero_polys())
+def test_division_identity(a, b):
+    q, r = a.divmod(b)
+    assert q * b + r == a
+    assert r.is_zero() or r.degree() < b.degree()
+
+
+@settings(max_examples=60, deadline=None)
+@given(nonzero_polys(), nonzero_polys())
+def test_gcd_divides_both(a, b):
+    g = a.gcd(b)
+    assert (a % g).is_zero()
+    assert (b % g).is_zero()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rationals, min_size=1, max_size=4))
+def test_squarefree_same_roots(roots):
+    poly = UPoly.from_roots(roots) * UPoly.from_roots(roots[:1])
+    squarefree = poly.squarefree_part()
+    assert count_real_roots(squarefree) == len(set(roots))
+
+
+@settings(max_examples=40, deadline=None)
+@given(nonzero_polys(), rationals, rationals)
+def test_interval_evaluation_sound(poly, a, b):
+    low, high = min(a, b), max(a, b)
+    bound_low, bound_high = poly.evaluate_interval(low, high)
+    # spot-check a few interior points
+    for k in range(5):
+        t = low + (high - low) * Fraction(k, 4) if high > low else low
+        value = poly(t)
+        assert bound_low <= value <= bound_high
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rationals, min_size=2, max_size=4, unique=True))
+def test_algebraic_ordering_matches_floats(roots):
+    poly = UPoly.from_roots(roots)
+    algebraics = RealAlgebraic.roots_of(poly)
+    values = sorted(set(roots))
+    assert len(algebraics) == len(values)
+    for alg, expected in zip(algebraics, values):
+        assert alg == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(rationals, min_size=1, max_size=3, unique=True),
+    nonzero_polys(),
+)
+def test_sign_of_agrees_with_direct_evaluation(roots, probe):
+    poly = UPoly.from_roots(roots)
+    for alg in RealAlgebraic.roots_of(poly):
+        value = probe(alg.as_fraction()) if alg.is_rational() else None
+        if value is not None:
+            assert alg.sign_of(probe) == (value > 0) - (value < 0)

@@ -1,0 +1,124 @@
+"""CAD decision procedure for FO + POLY sentences."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import exists, forall, variables
+from repro.qe import decide, find_sample, projection_set, satisfiable
+from repro.realalg import term_to_polynomial
+from repro._errors import QEError
+
+x, y, z = variables("x y z")
+
+
+class TestDecideOneVar:
+    def test_existential(self):
+        assert decide(exists(x, (x**2).eq(2))) is True
+        assert decide(exists(x, (x**2).eq(-1))) is False
+
+    def test_universal(self):
+        assert decide(forall(x, x**2 >= 0)) is True
+        assert decide(forall(x, x**2 > 0)) is False  # fails at 0
+
+
+class TestDecideTwoVars:
+    def test_disk_nonempty(self):
+        assert decide(exists([x, y], x**2 + y**2 < 1)) is True
+
+    def test_single_point_set(self):
+        assert decide(exists([x, y], (x**2 + y**2).eq(0))) is True
+
+    def test_empty_set(self):
+        assert decide(exists([x, y], x**2 + y**2 < -1)) is False
+
+    def test_forall_exists_sqrt(self):
+        # Every non-negative x has a square root.
+        f = forall(x, (x < 0) | exists(y, (y**2).eq(x)))
+        assert decide(f) is True
+
+    def test_forall_exists_sqrt_fails_globally(self):
+        f = forall(x, exists(y, (y**2).eq(x)))
+        assert decide(f) is False
+
+    def test_circle_line_tangency(self):
+        # The line y = 1 touches the unit circle.
+        f = exists([x, y], (x**2 + y**2).eq(1) & y.eq(1))
+        assert decide(f) is True
+        # The line y = 2 misses it.
+        g = exists([x, y], (x**2 + y**2).eq(1) & y.eq(2))
+        assert decide(g) is False
+
+    def test_parabola_below_line(self):
+        # forall x: x^2 + 1 > x
+        assert decide(forall(x, x**2 + 1 > x)) is True
+
+
+class TestDecideThreeVars:
+    def test_sphere(self):
+        f = exists([x, y, z], (x**2 + y**2 + z**2).eq(1) & (z > Fraction(1, 2)))
+        assert decide(f) is True
+
+    def test_empty_intersection(self):
+        f = exists(
+            [x, y, z],
+            (x**2 + y**2 + z**2 < 1) & (x > 2),
+        )
+        assert decide(f) is False
+
+
+class TestValidation:
+    def test_free_variables_rejected(self):
+        with pytest.raises(QEError):
+            decide(x**2 < 1)
+
+    def test_relations_rejected(self):
+        from repro.logic import Relation
+
+        R = Relation("R", 1)
+        with pytest.raises(QEError):
+            decide(exists(x, R(x)))
+
+
+class TestSatisfiability:
+    def test_satisfiable_with_sample(self):
+        f = (x**2 + y**2 < 1) & (y > x) & (x > 0)
+        sample = find_sample(f)
+        assert sample is not None
+        # The sample must actually satisfy the formula (exact check).
+        xx, yy = sample["x"], sample["y"]
+        assert xx**2 + yy**2 < 1 and yy > xx and xx > 0
+
+    def test_unsatisfiable(self):
+        assert satisfiable((x**2 < 0)) is False
+        assert find_sample(x**2 < 0) is None
+
+    def test_closed_formula(self):
+        from repro.logic import TRUE, FALSE
+
+        assert find_sample(TRUE) == {}
+        assert find_sample(FALSE) is None
+
+    def test_equality_constraint_found(self):
+        f = (x**2 + y**2).eq(0)
+        sample = find_sample(f)
+        assert sample == {"x": 0, "y": 0}
+
+
+class TestProjection:
+    def test_circle_projection_contains_discriminant_zeros(self):
+        circle = term_to_polynomial(x**2 + y**2 - 1, ("x", "y"))
+        projected = projection_set([circle], "y")
+        # x = +-1 (the silhouette) must be roots of some projection poly.
+        assert any(
+            p.evaluate({"x": Fraction(1)}) == 0 for p in projected
+        )
+        assert any(
+            p.evaluate({"x": Fraction(-1)}) == 0 for p in projected
+        )
+
+    def test_projection_keeps_var_free_polys(self):
+        p = term_to_polynomial(x - 1, ("x", "y"))
+        q = term_to_polynomial(y**2 - x, ("x", "y"))
+        projected = projection_set([p, q], "y")
+        assert any(pp.degree_in("x") >= 1 for pp in projected)

@@ -1,0 +1,85 @@
+"""Dense-order QE wrapper and the quantifier-free simplifier."""
+
+import pytest
+
+from repro.logic import FALSE, Relation, TRUE, exists, forall, variables
+from repro.qe import (
+    check_dense_order,
+    decide_dense_order,
+    qe_dense_order,
+    simplify_qf,
+)
+from repro._errors import SignatureError
+
+x, y, z = variables("x y z")
+
+
+class TestDenseOrderSignature:
+    def test_accepts_order_atoms(self):
+        check_dense_order(exists(y, (x < y) & (y < z)))
+
+    def test_accepts_constants(self):
+        check_dense_order((x < 1) & (x > 0))
+
+    def test_rejects_addition(self):
+        with pytest.raises(SignatureError):
+            check_dense_order(x + y < 1)
+
+    def test_rejects_multiplication(self):
+        with pytest.raises(SignatureError):
+            check_dense_order(x * x < 1)
+
+    def test_relation_args_checked(self):
+        R = Relation("R", 1)
+        with pytest.raises(SignatureError):
+            check_dense_order(R(x + 1))
+
+
+class TestDenseOrderQE:
+    def test_density_decided(self):
+        f = forall(x, forall(y, (x < y).implies(exists(z, (x < z) & (z < y)))))
+        assert decide_dense_order(f) is True
+
+    def test_between(self):
+        g = qe_dense_order(exists(y, (x < y) & (y < z)))
+        assert g.free_variables() <= {"x", "z"}
+
+
+class TestSimplifier:
+    def test_constant_folding(self):
+        from repro.logic import Const
+        from fractions import Fraction
+
+        f = (Const(Fraction(1)) < Const(Fraction(2))) & (x < 1)
+        assert simplify_qf(f) == (x < 1)
+
+    def test_contradiction_detected(self):
+        f = (x < 1) & (x >= 1)
+        assert simplify_qf(f) == FALSE
+
+    def test_tautology_detected(self):
+        f = (x < 1) | (x >= 1)
+        assert simplify_qf(f) == TRUE
+
+    def test_duplicates_removed(self):
+        f = (x < 1) & (x < 1) & (y < 1)
+        simplified = simplify_qf(f)
+        from repro.logic import And
+
+        assert isinstance(simplified, And)
+        assert len(simplified.args) == 2
+
+    def test_nested_not(self):
+        f = ~((x < 1) & TRUE)
+        assert simplify_qf(f) == (x >= 1)
+
+    def test_false_conjunct_collapses(self):
+        from repro.logic import Const
+        from fractions import Fraction
+
+        f = (x < 1) & (Const(Fraction(2)) < Const(Fraction(1)))
+        assert simplify_qf(f) == FALSE
+
+    def test_rejects_quantifiers(self):
+        with pytest.raises(TypeError):
+            simplify_qf(exists(x, x < 1))

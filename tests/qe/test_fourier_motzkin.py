@@ -1,0 +1,171 @@
+"""Fourier-Motzkin quantifier elimination for FO + LIN."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import (
+    Relation,
+    between,
+    evaluate,
+    exists,
+    exists_adom,
+    forall,
+    variables,
+)
+from repro.qe import (
+    conjunct_to_constraints,
+    decide_linear,
+    eliminate_variable,
+    is_feasible,
+    qe_linear,
+    remove_redundant,
+)
+from repro._errors import QEError
+
+x, y, z = variables("x y z")
+
+
+def equivalent_on_grid(f, g, names, grid=None):
+    """Exact semantic comparison of two quantifier-free formulas on a grid."""
+    if grid is None:
+        grid = [Fraction(n, 2) for n in range(-4, 5)]
+    import itertools
+
+    for point in itertools.product(grid, repeat=len(names)):
+        env = dict(zip(names, point))
+        if evaluate(f, env) != evaluate(g, env):
+            return False, env
+    return True, None
+
+
+class TestEliminateVariable:
+    def test_transitivity(self):
+        (constraints,) = conjunct_to_constraints([x < y, y < z])
+        result = eliminate_variable("y", constraints)
+        assert result is not None
+        assert len(result) == 1
+        assert result[0].op == "<"
+
+    def test_equality_substitution(self):
+        (constraints,) = conjunct_to_constraints([y.eq(x + 1), y < 3])
+        result = eliminate_variable("y", constraints)
+        assert result is not None
+        # x + 1 < 3  i.e.  x < 2
+        assert result[0].evaluate({"x": Fraction(1)}) is True
+        assert result[0].evaluate({"x": Fraction(2)}) is False
+
+    def test_no_bounds_is_vacuous(self):
+        (constraints,) = conjunct_to_constraints([y > x])  # only a lower bound
+        result = eliminate_variable("y", constraints)
+        assert result == []
+
+    def test_infeasible_detected(self):
+        (constraints,) = conjunct_to_constraints([y < x, y > x])
+        result = eliminate_variable("y", constraints)
+        # Combining the bounds gives x - x < 0, a constant-false
+        # constraint, so the whole conjunct is reported infeasible.
+        assert result is None
+
+    def test_strictness_propagates(self):
+        (constraints,) = conjunct_to_constraints([x <= y, y <= z])
+        result = eliminate_variable("y", constraints)
+        assert result[0].op == "<="
+
+
+class TestQELinear:
+    def test_transitive_closure(self):
+        f = exists(y, (x < y) & (y < z))
+        g = qe_linear(f)
+        ok, witness = equivalent_on_grid(g, x < z, ["x", "z"])
+        assert ok, witness
+
+    def test_forall(self):
+        f = forall(y, (y > x) | (y < z))
+        g = qe_linear(f)
+        # holds iff x < z
+        ok, witness = equivalent_on_grid(g, x < z, ["x", "z"])
+        assert ok, witness
+
+    def test_neq_handled(self):
+        f = exists(y, y.ne(0) & (y < x) & (y > -x))
+        g = qe_linear(f)
+        # exists y != 0 in (-x, x): true iff x > 0
+        ok, witness = equivalent_on_grid(g, x > 0, ["x"])
+        assert ok, witness
+
+    def test_free_variables_preserved(self):
+        f = exists(y, (x < y) & (y < z))
+        assert qe_linear(f).free_variables() <= {"x", "z"}
+
+    def test_rejects_relations(self):
+        R = Relation("R", 1)
+        with pytest.raises(QEError):
+            qe_linear(exists(y, R(y)))
+
+    def test_rejects_adom_quantifiers(self):
+        with pytest.raises(QEError):
+            qe_linear(exists_adom(y, y < x))
+
+    def test_nested_quantifiers(self):
+        f = exists(y, (x < y) & exists(z, (y < z) & (z < 1)))
+        g = qe_linear(f)
+        ok, witness = equivalent_on_grid(g, x < 1, ["x"])
+        assert ok, witness
+
+    def test_rational_coefficients(self):
+        f = exists(y, (3 * y).eq(x) & (y > Fraction(1, 3)))
+        g = qe_linear(f)
+        ok, witness = equivalent_on_grid(g, x > 1, ["x"])
+        assert ok, witness
+
+
+class TestDecide:
+    def test_density(self):
+        assert decide_linear(forall(x, forall(y, (x < y).implies(
+            exists(z, (x < z) & (z < y)))))) is True
+
+    def test_unboundedness(self):
+        assert decide_linear(forall(x, exists(y, y > x))) is True
+
+    def test_false_sentence(self):
+        assert decide_linear(exists(x, (x < 0) & (x > 0))) is False
+
+    def test_rejects_free_variables(self):
+        with pytest.raises(QEError):
+            decide_linear(x < 1)
+
+
+class TestFeasibility:
+    def test_feasible(self):
+        (constraints,) = conjunct_to_constraints([x > 0, x < 1, y > x])
+        assert is_feasible(constraints) is True
+
+    def test_infeasible(self):
+        (constraints,) = conjunct_to_constraints([x > y, y > z, z > x])
+        assert is_feasible(constraints) is False
+
+    def test_tight_equality_feasible(self):
+        (constraints,) = conjunct_to_constraints([x.eq(1), x >= 1, x <= 1])
+        assert is_feasible(constraints) is True
+
+    def test_empty_is_feasible(self):
+        assert is_feasible([]) is True
+
+
+class TestRedundancy:
+    def test_dominated_constraint_removed(self):
+        (constraints,) = conjunct_to_constraints([x < 1, x < 2])
+        kept = remove_redundant(constraints)
+        assert len(kept) == 1
+        assert kept[0].evaluate({"x": Fraction(3, 2)}) is False
+
+    def test_non_redundant_kept(self):
+        (constraints,) = conjunct_to_constraints([x > 0, x < 1])
+        assert len(remove_redundant(constraints)) == 2
+
+    def test_implied_by_combination(self):
+        # x < 1, y < 1 imply x + y < 2.
+        (constraints,) = conjunct_to_constraints([x < 1, y < 1, x + y < 2])
+        kept = remove_redundant(constraints)
+        assert len(kept) == 2

@@ -1,0 +1,151 @@
+"""Intervals and interval unions (the END substrate)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.qe import Interval, IntervalUnion, rational_between
+from repro.realalg import RealAlgebraic, UPoly
+
+
+def sqrt2():
+    return RealAlgebraic.roots_of(UPoly([-2, 0, 1]))[1]
+
+
+class TestInterval:
+    def test_point(self):
+        p = Interval.point(Fraction(1))
+        assert p.is_point()
+        assert p.measure() == 0
+        assert p.contains(Fraction(1))
+
+    def test_open_interval_membership(self):
+        i = Interval.open(Fraction(0), Fraction(1))
+        assert i.contains(Fraction(1, 2))
+        assert not i.contains(Fraction(0))
+        assert not i.contains(Fraction(1))
+
+    def test_closed_interval_membership(self):
+        i = Interval.closed(Fraction(0), Fraction(1))
+        assert i.contains(Fraction(0)) and i.contains(Fraction(1))
+
+    def test_unbounded(self):
+        i = Interval.open(None, Fraction(0))
+        assert not i.is_bounded()
+        assert i.measure() == float("inf")
+        assert i.contains(Fraction(-100))
+        assert not i.contains(Fraction(0))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval.open(Fraction(1), Fraction(0))
+
+    def test_degenerate_open_rejected(self):
+        with pytest.raises(ValueError):
+            Interval.open(Fraction(1), Fraction(1))
+
+    def test_infinite_endpoint_cannot_be_closed(self):
+        with pytest.raises(ValueError):
+            Interval(None, Fraction(0), closed_low=True)
+
+    def test_measure_exact(self):
+        assert Interval.open(Fraction(1, 3), Fraction(1, 2)).measure() == Fraction(1, 6)
+
+    def test_sample_inside(self):
+        i = Interval.open(Fraction(0), Fraction(1))
+        assert i.contains(i.sample())
+
+    def test_algebraic_endpoint(self):
+        i = Interval.open(Fraction(0), sqrt2())
+        assert i.contains(Fraction(1))
+        assert not i.contains(Fraction(2))
+
+
+class TestIntervalUnion:
+    def test_merging_overlapping(self):
+        u = IntervalUnion([
+            Interval.open(Fraction(0), Fraction(2)),
+            Interval.open(Fraction(1), Fraction(3)),
+        ])
+        assert len(u) == 1
+        assert u.measure() == 3
+
+    def test_touching_merge_needs_closure(self):
+        open_pair = IntervalUnion([
+            Interval.open(Fraction(0), Fraction(1)),
+            Interval.open(Fraction(1), Fraction(2)),
+        ])
+        assert len(open_pair) == 2  # 1 itself is missing
+        closed_join = IntervalUnion([
+            Interval.open(Fraction(0), Fraction(1)),
+            Interval(Fraction(1), Fraction(2), True, False),
+        ])
+        assert len(closed_join) == 1
+
+    def test_point_bridges_intervals(self):
+        u = IntervalUnion([
+            Interval.open(Fraction(0), Fraction(1)),
+            Interval.point(Fraction(1)),
+            Interval.open(Fraction(1), Fraction(2)),
+        ])
+        assert len(u) == 1
+        assert u.measure() == 2
+
+    def test_endpoints_sorted_distinct(self):
+        u = IntervalUnion([
+            Interval.open(Fraction(2), Fraction(3)),
+            Interval.point(Fraction(1)),
+        ])
+        assert u.endpoints() == [Fraction(1), Fraction(2), Fraction(3)]
+
+    def test_point_contributes_one_endpoint(self):
+        u = IntervalUnion([Interval.point(Fraction(5))])
+        assert u.endpoints() == [Fraction(5)]
+
+    def test_clip(self):
+        u = IntervalUnion([Interval.open(Fraction(-1), Fraction(2))])
+        clipped = u.clip(Fraction(0), Fraction(1))
+        assert clipped.measure() == 1
+        assert clipped.contains(Fraction(0))
+
+    def test_clip_drops_outside(self):
+        u = IntervalUnion([Interval.open(Fraction(5), Fraction(6))])
+        assert u.clip(Fraction(0), Fraction(1)).is_empty()
+
+    def test_measure_sums(self):
+        u = IntervalUnion([
+            Interval.open(Fraction(0), Fraction(1)),
+            Interval.open(Fraction(5), Fraction(7)),
+        ])
+        assert u.measure() == 3
+
+    def test_empty(self):
+        assert IntervalUnion.empty().is_empty()
+        assert IntervalUnion.empty().measure() == 0
+        assert IntervalUnion.empty().endpoints() == []
+
+
+class TestRationalBetween:
+    def test_bounded(self):
+        v = rational_between(Fraction(0), Fraction(1))
+        assert 0 < v < 1
+
+    def test_unbounded_left(self):
+        assert rational_between(None, Fraction(0)) < 0
+
+    def test_unbounded_right(self):
+        assert rational_between(Fraction(0), None) > 0
+
+    def test_both_unbounded(self):
+        rational_between(None, None)  # any rational
+
+    def test_between_algebraics(self):
+        r2 = sqrt2()
+        r3 = RealAlgebraic.roots_of(UPoly([-3, 0, 1]))[1]
+        v = rational_between(r2, r3)
+        assert r2 < v < r3
+
+    def test_between_rational_and_algebraic(self):
+        v = rational_between(Fraction(14, 10), sqrt2())
+        assert Fraction(14, 10) < v
+        assert sqrt2() > v

@@ -1,0 +1,97 @@
+"""Linear constraint normalisation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import Compare, variables
+from repro.qe import LinConstraint, compare_to_constraints, linear_parts
+from repro.realalg import term_to_polynomial
+from repro._errors import SignatureError
+
+x, y = variables("x y")
+
+
+class TestLinearParts:
+    def test_splits_coeffs_and_constant(self):
+        coeffs, constant = linear_parts(term_to_polynomial(2 * x - y + 3))
+        assert coeffs == {"x": 2, "y": -1}
+        assert constant == 3
+
+    def test_rejects_nonlinear(self):
+        with pytest.raises(SignatureError):
+            linear_parts(term_to_polynomial(x * y))
+
+
+class TestNormalisation:
+    def test_less_than(self):
+        (c,) = compare_to_constraints(x + 1 < y)
+        assert c.op == "<"
+        assert c.coeff("x") == 1 and c.coeff("y") == -1 and c.constant == 1
+
+    def test_greater_flipped(self):
+        (c,) = compare_to_constraints(x > 3)
+        assert c.op == "<"
+        assert c.coeff("x") == -1 and c.constant == 3
+
+    def test_ge_flipped(self):
+        (c,) = compare_to_constraints(x >= 0)
+        assert c.op == "<="
+
+    def test_equality(self):
+        (c,) = compare_to_constraints(x.eq(y))
+        assert c.op == "="
+
+    def test_neq_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_constraints(x.ne(y))
+
+    def test_cancellation_gives_constant_constraint(self):
+        (c,) = compare_to_constraints(x < x + 1)
+        assert c.is_constant()
+        assert c.constant_truth() is True
+
+
+class TestConstraintOperations:
+    def test_evaluate(self):
+        c = LinConstraint.make({"x": Fraction(1)}, Fraction(-1), "<")  # x - 1 < 0
+        assert c.evaluate({"x": Fraction(0)}) is True
+        assert c.evaluate({"x": Fraction(1)}) is False
+
+    def test_scale_positive_only(self):
+        c = LinConstraint.make({"x": Fraction(2)}, 0, "<")
+        assert c.scale(Fraction(1, 2)).coeff("x") == 1
+        with pytest.raises(ValueError):
+            c.scale(Fraction(-1))
+
+    def test_substitute_var(self):
+        # x + y < 0, substitute x := 2y + 1  ->  3y + 1 < 0
+        c = LinConstraint.make({"x": Fraction(1), "y": Fraction(1)}, 0, "<")
+        s = c.substitute_var("x", {"y": Fraction(2)}, Fraction(1))
+        assert s.coeff("y") == 3 and s.constant == 1
+
+    def test_negation_of_strict(self):
+        c = LinConstraint.make({"x": Fraction(1)}, 0, "<")
+        (negated,) = c.negated_formulas()
+        assert negated.op == "<="
+        assert negated.coeff("x") == -1
+
+    def test_negation_of_equality_splits(self):
+        c = LinConstraint.make({"x": Fraction(1)}, 0, "=")
+        branches = c.negated_formulas()
+        assert len(branches) == 2
+        assert all(b.op == "<" for b in branches)
+
+    def test_to_formula_roundtrip(self):
+        (c,) = compare_to_constraints(2 * x - y < 3)
+        (c2,) = compare_to_constraints(c.to_formula())
+        assert c == c2
+
+    def test_constant_truth_requires_constant(self):
+        c = LinConstraint.make({"x": Fraction(1)}, 0, "<")
+        with pytest.raises(ValueError):
+            c.constant_truth()
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            LinConstraint.make({}, 0, ">")

@@ -1,0 +1,111 @@
+"""One-variable exact solving (the 1-D CAD / END engine)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import FALSE, TRUE, exists, variables
+from repro.qe import solve_univariate
+from repro._errors import QEError
+
+x, y = variables("x y")
+
+
+class TestLinear:
+    def test_interval(self):
+        sol = solve_univariate((x > 0) & (x < 1), "x")
+        assert sol.measure() == 1
+        assert sol.endpoints() == [0, 1]
+
+    def test_point(self):
+        sol = solve_univariate((2 * x).eq(1), "x")
+        assert len(sol) == 1
+        assert sol.intervals[0].is_point()
+        assert sol.endpoints() == [Fraction(1, 2)]
+
+    def test_union(self):
+        sol = solve_univariate((x < 0) | (x > 1), "x")
+        assert len(sol) == 2
+        assert not sol.is_bounded()
+
+    def test_whole_line(self):
+        sol = solve_univariate(TRUE, "x")
+        assert len(sol) == 1
+        assert sol.endpoints() == []
+
+    def test_empty(self):
+        sol = solve_univariate(FALSE, "x")
+        assert sol.is_empty()
+        sol2 = solve_univariate((x < 0) & (x > 0), "x")
+        assert sol2.is_empty()
+
+    def test_neq_punctures(self):
+        sol = solve_univariate((x >= 0) & (x <= 2) & x.ne(1), "x")
+        assert sol.measure() == 2
+        assert len(sol) == 2
+        assert sol.endpoints() == [0, 1, 2]
+
+    def test_closed_endpoints(self):
+        sol = solve_univariate((x >= 0) & (x <= 1), "x")
+        assert sol.contains(Fraction(0)) and sol.contains(Fraction(1))
+
+
+class TestPolynomial:
+    def test_quadratic_inequality(self):
+        sol = solve_univariate(x**2 < 2, "x")
+        assert len(sol) == 1
+        endpoints = sol.endpoints()
+        assert len(endpoints) == 2
+        assert abs(float(sol.measure()) - 2 * 2**0.5) < 1e-9
+
+    def test_equality_picks_roots(self):
+        sol = solve_univariate((x**2).eq(1), "x")
+        assert len(sol) == 2
+        assert all(i.is_point() for i in sol)
+        assert sol.endpoints() == [-1, 1]
+
+    def test_no_real_solutions(self):
+        sol = solve_univariate((x**2).eq(-1), "x")
+        assert sol.is_empty()
+
+    def test_cubic_sign_alternation(self):
+        # x(x-1)(x-2) < 0 on (-inf,0) u (1,2)
+        sol = solve_univariate(x * (x - 1) * (x - 2) < 0, "x")
+        assert len(sol) == 2
+        assert sol.contains(Fraction(-5))
+        assert sol.contains(Fraction(3, 2))
+        assert not sol.contains(Fraction(1, 2))
+
+    def test_touching_root(self):
+        # x^2 <= 0 only at 0
+        sol = solve_univariate(x**2 <= 0, "x")
+        assert len(sol) == 1
+        assert sol.intervals[0].is_point()
+
+    def test_mixed_boolean_structure(self):
+        sol = solve_univariate(((x**2 < 1) | (x > 3)) & x.ne(0), "x")
+        assert sol.contains(Fraction(1, 2))
+        assert not sol.contains(Fraction(0))
+        assert sol.contains(Fraction(4))
+
+
+class TestQuantified:
+    def test_linear_quantifier_eliminated(self):
+        sol = solve_univariate(exists(y, (y > x) & (y < 1)), "x")
+        # exists y in (x, 1): true iff x < 1
+        assert sol.contains(Fraction(0))
+        assert not sol.contains(Fraction(1))
+
+    def test_nonlinear_quantifier_rejected(self):
+        with pytest.raises(QEError):
+            solve_univariate(exists(y, (y * y).eq(x)), "x")
+
+
+class TestValidation:
+    def test_extra_free_variables_rejected(self):
+        with pytest.raises(QEError):
+            solve_univariate(x < y, "x")
+
+    def test_unused_variable_ok(self):
+        sol = solve_univariate(TRUE | (x < 1), "x")
+        assert not sol.is_empty()

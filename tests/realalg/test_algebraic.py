@@ -1,0 +1,110 @@
+"""Real algebraic numbers: comparisons and polynomial signs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.realalg import RealAlgebraic, UPoly
+
+
+def sqrt2() -> RealAlgebraic:
+    return RealAlgebraic.roots_of(UPoly([-2, 0, 1]))[1]
+
+
+def sqrt3() -> RealAlgebraic:
+    return RealAlgebraic.roots_of(UPoly([-3, 0, 1]))[1]
+
+
+class TestConstruction:
+    def test_from_rational(self):
+        r = RealAlgebraic.from_rational(Fraction(2, 3))
+        assert r.is_rational()
+        assert r.as_fraction() == Fraction(2, 3)
+
+    def test_roots_sorted(self):
+        roots = RealAlgebraic.roots_of(UPoly.from_roots([3, -1, 0]))
+        values = [r.as_fraction() for r in roots]
+        assert values == [-1, 0, 3]
+
+    def test_irrational_as_fraction_raises(self):
+        with pytest.raises(ValueError):
+            sqrt2().as_fraction()
+
+    def test_float_conversion(self):
+        assert abs(float(sqrt2()) - 2**0.5) < 1e-12
+
+
+class TestComparisons:
+    def test_compare_with_rational(self):
+        r = sqrt2()
+        assert r > Fraction(7, 5)
+        assert r < Fraction(3, 2)
+        assert not (r == Fraction(3, 2))
+
+    def test_compare_two_algebraics(self):
+        assert sqrt2() < sqrt3()
+        assert sqrt3() > sqrt2()
+
+    def test_equality_of_same_root_different_polys(self):
+        # sqrt(2) as root of x^2-2 and of x^4-4 (= (x^2-2)(x^2+2)).
+        a = sqrt2()
+        b = RealAlgebraic.roots_of(UPoly([-4, 0, 0, 0, 1]))[1]
+        assert a == b
+        assert not (a < b) and not (b < a)
+
+    def test_rational_valued_root_equals_fraction(self):
+        r = RealAlgebraic.roots_of(UPoly.from_roots([Fraction(1, 2)]))[0]
+        assert r == Fraction(1, 2)
+
+    def test_total_ordering_protocol(self):
+        assert sqrt2() <= sqrt3()
+        assert sqrt3() >= sqrt2()
+        assert sqrt2() != sqrt3()
+
+    def test_sorting(self):
+        values = [sqrt3(), RealAlgebraic.from_rational(0), sqrt2()]
+        ordered = sorted(values)
+        assert [float(v) for v in ordered] == sorted(float(v) for v in values)
+
+
+class TestSignOf:
+    def test_sign_zero_at_own_root(self):
+        r = sqrt2()
+        assert r.sign_of(UPoly([-2, 0, 1])) == 0
+
+    def test_sign_of_other_polynomials(self):
+        r = sqrt2()
+        assert r.sign_of(UPoly([-1, 1])) == 1  # x - 1 > 0 at sqrt2
+        assert r.sign_of(UPoly([-3, 1])) == -1  # x - 3 < 0
+        assert r.sign_of(UPoly([0, -1])) == -1  # -x
+
+    def test_sign_of_zero_polynomial(self):
+        assert sqrt2().sign_of(UPoly([])) == 0
+
+    def test_sign_at_rational_point(self):
+        r = RealAlgebraic.from_rational(2)
+        assert r.sign_of(UPoly([-2, 1])) == 0
+        assert r.sign_of(UPoly([-1, 1])) == 1
+
+    def test_sign_of_multiple_of_defining_poly(self):
+        r = sqrt2()
+        # (x^2 - 2) * (x + 10)
+        p = UPoly([-2, 0, 1]) * UPoly([10, 1])
+        assert r.sign_of(p) == 0
+
+
+class TestBounds:
+    def test_bounds_enclose(self):
+        r = sqrt2()
+        low, high = r.bounds(Fraction(1, 10**6))
+        assert low < high
+        assert high - low < Fraction(1, 10**6)
+        assert low * low < 2 < high * high
+
+    def test_bounds_of_rational(self):
+        r = RealAlgebraic.from_rational(Fraction(1, 3))
+        assert r.bounds() == (Fraction(1, 3), Fraction(1, 3))
+
+    def test_approximate_accuracy(self):
+        approx = sqrt2().approximate(Fraction(1, 10**10))
+        assert abs(approx * approx - 2) < Fraction(1, 10**9)

@@ -1,0 +1,97 @@
+"""Edge cases across the real-algebra substrate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import variables
+from repro.realalg import (
+    Polynomial,
+    RealAlgebraic,
+    UPoly,
+    isolate_real_roots,
+    term_to_polynomial,
+)
+
+x, y = variables("x y")
+
+
+class TestPolynomialEdges:
+    def test_with_variables_cannot_drop_used(self):
+        p = term_to_polynomial(x * y)
+        with pytest.raises(ValueError):
+            p.with_variables(("x",))
+
+    def test_with_variables_reorders(self):
+        p = term_to_polynomial(x - y, ("x", "y"))
+        q = p.with_variables(("y", "x", "z"))
+        assert p == q
+        assert q.evaluate({"x": Fraction(3), "y": Fraction(1), "z": Fraction(9)}) == 2
+
+    def test_align_disjoint_variables(self):
+        p = Polynomial.variable("x")
+        q = Polynomial.variable("y")
+        left, right = Polynomial.align(p, q)
+        assert left.variables == right.variables
+
+    def test_constant_value_of_nonconstant_raises(self):
+        with pytest.raises(ValueError):
+            term_to_polynomial(x + 1).constant_value()
+
+    def test_substitute_all_variables_gives_constant(self):
+        p = term_to_polynomial(x**2 + y)
+        q = p.substitute({"x": Fraction(2), "y": Fraction(-4)})
+        assert q.is_constant() and q.constant_value() == 0
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(TypeError):
+            term_to_polynomial(x) + 0.5
+
+
+class TestRootEdges:
+    def test_root_at_zero_with_x_factor(self):
+        # p = x^2 (x - 1): roots {0, 1}, both rational.
+        p = UPoly([0, 0, -1, 1])
+        isolations = isolate_real_roots(p)
+        assert [i.exact for i in isolations] == [0, 1]
+
+    def test_tight_cluster_separated(self):
+        # Roots at 0, 1/128, 1/64 — requires fine bisection.
+        p = UPoly.from_roots([0, Fraction(1, 128), Fraction(1, 64)])
+        isolations = isolate_real_roots(p)
+        assert len(isolations) == 3
+
+    def test_large_coefficients_skip_rational_search(self):
+        # Coefficients too large for trial division: still isolates.
+        huge = 10**40 + 1
+        p = UPoly([-huge, 0, 1])  # x^2 = huge
+        isolations = isolate_real_roots(p)
+        assert len(isolations) == 2
+
+    def test_negative_rational_root_recognised(self):
+        p = UPoly.from_roots([Fraction(-3, 7)])
+        (iso,) = isolate_real_roots(p)
+        assert iso.exact == Fraction(-3, 7)
+
+
+class TestAlgebraicEdges:
+    def test_equal_hash_for_equal_numbers(self):
+        a = RealAlgebraic.roots_of(UPoly([-2, 0, 1]))[1]
+        b = RealAlgebraic.roots_of(UPoly([-4, 0, 0, 0, 1]))[1]
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_set_semantics(self):
+        a = RealAlgebraic.roots_of(UPoly([-2, 0, 1]))[1]
+        b = RealAlgebraic.roots_of(UPoly([-4, 0, 0, 0, 1]))[1]
+        assert len({a, b}) == 1
+
+    def test_close_but_distinct(self):
+        # sqrt(2) vs sqrt(2) + 1/2^20: distinct and ordered correctly.
+        sqrt2 = RealAlgebraic.roots_of(UPoly([-2, 0, 1]))[1]
+        offset = Fraction(1, 2**20)
+        # (x - offset)^2 = 2  ->  x = sqrt2 + offset
+        shifted_poly = UPoly([offset**2 - 2, -2 * offset, 1])
+        shifted = RealAlgebraic.roots_of(shifted_poly)[1]
+        assert sqrt2 < shifted
+        assert sqrt2 != shifted

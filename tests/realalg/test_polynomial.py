@@ -1,0 +1,127 @@
+"""Multivariate polynomial arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import variables
+from repro.realalg import Polynomial, term_to_polynomial
+
+x, y = variables("x y")
+
+
+class TestConstruction:
+    def test_constant(self):
+        p = Polynomial.constant(Fraction(3, 2))
+        assert p.is_constant()
+        assert p.constant_value() == Fraction(3, 2)
+
+    def test_zero_constant(self):
+        p = Polynomial.constant(0)
+        assert p.is_zero()
+        assert p.constant_value() == 0
+
+    def test_variable(self):
+        p = Polynomial.variable("x")
+        assert p.degree_in("x") == 1
+        assert p.used_variables() == {"x"}
+
+    def test_variable_must_be_listed(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable("x", ("y",))
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial(("x",), {(1,): Fraction(0), (0,): Fraction(1)})
+        assert p.is_constant()
+
+    def test_monomial_length_checked(self):
+        with pytest.raises(ValueError):
+            Polynomial(("x", "y"), {(1,): Fraction(1)})
+
+
+class TestArithmetic:
+    def test_addition_aligns_variables(self):
+        p = Polynomial.variable("x") + Polynomial.variable("y")
+        assert p.used_variables() == {"x", "y"}
+
+    def test_binomial_expansion(self):
+        p = term_to_polynomial((x + y) ** 2)
+        q = term_to_polynomial(x**2 + 2 * x * y + y**2)
+        assert p == q
+
+    def test_subtraction_cancels(self):
+        p = term_to_polynomial(x * y) - term_to_polynomial(x * y)
+        assert p.is_zero()
+
+    def test_scalar_operations(self):
+        p = 2 * Polynomial.variable("x") + 1
+        assert p.evaluate({"x": Fraction(3)}) == 7
+
+    def test_power(self):
+        p = Polynomial.variable("x") ** 5
+        assert p.degree_in("x") == 5
+        assert (Polynomial.variable("x") ** 0).constant_value() == 1
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable("x") ** -1
+
+    def test_equality_with_constants(self):
+        assert Polynomial.constant(5) == 5
+        assert Polynomial.constant(5) != 6
+
+
+class TestQueries:
+    def test_total_degree(self):
+        p = term_to_polynomial(x**2 * y + x)
+        assert p.total_degree() == 3
+
+    def test_degree_in_each_variable(self):
+        p = term_to_polynomial(x**2 * y + x)
+        assert p.degree_in("x") == 2
+        assert p.degree_in("y") == 1
+        assert p.degree_in("z") == 0
+
+    def test_zero_degree(self):
+        assert Polynomial.constant(0).total_degree() == 0
+
+
+class TestSubstitution:
+    def test_substitute_constant(self):
+        p = term_to_polynomial(x**2 + y)
+        q = p.substitute({"x": Fraction(2)})
+        assert q == term_to_polynomial(y + 4)
+
+    def test_substitute_polynomial(self):
+        p = term_to_polynomial(x**2)
+        q = p.substitute({"x": term_to_polynomial(y + 1)})
+        assert q == term_to_polynomial(y**2 + 2 * y + 1)
+
+    def test_evaluate(self):
+        p = term_to_polynomial(x * y - 1)
+        assert p.evaluate({"x": Fraction(1, 2), "y": Fraction(4)}) == 1
+
+
+class TestUnivariateViews:
+    def test_as_univariate_in(self):
+        p = term_to_polynomial(x**2 * y + x + 3)
+        coeffs = p.as_univariate_in("x")
+        assert len(coeffs) == 3
+        assert coeffs[0].constant_value() == 3
+        assert coeffs[2] == term_to_polynomial(y, ("y",))
+
+    def test_univariate_coefficients(self):
+        p = term_to_polynomial(x**2 - 2)
+        assert p.univariate_coefficients() == [Fraction(-2), Fraction(0), Fraction(1)]
+
+    def test_univariate_rejects_multivariate(self):
+        with pytest.raises(ValueError):
+            term_to_polynomial(x * y).univariate_coefficients()
+
+
+class TestHashing:
+    def test_equal_polys_same_hash_across_var_tuples(self):
+        p = term_to_polynomial(x + 1, ("x", "y"))
+        q = term_to_polynomial(x + 1, ("x",))
+        assert p == q
+        assert hash(p) == hash(q)

@@ -1,0 +1,81 @@
+"""Resultants and discriminants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import variables
+from repro.realalg import Polynomial, discriminant, resultant, term_to_polynomial
+
+x, y = variables("x y")
+
+
+def poly(term) -> Polynomial:
+    return term_to_polynomial(term, ("x", "y"))
+
+
+class TestResultant:
+    def test_circle_and_line(self):
+        # res_y(x^2 + y^2 - 1, x - y) = 2x^2 - 1
+        r = resultant(poly(x**2 + y**2 - 1), poly(x - y), "y")
+        assert r == term_to_polynomial(2 * x**2 - 1, ("x",))
+
+    def test_common_root_condition(self):
+        # p = y - x, q = y - 1: common root iff x = 1.
+        r = resultant(poly(y - x), poly(y - 1), "y")
+        assert r == term_to_polynomial(x - 1, ("x",)) or r == term_to_polynomial(
+            1 - x, ("x",)
+        )
+
+    def test_constant_cases(self):
+        r = resultant(Polynomial.constant(3, ("x", "y")), poly(y**2 - x), "y")
+        assert r == 9  # c^deg(q)
+
+    def test_both_constant_rejected(self):
+        with pytest.raises(ValueError):
+            resultant(Polynomial.constant(1), Polynomial.constant(2), "y")
+
+    def test_against_sympy_oracle(self):
+        import sympy
+
+        sx, sy = sympy.symbols("x y")
+        ours = resultant(poly(x**2 * y + y**2 - 2), poly(x * y - 1), "y")
+        theirs = sympy.resultant(sx**2 * sy + sy**2 - 2, sx * sy - 1, sy)
+        theirs_poly = sympy.Poly(theirs, sx)
+        coeffs = {
+            (int(exp),): Fraction(int(c))
+            for exp, c in zip(
+                (m[0] for m in theirs_poly.monoms()), theirs_poly.coeffs()
+            )
+        }
+        expected = Polynomial(("x",), coeffs)
+        # Resultants agree up to sign conventions for PRS variants; the
+        # Sylvester determinant is the canonical one, so demand equality.
+        assert ours == expected
+
+    def test_vanishes_iff_common_root_univariate(self):
+        import sympy
+
+        p = term_to_polynomial(x**2 - 1, ("x",))
+        q = term_to_polynomial(x - 1, ("x",))
+        r = resultant(p, q, "x")
+        assert r.is_constant() and r.constant_value() == 0
+
+
+class TestDiscriminant:
+    def test_quadratic_double_root(self):
+        # (y - x)^2 : discriminant (up to lc) vanishes identically in x.
+        squared = poly((y - x) * (y - x))
+        d = discriminant(squared, "y")
+        assert d.is_zero() or all(c == 0 for c in d.coeffs.values())
+
+    def test_quadratic_distinct_roots(self):
+        # y^2 - x: res(p, 2y) = -4x (up to sign/scale), vanishing iff x=0.
+        d = discriminant(poly(y**2 - x), "y")
+        assert d.degree_in("x") == 1
+        assert d.evaluate({"x": Fraction(0)}) == 0
+        assert d.evaluate({"x": Fraction(1)}) != 0
+
+    def test_linear_has_trivial_discriminant(self):
+        d = discriminant(poly(y - x), "y")
+        assert d.is_constant()

@@ -1,0 +1,113 @@
+"""Sturm sequences, root counting, and root isolation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.realalg import (
+    UPoly,
+    count_real_roots,
+    count_roots,
+    isolate_real_roots,
+    real_roots_as_fractions,
+    refine,
+)
+
+
+class TestCounting:
+    def test_no_real_roots(self):
+        assert count_real_roots(UPoly([1, 0, 1])) == 0  # x^2 + 1
+
+    def test_simple_roots(self):
+        assert count_real_roots(UPoly.from_roots([1, 2, 3])) == 3
+
+    def test_multiplicity_ignored(self):
+        p = UPoly.from_roots([1, 1, 2])
+        assert count_real_roots(p) == 2
+
+    def test_interval_counting(self):
+        p = UPoly.from_roots([1, 2, 3])
+        assert count_roots(p, Fraction(0), Fraction(5, 2)) == 2
+        assert count_roots(p, Fraction(3, 2), None) == 2
+        assert count_roots(p, None, Fraction(0)) == 0
+
+    def test_open_interval_excludes_endpoints(self):
+        p = UPoly.from_roots([1, 2])
+        assert count_roots(p, Fraction(1), Fraction(2)) == 0
+        assert count_roots(p, Fraction(1, 2), Fraction(2)) == 1
+
+    def test_zero_polynomial_rejected(self):
+        with pytest.raises(ValueError):
+            count_real_roots(UPoly([]))
+
+    def test_constant_has_no_roots(self):
+        assert count_real_roots(UPoly([5])) == 0
+
+
+class TestIsolation:
+    def test_rational_roots_recognised(self):
+        p = UPoly.from_roots([Fraction(1, 3), 2])
+        isolations = isolate_real_roots(p)
+        assert [i.exact for i in isolations] == [Fraction(1, 3), Fraction(2)]
+
+    def test_linear_root_exact(self):
+        isolations = isolate_real_roots(UPoly([1, 3]))  # 3x + 1
+        assert isolations[0].exact == Fraction(-1, 3)
+
+    def test_irrational_roots_isolated(self):
+        isolations = isolate_real_roots(UPoly([-2, 0, 1]))  # x^2 - 2
+        assert len(isolations) == 2
+        negative, positive = isolations
+        assert negative.high <= positive.low
+        assert not positive.is_exact()
+
+    def test_isolating_intervals_disjoint_and_sorted(self):
+        p = UPoly.from_roots([0, 1, 2, 3, 4])
+        isolations = isolate_real_roots(p)
+        assert len(isolations) == 5
+        for left, right in zip(isolations, isolations[1:]):
+            assert left.high <= right.low
+
+    def test_multiplicities_collapsed(self):
+        p = UPoly.from_roots([1, 1, 1])
+        assert len(isolate_real_roots(p)) == 1
+
+    def test_degree_zero_no_roots(self):
+        assert isolate_real_roots(UPoly([7])) == []
+
+
+class TestRefinement:
+    def test_refine_shrinks(self):
+        p = UPoly([-2, 0, 1])
+        (negative, positive) = isolate_real_roots(p)
+        refined = refine(p, positive, Fraction(1, 10**6))
+        if not refined.is_exact():
+            assert refined.width() < Fraction(1, 10**6)
+            assert refined.low < refined.high
+        # sqrt(2) is inside.
+        mid = refined.midpoint()
+        assert abs(mid * mid - 2) < Fraction(1, 100)
+
+    def test_refine_exact_passthrough(self):
+        p = UPoly.from_roots([5])
+        (iso,) = isolate_real_roots(p)
+        assert refine(p, iso, Fraction(1, 10)).exact == 5
+
+
+class TestNumericRoots:
+    def test_roots_as_fractions(self):
+        roots = real_roots_as_fractions(UPoly([-2, 0, 1]))
+        assert len(roots) == 2
+        assert abs(float(roots[1]) - 2**0.5) < 1e-9
+
+    def test_against_sympy_oracle(self):
+        import sympy
+
+        xs = sympy.symbols("x")
+        # p = x^4 - 3x^2 + 1 has 4 real roots.
+        p = UPoly([1, 0, -3, 0, 1])
+        ours = [float(r) for r in real_roots_as_fractions(p)]
+        theirs = sorted(float(r) for r in sympy.real_roots(xs**4 - 3 * xs**2 + 1))
+        assert len(ours) == len(theirs)
+        for a, b in zip(ours, theirs):
+            assert abs(a - b) < 1e-9

@@ -1,0 +1,122 @@
+"""Dense univariate polynomial arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.realalg import UPoly
+
+
+class TestBasics:
+    def test_trailing_zeros_trimmed(self):
+        assert UPoly([1, 2, 0, 0]).degree() == 1
+
+    def test_zero_degree_convention(self):
+        assert UPoly([]).degree() == -1
+        assert UPoly([0]).is_zero()
+
+    def test_from_roots(self):
+        p = UPoly.from_roots([1, -2])
+        assert p(1) == 0 and p(-2) == 0 and p(0) == -2
+
+    def test_leading_coefficient(self):
+        assert UPoly([1, 0, 3]).leading_coefficient() == 3
+        assert UPoly([]).leading_coefficient() == 0
+
+    def test_monic(self):
+        p = UPoly([2, 4]).monic()
+        assert p.coeffs == (Fraction(1, 2), Fraction(1))
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        p, q = UPoly([1, 1]), UPoly([0, 2, 1])
+        assert (p + q).coeffs == (1, 3, 1)
+        assert (q - p).coeffs == (-1, 1, 1)
+
+    def test_cancellation_trims(self):
+        p = UPoly([0, 0, 1])
+        assert (p - p).is_zero()
+
+    def test_multiplication(self):
+        p = UPoly([1, 1]) * UPoly([-1, 1])  # (x+1)(x-1) = x^2 - 1
+        assert p.coeffs == (-1, 0, 1)
+
+    def test_scalar_mult(self):
+        assert (3 * UPoly([1, 1])).coeffs == (3, 3)
+
+    def test_pow(self):
+        p = UPoly([1, 1]) ** 3
+        assert p.coeffs == (1, 3, 3, 1)
+
+
+class TestDivision:
+    def test_exact_division(self):
+        numerator = UPoly.from_roots([1, 2, 3])
+        q, r = numerator.divmod(UPoly.from_roots([2]))
+        assert r.is_zero()
+        assert q == UPoly.from_roots([1, 3])
+
+    def test_remainder(self):
+        p = UPoly([1, 0, 1])  # x^2 + 1
+        q, r = p.divmod(UPoly([-1, 1]))  # x - 1
+        assert q.coeffs == (1, 1)
+        assert r.coeffs == (2,)
+
+    def test_division_identity(self):
+        p = UPoly([3, -2, 0, 5])
+        d = UPoly([1, 4, 1])
+        q, r = p.divmod(d)
+        assert q * d + r == p
+        assert r.degree() < d.degree()
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            UPoly([1]).divmod(UPoly([]))
+
+
+class TestGcdAndSquarefree:
+    def test_gcd_of_coprime_is_one(self):
+        p, q = UPoly.from_roots([1]), UPoly.from_roots([2])
+        assert p.gcd(q) == UPoly([1])
+
+    def test_gcd_common_factor(self):
+        p = UPoly.from_roots([1, 2])
+        q = UPoly.from_roots([2, 3])
+        assert p.gcd(q) == UPoly.from_roots([2])
+
+    def test_squarefree_part(self):
+        p = UPoly.from_roots([1, 1, 2])  # (x-1)^2 (x-2)
+        assert p.squarefree_part() == UPoly.from_roots([1, 2])
+
+    def test_squarefree_of_squarefree(self):
+        p = UPoly.from_roots([1, 2])
+        assert p.squarefree_part() == p
+
+
+class TestEvaluation:
+    def test_horner(self):
+        p = UPoly([1, -3, 2])  # 2x^2 - 3x + 1
+        assert p(Fraction(1, 2)) == 0
+        assert p(2) == 3
+
+    def test_sign_at(self):
+        p = UPoly([-1, 0, 1])  # x^2 - 1
+        assert p.sign_at(0) == -1
+        assert p.sign_at(2) == 1
+        assert p.sign_at(1) == 0
+
+    def test_interval_evaluation_contains_range(self):
+        p = UPoly([0, -1, 1])  # x^2 - x
+        lo, hi = p.evaluate_interval(Fraction(0), Fraction(1))
+        # True range on [0,1] is [-1/4, 0]; bounds must contain it.
+        assert lo <= Fraction(-1, 4) and hi >= 0
+
+    def test_derivative(self):
+        p = UPoly([5, 3, 0, 2])  # 2x^3 + 3x + 5
+        assert p.derivative().coeffs == (3, 0, 6)
+
+    def test_cauchy_bound_contains_roots(self):
+        p = UPoly.from_roots([3, -7, Fraction(1, 2)])
+        bound = p.cauchy_root_bound()
+        assert bound > 7

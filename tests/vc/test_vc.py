@@ -1,0 +1,156 @@
+"""VC dimension: shattering, definable families, bounds, Proposition 5."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.db import FiniteInstance, Schema
+from repro.logic import Relation, variables
+from repro.vc import (
+    blumer_sample_size,
+    family_to_masks,
+    family_trace,
+    family_vc_dimension,
+    goldberg_jerrum_constant,
+    goldberg_jerrum_constant_for_query,
+    is_shattered,
+    prop5_instance,
+    prop5_measured_vc_dimension,
+    prop5_query,
+    vc_dimension,
+    vc_dimension_bound,
+)
+from repro._errors import ApproximationError
+
+x, y = variables("x y")
+
+
+class TestShattering:
+    def test_power_set_shatters_everything(self):
+        ground = 3
+        family = [frozenset(s) for s in _powerset(range(ground))]
+        assert vc_dimension(family, ground) == 3
+
+    def test_singletons_have_dimension_one(self):
+        family = [frozenset({i}) for i in range(5)] + [frozenset()]
+        assert vc_dimension(family, 5) == 1
+
+    def test_halfline_family_dimension_one(self):
+        # Threshold sets {0..k}: shatter any single point, no pair.
+        family = [frozenset(range(k)) for k in range(6)]
+        assert vc_dimension(family, 5) == 1
+
+    def test_intervals_have_dimension_two(self):
+        family = [
+            frozenset(range(a, b)) for a in range(5) for b in range(a, 6)
+        ]
+        assert vc_dimension(family, 5) == 2
+
+    def test_empty_family(self):
+        assert vc_dimension([], 4) == 0
+
+    def test_is_shattered_direct(self):
+        masks = family_to_masks(
+            [frozenset(), frozenset({0}), frozenset({1}), frozenset({0, 1})], 2
+        )
+        assert is_shattered([0, 1], masks)
+        assert not is_shattered([0, 1], masks[:-1])
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            family_to_masks([frozenset({7})], 3)
+
+
+def _powerset(iterable):
+    import itertools
+
+    items = list(iterable)
+    for r in range(len(items) + 1):
+        yield from itertools.combinations(items, r)
+
+
+class TestFamilyTrace:
+    def test_threshold_query(self):
+        # phi(x, y) = y < x over a plain domain: threshold family.
+        schema = Schema.make({"U": 1})
+        instance = FiniteInstance.make(schema, {"U": [0]})
+        params = [(Fraction(k),) for k in range(5)]
+        ground = [(Fraction(k),) for k in range(4)]
+        trace = family_trace(
+            y < x, instance, ("x",), ("y",), params, ground
+        )
+        assert trace[0] == frozenset()
+        assert trace[4] == {0, 1, 2, 3}
+        assert family_vc_dimension(
+            y < x, instance, ("x",), ("y",), params, ground
+        ) == 1
+
+    def test_relation_query(self):
+        schema = Schema.make({"S": 2})
+        S = Relation("S", 2)
+        rows = [(0, 0), (1, 1), (2, 0), (2, 1)]
+        instance = FiniteInstance.make(schema, {"S": rows})
+        params = [(Fraction(a),) for a in range(3)]
+        ground = [(Fraction(b),) for b in range(2)]
+        trace = family_trace(S(x, y), instance, ("x",), ("y",), params, ground)
+        assert trace == [frozenset({0}), frozenset({1}), frozenset({0, 1})]
+
+
+class TestBounds:
+    def test_blumer_monotonicity(self):
+        assert blumer_sample_size(0.05, 0.05, 10) > blumer_sample_size(0.1, 0.05, 10)
+        assert blumer_sample_size(0.1, 0.05, 100) > blumer_sample_size(0.1, 0.05, 10)
+
+    def test_blumer_matches_paper_formula(self):
+        eps, delta, d = 0.1, 0.25, 50.0
+        expected = max(
+            (4 / eps) * math.log2(2 / delta), (8 * d / eps) * math.log2(13 / eps)
+        )
+        assert blumer_sample_size(eps, delta, d) == math.floor(expected) + 1
+
+    def test_blumer_validates(self):
+        with pytest.raises(ApproximationError):
+            blumer_sample_size(1.5, 0.1, 1)
+        with pytest.raises(ApproximationError):
+            blumer_sample_size(0.1, 0.1, -1)
+
+    def test_goldberg_jerrum_formula(self):
+        # C = 16 k (p+q) (log2(8 e d p s) + 1)
+        value = goldberg_jerrum_constant(k=2, p=1, q=0, d=1, s=204)
+        expected = 16 * 2 * 1 * (math.log2(8 * math.e * 204) + 1)
+        assert value == pytest.approx(expected)
+
+    def test_goldberg_jerrum_from_query(self):
+        from repro.logic import Relation, exists
+
+        U = Relation("U", 1)
+        q = exists(y, U(y) & (x * y < 1))
+        value = goldberg_jerrum_constant_for_query(q, point_arity=1, max_relation_arity=1)
+        assert value == goldberg_jerrum_constant(k=1, p=1, q=1, d=2, s=2)
+
+    def test_vc_dimension_bound_log(self):
+        assert vc_dimension_bound(10.0, 1024) == pytest.approx(100.0)
+        assert vc_dimension_bound(10.0, 1) == 10.0
+
+
+class TestProp5:
+    def test_vc_dimension_reaches_log_size(self):
+        for k in (2, 3, 4):
+            dimension, size = prop5_measured_vc_dimension(k)
+            assert dimension == k
+            assert dimension >= math.log2(size) - 1  # k >= log2(|D_k|) - O(1)
+
+    def test_instance_size(self):
+        instance = prop5_instance(3)
+        # adom = codes 0..7 and bits 0..2 (0 appears in both).
+        assert instance.size() <= 2**3 + 3
+
+    def test_query_is_quantifier_free(self):
+        from repro.logic import is_quantifier_free
+
+        assert is_quantifier_free(prop5_query())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            prop5_instance(0)

@@ -18,6 +18,7 @@ from repro.qe import qe_linear
 from repro.logic.normalform import qf_to_dnf
 
 from conftest import print_table
+from obs_report import emit
 
 x, y, z, w = variables("x y z w")
 
@@ -61,10 +62,12 @@ def test_a1_prune_ablation(benchmark):
         rows.append(
             [i + 1, disjunct_count(with_prune), disjunct_count(without_prune)]
         )
+    header = ["nesting depth", "disjuncts (prune on)", "disjuncts (prune off)"]
     print_table(
         "A1: FM pruning ablation (disjuncts of the eliminated formula)",
-        ["nesting depth", "disjuncts (prune on)", "disjuncts (prune off)"],
+        header,
         rows,
     )
+    emit("A1", header, rows)
     for _, with_prune, without_prune in rows:
         assert with_prune <= without_prune

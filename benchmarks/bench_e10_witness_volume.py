@@ -22,6 +22,7 @@ from repro.logic import Relation, exists_adom, variables
 from repro.vc import goldberg_jerrum_constant_for_query
 
 from conftest import print_table
+from obs_report import emit
 
 from fractions import Fraction
 
@@ -77,11 +78,13 @@ def test_e10_uniform_approximation(rng, benchmark):
 
     rows = [[i, f"{err:.4f}", "yes" if err < epsilon else "NO"]
             for i, err in enumerate(sup_errors)]
+    header = ["repetition", "sup-error", "< eps"]
     print_table(
         f"E10a: sup-error over the parameter grid (eps={epsilon}, delta={delta})",
-        ["repetition", "sup-error", "< eps"],
+        header,
         rows,
     )
+    emit("E10a", header, rows)
     # Theorem 4: failure frequency <= delta (allow one extra for luck).
     assert failures <= max(1, int(delta * repetitions) + 1)
 
@@ -103,11 +106,13 @@ def test_e10_sample_size_scaling(benchmark):
         [n, m, f"{m / math.log2(n):.0f}"]
         for n, m in zip(sizes, samples)
     ]
+    header = ["|D|", "M", "M / log2|D|"]
     print_table(
         f"E10b: Theorem 4 sample size vs |D| (C = {constant:.1f})",
-        ["|D|", "M", "M / log2|D|"],
+        header,
         rows,
     )
+    emit("E10b", header, rows)
     # M grows ~ C log|D| / eps * log(13/eps): ratios to log2|D| level off.
     ratios = [m / math.log2(n) for n, m in zip(sizes, samples)]
     assert samples == sorted(samples)

@@ -21,6 +21,7 @@ from repro.db import FiniteInstance, Schema
 from repro.logic import Relation, variables
 
 from conftest import print_table
+from obs_report import emit
 
 
 def _query():
@@ -57,12 +58,14 @@ def test_e1_km_blowup(benchmark):
             [epsilon, n, cost.plugged_atoms, f"{cost.sample_size:.3g}",
              f"{cost.atoms:.3g}", f"{cost.quantifiers:.3g}"]
         )
+    header = ["eps", "n", "plugged atoms s0", "sample M", "atoms >=", "quantifiers >="]
     print_table(
         "E1: KM construction size (paper floors at eps=0.1, n=100: "
         "atoms >= 1e9, quantifiers >= 1e11)",
-        ["eps", "n", "plugged atoms s0", "sample M", "atoms >=", "quantifiers >="],
+        header,
         rows,
     )
+    emit("E1", header, rows)
 
     headline = next(c for e, n, c in results if e == 0.1 and n == 100)
     # Paper's statements, verified:

@@ -21,6 +21,7 @@ from repro.geometry import hoeffding_sample_size
 from repro.vc import blumer_sample_size
 
 from conftest import print_table
+from obs_report import emit
 
 
 def sup_error(sample: np.ndarray, grid: np.ndarray) -> float:
@@ -55,11 +56,13 @@ def test_e2_sample_bounds(rng, benchmark):
             [epsilon, m, hoeffding_sample_size(epsilon, delta), f"{worst:.4f}",
              "yes" if worst < epsilon else "NO"]
         )
+    header = ["eps", "M (VC bound)", "Hoeffding m (single query)", "sup-error", "< eps"]
     print_table(
         "E2: one VC-sized sample approximates all parameters at once",
-        ["eps", "M (VC bound)", "Hoeffding m (single query)", "sup-error", "< eps"],
+        header,
         rows,
     )
+    emit("E2", header, rows)
 
     for epsilon, (m, worst) in results.items():
         assert worst < epsilon, f"sup-error {worst} >= eps {epsilon}"

@@ -26,6 +26,7 @@ from repro.inexpressibility import (
 )
 
 from conftest import print_table
+from obs_report import emit
 
 
 def test_e3_ef_refutation(benchmark):
@@ -45,11 +46,13 @@ def test_e3_ef_refutation(benchmark):
              f"U1={b.cardinalities()['U1']},U2={b.cardinalities()['U2']}",
              "duplicator" if outcomes[rank] else "spoiler"]
         )
+    header = ["rank r", "instance A (U1-heavy)", "instance B (U2-heavy)", "winner"]
     print_table(
         "E3a: EF certificates against (2,2)-separating sentences",
-        ["rank r", "instance A (U1-heavy)", "instance B (U2-heavy)", "winner"],
+        header,
         rows,
     )
+    emit("E3a", header, rows)
     assert all(outcomes.values()), "duplicator must win at every rank"
 
 
@@ -77,9 +80,11 @@ def test_e3_avg_reduction(benchmark):
         [n1, n2, f"{float(avg):.4f}", expected, "yes" if ok else "NO"]
         for n1, n2, avg, expected, ok in results
     ]
+    header = ["card U1", "card U2", "exact AVG", "class", "robust to eps noise"]
     print_table(
         f"E3b: Theorem 1 reduction (eps=1/10, derived c={c})",
-        ["card U1", "card U2", "exact AVG", "class", "robust to eps noise"],
+        header,
         rows,
     )
+    emit("E3b", header, rows)
     assert all(ok for *_, ok in results)

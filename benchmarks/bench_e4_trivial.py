@@ -20,6 +20,7 @@ from repro.geometry import formula_volume_unit_cube
 from repro.logic import between, variables
 
 from conftest import print_table
+from obs_report import emit
 
 x, y = variables("x y")
 
@@ -58,11 +59,13 @@ def test_e4_trivial_approximation(rng, benchmark):
         [i, str(truth), str(estimate), f"{float(abs(estimate - truth)):.4f}"]
         for i, (estimate, truth) in enumerate(results)
     ]
+    header = ["case", "true VOL_I", "estimate", "|error|"]
     print_table(
         "E4: trivial 1/2-approximation (error always <= 1/2; exact at 0/1)",
-        ["case", "true VOL_I", "estimate", "|error|"],
+        header,
         rows,
     )
+    emit("E4", header, rows)
 
     for estimate, truth in results:
         assert abs(estimate - truth) <= Fraction(1, 2)

@@ -33,6 +33,7 @@ from repro.inexpressibility import (
 from repro.logic import Relation, exists_adom, forall_adom, variables
 
 from conftest import print_table
+from obs_report import emit
 
 x, y = variables("x y")
 B = Relation("B", 1)
@@ -72,11 +73,13 @@ def test_e5_volume_reduction(benchmark):
         return rows, violations
 
     rows, violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = ["n", "c1", "c2", "VOL(X) at |B|=n/2", "contract rows OK"]
     print_table(
         "E5a: the volume-based (c1,c2)-good sentence contract",
-        ["n", "c1", "c2", "VOL(X) at |B|=n/2", "contract rows OK"],
+        header,
         rows,
     )
+    emit("E5a", header, rows)
     assert violations == 0
 
 
@@ -102,13 +105,15 @@ def test_e5_circuits_fail(benchmark):
         return rows, all_fail_at_largest
 
     rows, all_fail = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = ["candidate", "fails at n", "depth n=8", "depth n=64",
+              "size n=8", "size n=64"]
     print_table(
         "E5b: fixed FO_act sentences compiled to circuits fail to separate "
         f"(c1={c1:.3f}, c2={c2:.3f})",
-        ["candidate", "fails at n", "depth n=8", "depth n=64",
-         "size n=8", "size n=64"],
+        header,
         rows,
     )
+    emit("E5b", header, rows)
     assert all_fail, "every fixed candidate must fail at some tested n"
     # Constant depth, polynomial size — the AC^0 shape of Lemma 3.
     for row in rows:

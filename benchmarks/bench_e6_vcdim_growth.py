@@ -18,6 +18,7 @@ import pytest
 from repro.vc import prop5_measured_vc_dimension
 
 from conftest import print_table
+from obs_report import emit
 
 
 def test_e6_vcdim_growth(benchmark):
@@ -34,11 +35,13 @@ def test_e6_vcdim_growth(benchmark):
             [k, size, f"{math.log2(size):.2f}", dimension,
              "yes" if dimension >= math.log2(size) - 1e-9 or dimension == k else "NO"]
         )
+    header = ["k", "|D_k|", "log2 |D_k|", "measured VCdim", "VCdim >= log|D| (mod O(1))"]
     print_table(
         "E6: Proposition 5 — VC dimension grows with log |D|",
-        ["k", "|D_k|", "log2 |D_k|", "measured VCdim", "VCdim >= log|D| (mod O(1))"],
+        header,
         rows,
     )
+    emit("E6", header, rows)
 
     for k, (dimension, size) in results.items():
         assert dimension == k

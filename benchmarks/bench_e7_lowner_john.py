@@ -21,6 +21,7 @@ from repro.geometry import Polyhedron, formula_to_cells, polytope_volume
 from repro.logic import between, variables
 
 from conftest import print_table
+from obs_report import emit
 
 x, y, z = variables("x y z")
 
@@ -67,11 +68,13 @@ def test_e7_lowner_john(rng, benchmark):
          "yes" if c1 - 1e-9 < estimate / exact < c2 + 1e-9 else "NO"]
         for dim, exact, estimate, c1, c2 in results
     ]
+    header = ["k", "exact vol", "estimate", "ratio", "paper band (c1, c2)", "in band"]
     print_table(
         "E7: Loewner-John relative approximation of convex volumes",
-        ["k", "exact vol", "estimate", "ratio", "paper band (c1, c2)", "in band"],
+        header,
         rows,
     )
+    emit("E7", header, rows)
 
     assert results, "need at least one nondegenerate polytope"
     for dim, exact, estimate, c1, c2 in results:

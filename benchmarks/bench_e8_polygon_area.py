@@ -19,6 +19,7 @@ from repro.core import polygon_area
 from repro.geometry import shoelace_area, sort_ccw
 
 from conftest import print_table
+from obs_report import emit
 
 
 def random_convex_polygon(rng, count: int):
@@ -74,10 +75,12 @@ def test_e8_polygon_area(rng, benchmark):
             [len(poly), str(via_language), str(via_shoelace),
              "yes" if via_language == via_shoelace else "NO"]
         )
+    header = ["vertices", "SUM-term area", "shoelace area", "equal"]
     print_table(
         "E8: FO + POLY + SUM polygon area vs shoelace oracle",
-        ["vertices", "SUM-term area", "shoelace area", "equal"],
+        header,
         rows,
     )
+    emit("E8", header, rows)
     for poly in polygons:
         assert polygon_area(poly) == shoelace_area(sort_ccw(list(poly)))

@@ -25,6 +25,7 @@ from repro.geometry import (
 from repro.logic import Relation, between, exists, variables
 
 from conftest import print_table
+from obs_report import emit
 
 x, y, z = variables("x y z")
 
@@ -62,11 +63,13 @@ def test_e9_agreement_2d(rng, benchmark):
         [i, str(a), str(b), "yes" if a == b else "NO"]
         for i, (a, b) in enumerate(results)
     ]
+    header = ["case", "slicing volume", "proof-path volume", "equal"]
     print_table(
         "E9a: Theorem 3 — production slicing vs literal proof transcription",
-        ["case", "slicing volume", "proof-path volume", "equal"],
+        header,
         rows,
     )
+    emit("E9a", header, rows)
     for a, b in results:
         assert a == b
 
@@ -93,11 +96,13 @@ def test_e9_query_outputs_and_qhull(rng, benchmark):
         [[float(c) for c in v] for v in cell.vertices()]
     )
     rows = [[str(exact), f"{hull:.6f}", f"{abs(float(exact) - hull):.2e}"]]
+    header = ["exact (Theorem 3)", "Qhull float", "|difference|"]
     print_table(
         "E9b: FO + LIN query output volume vs Qhull baseline",
-        ["exact (Theorem 3)", "Qhull float", "|difference|"],
+        header,
         rows,
     )
+    emit("E9b", header, rows)
     assert abs(float(exact) - hull) < 1e-9
 
 
@@ -113,9 +118,8 @@ def test_e9_axis_ablation(rng, benchmark):
         return polytope_volume(cell_xy), polytope_volume(cell_yx)
 
     volume_xy, volume_yx = benchmark(run)
-    print_table(
-        "E9c: slicing-axis ablation (Fubini)",
-        ["slice along x first", "slice along y first", "equal"],
-        [[str(volume_xy), str(volume_yx), "yes" if volume_xy == volume_yx else "NO"]],
-    )
+    header = ["slice along x first", "slice along y first", "equal"]
+    rows = [[str(volume_xy), str(volume_yx), "yes" if volume_xy == volume_yx else "NO"]]
+    print_table("E9c: slicing-axis ablation (Fubini)", header, rows)
+    emit("E9c", header, rows)
     assert volume_xy == volume_yx

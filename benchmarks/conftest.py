@@ -5,6 +5,12 @@ per-experiment index (the paper has no numbered tables/figures; the
 experiments reproduce its worked example, constructive theorems and
 closed-form bounds).  Every module prints the rows it reproduces — run
 with ``-s`` to see them — and asserts the reproduction criterion.
+
+Counter collection (:mod:`repro.obs`) is enabled around every benchmark
+so the ``obs_report.emit`` records carry the intrinsic cost observables
+(cells lifted, constraints pruned, samples drawn) alongside each row.
+Tracing stays off: span bookkeeping inside timed regions would taint the
+pytest-benchmark numbers, while counter increments are plain int adds.
 """
 
 from __future__ import annotations
@@ -12,21 +18,28 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(19990531)  # PODS'99
 
 
+@pytest.fixture(autouse=True)
+def _obs_counters():
+    """Fresh, enabled counters per benchmark; disabled again afterwards."""
+    obs.reset()
+    obs.enable_counting()
+    yield
+    obs.disable_counting()
+    obs.reset()
+
+
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
-    """Render an experiment's rows the way the paper would report them."""
-    widths = [
-        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
-        for i in range(len(header))
-    ]
-    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
-    print(f"\n=== {title} ===")
-    print(line)
-    print("-" * len(line))
-    for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    """Render an experiment's rows the way the paper would report them.
+
+    Delegates to the one table renderer, :func:`repro.obs.render_table`,
+    which also copes with benchmarks that produce zero rows.
+    """
+    print(obs.render_table(title, header, rows))

@@ -1,0 +1,50 @@
+"""Benchmark trajectory export: one JSON-lines record per experiment row.
+
+Every ``bench_e*.py`` calls :func:`emit` right after printing its table;
+each table row becomes one ``repro.obs/v1`` record carrying the row
+values plus a snapshot of the observability counters accumulated during
+the test (cells lifted, constraints pruned, samples drawn, ...) — the
+intrinsic complexity observables, not just wall clock.
+
+Destination: ``$REPRO_OBS_OUT`` if set, else ``BENCH_OBS.jsonl`` next to
+the repository root.  Records append; delete the file to start a fresh
+trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro import obs
+
+__all__ = ["emit", "output_path"]
+
+
+def output_path() -> Path:
+    env = os.environ.get("REPRO_OBS_OUT")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent / "BENCH_OBS.jsonl"
+
+
+def emit(
+    experiment: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    extra: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
+    """Append one record per row to the benchmark trajectory file."""
+    sink = obs.JsonlSink(str(output_path()))
+    records = []
+    for index, row in enumerate(rows):
+        record = obs.make_record(
+            experiment,
+            row=dict(zip(header, row)),
+            registry=obs.REGISTRY,
+            extra={"row_index": index, **(extra or {})},
+        )
+        records.append(record)
+    sink.write_all(records)
+    return records

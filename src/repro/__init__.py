@@ -35,11 +35,15 @@ Subpackages
 ``repro.inexpressibility``
     Executable Section 4: separating sentences, EF games, the AVG and
     good-instance reductions, FO_act-to-AC0 circuit compilation.
+``repro.obs``
+    Observability: nested spans, counter/gauge registries, and JSON-lines
+    trace export across the evaluator / QE / volume pipeline.  Disabled
+    by default with a sub-microsecond fast path.
 """
 
 __version__ = "0.1.0"
 
-from . import logic, realalg, qe, geometry, db, core, vc, approx, inexpressibility
+from . import obs, logic, realalg, qe, geometry, db, core, vc, approx, inexpressibility
 from ._errors import (
     ApproximationError,
     EvaluationError,
@@ -54,6 +58,7 @@ from ._errors import (
 )
 
 __all__ = [
+    "obs",
     "logic",
     "realalg",
     "qe",

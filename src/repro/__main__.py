@@ -4,7 +4,17 @@ Subcommands
 -----------
 ``demo``        run a compact end-to-end demonstration (default)
 ``volume``      exact VOL_I of a formula given on the command line
+``approx``      Monte Carlo (epsilon, delta)-approximation of VOL_I
 ``experiments`` list the paper-reproduction experiments and how to run them
+``trace``       run any subcommand with observability on (= ``--stats``)
+
+Global options
+--------------
+``--stats``     print the span tree and counter table after the command
+``--json PATH`` append one JSON-lines observability record to PATH
+``--seed N``    seed for the explicit ``numpy`` generator threaded into
+                every sampling path (default 0), making traced runs
+                reproducible
 """
 
 from __future__ import annotations
@@ -14,10 +24,18 @@ import sys
 from fractions import Fraction
 
 
-def _demo() -> None:
+def _rng(seed: int):
+    import numpy as np
+
+    return np.random.default_rng(seed)
+
+
+def _demo(args: argparse.Namespace) -> None:
+    from repro.approx import approximate_vol_unit_cube
     from repro.core import sum_of_endpoints, volume_of_query
     from repro.db import FRInstance, FiniteInstance, Schema, output_formula
-    from repro.logic import Relation, exists_adom, variables
+    from repro.logic import Relation, exists, exists_adom, variables
+    from repro.qe.cad import decide
 
     x, y = variables("x y")
     S = Relation("S", 2)
@@ -31,13 +49,24 @@ def _demo() -> None:
     print("query      S(x, y) AND y <= 1/4")
     print("closure    ->", output_formula(query, db))
     print("volume     ->", volume_of_query(query, db, ("x", "y")), "(exact, Theorem 3)")
+    # The same query with S expanded by hand: quantifier-free, samplable.
+    expanded = (y <= Fraction(1, 4)) & (0 <= y) & (y <= x) & (x <= 1)
+    estimate = approximate_vol_unit_cube(
+        expanded, ("x", "y"), epsilon=0.05, delta=0.05, rng=_rng(args.seed)
+    )
+    print(f"MC approx  -> {estimate.estimate:.4f} +- "
+          f"{estimate.confidence_radius:.4f} "
+          f"({estimate.samples} samples, seed {args.seed})")
     points = FiniteInstance.make(Schema.make({"P": 1}), {"P": [1, 2, 3]})
     P = Relation("P", 1)
     body = exists_adom(y, P(y) & (0 < x) & (x < y))
     print("END sum    ->", sum_of_endpoints(points, x, body),
           "(sum of interval endpoints, Section 5 example)")
+    sqrt2 = exists(x, (x * x).eq(2) & (0 < x) & (x < 2))
+    print("CAD        -> exists x (x^2 = 2 AND 0 < x < 2) is",
+          decide(sqrt2), "(FO + POLY decision)")
     print()
-    print("more: examples/*.py, DESIGN.md, EXPERIMENTS.md")
+    print("more: examples/*.py, DESIGN.md, EXPERIMENTS.md, docs/OBSERVABILITY.md")
 
 
 def _volume(args: argparse.Namespace) -> None:
@@ -48,6 +77,24 @@ def _volume(args: argparse.Namespace) -> None:
     names = sorted(formula.free_variables())
     volume = formula_volume_unit_cube(formula, names)
     print(f"VOL_I({args.formula}) over {', '.join(names)} = {volume} = {float(volume)}")
+
+
+def _approx(args: argparse.Namespace) -> None:
+    from repro.approx import approximate_vol_unit_cube
+    from repro.logic import parse
+
+    formula = parse(args.formula)
+    names = sorted(formula.free_variables())
+    estimate = approximate_vol_unit_cube(
+        formula, names, epsilon=args.epsilon, delta=args.delta,
+        rng=_rng(args.seed),
+    )
+    print(
+        f"VOL_I({args.formula}) ~= {estimate.estimate:.6f} "
+        f"+- {estimate.confidence_radius:.6f} "
+        f"({estimate.hits}/{estimate.samples} hits, "
+        f"eps={args.epsilon:g}, delta={args.delta:g}, seed={args.seed})"
+    )
 
 
 def _experiments() -> None:
@@ -69,25 +116,121 @@ def _experiments() -> None:
         print(f"  {key:<4} {title:<42} benchmarks/{module}")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
+    # SUPPRESS defaults: absent flags leave no attribute behind, so a
+    # subcommand's parse cannot clobber a value given before the
+    # subcommand (argparse copies the subparser namespace wholesale).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--stats", action="store_true", default=argparse.SUPPRESS,
+        help="print the span tree and counter table after the command",
+    )
+    common.add_argument(
+        "--json", metavar="PATH", default=argparse.SUPPRESS,
+        help="append one JSON-lines observability record to PATH",
+    )
+    common.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="seed for the numpy generator used by sampling paths (default 0)",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
+        parents=[common],
         description="Reproduction of 'Exact and Approximate Aggregation in "
         "Constraint Query Languages' (PODS 1999)",
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("demo", help="compact end-to-end demonstration")
-    volume = sub.add_parser("volume", help="exact VOL_I of a linear formula")
+    sub.add_parser(
+        "demo", parents=[common], help="compact end-to-end demonstration"
+    )
+    volume = sub.add_parser(
+        "volume", parents=[common], help="exact VOL_I of a linear formula"
+    )
     volume.add_argument("formula", help='e.g. "0 <= y AND y <= x AND x <= 1"')
-    sub.add_parser("experiments", help="list the reproduction experiments")
-    args = parser.parse_args(argv)
+    approx = sub.add_parser(
+        "approx", parents=[common],
+        help="Monte Carlo (epsilon, delta)-approximation of VOL_I",
+    )
+    approx.add_argument("formula", help='e.g. "0 <= y AND y <= x AND x <= 1"')
+    approx.add_argument("--epsilon", type=float, default=0.05)
+    approx.add_argument("--delta", type=float, default=0.05)
+    sub.add_parser(
+        "experiments", parents=[common],
+        help="list the reproduction experiments",
+    )
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="run a subcommand with observability on (= --stats)",
+    )
+    trace.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="subcommand and its arguments, e.g. 'trace demo'",
+    )
+    return parser
 
+
+def _dispatch(args: argparse.Namespace) -> None:
     if args.command in (None, "demo"):
-        _demo()
+        _demo(args)
     elif args.command == "volume":
         _volume(args)
+    elif args.command == "approx":
+        _approx(args)
     elif args.command == "experiments":
         _experiments()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        # `trace <sub> ...` == `--stats <sub> ...`; global flags given
+        # alongside `trace` are preserved.
+        rest = list(args.rest)
+        if not rest:
+            print("usage: repro trace <subcommand> [args...]", file=sys.stderr)
+            return 2
+        outer = args
+        args = parser.parse_args(rest)
+        if args.command == "trace":
+            print("usage: repro trace <subcommand> [args...]", file=sys.stderr)
+            return 2
+        args.stats = True
+        for name in ("json", "seed"):
+            if not hasattr(args, name) and hasattr(outer, name):
+                setattr(args, name, getattr(outer, name))
+
+    args.stats = getattr(args, "stats", False)
+    args.json = getattr(args, "json", None)
+    args.seed = getattr(args, "seed", 0)
+
+    if not (args.stats or args.json):
+        _dispatch(args)
+        return 0
+
+    from repro import obs
+
+    command = args.command or "demo"
+    with obs.observe(f"repro.{command}") as trace_record:
+        with obs.span(f"cli.{command}", seed=args.seed):
+            _dispatch(args)
+    if args.stats:
+        print()
+        print(obs.format_span_tree(trace_record))
+        print(obs.format_counters(obs.REGISTRY))
+    if args.json:
+        record = obs.make_record(
+            f"repro.{command}",
+            row={"argv": " ".join(argv or sys.argv[1:]), "seed": args.seed},
+            registry=obs.REGISTRY,
+            trace=trace_record,
+        )
+        try:
+            obs.JsonlSink(args.json).write(record)
+        except OSError as error:
+            print(f"repro: cannot write {args.json}: {error}", file=sys.stderr)
+            return 1
     return 0
 
 

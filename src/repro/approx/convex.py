@@ -13,8 +13,6 @@ language.
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Sequence
 
 from ..geometry.ellipsoid import john_volume_estimate
 from ..geometry.polyhedron import Polyhedron

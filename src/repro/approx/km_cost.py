@@ -44,6 +44,7 @@ from ..db.evaluation import expand_relations
 from ..logic.formulas import Formula
 from ..logic.metrics import count_atoms, max_degree, quantifier_rank
 from ..vc.bounds import blumer_sample_size, goldberg_jerrum_constant
+from .. import obs
 from .._errors import ApproximationError
 
 __all__ = ["KMCost", "km_cost", "km_cost_for_query"]
@@ -101,6 +102,9 @@ def km_cost(
     variables = sample * point_arity
     quantifiers = (variables + 1) * variables
     atoms = variables * (sample * plugged_atoms + sample)
+    obs.set_gauge("km.sample_size", sample)
+    obs.set_gauge("km.atoms", atoms)
+    obs.set_gauge("km.quantifiers", quantifiers)
     return KMCost(
         epsilon=epsilon,
         database_size=database_size,
@@ -126,8 +130,9 @@ def km_cost_for_query(
     their finite encodings) and the plugged formula's syntax drives the
     model, exactly as in the paper's example.
     """
-    plugged = expand_relations(query, instance)
-    return km_cost(
+    with obs.span("approx.km_cost", epsilon=epsilon, n=instance.size()):
+        plugged = expand_relations(query, instance)
+        return km_cost(
         epsilon=epsilon,
         plugged_atoms=max(1, count_atoms(plugged)),
         point_arity=point_vars,

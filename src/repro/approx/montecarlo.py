@@ -19,6 +19,7 @@ from ..geometry.sampling import (
     hoeffding_sample_size,
 )
 from ..logic.formulas import Formula
+from .. import obs
 
 __all__ = ["approximate_vol_unit_cube"]
 
@@ -32,4 +33,6 @@ def approximate_vol_unit_cube(
 ) -> MonteCarloEstimate:
     """Estimate VOL_I(formula) within *epsilon* with probability >= 1-delta."""
     samples = hoeffding_sample_size(epsilon, delta)
-    return hit_or_miss_volume(formula, variables, samples, rng, delta=delta)
+    obs.set_gauge("mc.hoeffding_sample_size", samples)
+    with obs.span("approx.mc", epsilon=epsilon, delta=delta):
+        return hit_or_miss_volume(formula, variables, samples, rng, delta=delta)

@@ -15,7 +15,6 @@ absolute and relative notions.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable
 
 from .._errors import ApproximationError
 

@@ -14,7 +14,7 @@ to an infinite set.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..logic.formulas import Formula, TRUE
 from ..logic.terms import Term, Var

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from ..logic.formulas import Compare, Formula, Forall
 from ..logic.metrics import max_degree
-from ..logic.normalform import is_quantifier_free
 from ..logic.substitution import fresh_variable, substitute
 from ..logic.terms import Term, Var
 from ..qe.cad import decide as cad_decide

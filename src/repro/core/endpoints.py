@@ -15,7 +15,7 @@ uniform bound on the number of intervals.  Computationally:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..db.evaluation import expand_relations
 from ..logic.formulas import Formula
@@ -26,6 +26,7 @@ from ..logic.terms import Const
 from ..qe.fourier_motzkin import qe_linear
 from ..qe.intervals import Endpoint, IntervalUnion
 from ..qe.onevar import solve_univariate
+from .. import obs
 from .._errors import SafetyError
 
 __all__ = ["definable_set", "end_set"]
@@ -38,6 +39,17 @@ def definable_set(
     env: Mapping[str, Fraction] | None = None,
 ) -> IntervalUnion:
     """The one-dimensional definable set ``{ var : D |= body(var, env) }``."""
+    obs.add("evaluator.end_sets")
+    with obs.span("core.end_set", var=var):
+        return _definable_set(instance, var, body, env)
+
+
+def _definable_set(
+    instance,
+    var: str,
+    body: Formula,
+    env: Mapping[str, Fraction] | None = None,
+) -> IntervalUnion:
     formula = body
     if env:
         formula = substitute(

@@ -18,7 +18,6 @@ DESIGN.md.
 
 from __future__ import annotations
 
-import itertools
 from fractions import Fraction
 from typing import Mapping, Sequence
 
@@ -47,7 +46,7 @@ from ..qe.cad import decide as cad_decide
 from ..qe.fourier_motzkin import decide_linear
 from ..qe.intervals import Endpoint
 from ..qe.onevar import solve_univariate
-from ..realalg.algebraic import RealAlgebraic
+from .. import obs
 from .._errors import EvaluationError, NotDeterministicError, SafetyError
 from .deterministic import explicit_function_term
 from .endpoints import end_set
@@ -118,6 +117,12 @@ class SumEvaluator:
             raise EvaluationError(
                 f"range-restricted expression has unbound parameters {sorted(missing)}"
             )
+        with obs.span("evaluator.range_set", arity=rho.arity()):
+            return self._range_set(rho, env)
+
+    def _range_set(
+        self, rho: RangeRestricted, env: dict[str, Fraction]
+    ) -> list[tuple[Fraction, ...]]:
         endpoints = end_set(
             self.instance,
             rho.end_var,
@@ -160,7 +165,11 @@ class SumEvaluator:
                     extend(index + 1, inner, prefix + (value,))
             inner.pop(rho.w[index], None)
 
-        extend(0, dict(env), ())
+        try:
+            extend(0, dict(env), ())
+        finally:
+            obs.add("evaluator.range_candidates", explored)
+        obs.add("evaluator.range_selected", len(selected))
         return selected
 
     def apply_gamma(
@@ -177,6 +186,7 @@ class SumEvaluator:
         explicit = explicit_function_term(gamma)
         if explicit is not None:
             return self._term(explicit, env)
+        obs.add("evaluator.determinism_checks")
         bound = substitute(
             gamma.body, {name: Const(value) for name, value in env.items()}
         )
@@ -197,12 +207,14 @@ class SumEvaluator:
         return _rationalise(points[0])
 
     def _sum_term(self, term: SumTerm, env: dict[str, Fraction]) -> Fraction:
-        total = Fraction(0)
-        for arguments in self.range_set(term.rho, env):
-            value = self.apply_gamma(term.gamma, arguments)
-            if value is not None:
-                total += value
-        return total
+        obs.add("evaluator.sum_terms")
+        with obs.span("evaluator.sum_term", arity=term.rho.arity()):
+            total = Fraction(0)
+            for arguments in self.range_set(term.rho, env):
+                value = self.apply_gamma(term.gamma, arguments)
+                if value is not None:
+                    total += value
+            return total
 
     # -- formulas ---------------------------------------------------------------
     def formula_truth(
@@ -276,8 +288,10 @@ class SumEvaluator:
             )
         expanded = expand_relations(bound, self.instance)
         if max_degree(expanded) <= 1:
-            return decide_linear(expanded)
-        return cad_decide(expanded)
+            with obs.span("evaluator.decide", kind="linear"):
+                return decide_linear(expanded)
+        with obs.span("evaluator.decide", kind="cad"):
+            return cad_decide(expanded)
 
     def _adom_quantified(self, formula, env: dict[str, Fraction]) -> bool:
         if not isinstance(self.instance, FiniteInstance):

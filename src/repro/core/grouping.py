@@ -23,13 +23,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Mapping
+from typing import Mapping
 
-from ..logic.formulas import Formula
-from ..logic.terms import Term, Var
 from .._errors import EvaluationError
 from .evaluator import SumEvaluator
-from .language import DetFormula, RangeRestricted, SumTerm
+from .language import RangeRestricted, SumTerm
 
 __all__ = ["GroupedAggregate", "group_by"]
 

@@ -34,10 +34,10 @@ from typing import Sequence
 
 from ..db.instance import FiniteInstance
 from ..db.schema import Schema
-from ..geometry.polyhedron import Point, Polyhedron
+from ..geometry.polyhedron import Point
 from ..geometry.triangulate import sort_ccw
-from ..logic.builders import Relation, lor
-from ..logic.formulas import Formula, conjunction, disjunction
+from ..logic.builders import Relation
+from ..logic.formulas import Formula, conjunction
 from ..logic.terms import Const, Var
 from .._errors import GeometryError
 from .evaluator import SumEvaluator

@@ -30,12 +30,11 @@ from typing import Sequence
 
 from ..db.evaluation import output_formula
 from ..geometry.decomposition import formula_to_cells, formula_volume
-from ..logic.builders import forall, variables as make_variables
-from ..logic.formulas import Formula, TRUE, conjunction
+from ..logic.builders import forall
+from ..logic.formulas import Formula, conjunction
 from ..logic.substitution import substitute
 from ..logic.terms import Const, Var
-from ..qe.linear import LinConstraint
-from ..geometry.polyhedron import Polyhedron
+from .. import obs
 from .._errors import UnboundedSetError
 from .evaluator import SumEvaluator
 from .language import DetFormula, RangeRestricted, SumTerm
@@ -62,8 +61,9 @@ def volume_of_query(
     ``box`` optionally clips (e.g. the unit cube for VOL_I); without it the
     output set must be bounded.
     """
-    output = output_formula(query, instance)
-    return formula_volume(output, variables, box=box)
+    with obs.span("core.volume_of_query", variables=len(tuple(variables))):
+        output = output_formula(query, instance)
+        return formula_volume(output, variables, box=box)
 
 
 def volume_of_relation(
@@ -72,8 +72,9 @@ def volume_of_relation(
     box: Sequence[tuple[Fraction, Fraction]] | None = None,
 ) -> Fraction:
     """Exact volume of a schema predicate (Theorem 3, first bullet)."""
-    parameters, body = instance.definition(name)
-    return formula_volume(body, parameters, box=box)
+    with obs.span("core.volume_of_relation", relation=name):
+        parameters, body = instance.definition(name)
+        return formula_volume(body, parameters, box=box)
 
 
 def maximal_interval_range(
@@ -122,6 +123,16 @@ def volume_2d_fo_poly_sum(
     *body* is a formula over the instance's schema with free variables
     ``x_var, y_var``, linear after expansion.
     """
+    with obs.span("core.volume_2d_fo_poly_sum"):
+        return _volume_2d_fo_poly_sum(instance, body, x_var, y_var)
+
+
+def _volume_2d_fo_poly_sum(
+    instance,
+    body: Formula,
+    x_var: str,
+    y_var: str,
+) -> Fraction:
     evaluator = SumEvaluator(instance)
 
     # The inner integral g(x), as a SumTerm with x free.

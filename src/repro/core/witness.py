@@ -20,8 +20,7 @@ injected :class:`numpy.random.Generator`, so runs are reproducible.
 from __future__ import annotations
 
 import math
-from fractions import Fraction
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -32,7 +31,7 @@ from ..logic.formulas import Formula
 from ..logic.metrics import max_degree
 from ..logic.normalform import is_quantifier_free
 from ..qe.fourier_motzkin import qe_linear
-from ..vc.bounds import blumer_sample_size, vc_dimension_bound
+from ..vc.bounds import vc_dimension_bound
 from .._errors import ApproximationError, EvaluationError
 
 __all__ = ["witness", "UniformVolumeApproximator", "theorem4_sample_size"]

@@ -45,7 +45,6 @@ from ..qe.simplify import simplify_qf
 from .._errors import EvaluationError
 from .fr_instance import FRInstance
 from .instance import FiniteInstance
-from .schema import Schema
 
 __all__ = [
     "expand_relations",

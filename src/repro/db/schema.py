@@ -9,7 +9,7 @@ representable (:class:`~repro.db.fr_instance.FRInstance`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from ..logic.builders import Relation
 

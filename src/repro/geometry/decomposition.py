@@ -16,6 +16,7 @@ from ..logic.formulas import Formula
 from ..logic.metrics import max_degree
 from ..logic.normalform import is_quantifier_free, qf_to_dnf
 from ..qe.fourier_motzkin import conjunct_to_constraints, qe_linear
+from .. import obs
 from .._errors import GeometryError, QEError
 from .polyhedron import Polyhedron
 from .volume import union_volume
@@ -39,17 +40,19 @@ def formula_to_cells(
         )
     if formula.relation_names():
         raise QEError("expand schema relations before decomposing")
-    if not is_quantifier_free(formula):
-        if max_degree(formula) > 1:
-            raise QEError("quantified nonlinear formulas are not semi-linear")
-        formula = qe_linear(formula)
-    cells: list[Polyhedron] = []
-    for conjunct in qf_to_dnf(formula):
-        for constraints in conjunct_to_constraints(conjunct):
-            cell = Polyhedron.make(variables, constraints)
-            if not cell.is_empty():
-                cells.append(cell)
-    return cells
+    with obs.span("volume.decompose", variables=len(variables)):
+        if not is_quantifier_free(formula):
+            if max_degree(formula) > 1:
+                raise QEError("quantified nonlinear formulas are not semi-linear")
+            formula = qe_linear(formula)
+        cells: list[Polyhedron] = []
+        for conjunct in qf_to_dnf(formula):
+            for constraints in conjunct_to_constraints(conjunct):
+                cell = Polyhedron.make(variables, constraints)
+                if not cell.is_empty():
+                    cells.append(cell)
+        obs.add("volume.cells", len(cells))
+        return cells
 
 
 def formula_volume(
@@ -63,6 +66,15 @@ def formula_volume(
     ``(low, high)`` bounds).  Without a box the set must be bounded.
     """
     variables = tuple(variables)
+    with obs.span("volume.formula_volume", variables=len(variables)):
+        return _formula_volume(formula, variables, box)
+
+
+def _formula_volume(
+    formula: Formula,
+    variables: tuple[str, ...],
+    box: Sequence[tuple[Fraction, Fraction]] | None,
+) -> Fraction:
     cells = formula_to_cells(formula, variables)
     if box is not None:
         if len(box) != len(variables):

@@ -28,7 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .._errors import ApproximationError, GeometryError
+from .._errors import GeometryError
 
 __all__ = ["Ellipsoid", "mvee", "unit_ball_volume", "john_volume_estimate"]
 

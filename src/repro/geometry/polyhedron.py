@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from ..qe.fourier_motzkin import eliminate_variable, is_feasible, remove_redundant
 from ..qe.linear import LinConstraint

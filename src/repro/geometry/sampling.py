@@ -28,6 +28,7 @@ from ..logic.formulas import (
     TrueFormula,
 )
 from ..logic.terms import Add, Const, Mul, Neg, Pow, Term, Var
+from .. import obs
 from .._errors import ApproximationError
 
 __all__ = [
@@ -199,12 +200,15 @@ def hit_or_miss_volume(
     dims = len(variables)
     if box is None:
         box = [(0.0, 1.0)] * dims
-    lows = np.array([b[0] for b in box])
-    highs = np.array([b[1] for b in box])
-    box_volume = float(np.prod(highs - lows))
-    predicate = compile_formula_numpy(formula, variables)
-    points = rng.random((samples, dims)) * (highs - lows) + lows
-    hits = int(np.count_nonzero(predicate(points)))
+    with obs.span("mc.hit_or_miss", samples=samples, dims=dims):
+        lows = np.array([b[0] for b in box])
+        highs = np.array([b[1] for b in box])
+        box_volume = float(np.prod(highs - lows))
+        predicate = compile_formula_numpy(formula, variables)
+        points = rng.random((samples, dims)) * (highs - lows) + lows
+        hits = int(np.count_nonzero(predicate(points)))
+    obs.add("mc.samples", samples)
+    obs.add("mc.hits", hits)
     fraction = hits / samples
     radius = math.sqrt(math.log(2.0 / delta) / (2.0 * samples)) * box_volume
     return MonteCarloEstimate(fraction * box_volume, hits, samples, radius)

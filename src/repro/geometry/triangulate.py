@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 from scipy.spatial import ConvexHull
 
+from .. import obs
 from .._errors import GeometryError
 from .linalg import determinant
 from .polyhedron import Point
@@ -53,6 +54,7 @@ def simplex_volume(vertices: Sequence[Point]) -> Fraction:
     d = len(vertices[0])
     if len(vertices) != d + 1:
         raise GeometryError(f"a {d}-simplex needs exactly {d + 1} vertices")
+    obs.add("triangulate.simplices")
     base = vertices[0]
     matrix = [
         [Fraction(v[i]) - Fraction(base[i]) for i in range(d)]
@@ -98,8 +100,10 @@ def fan_triangulation_area(vertices: Sequence[Point]) -> Fraction:
     ordered = ordered[apex_index:] + ordered[:apex_index]
     apex = ordered[0]
     total = Fraction(0)
-    for left, right in zip(ordered[1:], ordered[2:]):
-        total += triangle_area(apex, left, right)
+    with obs.span("geometry.fan_triangulation", vertices=len(ordered)):
+        for left, right in zip(ordered[1:], ordered[2:]):
+            obs.add("triangulate.simplices")
+            total += triangle_area(apex, left, right)
     return total
 
 

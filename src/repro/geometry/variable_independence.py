@@ -22,7 +22,6 @@ from ..logic.formulas import Formula
 from .._errors import GeometryError, UnboundedSetError
 from .decomposition import formula_to_cells
 from .polyhedron import Polyhedron
-from .volume import union_volume
 
 __all__ = [
     "cell_is_variable_independent",

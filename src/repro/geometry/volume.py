@@ -23,6 +23,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from ..realalg.univariate import UPoly
+from .. import obs
 from .._errors import GeometryError, UnboundedSetError
 from .polyhedron import Polyhedron
 
@@ -85,6 +86,7 @@ def polytope_volume(polyhedron: Polyhedron) -> Fraction:
     d = polyhedron.dimension
     if d == 0:
         raise GeometryError("volume undefined in dimension 0")
+    obs.add("volume.polytopes")
     closed = polyhedron.closure()
     if closed.is_empty():
         return Fraction(0)
@@ -111,6 +113,7 @@ def polytope_volume(polyhedron: Polyhedron) -> Fraction:
         samples: list[tuple[Fraction, Fraction]] = []
         for k in range(1, d + 1):
             t = left + width * Fraction(k, d + 1)
+            obs.add("volume.slices")
             slice_volume = polytope_volume(closed.fix_variable(var, t))
             samples.append((t, slice_volume))
         piece = lagrange_interpolate(samples)
@@ -137,13 +140,16 @@ def union_volume(cells: Sequence[Polyhedron]) -> Fraction:
             f"(limit {MAX_UNION_CELLS})"
         )
     total = Fraction(0)
-    for size in range(1, len(cells) + 1):
-        sign = 1 if size % 2 == 1 else -1
-        for subset in itertools.combinations(cells, size):
-            intersection = subset[0]
-            for cell in subset[1:]:
-                intersection = intersection.intersect(cell)
-            if intersection.is_empty():
-                continue
-            total += sign * polytope_volume(intersection)
+    with obs.span("volume.union", cells=len(cells)):
+        for size in range(1, len(cells) + 1):
+            sign = 1 if size % 2 == 1 else -1
+            for subset in itertools.combinations(cells, size):
+                intersection = subset[0]
+                for cell in subset[1:]:
+                    intersection = intersection.intersect(cell)
+                if size > 1:
+                    obs.add("volume.intersections")
+                if intersection.is_empty():
+                    continue
+                total += sign * polytope_volume(intersection)
     return total

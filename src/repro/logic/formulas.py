@@ -15,7 +15,6 @@ Formulas are immutable and hashable; ``&``, ``|`` and ``~`` are overloaded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from .terms import Term
 

@@ -1,0 +1,117 @@
+"""Observability: spans, counters, and trace export for the pipeline.
+
+Everything is **off by default** and the disabled fast path costs one
+boolean / thread-local check per instrumentation site (well under a
+microsecond), so the exact pipeline's throughput is unaffected when
+nobody is measuring.  See docs/OBSERVABILITY.md for the metric catalogue
+and the sink API.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observe("my-run") as trace:
+        run_query()
+    print(obs.format_span_tree(trace))
+    print(obs.format_counters(obs.REGISTRY))
+
+Instrumentation sites use the module-level helpers directly::
+
+    with obs.span("qe.cad.decide", variables=n):
+        ...
+    obs.add("cad.cells", len(samples))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import (
+    CATALOGUE,
+    Counter,
+    Gauge,
+    REGISTRY,
+    Registry,
+    add,
+    counting_enabled,
+    disable_counting,
+    enable_counting,
+    set_gauge,
+)
+from .trace import (
+    MAX_SPANS,
+    SpanRecord,
+    Trace,
+    collect,
+    current_trace,
+    span,
+    start_trace,
+    stop_trace,
+    tracing_enabled,
+)
+from .sinks import MemorySink, format_counters, format_span_tree, render_table
+from .export import (
+    SCHEMA,
+    JsonlSink,
+    make_record,
+    read_jsonl,
+    span_to_dict,
+    trace_to_dicts,
+)
+
+__all__ = [
+    # switches
+    "observe", "enable", "disable", "reset",
+    # tracing
+    "span", "collect", "start_trace", "stop_trace", "current_trace",
+    "tracing_enabled", "Trace", "SpanRecord", "MAX_SPANS",
+    # metrics
+    "add", "set_gauge", "REGISTRY", "Registry", "Counter", "Gauge",
+    "CATALOGUE", "counting_enabled", "enable_counting", "disable_counting",
+    # sinks / export
+    "render_table", "format_span_tree", "format_counters", "MemorySink",
+    "SCHEMA", "JsonlSink", "make_record", "read_jsonl", "span_to_dict",
+    "trace_to_dicts",
+]
+
+
+def enable(name: str = "trace") -> Trace:
+    """Turn on counters and install a fresh trace; returns the trace."""
+    enable_counting()
+    return start_trace(name)
+
+
+def disable() -> Trace | None:
+    """Turn off counters and detach the active trace (returned, if any)."""
+    disable_counting()
+    return stop_trace()
+
+
+def reset() -> None:
+    """Zero all metrics; does not touch the enabled/disabled switches."""
+    REGISTRY.reset()
+
+
+@contextmanager
+def observe(name: str = "observe") -> Iterator[Trace]:
+    """Counters + tracing for the duration of the block.
+
+    Metrics are reset on entry so the block's counts stand alone; the
+    previous enabled/disabled state is restored on exit.
+    """
+    was_counting = counting_enabled()
+    previous_trace = stop_trace()
+    REGISTRY.reset()
+    trace = enable(name)
+    try:
+        yield trace
+    finally:
+        stop_trace()
+        if previous_trace is not None:
+            # Restore the outer trace (nested observe blocks).
+            from .trace import _state
+
+            _state.trace = previous_trace
+        if not was_counting:
+            disable_counting()

@@ -1,0 +1,114 @@
+"""JSON-lines export of traces and counters (the ``BENCH_*`` trajectory).
+
+Record schema (``repro.obs/v1``) — one JSON object per line::
+
+    {
+      "schema": "repro.obs/v1",
+      "experiment": "E9",            # or a CLI command name
+      "row": {...},                  # one benchmark/report row, optional
+      "counters": {"cad.cells": 7},  # non-zero metrics snapshot
+      "spans": [                     # literal span forest, optional
+        {"name": "...", "duration_s": 0.1, "attrs": {...},
+         "children": [...]}
+      ]
+    }
+
+The schema is append-only: consumers must ignore unknown keys, and new
+versions bump the ``schema`` string.  Timestamps are deliberately absent
+so records from identical runs are byte-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from .metrics import Registry
+from .trace import SpanRecord, Trace
+
+__all__ = [
+    "SCHEMA",
+    "span_to_dict",
+    "trace_to_dicts",
+    "make_record",
+    "JsonlSink",
+    "read_jsonl",
+]
+
+SCHEMA = "repro.obs/v1"
+
+
+def span_to_dict(record: SpanRecord) -> dict[str, Any]:
+    """A JSON-friendly dict for one span (recursing into children)."""
+    out: dict[str, Any] = {
+        "name": record.name,
+        "duration_s": record.duration_s,
+    }
+    if record.attrs:
+        out["attrs"] = {k: _jsonable(v) for k, v in record.attrs.items()}
+    if record.error:
+        out["error"] = record.error
+    if record.children:
+        out["children"] = [span_to_dict(c) for c in record.children]
+    return out
+
+
+def trace_to_dicts(trace: Trace) -> list[dict[str, Any]]:
+    return [span_to_dict(r) for r in trace.roots]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def make_record(
+    experiment: str,
+    row: dict[str, Any] | None = None,
+    registry: Registry | None = None,
+    trace: Trace | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble one trajectory record; empty sections are omitted."""
+    record: dict[str, Any] = {"schema": SCHEMA, "experiment": experiment}
+    if row:
+        record["row"] = {str(k): _jsonable(v) for k, v in row.items()}
+    if registry is not None:
+        counters = registry.as_dict(skip_empty=True)
+        if counters:
+            record["counters"] = counters
+    if trace is not None and trace.roots:
+        record["spans"] = trace_to_dicts(trace)
+    if extra:
+        record.update(extra)
+    return record
+
+
+class JsonlSink:
+    """Appends records to a JSON-lines file, one object per line."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def write(self, record: dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def write_all(self, records: Sequence[dict[str, Any]]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a JSON-lines trajectory file (blank lines ignored)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,222 @@
+"""Typed counter / gauge registries with a documented metric catalogue.
+
+Counters accumulate monotonically (``add``); gauges record the most
+recent value (``set_gauge``).  Collection is gated on a module-level flag
+so instrumented hot loops pay only a boolean test when observability is
+off — the same disabled-by-default contract as :mod:`repro.obs.trace`.
+
+The :data:`CATALOGUE` below is the authoritative list of metric names
+emitted by the instrumented pipeline; docs/OBSERVABILITY.md renders it.
+Ad-hoc names are allowed (the registry is open), but everything the
+runtime emits should be registered here so summaries are self-describing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .._errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Registry",
+    "REGISTRY",
+    "CATALOGUE",
+    "add",
+    "set_gauge",
+    "counting_enabled",
+    "enable_counting",
+    "disable_counting",
+]
+
+Number = Union[int, float, Fraction]
+
+
+class MetricError(ReproError):
+    """A metric was re-registered with a conflicting type."""
+
+
+class Counter:
+    """A monotonically increasing metric."""
+
+    kind = "counter"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A metric holding the most recently observed value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value: Number | None = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = None
+
+
+class Registry:
+    """A name -> metric map with typed get-or-create accessors."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge] = {}
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Counter(name, description)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Counter):
+            raise MetricError(f"{name!r} is registered as a {metric.kind}")
+        return metric
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Gauge(name, description)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Gauge):
+            raise MetricError(f"{name!r} is registered as a {metric.kind}")
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | None:
+        return self._metrics.get(name)
+
+    def value(self, name: str) -> Number | None:
+        metric = self._metrics.get(name)
+        return None if metric is None else metric.value
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def items(self) -> list[tuple[str, "Counter | Gauge"]]:
+        return sorted(self._metrics.items())
+
+    def reset(self) -> None:
+        """Zero every metric (registrations and descriptions survive)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def as_dict(self, skip_empty: bool = True) -> dict[str, Number]:
+        """A JSON-friendly snapshot of current values.
+
+        Exact :class:`~fractions.Fraction` values are converted to float
+        (counters are almost always ints; fractions appear only in gauges
+        fed from the exact pipeline).
+        """
+        out: dict[str, Number] = {}
+        for name, metric in self.items():
+            value = metric.value
+            if skip_empty and (value is None or value == 0):
+                continue
+            if isinstance(value, Fraction):
+                value = float(value)
+            out[name] = value
+        return out
+
+
+#: Metric name -> (kind, description).  The runtime's full vocabulary.
+CATALOGUE: dict[str, tuple[str, str]] = {
+    "evaluator.sum_terms": ("counter", "SumTerm expansions performed"),
+    "evaluator.range_candidates": (
+        "counter", "candidate tuples explored while enumerating rho(D, b)"),
+    "evaluator.range_selected": (
+        "counter", "tuples that satisfied the range-restriction guard"),
+    "evaluator.determinism_checks": (
+        "counter", "runtime determinism verifications of gamma"),
+    "evaluator.end_sets": ("counter", "END-set computations"),
+    "cad.decisions": ("counter", "full CAD decision-procedure runs"),
+    "cad.cells": ("counter", "cells sampled while lifting CAD stacks"),
+    "cad.section_roots": ("counter", "distinct section roots isolated during lifting"),
+    "cad.projection_polys": (
+        "counter", "polynomials produced by Collins projection (post-dedup)"),
+    "fm.eliminations": ("counter", "Fourier-Motzkin variable eliminations"),
+    "fm.disjuncts": ("counter", "DNF disjuncts processed during linear QE"),
+    "fm.disjuncts_pruned": (
+        "counter", "infeasible disjuncts dropped by the feasibility prune"),
+    "fm.constraints_pruned": (
+        "counter",
+        "constraints dropped as constant-true, duplicate, or redundant"),
+    "volume.cells": ("counter", "convex cells produced by formula decomposition"),
+    "volume.polytopes": ("counter", "polytope-volume evaluations (incl. recursion)"),
+    "volume.slices": ("counter", "interior slice samples taken by Theorem-3 slicing"),
+    "volume.intersections": (
+        "counter", "cell intersections formed by inclusion-exclusion"),
+    "triangulate.simplices": ("counter", "simplices measured by the triangulators"),
+    "mc.samples": ("counter", "hit-or-miss sample points drawn"),
+    "mc.hits": ("counter", "hit-or-miss sample points inside the set"),
+    "mc.hoeffding_sample_size": (
+        "gauge", "last Hoeffding sample size chosen from (epsilon, delta)"),
+    "km.sample_size": ("gauge", "last KM construction sample size M"),
+    "km.atoms": ("gauge", "last KM formula-size lower bound: atoms"),
+    "km.quantifiers": ("gauge", "last KM formula-size lower bound: quantifiers"),
+    "sturm.sign_changes": ("counter", "sign variations counted in Sturm chains"),
+    "sturm.evaluations": ("counter", "Sturm chain evaluations at a point"),
+}
+
+
+def _fresh_registry() -> Registry:
+    registry = Registry()
+    for name, (kind, description) in CATALOGUE.items():
+        if kind == "counter":
+            registry.counter(name, description)
+        else:
+            registry.gauge(name, description)
+    return registry
+
+
+#: The process-wide registry used by the instrumented pipeline.
+REGISTRY = _fresh_registry()
+
+_enabled = False
+
+
+def counting_enabled() -> bool:
+    return _enabled
+
+
+def enable_counting() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable_counting() -> None:
+    global _enabled
+    _enabled = False
+
+
+def add(name: str, amount: Number = 1) -> None:
+    """Increment a counter; a near-free no-op while collection is off."""
+    if not _enabled:
+        return
+    REGISTRY.counter(name).add(amount)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Record a gauge value; a near-free no-op while collection is off."""
+    if not _enabled:
+        return
+    REGISTRY.gauge(name).set(value)

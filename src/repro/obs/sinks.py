@@ -1,0 +1,133 @@
+"""Sinks: turning traces and counters into tables, trees, and records.
+
+Three consumers are served:
+
+* **tests** — :class:`MemorySink` collects export records in memory;
+* **humans** — :func:`render_table` (the single table renderer shared
+  with ``benchmarks/conftest.py``), :func:`format_span_tree` and
+  :func:`format_counters` produce the ``--stats`` report;
+* **trajectory files** — JSON-lines writing lives in
+  :mod:`repro.obs.export`.
+
+``format_span_tree`` aggregates sibling spans that share a name (showing
+call counts and total time) so hot loops render as one line instead of
+thousands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .metrics import Registry
+from .trace import SpanRecord, Trace
+
+__all__ = [
+    "render_table",
+    "format_span_tree",
+    "format_counters",
+    "MemorySink",
+]
+
+
+def render_table(title: str, header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A fixed-width text table; tolerates an empty row list.
+
+    This is the one table renderer in the project — the benchmark
+    reporting helper delegates here.  With no rows the header is still
+    printed, followed by ``(no rows)``.
+    """
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    out = [f"\n=== {title} ===", line, "-" * len(line)]
+    if not rows:
+        out.append("(no rows)")
+    for row in rows:
+        out.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    body = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f" [{body}]"
+
+
+def _merge_siblings(records: Sequence[SpanRecord]) -> list[tuple[SpanRecord, int, float]]:
+    """Group same-named siblings: (exemplar, call count, total seconds).
+
+    The exemplar keeps the first occurrence's attributes; children of all
+    occurrences are concatenated so aggregation recurses naturally.
+    """
+    order: list[str] = []
+    groups: dict[str, list[SpanRecord]] = {}
+    for record in records:
+        if record.name not in groups:
+            order.append(record.name)
+            groups[record.name] = []
+        groups[record.name].append(record)
+    merged = []
+    for name in order:
+        members = groups[name]
+        exemplar = SpanRecord(
+            name=name,
+            attrs=dict(members[0].attrs),
+            children=[c for m in members for c in m.children],
+            start_s=members[0].start_s,
+            duration_s=members[0].duration_s,
+            error=next((m.error for m in members if m.error), None),
+        )
+        merged.append((exemplar, len(members), sum(m.duration_s for m in members)))
+    return merged
+
+
+def format_span_tree(trace: Trace) -> str:
+    """Human-readable span tree with per-name aggregation at each level."""
+    lines = [f"trace {trace.name!r}: {trace.span_count()} spans, "
+             f"depth {trace.depth()}"]
+    if trace.dropped_spans:
+        lines.append(f"  ({trace.dropped_spans} spans over the cap were dropped)")
+
+    def walk(records: Sequence[SpanRecord], indent: int) -> None:
+        for exemplar, calls, total in _merge_siblings(records):
+            suffix = f" x{calls}" if calls > 1 else ""
+            error = f" !{exemplar.error}" if exemplar.error else ""
+            lines.append(
+                f"{'  ' * indent}- {exemplar.name}{suffix}  "
+                f"{total * 1000:.3f} ms{_format_attrs(exemplar.attrs)}{error}"
+            )
+            walk(exemplar.children, indent + 1)
+
+    walk(trace.roots, 1)
+    return "\n".join(lines)
+
+
+def format_counters(registry: Registry, skip_empty: bool = True) -> str:
+    """The counter/gauge summary table for ``--stats`` output."""
+    rows = []
+    for name, metric in registry.items():
+        value = metric.value
+        if skip_empty and (value is None or value == 0):
+            continue
+        rows.append([name, metric.kind, value, metric.description])
+    return render_table("counters", ["metric", "kind", "value", "description"], rows)
+
+
+class MemorySink:
+    """Collects export records in memory; the sink used by tests."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def write(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -35,7 +35,6 @@ from ..logic.formulas import (
     Exists,
     ExistsAdom,
     FalseFormula,
-    Forall,
     ForallAdom,
     Formula,
     Not,
@@ -47,6 +46,7 @@ from ..realalg.algebraic import RealAlgebraic
 from ..realalg.polynomial import Polynomial, term_to_polynomial
 from ..realalg.resultant import discriminant, resultant
 from ..realalg.univariate import UPoly
+from .. import obs
 from .._errors import QEError
 from .intervals import rational_between
 
@@ -99,6 +99,7 @@ def projection_set(polys: Sequence[Polynomial], var: str) -> list[Polynomial]:
     for poly in polys:
         if poly.degree_in(var) == 0:
             add(poly)
+    obs.add("cad.projection_polys", len(result))
     return result
 
 
@@ -170,8 +171,10 @@ def _stack_samples(
                 roots.append(root)
                 floats.append(approx)
     roots.sort()
+    obs.add("cad.section_roots", len(roots))
 
     if not roots:
+        obs.add("cad.cells")
         return [Fraction(0)]
     samples: list[Fraction | RealAlgebraic] = []
     first = roots[0].as_fraction() if roots[0].is_rational() else roots[0]
@@ -186,6 +189,7 @@ def _stack_samples(
         if after is not None:
             after = after.as_fraction() if after.is_rational() else after
         samples.append(rational_between(here, after))
+    obs.add("cad.cells", len(samples))
     return samples
 
 
@@ -288,40 +292,45 @@ def decide(sentence: Formula) -> bool:
         if kind in (ExistsAdom, ForallAdom):
             raise QEError("active-domain quantifiers require a finite instance")
     variables = [var for _, var in prenex.prefix]
+    obs.add("cad.decisions")
 
-    polys: list[Polynomial] = []
-    _matrix_polynomials(prenex.matrix, polys)
-    all_vars = tuple(sorted(set(variables)))
-    polys = [p.with_variables(all_vars) for p in polys]
+    with obs.span("qe.cad.decide", variables=len(variables)):
+        polys: list[Polynomial] = []
+        _matrix_polynomials(prenex.matrix, polys)
+        all_vars = tuple(sorted(set(variables)))
+        polys = [p.with_variables(all_vars) for p in polys]
 
-    # Projection levels: level[i] holds the polynomials relevant to
-    # variables[i], obtained by projecting away variables[i+1:].
-    levels: list[list[Polynomial]] = [[] for _ in variables]
-    current = list(polys)
-    for i in range(len(variables) - 1, 0, -1):
-        levels[i] = [p for p in current]
-        current = projection_set(current, variables[i])
-    if variables:
-        levels[0] = current
+        # Projection levels: level[i] holds the polynomials relevant to
+        # variables[i], obtained by projecting away variables[i+1:].
+        levels: list[list[Polynomial]] = [[] for _ in variables]
+        current = list(polys)
+        with obs.span("qe.cad.project"):
+            for i in range(len(variables) - 1, 0, -1):
+                levels[i] = [p for p in current]
+                current = projection_set(current, variables[i])
+            if variables:
+                levels[0] = current
 
-    last = len(variables) - 1
+        last = len(variables) - 1
 
-    def recurse(index: int, assignment: dict) -> bool:
-        if index == len(variables):
-            return _evaluate_matrix(prenex.matrix, assignment)
-        kind, var = prenex.prefix[index]
-        samples = _stack_samples(levels[index], assignment, var)
-        if index < last:
-            # Deeper levels substitute this coordinate into polynomials, so
-            # algebraic sections are rationalised here (module contract).
-            samples = [_rationalised(s) for s in samples]
-        if kind is Exists:
-            return any(
-                recurse(index + 1, {**assignment, var: s}) for s in samples
-            )
-        return all(recurse(index + 1, {**assignment, var: s}) for s in samples)
+        def recurse(index: int, assignment: dict) -> bool:
+            if index == len(variables):
+                return _evaluate_matrix(prenex.matrix, assignment)
+            kind, var = prenex.prefix[index]
+            samples = _stack_samples(levels[index], assignment, var)
+            if index < last:
+                # Deeper levels substitute this coordinate into polynomials,
+                # so algebraic sections are rationalised here (module
+                # contract).
+                samples = [_rationalised(s) for s in samples]
+            if kind is Exists:
+                return any(
+                    recurse(index + 1, {**assignment, var: s}) for s in samples
+                )
+            return all(recurse(index + 1, {**assignment, var: s}) for s in samples)
 
-    return recurse(0, {})
+        with obs.span("qe.cad.lift"):
+            return recurse(0, {})
 
 
 def satisfiable(formula: Formula) -> bool:
@@ -352,30 +361,35 @@ def _search(formula: Formula, want_witness: bool):
     if not variables:
         return {} if _evaluate_matrix(formula, {}) else None
 
-    polys: list[Polynomial] = []
-    _matrix_polynomials(formula, polys)
-    levels: list[list[Polynomial]] = [[] for _ in variables]
-    current = list(polys)
-    for i in range(len(variables) - 1, 0, -1):
-        levels[i] = list(current)
-        current = projection_set(current, variables[i])
-    levels[0] = current
-    last = len(variables) - 1
+    with obs.span("qe.cad.search", variables=len(variables)):
+        polys: list[Polynomial] = []
+        _matrix_polynomials(formula, polys)
+        levels: list[list[Polynomial]] = [[] for _ in variables]
+        current = list(polys)
+        for i in range(len(variables) - 1, 0, -1):
+            levels[i] = list(current)
+            current = projection_set(current, variables[i])
+        levels[0] = current
+        last = len(variables) - 1
 
-    def search(index: int, assignment: dict):
-        if index == len(variables):
-            return dict(assignment) if _evaluate_matrix(formula, assignment) else None
-        var = variables[index]
-        samples = _stack_samples(levels[index], assignment, var)
-        if index < last:
-            samples = [_rationalised(s) for s in samples]
-        for sample in samples:
-            found = search(index + 1, {**assignment, var: sample})
-            if found is not None:
-                return found
-        return None
+        def search(index: int, assignment: dict):
+            if index == len(variables):
+                return (
+                    dict(assignment)
+                    if _evaluate_matrix(formula, assignment)
+                    else None
+                )
+            var = variables[index]
+            samples = _stack_samples(levels[index], assignment, var)
+            if index < last:
+                samples = [_rationalised(s) for s in samples]
+            for sample in samples:
+                found = search(index + 1, {**assignment, var: sample})
+                if found is not None:
+                    return found
+            return None
 
-    result = search(0, {})
-    if result is None or want_witness:
+        result = search(0, {})
+        if result is None or want_witness:
+            return result
         return result
-    return result

@@ -17,18 +17,14 @@ from ..logic.formulas import (
     Compare,
     Exists,
     ExistsAdom,
-    FALSE,
-    Forall,
     ForallAdom,
     Formula,
-    Or,
-    RelAtom,
-    TRUE,
     conjunction,
     disjunction,
 )
 from ..logic.normalform import qf_to_dnf, to_nnf, to_prenex
-from .._errors import QEError, SignatureError
+from .. import obs
+from .._errors import QEError
 from .linear import LinConstraint, compare_to_constraints
 
 __all__ = [
@@ -80,6 +76,7 @@ def eliminate_variable(
     Returns the resulting conjunction, or ``None`` if the conjunction is
     detected to be infeasible (a constant constraint evaluated false).
     """
+    obs.add("fm.eliminations")
     equalities: list[LinConstraint] = []
     lowers: list[LinConstraint] = []   # coeff of var < 0: var >= bound
     uppers: list[LinConstraint] = []   # coeff of var > 0: var <= bound
@@ -133,15 +130,20 @@ def _clean(constraints: Iterable[LinConstraint]) -> list[LinConstraint] | None:
     """Drop constant-true constraints and duplicates; None if constant-false."""
     seen = set()
     result: list[LinConstraint] = []
+    dropped = 0
     for constraint in constraints:
         if constraint.is_constant():
             if not constraint.constant_truth():
                 return None
+            dropped += 1
             continue
         if constraint in seen:
+            dropped += 1
             continue
         seen.add(constraint)
         result.append(constraint)
+    if dropped:
+        obs.add("fm.constraints_pruned", dropped)
     return result
 
 
@@ -178,6 +180,7 @@ def remove_redundant(constraints: Sequence[LinConstraint]) -> list[LinConstraint
         negation_branches = candidate.negated_formulas()
         if all(not is_feasible(rest + [branch]) for branch in negation_branches):
             kept.pop(index)
+            obs.add("fm.constraints_pruned")
         else:
             index += 1
     return kept
@@ -191,14 +194,17 @@ def constraints_to_formula(constraints: Sequence[LinConstraint]) -> Formula:
 def _eliminate_exists(var: str, matrix: Formula, prune: bool) -> Formula:
     """Quantifier-free equivalent of ``exists var . matrix`` (matrix QF)."""
     disjuncts: list[Formula] = []
-    for conjunct in qf_to_dnf(matrix):
-        for constraints in conjunct_to_constraints(conjunct):
-            result = eliminate_variable(var, constraints)
-            if result is None:
-                continue
-            if prune and not is_feasible(result):
-                continue
-            disjuncts.append(constraints_to_formula(result))
+    with obs.span("qe.fm.eliminate", var=var):
+        for conjunct in qf_to_dnf(matrix):
+            for constraints in conjunct_to_constraints(conjunct):
+                obs.add("fm.disjuncts")
+                result = eliminate_variable(var, constraints)
+                if result is None:
+                    continue
+                if prune and not is_feasible(result):
+                    obs.add("fm.disjuncts_pruned")
+                    continue
+                disjuncts.append(constraints_to_formula(result))
     return disjunction(*disjuncts)
 
 
@@ -224,11 +230,12 @@ def qe_linear(formula: Formula, prune: bool = True) -> Formula:
             raise QEError("active-domain quantifiers have no meaning over R; "
                           "evaluate them against a finite instance instead")
     matrix = prenex.matrix
-    for kind, var in reversed(prenex.prefix):
-        if kind is Exists:
-            matrix = _eliminate_exists(var, matrix, prune)
-        else:  # Forall
-            matrix = to_nnf(~_eliminate_exists(var, to_nnf(~matrix), prune))
+    with obs.span("qe.fm.qe_linear", quantifiers=len(prenex.prefix)):
+        for kind, var in reversed(prenex.prefix):
+            if kind is Exists:
+                matrix = _eliminate_exists(var, matrix, prune)
+            else:  # Forall
+                matrix = to_nnf(~_eliminate_exists(var, to_nnf(~matrix), prune))
     return matrix
 
 

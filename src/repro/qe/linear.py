@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping
 
-from ..logic.formulas import Compare, Formula, TRUE, FALSE
+from ..logic.formulas import Compare, Formula
 from ..logic.terms import Add, Const, Term, Var
 from ..realalg.polynomial import Polynomial, term_to_polynomial
 from .._errors import SignatureError

@@ -12,7 +12,7 @@ This is the coefficient workhorse behind quantifier elimination
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from ..logic.terms import Add, Const, Mul, Neg, Pow, Term, Var
 

@@ -10,7 +10,6 @@ the small degrees (<= ~6) arising in CAD projection.
 from __future__ import annotations
 
 from fractions import Fraction
-from functools import lru_cache
 
 from .polynomial import Polynomial
 

@@ -16,6 +16,7 @@ from fractions import Fraction
 from functools import lru_cache
 
 from .univariate import UPoly
+from ..obs import add as _obs_add
 
 __all__ = ["sturm_chain", "sign_variations_at", "count_roots", "count_real_roots"]
 
@@ -48,7 +49,10 @@ def sign_variations_at(chain: list[UPoly], point: Fraction) -> int:
         sign = poly.sign_at(point)
         if sign != 0:
             signs.append(sign)
-    return _variations(signs)
+    variations = _variations(signs)
+    _obs_add("sturm.evaluations")
+    _obs_add("sturm.sign_changes", variations)
+    return variations
 
 
 def _sign_variations_at_infinity(chain: list[UPoly], positive: bool) -> int:

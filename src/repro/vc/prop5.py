@@ -17,7 +17,6 @@ construction grows with the VC dimension, hence with log of the database.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
 
 from ..db.instance import FiniteInstance
 from ..db.schema import Schema

@@ -6,7 +6,6 @@ from fractions import Fraction
 import pytest
 
 from repro.approx import (
-    DERANDOMISATION_DELTA,
     approximate_vol_unit_cube,
     convex_relative_approximation,
     epsilon_band_to_relative,

@@ -7,8 +7,19 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.db import FiniteInstance, FRInstance, Schema
-from repro.logic import Relation, between, variables
+from repro.logic import between, variables
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Every test starts and ends with observability off and zeroed."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core import definable_set, end_set
-from repro.db import FiniteInstance, FRInstance, Schema
+from repro.db import FRInstance, Schema
 from repro.logic import Relation, exists, exists_adom, variables
 from repro._errors import SafetyError
 

@@ -2,13 +2,10 @@
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 
 from repro.core import (
-    SumEvaluator,
     UniformVolumeApproximator,
-    absolute_area_gamma,
     polygon_area,
     polygon_area_sum_term,
     polygon_instance,
@@ -16,9 +13,9 @@ from repro.core import (
     theorem4_sample_size,
     witness,
 )
-from repro.db import FRInstance, Schema
+from repro.db import Schema
 from repro.geometry import shoelace_area
-from repro.logic import Relation, between, variables
+from repro.logic import Relation, variables
 from repro.vc import goldberg_jerrum_constant_for_query
 from repro._errors import ApproximationError, GeometryError
 
@@ -137,7 +134,6 @@ class TestUniformVolumeApproximator:
         )
 
     def test_requires_constant_or_size(self, strip_instance, rng):
-        T = Relation("T", 1)
         a, yv = variables("a yv")
         q = (0 <= yv) & (yv <= a)
         with pytest.raises(ApproximationError):

@@ -9,17 +9,9 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core import (
-    DetFormula,
-    RangeRestricted,
-    SumEvaluator,
-    SumTerm,
-    end_set,
-    endpoints_range,
-)
+from repro.core import DetFormula, SumEvaluator, SumTerm, end_set, endpoints_range
 from repro.db import FRInstance, FiniteInstance, Schema
 from repro.logic import Relation, TRUE, Var, variables
-from repro._errors import SafetyError
 
 x, y, w = variables("x y w")
 U = Relation("U", 1)

@@ -3,7 +3,6 @@ problem), plus the variable-independence baseline of [11]."""
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 
 from repro.core import (

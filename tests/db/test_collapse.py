@@ -32,8 +32,8 @@ def instance(*values) -> FiniteInstance:
 
 
 def _contains_natural_quantifier(formula) -> bool:
-    from repro.logic import And, Compare, Not, Or, RelAtom
-    from repro.logic import ExistsAdom, ForallAdom, TrueFormula, FalseFormula
+    from repro.logic import And, Not, Or
+    from repro.logic import ExistsAdom, ForallAdom
 
     if isinstance(formula, (Exists, Forall)):
         return True

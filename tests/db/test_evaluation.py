@@ -14,16 +14,7 @@ from repro.db import (
     output_formula,
     query_output_tuples,
 )
-from repro.logic import (
-    Relation,
-    between,
-    evaluate,
-    exists,
-    exists_adom,
-    forall,
-    forall_adom,
-    variables,
-)
+from repro.logic import Relation, evaluate, exists, exists_adom, forall_adom, variables
 from repro._errors import EvaluationError
 
 x, y, z = variables("x y z")

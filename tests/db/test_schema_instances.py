@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.db import FiniteInstance, FRInstance, Schema
-from repro.logic import between, variables
+from repro.logic import variables
 from repro._errors import SignatureError
 
 x, y = variables("x y")

@@ -4,6 +4,7 @@ import io
 from contextlib import redirect_stdout
 
 from repro.__main__ import main
+from repro.obs import SCHEMA, read_jsonl
 
 
 def run_cli(*argv: str) -> str:
@@ -35,3 +36,49 @@ class TestCLI:
         output = run_cli("experiments")
         assert "bench_e1_km_blowup.py" in output
         assert "E10" in output
+
+
+class TestCLIObservability:
+    def test_demo_stats_prints_span_tree_and_counters(self):
+        output = run_cli("demo", "--stats")
+        assert "trace 'repro.demo'" in output
+        # At least three levels of nesting render as increasing indents.
+        assert "\n  - cli.demo" in output
+        assert "\n    - " in output
+        assert "\n      - " in output
+        # The counter table names the headline metrics.
+        assert "=== counters ===" in output
+        assert "cad.cells" in output
+        assert "evaluator.range_candidates" in output
+        assert "mc.samples" in output
+
+    def test_stats_before_subcommand_also_works(self):
+        output = run_cli("--stats", "demo")
+        assert "trace 'repro.demo'" in output
+
+    def test_volume_stats(self):
+        output = run_cli("volume", "--stats", "0 <= y AND y <= x AND x <= 1")
+        assert "= 1/2 =" in output
+        assert "fm.eliminations" in output
+        assert "volume.polytopes" in output
+
+    def test_trace_subcommand_forces_stats(self):
+        output = run_cli("trace", "volume", "x < 1/4 OR x > 3/4")
+        assert "= 1/2 =" in output
+        assert "trace 'repro.volume'" in output
+
+    def test_json_export(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        run_cli("demo", "--json", path)
+        (record,) = read_jsonl(path)
+        assert record["schema"] == SCHEMA
+        assert record["experiment"] == "repro.demo"
+        assert record["counters"]["cad.cells"] > 0
+        assert record["spans"][0]["name"] == "cli.demo"
+
+    def test_seed_reproducibility(self):
+        first = run_cli("approx", "--seed", "7", "x*x + y*y < 1")
+        second = run_cli("approx", "--seed", "7", "x*x + y*y < 1")
+        third = run_cli("approx", "--seed", "8", "x*x + y*y < 1")
+        assert first == second
+        assert first != third

@@ -123,7 +123,6 @@ class TestDNF:
             qf_to_dnf(f, max_conjuncts=4)
 
     def test_dnf_preserves_semantics(self):
-        from repro.logic import lor, land
 
         f = ~((x < y) | ((y < z) & ~(x < z)))
         dnf = qf_to_dnf(f)

@@ -6,7 +6,6 @@ import pytest
 
 from repro.logic import (
     Const,
-    Exists,
     ParseError,
     Relation,
     conjunction,

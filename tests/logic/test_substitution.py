@@ -5,7 +5,6 @@ from fractions import Fraction
 from repro.logic import (
     Const,
     Exists,
-    Var,
     evaluate,
     rename_bound,
     substitute,

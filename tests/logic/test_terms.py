@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.logic import Add, Const, Mul, Neg, Pow, Var, as_term, ONE, ZERO
+from repro.logic import Add, Const, Mul, Pow, Var, as_term, ONE, ZERO
 
 
 class TestConstruction:

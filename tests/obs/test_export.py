@@ -1,0 +1,107 @@
+"""JSON-lines export: schema shape and round-tripping."""
+
+from fractions import Fraction
+
+from repro import obs
+from repro.obs.export import (
+    SCHEMA,
+    JsonlSink,
+    make_record,
+    read_jsonl,
+    span_to_dict,
+    trace_to_dicts,
+)
+from repro.obs.metrics import Registry
+from repro.obs.sinks import MemorySink
+
+
+def _sample_trace():
+    with obs.collect("sample") as trace:
+        with obs.span("outer", k=Fraction(1, 2)):
+            with obs.span("inner"):
+                pass
+    return trace
+
+
+class TestSpanToDict:
+    def test_shape(self):
+        trace = _sample_trace()
+        d = span_to_dict(trace.roots[0])
+        assert d["name"] == "outer"
+        assert d["duration_s"] >= 0.0
+        # Non-JSON values are stringified, never emitted raw.
+        assert d["attrs"] == {"k": "1/2"}
+        assert d["children"][0]["name"] == "inner"
+        assert "children" not in d["children"][0]
+        assert "error" not in d
+
+    def test_error_recorded(self):
+        with obs.collect() as trace:
+            try:
+                with obs.span("bad"):
+                    raise KeyError("x")
+            except KeyError:
+                pass
+        assert span_to_dict(trace.roots[0])["error"] == "KeyError"
+
+
+class TestMakeRecord:
+    def test_empty_sections_omitted(self):
+        record = make_record("E0")
+        assert record == {"schema": SCHEMA, "experiment": "E0"}
+
+    def test_full_record(self):
+        registry = Registry()
+        registry.counter("cad.cells").add(7)
+        registry.counter("untouched")
+        trace = _sample_trace()
+        record = make_record(
+            "E9", row={"n": 3, "vol": Fraction(1, 2)},
+            registry=registry, trace=trace, extra={"row_index": 0},
+        )
+        assert record["schema"] == SCHEMA
+        assert record["row"] == {"n": 3, "vol": "1/2"}
+        assert record["counters"] == {"cad.cells": 7}
+        assert record["spans"] == trace_to_dicts(trace)
+        assert record["row_index"] == 0
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        registry = Registry()
+        registry.counter("mc.samples").add(100)
+        records = [
+            make_record("E1", row={"eps": 0.1}, registry=registry),
+            make_record("E1", row={"eps": 0.05}, registry=registry),
+        ]
+        sink = JsonlSink(path)
+        sink.write_all(records)
+        sink.write(make_record("E2"))
+        back = read_jsonl(path)
+        assert back == records + [make_record("E2")]
+        assert all(r["schema"] == SCHEMA for r in back)
+
+    def test_append_only(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        JsonlSink(path).write(make_record("a"))
+        JsonlSink(path).write(make_record("b"))
+        assert [r["experiment"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_identical_runs_byte_comparable(self, tmp_path):
+        # No timestamps anywhere: two exports of the same record match.
+        p1, p2 = str(tmp_path / "1.jsonl"), str(tmp_path / "2.jsonl")
+        record = make_record("E4", row={"case": 1})
+        JsonlSink(p1).write(record)
+        JsonlSink(p2).write(record)
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+
+
+class TestMemorySink:
+    def test_collects(self):
+        sink = MemorySink()
+        assert len(sink) == 0
+        sink.write(make_record("E1"))
+        sink.write(make_record("E2"))
+        assert len(sink) == 2
+        assert sink.records[1]["experiment"] == "E2"

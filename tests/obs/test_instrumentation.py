@@ -1,0 +1,86 @@
+"""Regression pins: the instrumented pipeline emits deterministic counts.
+
+Two small fixed queries — one through the CAD decision procedure, one
+through Fourier-Motzkin elimination — must produce exactly the counter
+values recorded here.  A change in these numbers means the algorithms
+explored a different search space; update the pins only with an
+explanation of the algorithmic change.
+"""
+
+from fractions import Fraction
+
+from repro import obs
+from repro.core import SumEvaluator, endpoints_range
+from repro.db import FiniteInstance, Schema
+from repro.logic import Relation, Var, exists, variables
+from repro.qe import qe_linear
+from repro.qe.cad import decide
+
+x, y = variables("x y")
+
+
+class TestCadPins:
+    def test_sqrt2_membership_counts(self):
+        """exists x. x^2 = 2 and 0 < x < 2 — a one-variable CAD."""
+        sentence = exists(x, (x * x).eq(2) & (0 < x) & (x < 2))
+        obs.enable_counting()
+        obs.reset()
+        assert decide(sentence) is True
+        counts = obs.REGISTRY.as_dict()
+        assert counts["cad.decisions"] == 1
+        assert counts["cad.cells"] == 9
+        assert counts["cad.section_roots"] == 4
+        assert counts["sturm.evaluations"] == 12
+        assert counts["sturm.sign_changes"] == 11
+
+    def test_cad_spans_nest(self):
+        sentence = exists(x, (x * x).eq(2) & (0 < x) & (x < 2))
+        with obs.observe("cad") as trace:
+            decide(sentence)
+        names = {r.name for r in trace.roots}
+        assert "qe.cad.decide" in names
+        root = next(r for r in trace.roots if r.name == "qe.cad.decide")
+        child_names = {c.name for c in root.children}
+        assert {"qe.cad.project", "qe.cad.lift"} <= child_names
+
+
+class TestFourierMotzkinPins:
+    def test_triangle_projection_counts(self):
+        """exists y. 0 <= y <= x <= 1 — one linear elimination."""
+        formula = exists(y, (0 <= y) & (y <= x) & (x <= 1))
+        obs.enable_counting()
+        obs.reset()
+        qe_linear(formula)
+        counts = obs.REGISTRY.as_dict()
+        assert counts["fm.eliminations"] == 2
+        assert counts["fm.constraints_pruned"] == 1
+        assert counts["fm.disjuncts"] == 1
+
+
+class TestEvaluatorCounts:
+    def test_range_set_candidates(self):
+        U = Relation("U", 1)
+        schema = Schema.make({"U": 1})
+        instance = FiniteInstance.make(
+            schema, {"U": [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]}
+        )
+        rho = endpoints_range("w", U(Var("w")))
+        obs.enable_counting()
+        obs.reset()
+        with obs.collect("eval") as trace:
+            selected = SumEvaluator(instance).range_set(rho)
+        counts = obs.REGISTRY.as_dict()
+        assert len(selected) == 3
+        assert counts["evaluator.range_selected"] == 3
+        assert counts["evaluator.range_candidates"] >= 3
+        assert trace.roots[0].name == "evaluator.range_set"
+
+    def test_disabled_pipeline_emits_nothing(self):
+        U = Relation("U", 1)
+        schema = Schema.make({"U": 1})
+        instance = FiniteInstance.make(schema, {"U": [1, 2]})
+        rho = endpoints_range("w", U(Var("w")))
+        obs.disable_counting()
+        obs.reset()
+        SumEvaluator(instance).range_set(rho)
+        assert obs.REGISTRY.as_dict() == {}

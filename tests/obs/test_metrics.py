@@ -1,0 +1,112 @@
+"""Counter/gauge registry semantics and the enabled/disabled gate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import CATALOGUE, Counter, Gauge, MetricError, Registry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        with pytest.raises(MetricError):
+            c.add(-1)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("c")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        g.reset()
+        assert g.value is None
+
+
+class TestRegistry:
+    def test_get_or_create_is_typed(self):
+        r = Registry()
+        c = r.counter("a")
+        assert r.counter("a") is c
+        with pytest.raises(MetricError):
+            r.gauge("a")
+        g = r.gauge("b")
+        with pytest.raises(MetricError):
+            r.counter("b")
+        assert r.get("b") is g
+        assert r.get("missing") is None
+
+    def test_reset_survives_registrations(self):
+        r = Registry()
+        r.counter("a", "described").add(9)
+        r.gauge("b").set(1)
+        r.reset()
+        assert r.value("a") == 0
+        assert r.value("b") is None
+        assert r.counter("a").description == "described"
+
+    def test_as_dict_skips_empty_and_converts_fractions(self):
+        r = Registry()
+        r.counter("zero")
+        r.counter("nonzero").add(2)
+        r.gauge("unset")
+        r.gauge("exact").set(Fraction(1, 4))
+        snapshot = r.as_dict()
+        assert snapshot == {"nonzero": 2, "exact": 0.25}
+        assert isinstance(snapshot["exact"], float)
+        full = r.as_dict(skip_empty=False)
+        assert full["zero"] == 0 and full["unset"] is None
+
+
+class TestCatalogue:
+    def test_catalogue_preregistered_in_global_registry(self):
+        for name, (kind, description) in CATALOGUE.items():
+            metric = obs.REGISTRY.get(name)
+            assert metric is not None, name
+            assert metric.kind == kind
+            assert metric.description == description
+
+    def test_key_pipeline_metrics_present(self):
+        for name in ("cad.cells", "fm.constraints_pruned",
+                     "evaluator.range_candidates", "mc.samples",
+                     "sturm.sign_changes"):
+            assert name in CATALOGUE
+
+
+class TestModuleGate:
+    def test_disabled_add_is_noop(self):
+        assert not obs.counting_enabled()
+        obs.add("mc.samples", 10)
+        obs.set_gauge("km.sample_size", 99)
+        assert obs.REGISTRY.value("mc.samples") == 0
+        assert obs.REGISTRY.value("km.sample_size") is None
+
+    def test_enabled_add_accumulates(self):
+        obs.enable_counting()
+        obs.add("mc.samples", 10)
+        obs.add("mc.samples")
+        obs.set_gauge("km.sample_size", 99)
+        assert obs.REGISTRY.value("mc.samples") == 11
+        assert obs.REGISTRY.value("km.sample_size") == 99
+        obs.disable_counting()
+
+    def test_reset_zeroes_but_keeps_switch(self):
+        obs.enable_counting()
+        obs.add("mc.samples", 3)
+        obs.reset()
+        assert obs.REGISTRY.value("mc.samples") == 0
+        assert obs.counting_enabled()
+        obs.disable_counting()

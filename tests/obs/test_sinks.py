@@ -1,0 +1,70 @@
+"""Human-readable sinks: the table renderer and the span-tree formatter."""
+
+from repro import obs
+from repro.obs.sinks import format_counters, format_span_tree, render_table
+from repro.obs.metrics import Registry
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        out = render_table("t", ["a", "bb"], [[1, 2], [30, 4]])
+        lines = out.splitlines()
+        assert lines[1] == "=== t ==="
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert lines[4].startswith("1")
+        assert lines[5].startswith("30")
+
+    def test_empty_rows_do_not_crash(self):
+        # Regression: the old benchmarks renderer raised TypeError on
+        # max() with an empty sequence when rows was empty.
+        out = render_table("empty", ["col1", "col2"], [])
+        assert "(no rows)" in out
+        assert "col1" in out
+
+    def test_wide_cells_set_column_width(self):
+        out = render_table("t", ["h"], [["wider-than-header"]])
+        header_line = out.splitlines()[2]
+        assert len(header_line) >= len("wider-than-header")
+
+
+class TestFormatSpanTree:
+    def test_siblings_aggregate(self):
+        with obs.collect("agg") as trace:
+            with obs.span("parent"):
+                for _ in range(250):
+                    with obs.span("hot"):
+                        pass
+        out = format_span_tree(trace)
+        assert "trace 'agg': 251 spans, depth 2" in out
+        assert "- hot x250" in out
+        # One aggregated line, not 250.
+        assert out.count("- hot") == 1
+
+    def test_attrs_and_errors_shown(self):
+        with obs.collect() as trace:
+            try:
+                with obs.span("step", n=3):
+                    raise ValueError
+            except ValueError:
+                pass
+        out = format_span_tree(trace)
+        assert "[n=3]" in out
+        assert "!ValueError" in out
+
+    def test_dropped_spans_reported(self):
+        trace = obs.start_trace("d")
+        trace.dropped_spans = 5
+        obs.stop_trace()
+        assert "5 spans over the cap were dropped" in format_span_tree(trace)
+
+
+class TestFormatCounters:
+    def test_only_nonzero_shown(self):
+        registry = Registry()
+        registry.counter("cad.cells", "cells sampled").add(4)
+        registry.counter("quiet")
+        registry.gauge("km.sample_size").set(10)
+        out = format_counters(registry)
+        assert "cad.cells" in out and "cells sampled" in out
+        assert "km.sample_size" in out
+        assert "quiet" not in out

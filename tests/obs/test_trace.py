@@ -1,0 +1,157 @@
+"""Span tracing: nesting, exception safety, and the disabled fast path."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NULL_SPAN, MAX_SPANS, _LiveSpan
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_when_disabled(self):
+        assert not obs.tracing_enabled()
+        s = obs.span("anything", k=1)
+        assert s is _NULL_SPAN
+        # Same object every time — no allocation on the hot path.
+        assert obs.span("other") is s
+        with s:
+            s.set(extra=2)  # no-op, must not raise
+
+    def test_current_trace_none_when_disabled(self):
+        assert obs.current_trace() is None
+
+
+class TestNesting:
+    def test_nested_spans_build_a_tree(self):
+        with obs.collect("t") as trace:
+            with obs.span("outer", a=1):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+            with obs.span("second-root"):
+                pass
+        assert [r.name for r in trace.roots] == ["outer", "second-root"]
+        assert [c.name for c in trace.roots[0].children] == ["inner", "inner"]
+        assert trace.span_count() == 4
+        assert trace.depth() == 2
+        assert trace.roots[0].attrs == {"a": 1}
+
+    def test_durations_are_nonnegative_and_monotonic_clocked(self):
+        with obs.collect() as trace:
+            with obs.span("a"):
+                pass
+        (root,) = trace.roots
+        assert root.duration_s >= 0.0
+
+    def test_set_attaches_attributes_after_open(self):
+        with obs.collect() as trace:
+            with obs.span("a", x=1) as s:
+                s.set(y=2)
+        assert trace.roots[0].attrs == {"x": 1, "y": 2}
+
+    def test_stop_trace_detaches(self):
+        trace = obs.start_trace("t")
+        assert obs.current_trace() is trace
+        assert obs.stop_trace() is trace
+        assert obs.current_trace() is None
+        assert obs.stop_trace() is None
+
+
+class TestExceptionSafety:
+    def test_error_recorded_and_stack_unwound(self):
+        with obs.collect() as trace:
+            with pytest.raises(ValueError):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+            # The stack must be clean: a new span is a fresh root.
+            with obs.span("after"):
+                pass
+        assert [r.name for r in trace.roots] == ["failing", "after"]
+        assert trace.roots[0].error == "ValueError"
+        assert trace.roots[1].error is None
+
+    def test_error_inside_nested_span(self):
+        with obs.collect() as trace:
+            with pytest.raises(RuntimeError):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        raise RuntimeError
+        outer = trace.roots[0]
+        assert outer.error == "RuntimeError"
+        assert outer.children[0].error == "RuntimeError"
+
+    def test_stranded_child_frames_are_unwound(self):
+        # A generator suspended inside a span can leak its record on the
+        # stack; the parent's __exit__ must pop past it.
+        trace = obs.start_trace()
+        outer = _LiveSpan(trace, "outer", {})
+        outer.__enter__()
+        stranded = _LiveSpan(trace, "stranded", {})
+        stranded.__enter__()            # never exited
+        outer.__exit__(None, None, None)
+        assert trace._stack == []
+        obs.stop_trace()
+
+
+class TestSpanCap:
+    def test_spans_over_cap_counted_not_materialised(self):
+        trace = obs.start_trace("cap")
+        trace._count = MAX_SPANS  # pretend the cap is already reached
+        with obs.span("dropped"):
+            pass
+        obs.stop_trace()
+        assert trace.dropped_spans == 1
+        assert trace.roots == []
+        assert trace.span_count() == MAX_SPANS + 1
+
+
+class TestThreadLocality:
+    def test_trace_does_not_leak_across_threads(self):
+        obs.start_trace("main-thread")
+        seen = {}
+
+        def worker():
+            seen["trace"] = obs.current_trace()
+            with obs.span("in-worker"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        trace = obs.stop_trace()
+        assert seen["trace"] is None      # tracing is per-thread
+        assert trace.roots == []          # worker spans were no-ops
+
+
+class TestCollect:
+    def test_collect_restores_disabled_state(self):
+        assert not obs.tracing_enabled()
+        with obs.collect("c") as trace:
+            assert obs.current_trace() is trace
+            with obs.span("x"):
+                pass
+        assert not obs.tracing_enabled()
+        assert trace.span_count() == 1
+
+    def test_observe_resets_counters_and_restores(self):
+        obs.enable_counting()
+        obs.add("mc.samples", 5)
+        with obs.observe("block") as trace:
+            # Counters were reset on entry.
+            assert obs.REGISTRY.value("mc.samples") == 0
+            obs.add("mc.samples", 3)
+            with obs.span("inside"):
+                pass
+        assert trace.span_count() == 1
+        assert obs.counting_enabled()     # was on before, stays on
+        assert not obs.tracing_enabled()
+        obs.disable_counting()
+
+    def test_observe_restores_outer_trace(self):
+        outer = obs.start_trace("outer")
+        with obs.observe("inner"):
+            pass
+        assert obs.current_trace() is outer
+        obs.stop_trace()

@@ -28,7 +28,11 @@ coords = st.fractions(
 @settings(max_examples=50, deadline=None)
 @given(coords, coords, coords, coords)
 def test_box_volume_is_product(a, b, c, d):
-    assume(a < b and c < d)
+    # Sort instead of filtering on a < b: assume() here rejects ~3/4 of
+    # draws and intermittently trips the filter_too_much health check.
+    assume(a != b and c != d)
+    a, b = sorted((a, b))
+    c, d = sorted((c, d))
     (box,) = formula_to_cells(
         between(a, x, b) & between(c, y, d), ("x", "y")
     )

@@ -5,17 +5,7 @@ from fractions import Fraction
 
 from hypothesis import given, settings, strategies as st
 
-from repro.logic import (
-    Compare,
-    Const,
-    Exists,
-    Forall,
-    Formula,
-    Var,
-    evaluate,
-    qf_to_dnf,
-    to_nnf,
-)
+from repro.logic import Compare, Const, Exists, Forall, Var, evaluate, qf_to_dnf
 from repro.qe import qe_linear, solve_univariate
 from repro.qe.fourier_motzkin import conjunct_to_constraints, is_feasible
 

@@ -4,15 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.logic import (
-    Relation,
-    between,
-    evaluate,
-    exists,
-    exists_adom,
-    forall,
-    variables,
-)
+from repro.logic import Relation, evaluate, exists, exists_adom, forall, variables
 from repro.qe import (
     conjunct_to_constraints,
     decide_linear,

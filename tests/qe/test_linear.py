@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.logic import Compare, variables
+from repro.logic import variables
 from repro.qe import LinConstraint, compare_to_constraints, linear_parts
 from repro.realalg import term_to_polynomial
 from repro._errors import SignatureError

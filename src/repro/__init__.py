@@ -39,11 +39,16 @@ Subpackages
     Observability: nested spans, counter/gauge registries, and JSON-lines
     trace export across the evaluator / QE / volume pipeline.  Disabled
     by default with a sub-microsecond fast path.
+``repro.guard``
+    Resource governance: cooperative budgets (deadline, cells,
+    constraints, size, depth), the structured ``BudgetExceeded`` family,
+    and the exact -> approximate degradation ladder (``robust_volume``).
 """
 
 __version__ = "0.1.0"
 
-from . import obs, logic, realalg, qe, geometry, db, core, vc, approx, inexpressibility
+from . import obs, guard, logic, realalg, qe, geometry, db, core, vc, approx, inexpressibility
+from .guard.errors import BudgetExceeded
 from ._errors import (
     ApproximationError,
     EvaluationError,
@@ -59,6 +64,7 @@ from ._errors import (
 
 __all__ = [
     "obs",
+    "guard",
     "logic",
     "realalg",
     "qe",
@@ -69,6 +75,7 @@ __all__ = [
     "approx",
     "inexpressibility",
     "ReproError",
+    "BudgetExceeded",
     "SignatureError",
     "NotQuantifierFree",
     "UnboundedSetError",

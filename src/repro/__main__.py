@@ -15,6 +15,17 @@ Global options
 ``--seed N``    seed for the explicit ``numpy`` generator threaded into
                 every sampling path (default 0), making traced runs
                 reproducible
+``--timeout S`` wall-clock budget in seconds (see docs/ROBUSTNESS.md)
+``--max-cells N`` CAD / decomposition cell budget
+``--fallback {off,auto,approx-only}``
+                degradation policy for ``volume``: ``auto`` falls back to
+                a coarser exact strategy and then to Monte Carlo when the
+                budget trips; ``off`` (default) propagates the exhaustion
+
+Exit codes
+----------
+``0`` success · ``2`` query error (:class:`~repro.ReproError`) ·
+``3`` budget exhausted (:class:`~repro.guard.BudgetExceeded`)
 """
 
 from __future__ import annotations
@@ -22,6 +33,9 @@ from __future__ import annotations
 import argparse
 import sys
 from fractions import Fraction
+
+from repro import ReproError, guard
+from repro.guard import BudgetExceeded
 
 
 def _rng(seed: int):
@@ -75,8 +89,34 @@ def _volume(args: argparse.Namespace) -> None:
 
     formula = parse(args.formula)
     names = sorted(formula.free_variables())
-    volume = formula_volume_unit_cube(formula, names)
-    print(f"VOL_I({args.formula}) over {', '.join(names)} = {volume} = {float(volume)}")
+    joined = ", ".join(names)
+    if args.fallback == "off":
+        with guard.govern(args.budget):
+            volume = formula_volume_unit_cube(formula, names)
+        print(f"VOL_I({args.formula}) over {joined} = {volume} = {float(volume)}")
+        return
+
+    from repro.guard import robust_volume
+
+    result = robust_volume(
+        formula, names, epsilon=args.epsilon, delta=args.delta,
+        budget=args.budget, policy=args.fallback, rng=_rng(args.seed),
+    )
+    if result.mode == "approximate":
+        print(
+            f"VOL_I({args.formula}) over {joined} ~= {result.value:.6f} "
+            f"+- {result.confidence_radius:.6f} "
+            f"(mode={result.mode}, {result.samples} samples, "
+            f"eps={result.epsilon:g}, delta={result.delta:g}, seed={args.seed})"
+        )
+    else:
+        print(
+            f"VOL_I({args.formula}) over {joined} = {result.value} "
+            f"= {float(result.value)} (mode={result.mode})"
+        )
+    for mode, error in result.attempts:
+        print(f"  [{mode} abandoned: {error.resource} budget exceeded]",
+              file=sys.stderr)
 
 
 def _approx(args: argparse.Namespace) -> None:
@@ -133,6 +173,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=argparse.SUPPRESS,
         help="seed for the numpy generator used by sampling paths (default 0)",
     )
+    common.add_argument(
+        "--timeout", type=float, metavar="SECONDS", default=argparse.SUPPRESS,
+        help="wall-clock budget; exhaustion exits 3 (or degrades, see --fallback)",
+    )
+    common.add_argument(
+        "--max-cells", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="budget for CAD stack cells / convex decomposition cells",
+    )
+    common.add_argument(
+        "--fallback", choices=("off", "auto", "approx-only"),
+        default=argparse.SUPPRESS,
+        help="degradation policy for volume: off (default) propagates budget "
+        "exhaustion; auto retries a coarser exact strategy then Monte Carlo; "
+        "approx-only skips the exact attempts",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         parents=[common],
@@ -147,6 +202,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "volume", parents=[common], help="exact VOL_I of a linear formula"
     )
     volume.add_argument("formula", help='e.g. "0 <= y AND y <= x AND x <= 1"')
+    volume.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="accuracy target sizing the Monte Carlo fallback (default 0.05)",
+    )
+    volume.add_argument(
+        "--delta", type=float, default=0.05,
+        help="failure probability of the Monte Carlo fallback (default 0.05)",
+    )
     approx = sub.add_parser(
         "approx", parents=[common],
         help="Monte Carlo (epsilon, delta)-approximation of VOL_I",
@@ -170,14 +233,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _dispatch(args: argparse.Namespace) -> None:
-    if args.command in (None, "demo"):
-        _demo(args)
-    elif args.command == "volume":
+    if args.command == "volume":
+        # volume manages the budget itself: the fallback ladder needs to
+        # catch exhaustion between rungs, not have it unwind past it.
         _volume(args)
-    elif args.command == "approx":
-        _approx(args)
-    elif args.command == "experiments":
-        _experiments()
+        return
+    with guard.govern(args.budget):
+        if args.command in (None, "demo"):
+            _demo(args)
+        elif args.command == "approx":
+            _approx(args)
+        elif args.command == "experiments":
+            _experiments()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -197,14 +264,33 @@ def main(argv: list[str] | None = None) -> int:
             print("usage: repro trace <subcommand> [args...]", file=sys.stderr)
             return 2
         args.stats = True
-        for name in ("json", "seed"):
+        for name in ("json", "seed", "timeout", "max_cells", "fallback"):
             if not hasattr(args, name) and hasattr(outer, name):
                 setattr(args, name, getattr(outer, name))
 
     args.stats = getattr(args, "stats", False)
     args.json = getattr(args, "json", None)
     args.seed = getattr(args, "seed", 0)
+    args.timeout = getattr(args, "timeout", None)
+    args.max_cells = getattr(args, "max_cells", None)
+    args.fallback = getattr(args, "fallback", "off")
+    args.budget = (
+        guard.Budget(deadline_s=args.timeout, max_cells=args.max_cells)
+        if args.timeout is not None or args.max_cells is not None
+        else None
+    )
 
+    try:
+        return _run(args, argv)
+    except BudgetExceeded as error:
+        print(f"repro: budget exceeded: {error}", file=sys.stderr)
+        return 3
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace, argv: list[str] | None) -> int:
     if not (args.stats or args.json):
         _dispatch(args)
         return 0

@@ -46,7 +46,7 @@ from ..qe.cad import decide as cad_decide
 from ..qe.fourier_motzkin import decide_linear
 from ..qe.intervals import Endpoint
 from ..qe.onevar import solve_univariate
-from .. import obs
+from .. import guard, obs
 from .._errors import EvaluationError, NotDeterministicError, SafetyError
 from .deterministic import explicit_function_term
 from .endpoints import end_set
@@ -154,6 +154,7 @@ class SumEvaluator:
                 return
             for value in values:
                 explored += 1
+                guard.checkpoint()
                 if explored > MAX_RANGE_CANDIDATES:
                     raise SafetyError(
                         f"range-restricted enumeration explored more than "
@@ -211,6 +212,7 @@ class SumEvaluator:
         with obs.span("evaluator.sum_term", arity=term.rho.arity()):
             total = Fraction(0)
             for arguments in self.range_set(term.rho, env):
+                guard.checkpoint()
                 value = self.apply_gamma(term.gamma, arguments)
                 if value is not None:
                     total += value

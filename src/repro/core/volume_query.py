@@ -34,7 +34,7 @@ from ..logic.builders import forall
 from ..logic.formulas import Formula, conjunction
 from ..logic.substitution import substitute
 from ..logic.terms import Const, Var
-from .. import obs
+from .. import guard, obs
 from .._errors import UnboundedSetError
 from .evaluator import SumEvaluator
 from .language import DetFormula, RangeRestricted, SumTerm
@@ -165,6 +165,7 @@ def _volume_2d_fo_poly_sum(
 
     total = Fraction(0)
     for left, right in zip(breakpoints, breakpoints[1:]):
+        guard.checkpoint()
         if right <= left:
             continue
         width = right - left
@@ -241,6 +242,7 @@ def volume_nd_fo_poly_sum(
         max_subset = min(len(cells), dims)
         for size in range(1, max_subset + 1):
             for subset in combinations(cells, size):
+                guard.checkpoint()
                 intersection = subset[0]
                 for cell in subset[1:]:
                     intersection = intersection.intersect(cell)
@@ -255,6 +257,7 @@ def volume_nd_fo_poly_sum(
 
         total = Fraction(0)
         for left, right in zip(breakpoints, breakpoints[1:]):
+            guard.checkpoint()
             if right <= left:
                 continue
             width = right - left

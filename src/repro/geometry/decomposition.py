@@ -16,7 +16,7 @@ from ..logic.formulas import Formula
 from ..logic.metrics import max_degree
 from ..logic.normalform import is_quantifier_free, qf_to_dnf
 from ..qe.fourier_motzkin import conjunct_to_constraints, qe_linear
-from .. import obs
+from .. import guard, obs
 from .._errors import GeometryError, QEError
 from .polyhedron import Polyhedron
 from .volume import union_volume
@@ -25,12 +25,14 @@ __all__ = ["formula_to_cells", "formula_volume", "formula_volume_unit_cube"]
 
 
 def formula_to_cells(
-    formula: Formula, variables: Sequence[str]
+    formula: Formula, variables: Sequence[str], prune: bool = True
 ) -> list[Polyhedron]:
     """Decompose a linear formula into convex cells whose union it denotes.
 
     Quantifiers are eliminated first (Fourier-Motzkin); ``!=`` atoms are
-    split.  Infeasible cells are dropped.
+    split.  Infeasible cells are dropped.  ``prune=False`` skips the
+    feasibility pruning of intermediate QE results — cheaper per step,
+    still exact; the degradation ladder's "coarse" rung uses it.
     """
     variables = tuple(variables)
     free = formula.free_variables()
@@ -44,14 +46,16 @@ def formula_to_cells(
         if not is_quantifier_free(formula):
             if max_degree(formula) > 1:
                 raise QEError("quantified nonlinear formulas are not semi-linear")
-            formula = qe_linear(formula)
+            formula = qe_linear(formula, prune=prune)
         cells: list[Polyhedron] = []
         for conjunct in qf_to_dnf(formula):
             for constraints in conjunct_to_constraints(conjunct):
+                guard.checkpoint()
                 cell = Polyhedron.make(variables, constraints)
                 if not cell.is_empty():
                     cells.append(cell)
         obs.add("volume.cells", len(cells))
+        guard.charge("cells", len(cells))
         return cells
 
 
@@ -59,23 +63,26 @@ def formula_volume(
     formula: Formula,
     variables: Sequence[str],
     box: Sequence[tuple[Fraction, Fraction]] | None = None,
+    prune: bool = True,
 ) -> Fraction:
     """Exact volume of the semi-linear set denoted by *formula*.
 
     ``box`` optionally clips to an axis-aligned box (list of per-variable
     ``(low, high)`` bounds).  Without a box the set must be bounded.
+    ``prune`` is threaded to :func:`formula_to_cells`.
     """
     variables = tuple(variables)
     with obs.span("volume.formula_volume", variables=len(variables)):
-        return _formula_volume(formula, variables, box)
+        return _formula_volume(formula, variables, box, prune)
 
 
 def _formula_volume(
     formula: Formula,
     variables: tuple[str, ...],
     box: Sequence[tuple[Fraction, Fraction]] | None,
+    prune: bool = True,
 ) -> Fraction:
-    cells = formula_to_cells(formula, variables)
+    cells = formula_to_cells(formula, variables, prune=prune)
     if box is not None:
         if len(box) != len(variables):
             raise GeometryError("box must give bounds for every variable")

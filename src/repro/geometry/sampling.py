@@ -28,7 +28,7 @@ from ..logic.formulas import (
     TrueFormula,
 )
 from ..logic.terms import Add, Const, Mul, Neg, Pow, Term, Var
-from .. import obs
+from .. import guard, obs
 from .._errors import ApproximationError
 
 __all__ = [
@@ -182,6 +182,10 @@ def hoeffding_sample_size(epsilon: float, delta: float) -> int:
     return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
 
 
+#: Points drawn per batch between budget checkpoints.
+_SAMPLE_CHUNK = 65_536
+
+
 def hit_or_miss_volume(
     formula: Formula,
     variables: Sequence[str],
@@ -205,8 +209,17 @@ def hit_or_miss_volume(
         highs = np.array([b[1] for b in box])
         box_volume = float(np.prod(highs - lows))
         predicate = compile_formula_numpy(formula, variables)
-        points = rng.random((samples, dims)) * (highs - lows) + lows
-        hits = int(np.count_nonzero(predicate(points)))
+        # Sampling is chunked so a wall-clock budget can cancel mid-run;
+        # sequential chunked draws consume the generator's stream exactly
+        # like one big draw, so results are unchanged.
+        hits = 0
+        remaining = samples
+        while remaining:
+            guard.checkpoint()
+            chunk = min(remaining, _SAMPLE_CHUNK)
+            points = rng.random((chunk, dims)) * (highs - lows) + lows
+            hits += int(np.count_nonzero(predicate(points)))
+            remaining -= chunk
     obs.add("mc.samples", samples)
     obs.add("mc.hits", hits)
     fraction = hits / samples

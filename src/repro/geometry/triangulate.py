@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 from scipy.spatial import ConvexHull
 
-from .. import obs
+from .. import guard, obs
 from .._errors import GeometryError
 from .linalg import determinant
 from .polyhedron import Point
@@ -55,6 +55,7 @@ def simplex_volume(vertices: Sequence[Point]) -> Fraction:
     if len(vertices) != d + 1:
         raise GeometryError(f"a {d}-simplex needs exactly {d + 1} vertices")
     obs.add("triangulate.simplices")
+    guard.checkpoint()
     base = vertices[0]
     matrix = [
         [Fraction(v[i]) - Fraction(base[i]) for i in range(d)]
@@ -103,6 +104,7 @@ def fan_triangulation_area(vertices: Sequence[Point]) -> Fraction:
     with obs.span("geometry.fan_triangulation", vertices=len(ordered)):
         for left, right in zip(ordered[1:], ordered[2:]):
             obs.add("triangulate.simplices")
+            guard.checkpoint()
             total += triangle_area(apex, left, right)
     return total
 

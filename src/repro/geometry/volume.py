@@ -23,7 +23,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from ..realalg.univariate import UPoly
-from .. import obs
+from .. import guard, obs
 from .._errors import GeometryError, UnboundedSetError
 from .polyhedron import Polyhedron
 
@@ -106,6 +106,7 @@ def polytope_volume(polyhedron: Polyhedron) -> Fraction:
     breakpoints = sorted({v[0] for v in vertices} | {low, high})
     total = Fraction(0)
     for left, right in zip(breakpoints, breakpoints[1:]):
+        guard.checkpoint()
         if right <= left:
             continue
         width = right - left
@@ -144,6 +145,7 @@ def union_volume(cells: Sequence[Polyhedron]) -> Fraction:
         for size in range(1, len(cells) + 1):
             sign = 1 if size % 2 == 1 else -1
             for subset in itertools.combinations(cells, size):
+                guard.checkpoint()
                 intersection = subset[0]
                 for cell in subset[1:]:
                     intersection = intersection.intersect(cell)

@@ -1,0 +1,82 @@
+"""Resource governance: budgets, cooperative cancellation, degradation.
+
+The paper's central contrast — exact aggregation blows up (the KM
+construction needs >= 10^9 atomic subformulae for a toy query) while
+approximation stays cheap — is an operational problem for this codebase:
+CAD, Fourier-Motzkin, and exact volume can run for minutes on small
+inputs.  This subsystem makes every such path *governable*:
+
+* :class:`Budget` (:mod:`repro.guard.budget`) caps wall-clock time, CAD /
+  decomposition cells, FM constraints, formula size, and recursion depth;
+  it is carried in a context variable and enforced cooperatively by a
+  cheap :func:`checkpoint` in the pipeline's hot loops.
+* :class:`BudgetExceeded` (:mod:`repro.guard.errors`) and its per-resource
+  subclasses report which resource tripped, how much was consumed, and the
+  partial progress at that point.
+* :func:`robust_volume` (:mod:`repro.guard.fallback`) is the degradation
+  ladder: exact, then coarser exact, then Monte Carlo with a confidence
+  interval — so no volume query can wedge the process.
+* :mod:`repro.guard.testing` injects exhaustion deterministically so every
+  path is testable without real multi-minute runs.
+
+See docs/ROBUSTNESS.md for budget semantics, checkpoint placement rules,
+and the CLI surface (``--timeout`` / ``--max-cells`` / ``--fallback``).
+"""
+
+from __future__ import annotations
+
+from .budget import (
+    Budget,
+    activate,
+    active,
+    charge,
+    check_depth,
+    check_size,
+    checkpoint,
+    govern,
+    suspend,
+)
+from .errors import (
+    BudgetExceeded,
+    CellBudgetExceeded,
+    ConstraintBudgetExceeded,
+    DeadlineExceeded,
+    DepthBudgetExceeded,
+    SizeBudgetExceeded,
+)
+
+__all__ = [
+    "Budget",
+    "activate",
+    "active",
+    "charge",
+    "check_depth",
+    "check_size",
+    "checkpoint",
+    "govern",
+    "suspend",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "CellBudgetExceeded",
+    "ConstraintBudgetExceeded",
+    "SizeBudgetExceeded",
+    "DepthBudgetExceeded",
+    "POLICIES",
+    "RobustResult",
+    "robust_volume",
+    "testing",
+]
+
+_LAZY = {"POLICIES", "RobustResult", "robust_volume", "testing"}
+
+
+def __getattr__(name: str):
+    # The ladder pulls in geometry/approx (numpy, scipy); load it lazily so
+    # `import repro.guard` from the logic/QE layers stays light.
+    import importlib
+
+    if name in ("POLICIES", "RobustResult", "robust_volume"):
+        return getattr(importlib.import_module(".fallback", __name__), name)
+    if name == "testing":
+        return importlib.import_module(".testing", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,333 @@
+"""Cooperative resource budgets, carried in a context variable.
+
+A :class:`Budget` caps the resources the exact pipeline may consume:
+
+* ``deadline_s`` — wall-clock seconds from activation,
+* ``max_cells`` — CAD stack cells + convex decomposition cells,
+* ``max_constraints`` — linear constraints produced by Fourier-Motzkin,
+* ``max_size`` — intermediate formula size (DNF conjuncts),
+* ``max_depth`` — recursion depth of the lifting/search recursions.
+
+Enforcement is cooperative: the hot loops of the evaluator, both QE
+engines, and the geometry pipeline call :func:`checkpoint` (deadline) and
+:func:`charge` / :func:`check_size` / :func:`check_depth` (countable
+resources).  When no budget is active every helper is a near-free no-op —
+one context-variable read — mirroring the disabled-by-default contract of
+:mod:`repro.obs` (``benchmarks/bench_guard_overhead.py`` asserts the
+budget for this).
+
+Exhaustion raises the structured :class:`~repro.guard.errors.BudgetExceeded`
+family and increments the ``guard.trips*`` counters; checkpoint counts are
+flushed to ``guard.checkpoints`` when a budget deactivates.
+
+Deterministic fault injection for tests lives in
+:mod:`repro.guard.testing`; its hook is serviced here so an injected trip
+fires at exactly the *n*-th checkpoint regardless of real elapsed time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from .. import obs
+from .errors import (
+    BudgetExceeded,
+    CellBudgetExceeded,
+    ConstraintBudgetExceeded,
+    DeadlineExceeded,
+    DepthBudgetExceeded,
+    RESOURCE_ERRORS,
+    SizeBudgetExceeded,
+)
+
+__all__ = [
+    "Budget",
+    "active",
+    "activate",
+    "govern",
+    "suspend",
+    "checkpoint",
+    "charge",
+    "check_size",
+    "check_depth",
+]
+
+_ACTIVE: ContextVar["Budget | None"] = ContextVar("repro_guard_budget", default=None)
+
+#: Fault-injection spec installed by :func:`repro.guard.testing.trip_after`;
+#: ``None`` in production.  Serviced by :func:`checkpoint`.
+_INJECTION: dict[str, Any] | None = None
+
+
+class Budget:
+    """A set of resource caps plus the consumption accumulated against them.
+
+    All caps are optional (``None`` = unlimited).  The wall clock starts at
+    first activation; re-activating the same budget (the fallback ladder
+    does this between rungs) does *not* restart it, so a deadline is
+    absolute across retries.  Countable consumption can be zeroed between
+    retries with :meth:`reset_consumed`.
+    """
+
+    __slots__ = (
+        "deadline_s", "max_cells", "max_constraints", "max_size", "max_depth",
+        "cells", "constraints", "peak_size", "peak_depth", "checkpoints",
+        "started_s", "_deadline_at", "_flushed_checkpoints",
+    )
+
+    def __init__(
+        self,
+        *,
+        deadline_s: float | None = None,
+        max_cells: int | None = None,
+        max_constraints: int | None = None,
+        max_size: int | None = None,
+        max_depth: int | None = None,
+    ):
+        for name, value in (
+            ("deadline_s", deadline_s), ("max_cells", max_cells),
+            ("max_constraints", max_constraints), ("max_size", max_size),
+            ("max_depth", max_depth),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be None or >= 0, got {value!r}")
+        self.deadline_s = deadline_s
+        self.max_cells = max_cells
+        self.max_constraints = max_constraints
+        self.max_size = max_size
+        self.max_depth = max_depth
+        self.cells = 0
+        self.constraints = 0
+        self.peak_size = 0
+        self.peak_depth = 0
+        self.checkpoints = 0
+        self.started_s: float | None = None
+        self._deadline_at: float | None = None
+        self._flushed_checkpoints = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Start the wall clock (idempotent; first call wins)."""
+        if self.started_s is None:
+            self.started_s = time.monotonic()
+            if self.deadline_s is not None:
+                self._deadline_at = self.started_s + self.deadline_s
+
+    def elapsed_s(self) -> float:
+        return 0.0 if self.started_s is None else time.monotonic() - self.started_s
+
+    def reset_consumed(self) -> None:
+        """Zero the countable consumption (cells, constraints, size, depth).
+
+        The wall clock and checkpoint tally are *not* reset: a deadline is
+        absolute, not per-attempt.
+        """
+        self.cells = 0
+        self.constraints = 0
+        self.peak_size = 0
+        self.peak_depth = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Partial-progress snapshot, embedded in exhaustion errors."""
+        return {
+            "cells": self.cells,
+            "constraints": self.constraints,
+            "peak_size": self.peak_size,
+            "peak_depth": self.peak_depth,
+            "checkpoints": self.checkpoints,
+            "elapsed_s": round(self.elapsed_s(), 6),
+        }
+
+    def limits(self) -> dict[str, Any]:
+        """The configured caps (``None`` entries omitted); span annotations."""
+        pairs = (
+            ("deadline_s", self.deadline_s), ("max_cells", self.max_cells),
+            ("max_constraints", self.max_constraints),
+            ("max_size", self.max_size), ("max_depth", self.max_depth),
+        )
+        return {name: value for name, value in pairs if value is not None}
+
+    # -- enforcement -------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Deadline check; called from the hot loops via :func:`checkpoint`."""
+        self.checkpoints += 1
+        if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            self._trip(
+                DeadlineExceeded, "deadline", self.deadline_s,
+                round(self.elapsed_s(), 6), unit="s",
+            )
+
+    def charge(self, resource: str, amount: int = 1) -> None:
+        """Consume *amount* of a countable resource; trips when over cap."""
+        if resource == "cells":
+            self.cells += amount
+            if self.max_cells is not None and self.cells > self.max_cells:
+                self._trip(CellBudgetExceeded, "cells", self.max_cells, self.cells)
+        elif resource == "constraints":
+            self.constraints += amount
+            if (self.max_constraints is not None
+                    and self.constraints > self.max_constraints):
+                self._trip(
+                    ConstraintBudgetExceeded, "constraints",
+                    self.max_constraints, self.constraints,
+                )
+        else:
+            raise ValueError(f"unknown chargeable resource {resource!r}")
+
+    def check_size(self, size: int) -> None:
+        """Record an observed formula size; trips when over the size cap."""
+        if size > self.peak_size:
+            self.peak_size = size
+        if self.max_size is not None and size > self.max_size:
+            self._trip(SizeBudgetExceeded, "size", self.max_size, size)
+
+    def check_depth(self, depth: int) -> None:
+        """Record an observed recursion depth; trips when over the cap."""
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+        if self.max_depth is not None and depth > self.max_depth:
+            self._trip(DepthBudgetExceeded, "depth", self.max_depth, depth)
+
+    def _trip(
+        self,
+        error: type[BudgetExceeded],
+        resource: str,
+        limit: Any,
+        consumed: Any,
+        unit: str = "",
+    ) -> None:
+        obs.add("guard.trips")
+        obs.add(f"guard.trips.{resource}")
+        progress = self.snapshot()
+        raise error(
+            f"{resource} budget exceeded: consumed {consumed}{unit} "
+            f"of {limit}{unit} allowed "
+            f"(progress: cells={progress['cells']}, "
+            f"constraints={progress['constraints']}, "
+            f"checkpoints={progress['checkpoints']}, "
+            f"elapsed={progress['elapsed_s']}s)",
+            resource=resource,
+            limit=limit,
+            consumed=consumed,
+            elapsed_s=progress["elapsed_s"],
+            progress=progress,
+        )
+
+    def __repr__(self) -> str:
+        caps = ", ".join(f"{k}={v}" for k, v in self.limits().items()) or "unlimited"
+        return f"Budget({caps})"
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers: the API the instrumented hot loops call.
+# ---------------------------------------------------------------------------
+
+def active() -> Budget | None:
+    """The budget governing this context, if any."""
+    return _ACTIVE.get()
+
+
+def checkpoint() -> None:
+    """Cooperative cancellation point: a near-free no-op when ungoverned.
+
+    Placed in every loop of the pipeline that can run for more than a few
+    milliseconds (see docs/ROBUSTNESS.md for the placement rules).
+    """
+    budget = _ACTIVE.get()
+    if budget is None and _INJECTION is None:
+        return
+    if _INJECTION is not None:
+        _tick_injection()
+    if budget is not None:
+        budget.checkpoint()
+
+
+def charge(resource: str, amount: int = 1) -> None:
+    """Charge a countable resource against the active budget, if any."""
+    budget = _ACTIVE.get()
+    if budget is not None:
+        budget.charge(resource, amount)
+
+
+def check_size(size: int) -> None:
+    """Check an intermediate formula size against the active budget."""
+    budget = _ACTIVE.get()
+    if budget is not None:
+        budget.check_size(size)
+
+
+def check_depth(depth: int) -> None:
+    """Check a recursion depth against the active budget."""
+    budget = _ACTIVE.get()
+    if budget is not None:
+        budget.check_depth(depth)
+
+
+@contextmanager
+def activate(budget: Budget) -> Iterator[Budget]:
+    """Install *budget* for the block; starts its wall clock on first use."""
+    budget.start()
+    token = _ACTIVE.set(budget)
+    try:
+        yield budget
+    finally:
+        _ACTIVE.reset(token)
+        fresh = budget.checkpoints - budget._flushed_checkpoints
+        if fresh:
+            obs.add("guard.checkpoints", fresh)
+            budget._flushed_checkpoints = budget.checkpoints
+
+
+@contextmanager
+def govern(budget: Budget | None) -> Iterator[Budget | None]:
+    """Like :func:`activate`, but a no-op when *budget* is ``None``."""
+    if budget is None:
+        yield None
+    else:
+        with activate(budget):
+            yield budget
+
+
+@contextmanager
+def suspend() -> Iterator[None]:
+    """Run a block outside any budget (and outside fault injection).
+
+    The degradation ladder uses this for its approximate rung: the Monte
+    Carlo fallback has a fixed, (epsilon, delta)-determined cost and must
+    not be killed by the very deadline that forced the fallback.
+    """
+    global _INJECTION
+    token = _ACTIVE.set(None)
+    saved, _INJECTION = _INJECTION, None
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+        _INJECTION = saved
+
+
+def _tick_injection() -> None:
+    """Service the fault-injection spec (see :mod:`repro.guard.testing`)."""
+    spec = _INJECTION
+    assert spec is not None
+    spec["count"] += 1
+    if spec["times"] > 0 and spec["count"] % spec["period"] == 0:
+        spec["times"] -= 1
+        resource = spec["resource"]
+        error = RESOURCE_ERRORS[resource]
+        obs.add("guard.trips")
+        obs.add(f"guard.trips.{resource}")
+        budget = _ACTIVE.get()
+        progress = budget.snapshot() if budget is not None else {}
+        raise error(
+            f"{resource} budget exceeded (fault injection after "
+            f"{spec['count']} checkpoints)",
+            resource=resource,
+            limit=0,
+            consumed=spec["count"],
+            elapsed_s=progress.get("elapsed_s"),
+            progress=progress,
+        )

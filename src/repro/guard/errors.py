@@ -1,0 +1,112 @@
+"""The structured budget-exhaustion error family.
+
+Every exhaustion raised by the resource governor derives from
+:class:`BudgetExceeded`, which itself derives from
+:class:`~repro._errors.ReproError` so existing ``except ReproError``
+handlers keep working.  Each subclass names the resource that tripped and
+carries how much was consumed, the configured limit, and a snapshot of
+partial progress (cells lifted, constraints produced, checkpoints passed)
+at the moment of the trip.
+
+:class:`DepthBudgetExceeded` additionally derives from
+:class:`~repro._errors.QEError`: recursion-depth exhaustion historically
+surfaced as an uncaught ``RecursionError`` inside the CAD lifting
+recursion, and callers that catch ``QEError`` around ``decide`` /
+``find_sample`` must keep seeing a QE-flavoured failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .._errors import QEError, ReproError
+
+__all__ = [
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "CellBudgetExceeded",
+    "ConstraintBudgetExceeded",
+    "SizeBudgetExceeded",
+    "DepthBudgetExceeded",
+    "RESOURCE_ERRORS",
+]
+
+
+class BudgetExceeded(ReproError):
+    """A cooperative resource budget was exhausted.
+
+    Attributes
+    ----------
+    resource
+        Which budgeted resource tripped: ``"deadline"``, ``"cells"``,
+        ``"constraints"``, ``"size"``, or ``"depth"``.
+    limit
+        The configured cap for that resource.
+    consumed
+        How much had been consumed when the trip fired.
+    elapsed_s
+        Wall-clock seconds since the budget was activated.
+    progress
+        Snapshot of all consumption counters at trip time (partial
+        progress, useful for sizing a retry).
+    """
+
+    resource = "budget"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str | None = None,
+        limit: Any = None,
+        consumed: Any = None,
+        elapsed_s: float | None = None,
+        progress: Mapping[str, Any] | None = None,
+    ):
+        super().__init__(message)
+        if resource is not None:
+            self.resource = resource
+        self.limit = limit
+        self.consumed = consumed
+        self.elapsed_s = elapsed_s
+        self.progress = dict(progress or {})
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed before the computation finished."""
+
+    resource = "deadline"
+
+
+class CellBudgetExceeded(BudgetExceeded):
+    """More cells (CAD stack cells / convex decomposition cells) than allowed."""
+
+    resource = "cells"
+
+
+class ConstraintBudgetExceeded(BudgetExceeded):
+    """Fourier-Motzkin produced more linear constraints than allowed."""
+
+    resource = "constraints"
+
+
+class SizeBudgetExceeded(BudgetExceeded):
+    """An intermediate formula (e.g. a DNF) grew past the size cap."""
+
+    resource = "size"
+
+
+class DepthBudgetExceeded(BudgetExceeded, QEError):
+    """Recursion went deeper than the depth cap (or the interpreter limit)."""
+
+    resource = "depth"
+
+
+#: Resource name -> exception class, used by budgets and fault injection.
+RESOURCE_ERRORS: dict[str, type[BudgetExceeded]] = {
+    "deadline": DeadlineExceeded,
+    "cells": CellBudgetExceeded,
+    "constraints": ConstraintBudgetExceeded,
+    "size": SizeBudgetExceeded,
+    "depth": DepthBudgetExceeded,
+}

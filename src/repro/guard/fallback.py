@@ -1,0 +1,165 @@
+"""The exact -> approximate degradation ladder for volume queries.
+
+The paper's Section 3 lesson is that exact aggregation can be astronomically
+expensive while approximation stays cheap; this module operationalises it.
+:func:`robust_volume` tries, in order:
+
+1. **exact** — the Theorem-3 pipeline (QE with feasibility pruning, convex
+   decomposition, exact union volume);
+2. **exact-coarse** — the same exact pipeline with the Fourier-Motzkin
+   feasibility prune disabled (cheaper per step, still exact; the A1
+   ablation benchmark measures this trade);
+3. **approximate** — Monte Carlo hit-or-miss sampling sized from
+   ``(epsilon, delta)`` by the Hoeffding bound, with a reported confidence
+   radius.
+
+Rungs 1 and 2 run under the given :class:`~repro.guard.budget.Budget`
+(countable consumption is reset between rungs; the wall-clock deadline is
+absolute).  Rung 3 runs with the budget *suspended*: its cost is fixed by
+``(epsilon, delta)``, and it must not be killed by the deadline that
+forced the fallback.  The result carries ``mode`` in ``{"exact",
+"exact-coarse", "approximate"}`` plus the exhaustion errors of the rungs
+that failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from .. import obs
+from .._errors import ApproximationError
+from .budget import Budget, active, govern, suspend
+from .errors import BudgetExceeded
+
+__all__ = ["POLICIES", "RobustResult", "robust_volume"]
+
+#: Degradation policies: ``off`` = exact only (exhaustion propagates),
+#: ``auto`` = full ladder, ``approx-only`` = skip the exact rungs.
+POLICIES = ("off", "auto", "approx-only")
+
+
+@dataclass
+class RobustResult:
+    """Outcome of :func:`robust_volume`.
+
+    ``value`` is an exact :class:`~fractions.Fraction` when ``mode`` is
+    ``exact`` or ``exact-coarse`` and a float estimate when ``mode`` is
+    ``approximate``; ``confidence_radius`` is ``None`` for exact modes.
+    ``attempts`` lists ``(mode, error)`` for every rung that exhausted its
+    budget before the returned one succeeded.
+    """
+
+    value: "Fraction | float"
+    mode: str
+    confidence_radius: float | None = None
+    samples: int | None = None
+    epsilon: float | None = None
+    delta: float | None = None
+    attempts: list[tuple[str, BudgetExceeded]] = field(default_factory=list)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+
+def robust_volume(
+    formula,
+    variables: Sequence[str] | None = None,
+    *,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    budget: Budget | None = None,
+    policy: str = "auto",
+    box: Sequence[tuple[Fraction, Fraction]] | None = None,
+    rng=None,
+) -> RobustResult:
+    """VOL of *formula* over *box* (default: the unit cube, i.e. VOL_I),
+    degrading from exact to approximate as the budget allows.
+
+    ``budget=None`` uses the budget already active in this context, if
+    any; with no budget at all the exact rung runs ungoverned (and the
+    ladder only matters for ``policy="approx-only"``).
+    """
+    if policy not in POLICIES:
+        raise ApproximationError(
+            f"unknown fallback policy {policy!r}; one of {POLICIES}"
+        )
+    if variables is None:
+        variables = sorted(formula.free_variables())
+    variables = tuple(variables)
+    if box is None:
+        box = [(Fraction(0), Fraction(1))] * len(variables)
+
+    budget = budget if budget is not None else active()
+    attempts: list[tuple[str, BudgetExceeded]] = []
+
+    with obs.span(
+        "guard.robust_volume", policy=policy,
+        **(budget.limits() if budget is not None else {}),
+    ) as span:
+        if policy != "approx-only":
+            for mode, prune in (("exact", True), ("exact-coarse", False)):
+                try:
+                    value = _exact_volume(formula, variables, box, budget, prune)
+                except BudgetExceeded as error:
+                    attempts.append((mode, error))
+                    if policy == "off":
+                        raise
+                    obs.add("guard.fallback_transitions")
+                    continue
+                span.set(mode=mode)
+                return RobustResult(value, mode, attempts=attempts)
+
+        result = _approximate_volume(
+            formula, variables, box, budget, epsilon, delta, rng
+        )
+        result.attempts = attempts
+        span.set(mode="approximate")
+        return result
+
+
+def _exact_volume(formula, variables, box, budget, prune: bool) -> Fraction:
+    from ..geometry.decomposition import formula_volume
+
+    if budget is not None:
+        budget.reset_consumed()
+    with govern(budget):
+        return formula_volume(formula, variables, box=box, prune=prune)
+
+
+def _approximate_volume(
+    formula, variables, box, budget, epsilon, delta, rng
+) -> RobustResult:
+    from ..geometry.sampling import hit_or_miss_volume, hoeffding_sample_size
+    from ..logic.normalform import is_quantifier_free
+
+    # The sampler needs a quantifier-free formula.  Quantifier elimination
+    # is exact work, so it stays *under* the budget (a query whose QE alone
+    # exhausts the budget cannot be approximated by this ladder either).
+    if not is_quantifier_free(formula):
+        from ..qe.fourier_motzkin import qe_linear
+
+        if budget is not None:
+            budget.reset_consumed()
+        with govern(budget):
+            formula = qe_linear(formula)
+
+    samples = hoeffding_sample_size(epsilon, delta)
+    if rng is None:
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+    float_box = [(float(low), float(high)) for low, high in box]
+    with suspend():
+        estimate = hit_or_miss_volume(
+            formula, variables, samples, rng, box=float_box, delta=delta
+        )
+    return RobustResult(
+        estimate.estimate,
+        "approximate",
+        confidence_radius=estimate.confidence_radius,
+        samples=estimate.samples,
+        epsilon=epsilon,
+        delta=delta,
+    )

@@ -1,0 +1,55 @@
+"""Deterministic fault injection for the resource governor.
+
+Real exhaustion requires real multi-second runs; tests and benchmarks
+instead *inject* exhaustion at an exact cooperative checkpoint::
+
+    from repro.guard import testing
+
+    with testing.trip_after(3, resource="cells"):
+        robust_volume(...)        # the 3rd checkpoint raises CellBudgetExceeded
+
+Injection rides the same :func:`repro.guard.budget.checkpoint` hook the
+production deadline check uses, so every code path that can trip for real
+can be tripped deterministically.  :func:`repro.guard.budget.suspend`
+pauses injection along with the budget, which is what lets the ladder's
+approximate rung complete while the exact rungs are being killed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from . import budget as _budget
+from .errors import RESOURCE_ERRORS
+
+__all__ = ["trip_after"]
+
+
+@contextmanager
+def trip_after(
+    n: int, resource: str = "deadline", times: int = 1
+) -> Iterator[dict[str, Any]]:
+    """Force a :class:`BudgetExceeded` at every *n*-th checkpoint.
+
+    ``resource`` picks the exception class (``deadline``, ``cells``,
+    ``constraints``, ``size``, ``depth``); ``times`` bounds how many trips
+    fire before the injector goes inert (so a ladder test can kill exactly
+    one rung, or two, and let the rest run).  Yields the live spec; its
+    ``"count"`` entry reports how many checkpoints were seen.
+    """
+    if n < 1:
+        raise ValueError("trip_after needs n >= 1")
+    if resource not in RESOURCE_ERRORS:
+        raise ValueError(
+            f"unknown resource {resource!r}; one of {sorted(RESOURCE_ERRORS)}"
+        )
+    spec: dict[str, Any] = {
+        "period": n, "resource": resource, "times": times, "count": 0,
+    }
+    saved = _budget._INJECTION
+    _budget._INJECTION = spec
+    try:
+        yield spec
+    finally:
+        _budget._INJECTION = saved

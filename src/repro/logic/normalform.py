@@ -30,6 +30,7 @@ from .formulas import (
     disjunction,
 )
 from .substitution import rename_bound
+from .. import guard
 from .._errors import NotQuantifierFree
 
 __all__ = [
@@ -166,15 +167,18 @@ def _dnf(formula: Formula) -> list[list[Formula]]:
         result: list[list[Formula]] = []
         for arg in formula.args:
             result.extend(_dnf(arg))
+        guard.check_size(len(result))
         return result
     if isinstance(formula, And):
         parts = [_dnf(a) for a in formula.args]
         result = []
         for combo in itertools.product(*parts):
+            guard.checkpoint()
             conjunct: list[Formula] = []
             for chunk in combo:
                 conjunct.extend(chunk)
             result.append(conjunct)
+        guard.check_size(len(result))
         return result
     raise TypeError(f"unexpected node in quantifier-free NNF: {type(formula).__name__}")
 

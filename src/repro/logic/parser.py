@@ -38,12 +38,17 @@ from .formulas import (
     disjunction,
 )
 from .terms import Add, Const, Mul, Neg, Pow, Term, Var
+from .._errors import ReproError
 
 __all__ = ["parse", "parse_term", "ParseError"]
 
 
-class ParseError(ValueError):
-    """Raised when the input text is not a well-formed formula or term."""
+class ParseError(ReproError, ValueError):
+    """Raised when the input text is not a well-formed formula or term.
+
+    Also a :class:`ValueError` for backwards compatibility with callers
+    that predate the :class:`ReproError` hierarchy.
+    """
 
 
 _TOKEN_RE = re.compile(

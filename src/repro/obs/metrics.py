@@ -175,6 +175,16 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "km.quantifiers": ("gauge", "last KM formula-size lower bound: quantifiers"),
     "sturm.sign_changes": ("counter", "sign variations counted in Sturm chains"),
     "sturm.evaluations": ("counter", "Sturm chain evaluations at a point"),
+    "guard.checkpoints": (
+        "counter", "cooperative budget checkpoints passed (flushed on deactivation)"),
+    "guard.trips": ("counter", "budget exhaustions raised (all resources)"),
+    "guard.trips.deadline": ("counter", "wall-clock deadline exhaustions"),
+    "guard.trips.cells": ("counter", "cell-budget exhaustions"),
+    "guard.trips.constraints": ("counter", "FM constraint-budget exhaustions"),
+    "guard.trips.size": ("counter", "formula size-cap exhaustions"),
+    "guard.trips.depth": ("counter", "recursion depth-cap exhaustions"),
+    "guard.fallback_transitions": (
+        "counter", "degradation-ladder rung transitions after an exhausted attempt"),
 }
 
 

@@ -46,8 +46,9 @@ from ..realalg.algebraic import RealAlgebraic
 from ..realalg.polynomial import Polynomial, term_to_polynomial
 from ..realalg.resultant import discriminant, resultant
 from ..realalg.univariate import UPoly
-from .. import obs
+from .. import guard, obs
 from .._errors import QEError
+from ..guard.errors import DepthBudgetExceeded
 from .intervals import rational_between
 
 __all__ = ["decide", "satisfiable", "find_sample", "projection_set"]
@@ -82,6 +83,7 @@ def projection_set(polys: Sequence[Polynomial], var: str) -> list[Polynomial]:
     seen: set[Polynomial] = set()
     relevant = [p for p in polys if p.degree_in(var) >= 1]
     for poly in relevant:
+        guard.checkpoint()
         # Coefficient chain, leading first; once a coefficient is a nonzero
         # constant the polynomial cannot vanish identically below it, so
         # lower coefficients are irrelevant to delineability.
@@ -94,6 +96,7 @@ def projection_set(polys: Sequence[Polynomial], var: str) -> list[Polynomial]:
         add(discriminant(poly, var))
     for i, p in enumerate(relevant):
         for q in relevant[i + 1:]:
+            guard.checkpoint()
             add(resultant(p, q, var))
     # Polynomials not involving var survive the projection unchanged.
     for poly in polys:
@@ -150,6 +153,7 @@ def _stack_samples(
     :class:`RealAlgebraic` values (rationalised by the caller when they
     must be substituted into deeper levels).
     """
+    guard.checkpoint()
     specialised = [
         upoly
         for poly in level_polys
@@ -159,6 +163,7 @@ def _stack_samples(
     roots: list[RealAlgebraic] = []
     floats: list[float] = []
     for upoly in specialised:
+        guard.checkpoint()
         for root in RealAlgebraic.roots_of(upoly):
             approx = float(root.approximate(Fraction(1, 2**40)))
             # Exact equality checks are expensive; only compare against
@@ -175,6 +180,7 @@ def _stack_samples(
 
     if not roots:
         obs.add("cad.cells")
+        guard.charge("cells")
         return [Fraction(0)]
     samples: list[Fraction | RealAlgebraic] = []
     first = roots[0].as_fraction() if roots[0].is_rational() else roots[0]
@@ -190,6 +196,7 @@ def _stack_samples(
             after = after.as_fraction() if after.is_rational() else after
         samples.append(rational_between(here, after))
     obs.add("cad.cells", len(samples))
+    guard.charge("cells", len(samples))
     return samples
 
 
@@ -279,6 +286,18 @@ def _matrix_polynomials(formula: Formula, out: list[Polynomial]) -> None:
 # Public interface
 # ---------------------------------------------------------------------------
 
+def _depth_exhausted(
+    operation: str, variables: Sequence[str]
+) -> DepthBudgetExceeded:
+    """Structured replacement for a raw ``RecursionError`` during lifting."""
+    return DepthBudgetExceeded(
+        f"CAD {operation} recursion exceeded the interpreter limit "
+        f"(variable order: {', '.join(variables)})",
+        resource="depth",
+        consumed=len(tuple(variables)),
+    )
+
+
 def decide(sentence: Formula) -> bool:
     """Decide a closed prenex-able FO + POLY sentence over the real field."""
     if sentence.free_variables():
@@ -316,6 +335,7 @@ def decide(sentence: Formula) -> bool:
         def recurse(index: int, assignment: dict) -> bool:
             if index == len(variables):
                 return _evaluate_matrix(prenex.matrix, assignment)
+            guard.check_depth(index + 1)
             kind, var = prenex.prefix[index]
             samples = _stack_samples(levels[index], assignment, var)
             if index < last:
@@ -330,7 +350,10 @@ def decide(sentence: Formula) -> bool:
             return all(recurse(index + 1, {**assignment, var: s}) for s in samples)
 
         with obs.span("qe.cad.lift"):
-            return recurse(0, {})
+            try:
+                return recurse(0, {})
+            except RecursionError:
+                raise _depth_exhausted("decide", variables) from None
 
 
 def satisfiable(formula: Formula) -> bool:
@@ -379,6 +402,7 @@ def _search(formula: Formula, want_witness: bool):
                     if _evaluate_matrix(formula, assignment)
                     else None
                 )
+            guard.check_depth(index + 1)
             var = variables[index]
             samples = _stack_samples(levels[index], assignment, var)
             if index < last:
@@ -389,7 +413,10 @@ def _search(formula: Formula, want_witness: bool):
                     return found
             return None
 
-        result = search(0, {})
+        try:
+            result = search(0, {})
+        except RecursionError:
+            raise _depth_exhausted("sample search", variables) from None
         if result is None or want_witness:
             return result
         return result

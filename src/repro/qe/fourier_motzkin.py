@@ -23,7 +23,7 @@ from ..logic.formulas import (
     disjunction,
 )
 from ..logic.normalform import qf_to_dnf, to_nnf, to_prenex
-from .. import obs
+from .. import guard, obs
 from .._errors import QEError
 from .linear import LinConstraint, compare_to_constraints
 
@@ -77,6 +77,7 @@ def eliminate_variable(
     detected to be infeasible (a constant constraint evaluated false).
     """
     obs.add("fm.eliminations")
+    guard.checkpoint()
     equalities: list[LinConstraint] = []
     lowers: list[LinConstraint] = []   # coeff of var < 0: var >= bound
     uppers: list[LinConstraint] = []   # coeff of var > 0: var <= bound
@@ -104,6 +105,7 @@ def eliminate_variable(
             c.substitute_var(var, replacement, replacement_const)
             for c in equalities[1:] + lowers + uppers
         ] + rest
+        guard.charge("constraints", len(substituted))
         return _clean(substituted)
 
     combined: list[LinConstraint] = list(rest)
@@ -123,6 +125,7 @@ def eliminate_variable(
             constant = lower_scaled.constant + upper_scaled.constant
             op = "<" if (lower.op == "<" or upper.op == "<") else "<="
             combined.append(LinConstraint.make(coeffs, constant, op))
+    guard.charge("constraints", len(combined))
     return _clean(combined)
 
 
@@ -156,6 +159,7 @@ def is_feasible(constraints: Sequence[LinConstraint]) -> bool:
     if current is None:
         return False
     while current:
+        guard.checkpoint()
         remaining_vars = sorted(set().union(*(c.variables() for c in current)))
         if not remaining_vars:
             break
@@ -175,6 +179,7 @@ def remove_redundant(constraints: Sequence[LinConstraint]) -> list[LinConstraint
     kept = list(constraints)
     index = 0
     while index < len(kept):
+        guard.checkpoint()
         candidate = kept[index]
         rest = kept[:index] + kept[index + 1:]
         negation_branches = candidate.negated_formulas()
@@ -198,6 +203,7 @@ def _eliminate_exists(var: str, matrix: Formula, prune: bool) -> Formula:
         for conjunct in qf_to_dnf(matrix):
             for constraints in conjunct_to_constraints(conjunct):
                 obs.add("fm.disjuncts")
+                guard.checkpoint()
                 result = eliminate_variable(var, constraints)
                 if result is None:
                     continue

@@ -1,7 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
 import io
-from contextlib import redirect_stdout
+from contextlib import redirect_stderr, redirect_stdout
 
 from repro.__main__ import main
 from repro.obs import SCHEMA, read_jsonl
@@ -13,6 +13,14 @@ def run_cli(*argv: str) -> str:
         code = main(list(argv))
     assert code == 0
     return buffer.getvalue()
+
+
+def run_cli_raw(*argv: str) -> tuple[int, str, str]:
+    """Like :func:`run_cli` but returns (exit code, stdout, stderr)."""
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue(), err.getvalue()
 
 
 class TestCLI:
@@ -82,3 +90,80 @@ class TestCLIObservability:
         third = run_cli("approx", "--seed", "8", "x*x + y*y < 1")
         assert first == second
         assert first != third
+
+
+FORMULA = "0 <= y AND y <= x AND x <= 1"
+
+
+class TestCLIGovernance:
+    """``--timeout`` / ``--max-cells`` / ``--fallback`` and exit codes 2/3."""
+
+    def test_timeout_without_fallback_exits_3(self):
+        code, out, err = run_cli_raw("volume", "--timeout", "0", FORMULA)
+        assert code == 3
+        assert out == ""
+        assert err.startswith("repro: budget exceeded: deadline budget exceeded")
+        assert err.count("\n") == 1  # one-line diagnostic
+
+    def test_max_cells_without_fallback_exits_3(self):
+        code, _, err = run_cli_raw("volume", "--max-cells", "0", FORMULA)
+        assert code == 3
+        assert "cells budget exceeded" in err
+
+    def test_timeout_with_auto_fallback_degrades_to_approximate(self):
+        code, out, err = run_cli_raw(
+            "volume", "--timeout", "0", "--fallback", "auto",
+            "--epsilon", "0.1", FORMULA,
+        )
+        assert code == 0
+        assert "mode=approximate" in out
+        assert "+-" in out
+        assert "[exact abandoned: deadline budget exceeded]" in err
+        assert "[exact-coarse abandoned: deadline budget exceeded]" in err
+
+    def test_auto_fallback_with_ample_budget_stays_exact(self):
+        code, out, err = run_cli_raw(
+            "volume", "--timeout", "60", "--fallback", "auto", FORMULA
+        )
+        assert code == 0
+        assert "= 1/2 = 0.5 (mode=exact)" in out
+        assert err == ""
+
+    def test_approx_only_policy_skips_exact(self):
+        code, out, _ = run_cli_raw(
+            "volume", "--fallback", "approx-only", "--epsilon", "0.1", FORMULA
+        )
+        assert code == 0
+        assert "mode=approximate" in out
+
+    def test_fallback_seed_reproducibility(self):
+        runs = {
+            run_cli_raw("volume", "--timeout", "0", "--fallback", "auto",
+                        "--seed", "7", FORMULA)[1]
+            for _ in range(2)
+        }
+        assert len(runs) == 1
+
+    def test_query_error_exits_2(self):
+        code, _, err = run_cli_raw("volume", "S(x, y)")
+        assert code == 2
+        assert err.startswith("repro: error:")
+
+    def test_parse_error_exits_2(self):
+        code, _, err = run_cli_raw("volume", "x <<< y")
+        assert code == 2
+        assert err == "repro: error: expected a term, got '<'\n"
+
+    def test_demo_under_exhausted_budget_exits_3(self):
+        code, _, err = run_cli_raw("demo", "--timeout", "0")
+        assert code == 3
+        assert "budget exceeded" in err
+
+    def test_trace_passes_governance_flags_through(self):
+        code, out, _ = run_cli_raw(
+            "--timeout", "0", "--fallback", "auto", "trace", "volume", FORMULA
+        )
+        assert code == 0
+        assert "mode=approximate" in out
+        assert "guard.robust_volume" in out
+        assert "guard.trips.deadline" in out

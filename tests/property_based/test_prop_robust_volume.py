@@ -1,0 +1,60 @@
+"""Property-based tests: the degradation ladder agrees with exact volume."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.geometry import formula_volume_unit_cube
+from repro.guard import Budget, robust_volume, testing
+from repro.logic import between, variables
+
+x, y = variables("x y")
+
+unit = st.fractions(
+    min_value=Fraction(0), max_value=Fraction(1), max_denominator=8
+)
+
+
+@st.composite
+def box_unions(draw):
+    """A union of 1-3 axis-aligned boxes inside the unit square."""
+    formula = None
+    for _ in range(draw(st.integers(1, 3))):
+        a, b = sorted((draw(unit), draw(unit)))
+        c, d = sorted((draw(unit), draw(unit)))
+        box = between(a, x, b) & between(c, y, d)
+        formula = box if formula is None else formula | box
+    return formula
+
+
+@settings(max_examples=25, deadline=None)
+@given(box_unions())
+def test_auto_mode_with_ample_budget_is_exactly_exact(formula):
+    exact = formula_volume_unit_cube(formula, ("x", "y"))
+    result = robust_volume(
+        formula, ("x", "y"), policy="auto",
+        budget=Budget(deadline_s=300, max_cells=10**6),
+    )
+    assert result.mode == "exact"
+    assert result.value == exact
+
+
+@settings(max_examples=15, deadline=None)
+@given(box_unions(), st.integers(0, 2**31 - 1))
+def test_forced_approximation_agrees_within_epsilon(formula, seed):
+    # delta = 1e-6 makes a per-example Hoeffding failure (~1e-6) negligible
+    # across the whole hypothesis run; epsilon = 0.25 keeps it to ~116
+    # samples per example.
+    epsilon, delta = 0.25, 1e-6
+    exact = formula_volume_unit_cube(formula, ("x", "y"))
+    assume(exact is not None)
+    with testing.trip_after(1, resource="deadline", times=2):
+        result = robust_volume(
+            formula, ("x", "y"), policy="auto", epsilon=epsilon, delta=delta,
+            rng=np.random.default_rng(seed),
+        )
+    assert result.mode == "approximate"
+    assert [mode for mode, _ in result.attempts] == ["exact", "exact-coarse"]
+    assert abs(result.value - float(exact)) < epsilon
+    assert result.confidence_radius <= epsilon

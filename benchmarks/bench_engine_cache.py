@@ -1,0 +1,128 @@
+"""ENGINE — plan-cache amortization and parallel batch fan-out.
+
+Not a paper claim — an engineering contract of the ``repro.engine``
+subsystem (see docs/ENGINE.md): preparing a query pays quantifier
+elimination and cell decomposition once, so (1) repeated evaluation
+through a warm plan cache must be at least 5x faster than re-running the
+cold pipeline each time, (2) reloading a spilled plan must beat
+recompiling it, and (3) a 4-worker batch over independent queries must
+beat the same batch run serially.  The table reports the measured times;
+each row lands in the ``repro.obs/v1`` trajectory with the engine.*
+counters attached.
+"""
+
+import os
+import time
+
+from repro.engine import DEFAULT_CACHE, PlanCache, prepare, run_batch
+
+from conftest import print_table
+from obs_report import emit
+
+
+def band_query(k: int, branches: int = 3) -> str:
+    """A 2-quantifier disjunctive query; *k* makes each shape distinct."""
+    alts = " OR ".join(
+        f"({j}*u <= {k}*x AND u + v <= x + {j}*y AND {j}*v <= u + 1)"
+        for j in range(1, branches + 1)
+    )
+    return (
+        "EXISTS u . EXISTS v . (0 <= u AND u <= 1 AND 0 <= v AND v <= 1 AND "
+        f"({alts}) AND 0 <= x AND x <= 1 AND 0 <= y AND y <= 1)"
+    )
+
+
+def test_warm_cache_speedup(tmp_path):
+    query = band_query(2)
+    repeats = 5
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        cold_value = prepare(query, cache=None).volume()
+    cold_s = time.perf_counter() - start
+
+    cache = PlanCache()
+    prepare(query, cache=cache).volume()  # compile + first evaluation
+    start = time.perf_counter()
+    for _ in range(repeats):
+        warm_value = prepare(query, cache=cache).volume()
+    warm_s = time.perf_counter() - start
+    assert warm_value == cold_value
+
+    # Spill the warm cache and reload it in a fresh one: the loaded plan
+    # skips QE/decomposition, so load + evaluate beats a cold run.
+    spill = str(tmp_path / "plans.jsonl")
+    cache.spill(spill)
+    start = time.perf_counter()
+    fresh = PlanCache()
+    fresh.load(spill)
+    loaded_value = prepare(query, cache=fresh).volume()
+    loaded_s = time.perf_counter() - start
+    assert loaded_value == cold_value
+    assert fresh.stats.hits == 1  # served from the spill, not recompiled
+
+    speedup = cold_s / warm_s
+    header = ["probe", "seconds", "target"]
+    rows = [
+        [f"cold prepare+volume x{repeats}", f"{cold_s:.4f}", "-"],
+        [f"warm cache x{repeats}", f"{warm_s:.4f}", f"<= cold/5"],
+        ["spill load + volume", f"{loaded_s:.4f}", f"< cold/{repeats}"],
+        ["warm speedup", f"{speedup:.1f}x", ">= 5x"],
+    ]
+    print_table("ENGINE: plan-cache amortization", header, rows)
+    emit(
+        "engine_cache",
+        header,
+        rows,
+        extra={"repeats": repeats, "speedup": round(speedup, 2)},
+    )
+    assert speedup >= 5.0
+    assert loaded_s < cold_s / repeats
+
+
+def test_parallel_batch_beats_serial():
+    tasks = [{"id": f"band{k}", "formula": band_query(k)} for k in range(2, 10)]
+
+    # Parallel first: worker processes fork from a cold parent, so neither
+    # run inherits the other's warm plans.
+    DEFAULT_CACHE.clear()
+    start = time.perf_counter()
+    parallel = run_batch(tasks, workers=4, seed=0)
+    parallel_s = time.perf_counter() - start
+
+    DEFAULT_CACHE.clear()
+    start = time.perf_counter()
+    serial = run_batch(tasks, workers=1, seed=0)
+    serial_s = time.perf_counter() - start
+
+    assert [r["id"] for r in parallel] == [r["id"] for r in serial]
+    assert all(r["status"] == "ok" for r in parallel)
+    for left, right in zip(parallel, serial):
+        assert left["exact"] == right["exact"]
+
+    # Fan-out can only win wall-clock when there is more than one core to
+    # fan out to; on a single-core box the contract degrades to "the pool
+    # does not cost much more than running serially".
+    cores = len(os.sched_getaffinity(0))
+    target = "< serial" if cores >= 2 else "< 1.6x serial (1 core)"
+    speedup = serial_s / parallel_s
+    header = ["probe", "seconds", "target"]
+    rows = [
+        [f"serial batch ({len(tasks)} tasks)", f"{serial_s:.4f}", "-"],
+        [f"4-worker batch ({cores} cores)", f"{parallel_s:.4f}", target],
+        ["parallel speedup", f"{speedup:.2f}x", "> 1x" if cores >= 2 else "-"],
+    ]
+    print_table("ENGINE: parallel batch executor", header, rows)
+    emit(
+        "engine_batch",
+        header,
+        rows,
+        extra={
+            "tasks": len(tasks), "workers": 4, "cores": cores,
+            "speedup": round(speedup, 2),
+        },
+    )
+    if cores >= 2:
+        assert parallel_s < serial_s
+    else:
+        assert parallel_s < serial_s * 1.6

@@ -43,11 +43,17 @@ Subpackages
     Resource governance: cooperative budgets (deadline, cells,
     constraints, size, depth), the structured ``BudgetExceeded`` family,
     and the exact -> approximate degradation ladder (``robust_volume``).
+``repro.engine``
+    The query engine: canonical formula hashing, prepared queries
+    (compile once, evaluate many times), a content-addressed LRU plan
+    cache with JSONL spill/load, and a process-pool batch executor
+    (``python -m repro batch``).
 """
 
 __version__ = "0.1.0"
 
 from . import obs, guard, logic, realalg, qe, geometry, db, core, vc, approx, inexpressibility
+from . import engine
 from .guard.errors import BudgetExceeded
 from ._errors import (
     ApproximationError,
@@ -74,6 +80,7 @@ __all__ = [
     "vc",
     "approx",
     "inexpressibility",
+    "engine",
     "ReproError",
     "BudgetExceeded",
     "SignatureError",

@@ -5,6 +5,9 @@ Subcommands
 ``demo``        run a compact end-to-end demonstration (default)
 ``volume``      exact VOL_I of a formula given on the command line
 ``approx``      Monte Carlo (epsilon, delta)-approximation of VOL_I
+``batch``       run a JSONL manifest of queries through the engine's
+                batch executor (``--workers N`` process workers, per-task
+                budgets, JSONL results out; see docs/ENGINE.md)
 ``experiments`` list the paper-reproduction experiments and how to run them
 ``trace``       run any subcommand with observability on (= ``--stats``)
 
@@ -20,7 +23,9 @@ Global options
 ``--fallback {off,auto,approx-only}``
                 degradation policy for ``volume``: ``auto`` falls back to
                 a coarser exact strategy and then to Monte Carlo when the
-                budget trips; ``off`` (default) propagates the exhaustion
+                budget trips; ``off`` (default) propagates the exhaustion.
+                For ``batch``, the policy (and ``--timeout``/``--max-cells``)
+                applies per task
 
 Exit codes
 ----------
@@ -137,6 +142,74 @@ def _approx(args: argparse.Namespace) -> None:
     )
 
 
+def _batch(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.engine import DEFAULT_CACHE, normalize_task, run_batch
+
+    if args.manifest == "-":
+        lines = sys.stdin.readlines()
+        where = "<stdin>"
+    else:
+        try:
+            with open(args.manifest, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            raise ReproError(f"cannot read manifest: {error}") from error
+        where = args.manifest
+    tasks = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{where}:{lineno}: not valid JSON: {error}") from error
+        tasks.append(normalize_task(raw, len(tasks)))
+
+    if args.plan_cache and os.path.exists(args.plan_cache):
+        loaded = DEFAULT_CACHE.load(args.plan_cache)
+        print(f"batch: loaded {loaded} plans from {args.plan_cache}",
+              file=sys.stderr)
+
+    import time
+
+    start = time.perf_counter()
+    results = run_batch(
+        tasks, workers=args.workers, seed=args.seed, timeout=args.timeout,
+        max_cells=args.max_cells, fallback=args.fallback,
+        epsilon=args.epsilon, delta=args.delta,
+    )
+    wall = time.perf_counter() - start
+
+    out = sys.stdout if args.out is None else open(args.out, "w", encoding="utf-8")
+    try:
+        for record in results:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+    if args.plan_cache:
+        spilled = DEFAULT_CACHE.spill(args.plan_cache, append=False)
+        print(f"batch: spilled {spilled} plans to {args.plan_cache}",
+              file=sys.stderr)
+    tally = {"ok": 0, "budget-exceeded": 0, "error": 0}
+    for record in results:
+        tally[record.get("status", "error")] = (
+            tally.get(record.get("status", "error"), 0) + 1
+        )
+    print(
+        f"batch: {len(results)} tasks in {wall:.3f}s "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''}): "
+        f"ok={tally['ok']}, budget-exceeded={tally['budget-exceeded']}, "
+        f"error={tally['error']}",
+        file=sys.stderr,
+    )
+
+
 def _experiments() -> None:
     rows = [
         ("E1", "Section 3 blow-up example", "bench_e1_km_blowup.py"),
@@ -217,6 +290,38 @@ def _build_parser() -> argparse.ArgumentParser:
     approx.add_argument("formula", help='e.g. "0 <= y AND y <= x AND x <= 1"')
     approx.add_argument("--epsilon", type=float, default=0.05)
     approx.add_argument("--delta", type=float, default=0.05)
+    batch = sub.add_parser(
+        "batch", parents=[common],
+        help="run a JSONL manifest of queries through the batch executor",
+    )
+    batch.add_argument(
+        "manifest",
+        help="JSONL manifest path, or '-' for stdin; one task per line, "
+        'e.g. {"id": "q1", "op": "volume", "formula": "x <= 1 AND 0 <= x"}',
+    )
+    batch.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write JSONL results here instead of stdout",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process workers for CPU-bound compilation (default 1 = serial, "
+        "in-process, shared plan cache)",
+    )
+    batch.add_argument(
+        "--plan-cache", metavar="PATH", default=None,
+        help="warm-cache spill file: loaded before the batch if it exists, "
+        "rewritten after it",
+    )
+    batch.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="default accuracy target for approx/fallback tasks (default 0.05)",
+    )
+    batch.add_argument(
+        "--delta", type=float, default=0.05,
+        help="default failure probability for approx/fallback tasks "
+        "(default 0.05)",
+    )
     sub.add_parser(
         "experiments", parents=[common],
         help="list the reproduction experiments",
@@ -237,6 +342,11 @@ def _dispatch(args: argparse.Namespace) -> None:
         # volume manages the budget itself: the fallback ladder needs to
         # catch exhaustion between rungs, not have it unwind past it.
         _volume(args)
+        return
+    if args.command == "batch":
+        # batch builds one fresh budget per task from the timeout/max-cells
+        # caps, so a single runaway query cannot starve the whole batch.
+        _batch(args)
         return
     with guard.govern(args.budget):
         if args.command in (None, "demo"):

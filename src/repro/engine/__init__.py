@@ -1,0 +1,50 @@
+"""The query engine: prepared queries, plan caching, batch execution.
+
+Everything upstream of this package evaluates one query from scratch;
+this package amortizes the exponential compile work (QE / CAD / cell
+decomposition) across repeated and concurrent evaluations — the paper's
+Section 3 blow-up is exactly the cost worth paying once per query
+*shape* instead of once per evaluation:
+
+* :mod:`repro.engine.canon` — structural normal form + content hash, so
+  alpha-variants and commutative reorderings share one cache key;
+* :mod:`repro.engine.prepared` — compile once, evaluate many times, with
+  plan provenance;
+* :mod:`repro.engine.cache` — a thread-safe LRU plan cache with JSONL
+  spill/load for warm restarts;
+* :mod:`repro.engine.executor` — a process-pool batch executor with
+  per-task budgets and deterministic per-task seeds
+  (``python -m repro batch``).
+
+See docs/ENGINE.md for cache-key semantics, the spill schema, and the
+batch manifest format.
+"""
+
+from .canon import (
+    canonical_formula,
+    canonical_term,
+    canonical_text,
+    content_hash,
+)
+from .cache import DEFAULT_CACHE, CacheStats, PlanCache, default_cache
+from .prepared import PlanProvenance, PreparedQuery, prepare
+from .executor import OPS, execute_task, normalize_task, run_batch, task_seed
+
+__all__ = [
+    "canonical_formula",
+    "canonical_term",
+    "canonical_text",
+    "content_hash",
+    "PlanCache",
+    "CacheStats",
+    "DEFAULT_CACHE",
+    "default_cache",
+    "PlanProvenance",
+    "PreparedQuery",
+    "prepare",
+    "OPS",
+    "normalize_task",
+    "execute_task",
+    "run_batch",
+    "task_seed",
+]

@@ -1,0 +1,219 @@
+"""A thread-safe, content-addressed LRU cache of compiled query plans.
+
+Keys are :func:`repro.engine.canon.content_hash` digests, so semantically
+identical query shapes (alpha-variants, commutative reorderings, equal
+polynomial atoms) share one entry.  The cache is bounded both by entry
+count and by total compiled cells (the dominant memory cost of a plan);
+least-recently-used plans are evicted first.  Hit / miss / eviction
+counts flow into :mod:`repro.obs` under ``engine.cache.*``.
+
+A warm cache can be **spilled** to a JSON-lines file and **loaded** back
+in a later process: plans serialize their compiled artifacts (canonical
+formula text, cell constraint systems, decision bits, witnesses) rather
+than a pickle, so the spill format is stable, diffable, and independent
+of the Python version — see docs/ENGINE.md for the schema.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from .. import obs
+from .._errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .prepared import PreparedQuery
+
+__all__ = ["PlanCache", "CacheStats", "DEFAULT_CACHE", "default_cache"]
+
+#: Spill-file schema tag; bump on incompatible changes.
+SPILL_SCHEMA = "repro.engine.plan/v1"
+
+
+class CacheStats:
+    """Monotonic counters for one :class:`PlanCache` instance."""
+
+    __slots__ = ("hits", "misses", "evictions", "spilled", "loaded")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spilled = 0
+        self.loaded = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PlanCache:
+    """LRU map ``content hash -> PreparedQuery`` with size/entry caps."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_cells: int | None = 100_000,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.max_cells = max_cells
+        self.stats = CacheStats()
+        self._plans: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self._cells = 0
+        self._lock = threading.RLock()
+
+    # -- core map ----------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def get(self, key: str) -> "PreparedQuery | None":
+        """Look *key* up, refreshing its recency; counts a hit or miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                obs.add("engine.cache.miss")
+                return None
+            self._plans.move_to_end(key)
+            self.stats.hits += 1
+            obs.add("engine.cache.hit")
+            return plan
+
+    def put(self, plan: "PreparedQuery") -> "PreparedQuery":
+        """Insert *plan* (keyed by its content hash), evicting as needed.
+
+        Returns the cached plan: if another thread inserted the same key
+        first, the earlier plan wins so all callers share one object.
+        """
+        with self._lock:
+            existing = self._plans.get(plan.key)
+            if existing is not None:
+                self._plans.move_to_end(plan.key)
+                return existing
+            self._plans[plan.key] = plan
+            self._cells += plan.cell_count()
+            self._evict()
+            obs.set_gauge("engine.cache.entries", len(self._plans))
+            obs.set_gauge("engine.cache.cells", self._cells)
+            return plan
+
+    def get_or_compile(
+        self, key: str, factory: Callable[[], "PreparedQuery"]
+    ) -> "PreparedQuery":
+        """The common path: return the cached plan for *key* or compile one.
+
+        Compilation runs outside the lock (it can take seconds), so two
+        threads may race to compile the same shape; :meth:`put` keeps the
+        first result.
+        """
+        plan = self.get(key)
+        if plan is not None:
+            return plan
+        return self.put(factory())
+
+    def _evict(self) -> None:
+        while self._plans and (
+            len(self._plans) > self.max_entries
+            or (self.max_cells is not None and self._cells > self.max_cells
+                and len(self._plans) > 1)
+        ):
+            _, evicted = self._plans.popitem(last=False)
+            self._cells -= evicted.cell_count()
+            self.stats.evictions += 1
+            obs.add("engine.cache.eviction")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._cells = 0
+            obs.set_gauge("engine.cache.entries", 0)
+            obs.set_gauge("engine.cache.cells", 0)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._plans)
+
+    # -- persistence -------------------------------------------------------
+    def spill(self, path: str, append: bool = True) -> int:
+        """Write every cached plan to the JSONL file *path* (LRU first).
+
+        Returns the number of plans written.  ``append=False`` truncates
+        first (the CLI uses this so a reused spill file does not grow
+        without bound).  Plans loaded from a spill and re-spilled
+        round-trip unchanged.
+        """
+        with self._lock:
+            plans = list(self._plans.values())
+        written = 0
+        with open(path, "a" if append else "w", encoding="utf-8") as handle:
+            for plan in plans:
+                record = plan.to_record()
+                record["schema"] = SPILL_SCHEMA
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                written += 1
+        self.stats.spilled += written
+        obs.add("engine.cache.spilled", written)
+        return written
+
+    def load(self, path: str) -> int:
+        """Load plans spilled by :meth:`spill`; returns how many were added.
+
+        Duplicate keys are skipped (a key's compiled artifacts are a
+        deterministic function of the key, so any copy is as good as any
+        other); records with an unknown schema tag raise.
+        """
+        from .prepared import PreparedQuery
+
+        added = 0
+        for record in _read_records(path):
+            plan = PreparedQuery.from_record(record)
+            with self._lock:
+                fresh = plan.key not in self._plans
+                if not fresh:
+                    # Refresh recency; keep the already-shared object.
+                    self._plans.move_to_end(plan.key)
+                    continue
+            self.put(plan)
+            added += 1
+        self.stats.loaded += added
+        obs.add("engine.cache.loaded", added)
+        return added
+
+
+def _read_records(path: str) -> Iterator[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{path}:{lineno}: not valid JSON: {error}"
+                ) from error
+            schema = record.get("schema")
+            if schema != SPILL_SCHEMA:
+                raise ReproError(
+                    f"{path}:{lineno}: unknown plan schema {schema!r} "
+                    f"(expected {SPILL_SCHEMA!r})"
+                )
+            yield record
+
+
+#: The process-wide cache :func:`repro.engine.prepare` uses by default.
+DEFAULT_CACHE = PlanCache()
+
+
+def default_cache() -> PlanCache:
+    """The shared process-wide plan cache."""
+    return DEFAULT_CACHE

@@ -1,0 +1,292 @@
+"""A parallel batch executor for manifests of independent queries.
+
+A *manifest* is JSON-lines, one task per line::
+
+    {"id": "q1", "op": "volume", "formula": "0 <= y AND y <= x AND x <= 1"}
+    {"id": "q2", "op": "approx", "formula": "...", "epsilon": 0.02}
+    {"id": "q3", "op": "decide", "formula": "EXISTS x . x*x = 2 AND 0 < x"}
+
+Supported ops: ``volume`` (exact, or budget-governed robust evaluation
+when a fallback policy is set), ``approx`` (Monte Carlo), and ``decide``
+(CAD decision of an FO + POLY sentence).  Optional per-task fields:
+``variables`` (evaluation order), ``box`` (per-variable ``[low, high]``
+rational bounds), ``epsilon`` / ``delta`` (approximation targets).
+
+Execution contract:
+
+* **isolation** — every task runs under its own :class:`~repro.guard.Budget`
+  built from the batch-level caps; one ``BudgetExceeded`` (or any query
+  error) becomes that task's result record and never poisons the batch;
+* **determinism** — task *i* samples from a per-task seed derived from
+  the batch ``--seed`` via ``numpy.random.SeedSequence([seed, i])``, so
+  results are independent of worker count and scheduling order;
+* **parallelism** — ``workers > 1`` fans tasks out to a
+  ``concurrent.futures`` process pool (QE/CAD are CPU-bound, so threads
+  would serialize on the GIL); each worker process keeps its own warm
+  plan cache across the tasks it serves, and ``workers <= 1`` runs
+  serially in-process against the shared cache;
+* **observability** — the batch runs inside an ``engine.batch`` span and
+  reports ``engine.batch.*`` counters in the parent process.
+
+Results come back in manifest order, one JSON-able dict per task.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from fractions import Fraction
+from typing import Any, Iterable, Mapping
+
+from .. import guard, obs
+from .._errors import ReproError
+from ..guard.budget import Budget
+from ..guard.errors import BudgetExceeded
+from .prepared import prepare
+
+__all__ = ["OPS", "task_seed", "normalize_task", "execute_task", "run_batch"]
+
+#: Operations a manifest task may request.
+OPS = ("volume", "approx", "decide")
+
+
+def task_seed(base_seed: int, index: int) -> int:
+    """The deterministic seed of task *index* in a batch seeded *base_seed*."""
+    import numpy as np
+
+    return int(np.random.SeedSequence([base_seed, index]).generate_state(1)[0])
+
+
+def _as_fraction(value: Any) -> Fraction:
+    """Exact rational from a manifest number (floats go via repr: 0.1 -> 1/10)."""
+    if isinstance(value, float):
+        return Fraction(str(value))
+    return Fraction(value)
+
+
+def normalize_task(raw: Mapping[str, Any], index: int) -> dict[str, Any]:
+    """Validate one manifest entry and fill defaults; raises ReproError."""
+    if not isinstance(raw, Mapping):
+        raise ReproError(f"task {index}: manifest line must be a JSON object")
+    formula = raw.get("formula")
+    if not isinstance(formula, str) or not formula.strip():
+        raise ReproError(f"task {index}: missing 'formula' string")
+    op = raw.get("op", "volume")
+    if op not in OPS:
+        raise ReproError(f"task {index}: unknown op {op!r}; one of {OPS}")
+    task: dict[str, Any] = {
+        "id": raw.get("id", index),
+        "index": index,
+        "op": op,
+        "formula": formula,
+    }
+    if raw.get("variables") is not None:
+        task["variables"] = tuple(str(v) for v in raw["variables"])
+    if raw.get("box") is not None:
+        try:
+            task["box"] = [
+                (_as_fraction(low), _as_fraction(high)) for low, high in raw["box"]
+            ]
+        except (TypeError, ValueError) as error:
+            raise ReproError(f"task {index}: bad box: {error}") from error
+    for name in ("epsilon", "delta"):
+        if raw.get(name) is not None:
+            task[name] = float(raw[name])
+    return task
+
+
+def execute_task(
+    task: Mapping[str, Any],
+    *,
+    seed: int,
+    timeout: float | None = None,
+    max_cells: int | None = None,
+    fallback: str = "off",
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+) -> dict[str, Any]:
+    """Run one normalized task; always returns a result record, never raises.
+
+    ``seed`` is the already-derived per-task seed (see :func:`task_seed`).
+    """
+    result: dict[str, Any] = {"id": task["id"], "op": task["op"], "seed": seed}
+    start = time.perf_counter()
+    budget = (
+        Budget(deadline_s=timeout, max_cells=max_cells)
+        if timeout is not None or max_cells is not None
+        else None
+    )
+    try:
+        result.update(
+            _dispatch(task, seed, budget, fallback, epsilon, delta)
+        )
+        result["status"] = "ok"
+    except BudgetExceeded as error:
+        result.update(
+            status="budget-exceeded",
+            resource=error.resource,
+            error=str(error),
+        )
+    except ReproError as error:
+        result.update(status="error", error=str(error))
+    except Exception as error:  # noqa: BLE001 - one task must not kill a batch
+        result.update(
+            status="error", error=f"{type(error).__name__}: {error}"
+        )
+    result["elapsed_s"] = round(time.perf_counter() - start, 6)
+    return result
+
+
+def _rng(seed: int):
+    import numpy as np
+
+    return np.random.default_rng(seed)
+
+
+def _dispatch(
+    task: Mapping[str, Any],
+    seed: int,
+    budget: Budget | None,
+    fallback: str,
+    epsilon: float,
+    delta: float,
+) -> dict[str, Any]:
+    op = task["op"]
+    variables = task.get("variables")
+    box = task.get("box")
+    epsilon = task.get("epsilon", epsilon)
+    delta = task.get("delta", delta)
+
+    if op == "decide":
+        plan = prepare(task["formula"], (), kind="decide", budget=budget)
+        return {"value": plan.decide(), "mode": "exact", "cached_key": plan.key}
+
+    try:
+        plan = prepare(task["formula"], variables, budget=budget)
+    except BudgetExceeded as error:
+        if op != "volume" or fallback == "off":
+            raise
+        # Compilation itself exhausted the budget.  Degrade the same way
+        # guard.robust_volume does: a quantifier-free matrix can still be
+        # sampled; a query whose QE alone blows the budget raises again.
+        from ..guard.fallback import robust_volume as cold_robust
+        from ..logic.parser import parse
+
+        result = cold_robust(
+            parse(task["formula"]), variables,
+            epsilon=epsilon, delta=delta, budget=budget,
+            policy="approx-only", box=box, rng=_rng(seed),
+        )
+        return {
+            "value": float(result.value),
+            "mode": result.mode,
+            "confidence_radius": result.confidence_radius,
+            "samples": result.samples,
+            "epsilon": epsilon,
+            "delta": delta,
+            "attempts": [["exact", error.resource]],
+        }
+    out: dict[str, Any] = {"cached_key": plan.key, "cells": plan.cell_count()}
+
+    if op == "approx":
+        estimate = plan.approx_volume(epsilon, delta, rng=_rng(seed), box=box)
+        out.update(
+            value=estimate.estimate,
+            mode="approximate",
+            confidence_radius=estimate.confidence_radius,
+            samples=estimate.samples,
+            epsilon=epsilon,
+            delta=delta,
+        )
+        return out
+
+    # op == "volume"
+    if fallback == "off":
+        if budget is not None:
+            budget.reset_consumed()
+        with guard.govern(budget):
+            value = plan.volume(box)
+        out.update(value=float(value), exact=str(value), mode="exact")
+        return out
+    result = plan.robust_volume(
+        epsilon=epsilon, delta=delta, budget=budget, policy=fallback,
+        box=box, rng=_rng(seed),
+    )
+    out.update(value=float(result.value), mode=result.mode)
+    if result.mode == "approximate":
+        out.update(
+            confidence_radius=result.confidence_radius,
+            samples=result.samples,
+            epsilon=epsilon,
+            delta=delta,
+        )
+    else:
+        out["exact"] = str(result.value)
+    if result.attempts:
+        out["attempts"] = [
+            [mode, error.resource] for mode, error in result.attempts
+        ]
+    return out
+
+
+def _worker(payload: tuple[dict[str, Any], dict[str, Any]]) -> dict[str, Any]:
+    """Process-pool entry point (top level so it pickles)."""
+    task, config = payload
+    return execute_task(task, **config)
+
+
+def run_batch(
+    tasks: Iterable[Mapping[str, Any]],
+    *,
+    workers: int = 1,
+    seed: int = 0,
+    timeout: float | None = None,
+    max_cells: int | None = None,
+    fallback: str = "off",
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+) -> list[dict[str, Any]]:
+    """Run every task in *tasks*; returns result records in manifest order.
+
+    Batch-level caps (``timeout``, ``max_cells``) apply **per task**: each
+    task gets a fresh budget, so a pathological query exhausts its own
+    budget and the rest of the batch proceeds.
+    """
+    normalized = [
+        task if "index" in task else normalize_task(task, index)
+        for index, task in enumerate(tasks)
+    ]
+    config = {
+        "timeout": timeout,
+        "max_cells": max_cells,
+        "fallback": fallback,
+        "epsilon": epsilon,
+        "delta": delta,
+    }
+    obs.add("engine.batch.runs")
+    obs.add("engine.batch.tasks", len(normalized))
+    start = time.perf_counter()
+    with obs.span("engine.batch", tasks=len(normalized), workers=workers):
+        if workers <= 1 or len(normalized) <= 1:
+            results = [
+                execute_task(task, seed=task_seed(seed, task["index"]), **config)
+                for task in normalized
+            ]
+        else:
+            payloads = [
+                (dict(task), {"seed": task_seed(seed, task["index"]), **config})
+                for task in normalized
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_worker, payloads))
+    wall = time.perf_counter() - start
+    obs.set_gauge("engine.batch.wall_s", round(wall, 6))
+    for record in results:
+        status = record.get("status")
+        if status == "ok":
+            obs.add("engine.batch.ok")
+        elif status == "budget-exceeded":
+            obs.add("engine.batch.budget_exceeded")
+        else:
+            obs.add("engine.batch.errors")
+    return results

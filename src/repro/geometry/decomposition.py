@@ -21,7 +21,12 @@ from .._errors import GeometryError, QEError
 from .polyhedron import Polyhedron
 from .volume import union_volume
 
-__all__ = ["formula_to_cells", "formula_volume", "formula_volume_unit_cube"]
+__all__ = [
+    "formula_to_cells",
+    "clip_cells",
+    "formula_volume",
+    "formula_volume_unit_cube",
+]
 
 
 def formula_to_cells(
@@ -76,6 +81,32 @@ def formula_volume(
         return _formula_volume(formula, variables, box, prune)
 
 
+def clip_cells(
+    cells: Sequence[Polyhedron],
+    variables: Sequence[str],
+    box: Sequence[tuple[Fraction, Fraction]],
+) -> list[Polyhedron]:
+    """Intersect every cell with the axis-aligned *box*.
+
+    The box is given as per-variable ``(low, high)`` bounds in the order
+    of *variables*.  This is the evaluation-time half of the volume
+    pipeline: a compiled cell decomposition (:func:`formula_to_cells`,
+    cached by :mod:`repro.engine`) can be clipped to many different
+    regions without re-running quantifier elimination.
+    """
+    variables = tuple(variables)
+    if len(box) != len(variables):
+        raise GeometryError("box must give bounds for every variable")
+    from ..qe.linear import LinConstraint
+
+    clip = []
+    for var, (low, high) in zip(variables, box):
+        clip.append(LinConstraint.make({var: Fraction(-1)}, Fraction(low), "<="))
+        clip.append(LinConstraint.make({var: Fraction(1)}, -Fraction(high), "<="))
+    clipper = Polyhedron.make(variables, clip)
+    return [cell.intersect(clipper) for cell in cells]
+
+
 def _formula_volume(
     formula: Formula,
     variables: tuple[str, ...],
@@ -84,16 +115,7 @@ def _formula_volume(
 ) -> Fraction:
     cells = formula_to_cells(formula, variables, prune=prune)
     if box is not None:
-        if len(box) != len(variables):
-            raise GeometryError("box must give bounds for every variable")
-        from ..qe.linear import LinConstraint
-
-        clip = []
-        for var, (low, high) in zip(variables, box):
-            clip.append(LinConstraint.make({var: Fraction(-1)}, Fraction(low), "<="))
-            clip.append(LinConstraint.make({var: Fraction(1)}, -Fraction(high), "<="))
-        clipper = Polyhedron.make(variables, clip)
-        cells = [cell.intersect(clipper) for cell in cells]
+        cells = clip_cells(cells, variables, box)
     return union_volume(cells)
 
 

@@ -24,6 +24,7 @@ from .formulas import (
     TrueFormula,
     conjunction,
     disjunction,
+    walk_ast,
 )
 from .builders import (
     Relation,
@@ -69,7 +70,7 @@ __all__ = [
     "Formula", "TrueFormula", "FalseFormula", "TRUE", "FALSE",
     "Compare", "RelAtom", "And", "Or", "Not",
     "Exists", "Forall", "ExistsAdom", "ForallAdom",
-    "conjunction", "disjunction",
+    "conjunction", "disjunction", "walk_ast",
     # builders
     "variables", "const", "Relation", "exists", "forall", "exists_adom",
     "forall_adom", "land", "lor", "implies", "iff", "between",

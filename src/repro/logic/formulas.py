@@ -10,16 +10,29 @@ Formulas are built from
   of the input database (``ExistsAdom`` / ``ForallAdom``).
 
 Formulas are immutable and hashable; ``&``, ``|`` and ``~`` are overloaded.
+
+Equality / hashing contract
+---------------------------
+Every node is a frozen dataclass, so ``__eq__`` and ``__hash__`` are
+generated together from the same field tuple: structurally equal ASTs
+compare equal *and* hash equal, across every node type (the plan cache
+and the canonicalizer of :mod:`repro.engine` rely on this —
+``tests/logic/test_hash_consistency.py`` pins it).  Equality is
+*structural*, not semantic: alpha-variants and reordered conjunctions
+compare unequal here and are identified by
+:func:`repro.engine.canon.canonical_formula` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Iterator, Union
 
 from .terms import Term
 
 __all__ = [
     "Formula",
+    "walk_ast",
     "TrueFormula",
     "FalseFormula",
     "TRUE",
@@ -64,6 +77,29 @@ FLIPPED_OP = {
 }
 
 
+def walk_ast(root: "Formula | Term") -> Iterator["Formula | Term"]:
+    """Yield *root* and every sub-formula and sub-term, depth-first pre-order.
+
+    A generic traversal hook over the AST node fields (every node is a
+    dataclass), used by :mod:`repro.engine.canon` and the hashing
+    regression tests; new node types are traversed automatically.
+    """
+    stack: list[Union[Formula, Term]] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        children: list[Union[Formula, Term]] = []
+        for field_ in fields(node):
+            value = getattr(node, field_.name)
+            if isinstance(value, (Formula, Term)):
+                children.append(value)
+            elif isinstance(value, tuple):
+                children.extend(
+                    item for item in value if isinstance(item, (Formula, Term))
+                )
+        stack.extend(reversed(children))
+
+
 class Formula:
     """Abstract base class of all formulas."""
 
@@ -72,6 +108,10 @@ class Formula:
     def free_variables(self) -> frozenset[str]:
         """Return the set of free variable names of this formula."""
         raise NotImplementedError
+
+    def walk(self) -> Iterator["Formula | Term"]:
+        """Depth-first pre-order iterator over this formula's AST."""
+        return walk_ast(self)
 
     def relation_names(self) -> frozenset[str]:
         """Return the names of all schema relations mentioned."""

@@ -16,6 +16,15 @@ can be written naturally::
 
 Comparison operators on terms build atomic formulas (see
 :mod:`repro.logic.formulas`).
+
+Equality / hashing contract
+---------------------------
+Every node is a frozen dataclass: structural ``__eq__`` and ``__hash__``
+are generated from the same fields, so equal terms hash equal (``Const``
+normalises its value to :class:`~fractions.Fraction` in
+``__post_init__``, so ``Const(1) == Const(Fraction(1))`` and their hashes
+agree).  ``==`` is kept structural — use :meth:`Term.eq` for the logical
+atom.
 """
 
 from __future__ import annotations
@@ -64,6 +73,12 @@ class Term:
     def variables(self) -> frozenset[str]:
         """Return the set of variable names occurring in this term."""
         raise NotImplementedError
+
+    def walk(self):
+        """Depth-first pre-order iterator over this term's AST."""
+        from .formulas import walk_ast
+
+        return walk_ast(self)
 
     def evaluate(self, env: Mapping[str, Fraction]) -> Fraction:
         """Evaluate the term under the variable assignment *env*.

@@ -185,6 +185,31 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "guard.trips.depth": ("counter", "recursion depth-cap exhaustions"),
     "guard.fallback_transitions": (
         "counter", "degradation-ladder rung transitions after an exhausted attempt"),
+    "engine.compile": ("counter", "query plans compiled (cache misses that ran)"),
+    "engine.cache.hit": ("counter", "plan-cache lookups served from the cache"),
+    "engine.cache.miss": ("counter", "plan-cache lookups that found no plan"),
+    "engine.cache.eviction": ("counter", "plans evicted by the LRU size caps"),
+    "engine.cache.spilled": ("counter", "plans written to a JSONL spill file"),
+    "engine.cache.loaded": ("counter", "plans loaded from a JSONL spill file"),
+    "engine.cache.entries": ("gauge", "plans currently held by the cache"),
+    "engine.cache.cells": ("gauge", "total compiled cells held by the cache"),
+    "engine.eval.volume": ("counter", "exact volume evaluations of prepared plans"),
+    "engine.eval.memo_hit": (
+        "counter", "volume evaluations answered by a plan's per-box memo"),
+    "engine.eval.truth": ("counter", "point-membership evaluations of prepared plans"),
+    "engine.eval.approx": ("counter", "Monte Carlo evaluations of prepared plans"),
+    "engine.eval.decide": ("counter", "cached CAD decisions served"),
+    "engine.batch.runs": ("counter", "batch-executor invocations"),
+    "engine.batch.tasks": ("counter", "manifest tasks submitted to the executor"),
+    "engine.batch.ok": ("counter", "batch tasks that completed successfully"),
+    "engine.batch.errors": ("counter", "batch tasks that failed with a query error"),
+    "engine.batch.budget_exceeded": (
+        "counter", "batch tasks that exhausted their per-task budget"),
+    "engine.batch.wall_s": ("gauge", "wall-clock seconds of the last batch"),
+    "realalg.cache.hit": (
+        "counter", "Sturm-chain / square-free lru_cache lookups served cached"),
+    "realalg.cache.miss": (
+        "counter", "Sturm-chain / square-free lru_cache lookups that computed"),
 }
 
 

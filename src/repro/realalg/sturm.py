@@ -16,7 +16,7 @@ from fractions import Fraction
 from functools import lru_cache
 
 from .univariate import UPoly
-from ..obs import add as _obs_add
+from ..obs import add as _obs_add, counting_enabled as _obs_counting
 
 __all__ = ["sturm_chain", "sign_variations_at", "count_roots", "count_real_roots"]
 
@@ -25,9 +25,19 @@ def sturm_chain(poly: UPoly) -> list[UPoly]:
     """Return the Sturm chain of *poly* (which should be square-free).
 
     Cached: chains are requested repeatedly for the same polynomial during
-    root isolation, refinement, and algebraic-number comparison.
+    root isolation, refinement, and algebraic-number comparison.  Cache
+    efficacy is reported under the ``realalg.cache.*`` counters while
+    observability is on.
     """
-    return list(_sturm_chain_cached(poly))
+    if not _obs_counting():
+        return list(_sturm_chain_cached(poly))
+    misses = _sturm_chain_cached.cache_info().misses
+    chain = _sturm_chain_cached(poly)
+    if _sturm_chain_cached.cache_info().misses > misses:
+        _obs_add("realalg.cache.miss")
+    else:
+        _obs_add("realalg.cache.hit")
+    return list(chain)
 
 
 @lru_cache(maxsize=8192)

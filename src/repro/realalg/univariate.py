@@ -165,9 +165,21 @@ class UPoly:
         """The square-free part ``p / gcd(p, p')`` (monic).
 
         Cached: polynomials are immutable and this is recomputed heavily by
-        root isolation and algebraic-number comparisons.
+        root isolation and algebraic-number comparisons.  Cache efficacy is
+        reported under the ``realalg.cache.*`` counters while observability
+        is on.
         """
-        return _squarefree_part_cached(self)
+        from ..obs import add as _obs_add, counting_enabled as _counting
+
+        if not _counting():
+            return _squarefree_part_cached(self)
+        misses = _squarefree_part_cached.cache_info().misses
+        part = _squarefree_part_cached(self)
+        if _squarefree_part_cached.cache_info().misses > misses:
+            _obs_add("realalg.cache.miss")
+        else:
+            _obs_add("realalg.cache.hit")
+        return part
 
     # -- evaluation ---------------------------------------------------------
     def __call__(self, point: Fraction | int) -> Fraction:

@@ -1,0 +1,12 @@
+"""Engine-suite isolation: a clean process-wide plan cache per test."""
+
+import pytest
+
+from repro.engine import DEFAULT_CACHE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_cache():
+    DEFAULT_CACHE.clear()
+    yield
+    DEFAULT_CACHE.clear()

@@ -1,0 +1,148 @@
+"""PlanCache: LRU semantics, caps, counters, spill/load persistence."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro._errors import ReproError
+from repro.engine import PlanCache, prepare
+from repro.engine.cache import SPILL_SCHEMA
+
+
+def plan_for(text: str, **kwargs):
+    """Compile a plan without touching any cache."""
+    return prepare(text, cache=None, **kwargs)
+
+
+@pytest.fixture
+def triangle():
+    return plan_for("0 <= y AND y <= x AND x <= 1")
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self, triangle):
+        cache = PlanCache()
+        assert cache.get(triangle.key) is None
+        cache.put(triangle)
+        assert cache.get(triangle.key) is triangle
+        assert triangle.key in cache
+        assert len(cache) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_first_insert_wins(self, triangle):
+        cache = PlanCache()
+        duplicate = plan_for(triangle.text)
+        assert duplicate.key == triangle.key
+        assert cache.put(triangle) is triangle
+        assert cache.put(duplicate) is triangle
+
+    def test_entry_cap_evicts_least_recent(self):
+        cache = PlanCache(max_entries=2)
+        a = plan_for("x < 1/4")
+        b = plan_for("x < 1/2")
+        c = plan_for("x < 3/4")
+        cache.put(a)
+        cache.put(b)
+        cache.get(a.key)  # refresh a; b becomes LRU
+        cache.put(c)
+        assert a.key in cache
+        assert b.key not in cache
+        assert c.key in cache
+        assert cache.stats.evictions == 1
+
+    def test_cell_cap_keeps_at_least_one_plan(self, triangle):
+        assert triangle.cell_count() >= 1
+        cache = PlanCache(max_cells=0)
+        cache.put(triangle)
+        # Over the cell cap, but a cache of one plan must not self-empty.
+        assert len(cache) == 1
+        other = plan_for("x < 1/4 OR x > 3/4")
+        cache.put(other)
+        assert len(cache) == 1
+        assert triangle.key not in cache
+
+    def test_get_or_compile(self, triangle):
+        cache = PlanCache()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return triangle
+
+        assert cache.get_or_compile(triangle.key, factory) is triangle
+        assert cache.get_or_compile(triangle.key, factory) is triangle
+        assert len(calls) == 1
+
+    def test_clear(self, triangle):
+        cache = PlanCache()
+        cache.put(triangle)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.keys() == []
+
+
+class TestObsCounters:
+    def test_hit_miss_eviction_counters(self, triangle):
+        obs.enable_counting()
+        cache = PlanCache(max_entries=1)
+        cache.get(triangle.key)
+        cache.put(triangle)
+        cache.get(triangle.key)
+        cache.put(plan_for("x < 1/4"))
+        counts = obs.REGISTRY.as_dict()
+        assert counts["engine.cache.miss"] == 1
+        assert counts["engine.cache.hit"] == 1
+        assert counts["engine.cache.eviction"] == 1
+        assert counts["engine.cache.entries"] == 1
+
+
+class TestSpill:
+    def test_spill_load_roundtrip(self, tmp_path, triangle):
+        path = str(tmp_path / "plans.jsonl")
+        source = PlanCache()
+        source.put(triangle)
+        source.put(plan_for("EXISTS z . (z < x AND y < z)"))
+        assert source.spill(path) == 2
+
+        target = PlanCache()
+        assert target.load(path) == 2
+        assert set(target.keys()) == set(source.keys())
+        loaded = target.get(triangle.key)
+        assert loaded.volume() == triangle.volume()
+        assert loaded.provenance.source == "spill"
+
+    def test_load_skips_duplicates(self, tmp_path, triangle):
+        path = str(tmp_path / "plans.jsonl")
+        source = PlanCache()
+        source.put(triangle)
+        source.spill(path)
+        source.spill(path)  # append=True: two copies of the same record
+
+        target = PlanCache()
+        assert target.load(path) == 1
+        assert len(target) == 1
+
+    def test_spill_truncate(self, tmp_path, triangle):
+        path = str(tmp_path / "plans.jsonl")
+        cache = PlanCache()
+        cache.put(triangle)
+        cache.spill(path)
+        cache.spill(path, append=False)
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["schema"] == SPILL_SCHEMA
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "repro.engine.plan/v999"}) + "\n")
+        with pytest.raises(ReproError, match="unknown plan schema"):
+            PlanCache().load(str(path))
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            PlanCache().load(str(path))

@@ -1,0 +1,118 @@
+"""The ``python -m repro batch`` subcommand."""
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.__main__ import main
+from repro.engine import DEFAULT_CACHE
+
+MANIFEST = """\
+# comment lines and blanks are skipped
+
+{"id": "tri", "op": "volume", "formula": "0 <= y AND y <= x AND x <= 1"}
+{"id": "clip", "op": "volume", "formula": "0 <= y AND y <= x AND x <= 1", "box": [["0", "1/2"], ["0", "1/2"]]}
+{"id": "mc", "op": "approx", "formula": "0 <= y AND y <= x AND x <= 1", "epsilon": 0.2, "delta": 0.2}
+{"id": "root2", "op": "decide", "formula": "EXISTS x . (x*x = 2 AND 0 < x AND x < 2)"}
+"""
+
+
+def run_cli(*argv: str) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+@pytest.fixture
+def manifest(tmp_path):
+    path = tmp_path / "manifest.jsonl"
+    path.write_text(MANIFEST)
+    return str(path)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_cache():
+    """CLI batch runs go through the process-wide cache; isolate them."""
+    DEFAULT_CACHE.clear()
+    yield
+    DEFAULT_CACHE.clear()
+
+
+class TestBatch:
+    def test_results_per_task_on_stdout(self, manifest):
+        code, out, err = run_cli("batch", manifest)
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert [r["id"] for r in records] == ["tri", "clip", "mc", "root2"]
+        by_id = {r["id"]: r for r in records}
+        assert by_id["tri"]["exact"] == "1/2"
+        assert by_id["clip"]["exact"] == "1/8"
+        assert by_id["mc"]["mode"] == "approximate"
+        assert by_id["root2"]["value"] is True
+        assert "batch: 4 tasks" in err
+        assert "ok=4" in err
+
+    def test_out_file(self, manifest, tmp_path):
+        out_path = tmp_path / "results.jsonl"
+        code, out, _ = run_cli("batch", manifest, "--out", str(out_path))
+        assert code == 0
+        assert out == ""
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        assert len(records) == 4
+
+    def test_workers_flag(self, manifest):
+        code, out, _ = run_cli("batch", manifest, "--workers", "2")
+        assert code == 0
+        assert len(out.splitlines()) == 4
+
+    def test_seed_makes_output_reproducible(self, manifest):
+        _, first, _ = run_cli("batch", manifest, "--seed", "9")
+        DEFAULT_CACHE.clear()
+        _, second, _ = run_cli("batch", manifest, "--seed", "9")
+
+        def stable(text):
+            return [
+                {k: v for k, v in json.loads(line).items() if k != "elapsed_s"}
+                for line in text.splitlines() if line
+            ]
+
+        assert stable(first) == stable(second)
+
+    def test_stats_reports_engine_counters(self, manifest):
+        code, out, _ = run_cli("batch", manifest, "--stats")
+        assert code == 0
+        assert "engine.compile" in out
+        assert "engine.batch.tasks" in out
+        assert "engine.cache." in out
+
+    def test_plan_cache_spill_and_reload(self, manifest, tmp_path):
+        spill = str(tmp_path / "plans.jsonl")
+        code, _, err = run_cli("batch", manifest, "--plan-cache", spill)
+        assert code == 0
+        assert "spilled" in err
+
+        DEFAULT_CACHE.clear()
+        code, out, err = run_cli("batch", manifest, "--plan-cache", spill)
+        assert code == 0
+        assert "loaded" in err
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert {r["status"] for r in records} == {"ok"}
+
+    def test_bad_manifest_line_fails_loudly(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"formula": "x < 1"}\n{oops\n')
+        code, _, err = run_cli("batch", str(path))
+        assert code != 0
+        assert "not valid JSON" in err
+
+    def test_missing_manifest_file(self, tmp_path):
+        code, _, err = run_cli("batch", str(tmp_path / "nope.jsonl"))
+        assert code != 0
+        assert "cannot read manifest" in err

@@ -1,0 +1,147 @@
+"""Batch executor: validation, isolation, determinism, parallel fan-out."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro._errors import ReproError
+from repro.engine import execute_task, normalize_task, run_batch, task_seed
+
+TRIANGLE = "0 <= y AND y <= x AND x <= 1"
+
+
+def strip_timing(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "elapsed_s"}
+
+
+class TestTaskSeed:
+    def test_deterministic(self):
+        assert task_seed(42, 3) == task_seed(42, 3)
+
+    def test_distinct_per_task_and_batch(self):
+        seeds = {task_seed(42, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert task_seed(42, 0) != task_seed(43, 0)
+
+
+class TestNormalize:
+    def test_defaults(self):
+        task = normalize_task({"formula": TRIANGLE}, 5)
+        assert task == {
+            "id": 5, "index": 5, "op": "volume", "formula": TRIANGLE,
+        }
+
+    def test_box_becomes_exact_rationals(self):
+        task = normalize_task(
+            {"formula": "x < 1", "box": [["0", "1/2"]]}, 0
+        )
+        assert task["box"] == [(Fraction(0), Fraction(1, 2))]
+
+    def test_float_epsilon_kept(self):
+        task = normalize_task({"formula": "x < 1", "epsilon": 0.1}, 0)
+        assert task["epsilon"] == 0.1
+
+    @pytest.mark.parametrize(
+        "raw, message",
+        [
+            (["not", "an", "object"], "JSON object"),
+            ({}, "missing 'formula'"),
+            ({"formula": "   "}, "missing 'formula'"),
+            ({"formula": "x < 1", "op": "integrate"}, "unknown op"),
+            ({"formula": "x < 1", "box": [["0"]]}, "bad box"),
+        ],
+    )
+    def test_rejects_bad_entries(self, raw, message):
+        with pytest.raises(ReproError, match=message):
+            normalize_task(raw, 0)
+
+
+class TestExecuteTask:
+    def test_volume(self):
+        task = normalize_task({"id": "t", "formula": TRIANGLE}, 0)
+        result = execute_task(task, seed=task_seed(0, 0))
+        assert result["status"] == "ok"
+        assert result["exact"] == "1/2"
+        assert result["value"] == 0.5
+        assert result["mode"] == "exact"
+        assert result["cells"] >= 1
+
+    def test_decide(self):
+        task = normalize_task(
+            {"op": "decide", "formula": "EXISTS x . x*x = 2"}, 0
+        )
+        result = execute_task(task, seed=0)
+        assert result["status"] == "ok"
+        assert result["value"] is True
+
+    def test_approx_is_seed_deterministic(self):
+        task = normalize_task(
+            {"op": "approx", "formula": TRIANGLE, "epsilon": 0.2, "delta": 0.2},
+            0,
+        )
+        first = execute_task(task, seed=123)
+        second = execute_task(task, seed=123)
+        assert strip_timing(first) == strip_timing(second)
+        assert first["mode"] == "approximate"
+        assert abs(first["value"] - 0.5) <= 2 * first["confidence_radius"]
+
+    def test_parse_error_becomes_result(self):
+        task = normalize_task({"formula": "x <"}, 0)
+        result = execute_task(task, seed=0)
+        assert result["status"] == "error"
+        assert "error" in result
+
+    def test_budget_exceeded_becomes_result(self):
+        task = normalize_task({"formula": TRIANGLE}, 0)
+        result = execute_task(task, seed=0, timeout=0.0)
+        assert result["status"] == "budget-exceeded"
+        assert result["resource"]
+
+    def test_budget_exceeded_falls_back_when_allowed(self):
+        task = normalize_task(
+            {"formula": TRIANGLE, "epsilon": 0.2, "delta": 0.2}, 0
+        )
+        result = execute_task(task, seed=0, timeout=0.0, fallback="auto")
+        assert result["status"] == "ok"
+        assert result["mode"] == "approximate"
+        assert result["attempts"]
+
+
+class TestRunBatch:
+    TASKS = [
+        {"id": "tri", "formula": TRIANGLE},
+        {"id": "union", "formula": "x < 1/4 OR x > 3/4"},
+        {"id": "band", "formula": "EXISTS z . (y <= z AND z <= x AND 0 <= z AND z <= 1)"},
+        {"id": "mc", "op": "approx", "formula": TRIANGLE, "epsilon": 0.2, "delta": 0.2},
+        {"id": "broken", "formula": "x <"},
+    ]
+
+    def test_results_in_manifest_order(self):
+        results = run_batch(self.TASKS, seed=1)
+        assert [r["id"] for r in results] == ["tri", "union", "band", "mc", "broken"]
+
+    def test_one_bad_task_does_not_poison_the_batch(self):
+        results = run_batch(self.TASKS, seed=1)
+        statuses = {r["id"]: r["status"] for r in results}
+        assert statuses["broken"] == "error"
+        assert all(
+            status == "ok" for key, status in statuses.items() if key != "broken"
+        )
+
+    def test_worker_count_does_not_change_results(self):
+        serial = run_batch(self.TASKS, seed=7, workers=1)
+        parallel = run_batch(self.TASKS, seed=7, workers=2)
+        assert [strip_timing(r) for r in serial] == [
+            strip_timing(r) for r in parallel
+        ]
+
+    def test_counters(self):
+        obs.enable_counting()
+        run_batch(self.TASKS, seed=1, timeout=60.0)
+        counts = obs.REGISTRY.as_dict()
+        assert counts["engine.batch.runs"] == 1
+        assert counts["engine.batch.tasks"] == 5
+        assert counts["engine.batch.ok"] == 4
+        assert counts["engine.batch.errors"] == 1
+        assert counts["engine.batch.wall_s"] > 0

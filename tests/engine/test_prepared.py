@@ -1,0 +1,222 @@
+"""Prepared queries: compile once, evaluate many, agree with cold paths."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro._errors import EvaluationError, QEError
+from repro.engine import PlanCache, PreparedQuery, prepare
+from repro.geometry import formula_volume_unit_cube
+from repro.geometry.sampling import hit_or_miss_volume, hoeffding_sample_size
+from repro.guard import Budget, BudgetExceeded
+from repro.logic import evaluate, parse
+
+TRIANGLE = "0 <= y AND y <= x AND x <= 1"
+BAND = "EXISTS z . (y <= z AND z <= x AND 0 <= z AND z <= 1)"
+
+
+class TestVolume:
+    def test_triangle(self):
+        plan = prepare(TRIANGLE, cache=None)
+        assert plan.volume() == Fraction(1, 2)
+        assert plan.variables == ("x", "y")
+        assert plan.cell_count() >= 1
+
+    def test_matches_cold_path(self):
+        for text in (TRIANGLE, "x < 1/4 OR x > 3/4", BAND):
+            plan = prepare(text, cache=None)
+            cold = formula_volume_unit_cube(parse(text), plan.variables)
+            assert plan.volume() == cold
+
+    def test_box_clipping(self):
+        plan = prepare(TRIANGLE, cache=None)
+        half = [(Fraction(0), Fraction(1, 2))] * 2
+        assert plan.volume(half) == Fraction(1, 8)
+        # Memoized per box: both boxes stay resolvable afterwards.
+        assert plan.volume() == Fraction(1, 2)
+        assert plan.volume(half) == Fraction(1, 8)
+
+    def test_memo_hit_counter(self):
+        plan = prepare(TRIANGLE, cache=None)
+        obs.enable_counting()
+        plan.volume()
+        plan.volume()
+        plan.volume()
+        counts = obs.REGISTRY.as_dict()
+        assert counts["engine.eval.volume"] == 1
+        assert counts["engine.eval.memo_hit"] == 2
+
+    def test_bad_box_rejected(self):
+        plan = prepare(TRIANGLE, cache=None)
+        with pytest.raises(EvaluationError, match="bounds for all"):
+            plan.volume([(Fraction(0), Fraction(1))])
+
+
+class TestTruth:
+    def test_membership(self):
+        plan = prepare(TRIANGLE, cache=None)
+        assert plan.truth({"x": Fraction(1, 2), "y": Fraction(1, 4)})
+        assert not plan.truth({"x": Fraction(1, 4), "y": Fraction(1, 2)})
+
+    def test_agrees_with_evaluate(self):
+        formula = parse(TRIANGLE)
+        plan = prepare(formula, cache=None)
+        grid = [Fraction(0), Fraction(1, 3), Fraction(1, 2), Fraction(1)]
+        for a in grid:
+            for b in grid:
+                env = {"x": a, "y": b}
+                assert plan.truth(env) == evaluate(formula, env)
+
+
+class TestApprox:
+    def test_bitwise_identical_to_cold_run(self):
+        plan = prepare(BAND, cache=None)
+        epsilon = delta = 0.2
+        estimate = plan.approx_volume(
+            epsilon, delta, rng=np.random.default_rng(7)
+        )
+        samples = hoeffding_sample_size(epsilon, delta)
+        cold = hit_or_miss_volume(
+            plan.qf, plan.variables, samples, np.random.default_rng(7),
+            box=[(0.0, 1.0)] * 2, delta=delta,
+        )
+        assert estimate.estimate == cold.estimate
+        assert estimate.samples == cold.samples
+
+
+class TestRobust:
+    def test_exact_mode(self):
+        plan = prepare(TRIANGLE, cache=None)
+        result = plan.robust_volume()
+        assert result.mode == "exact"
+        assert result.value == Fraction(1, 2)
+
+    def test_fallback_to_approximate(self):
+        plan = prepare(TRIANGLE, cache=None)
+        result = plan.robust_volume(
+            epsilon=0.2, delta=0.2,
+            budget=Budget(deadline_s=0.0),
+            policy="auto",
+            rng=np.random.default_rng(3),
+        )
+        assert result.mode == "approximate"
+        assert result.attempts and result.attempts[0][0] == "exact"
+        assert 0.0 <= result.value <= 1.0
+
+    def test_policy_off_raises(self):
+        plan = prepare(TRIANGLE, cache=None)
+        with pytest.raises(BudgetExceeded):
+            plan.robust_volume(budget=Budget(deadline_s=0.0), policy="off")
+
+    def test_unknown_policy(self):
+        plan = prepare(TRIANGLE, cache=None)
+        with pytest.raises(EvaluationError, match="policy"):
+            plan.robust_volume(policy="sometimes")
+
+
+class TestDecide:
+    def test_sentence_decided_at_compile_time(self):
+        plan = prepare(
+            "EXISTS x . (x*x = 2 AND 0 < x AND x < 2)", kind="decide", cache=None
+        )
+        assert plan.decide() is True
+        assert prepare(
+            "EXISTS x . (x*x = -1)", kind="decide", cache=None
+        ).decide() is False
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(QEError, match="sentence"):
+            prepare("x*x < 2", kind="decide", cache=None)
+
+    def test_kind_mismatch_guards(self):
+        decide_plan = prepare("EXISTS x . x*x = 2", kind="decide", cache=None)
+        volume_plan = prepare(TRIANGLE, cache=None)
+        with pytest.raises(EvaluationError, match="kind='volume'"):
+            decide_plan.volume()
+        with pytest.raises(EvaluationError, match="kind='decide'"):
+            volume_plan.decide()
+
+    def test_unknown_kind(self):
+        with pytest.raises(EvaluationError, match="unknown plan kind"):
+            prepare(TRIANGLE, kind="integrate", cache=None)
+
+
+class TestCompile:
+    def test_quantified_queries_run_qe(self):
+        plan = prepare(BAND, cache=None)
+        stage_names = [name for name, _ in plan.provenance.stages]
+        assert "qe" in stage_names
+        assert "decompose" in stage_names
+        assert plan.volume() == Fraction(1, 2)
+
+    def test_provenance_records_stages(self):
+        plan = prepare(TRIANGLE, cache=None)
+        stage_names = [name for name, _ in plan.provenance.stages]
+        assert stage_names[:2] == ["parse", "canonicalize"]
+        assert plan.provenance.source == "compiled"
+        assert plan.provenance.compile_s >= 0.0
+
+    def test_quantified_nonlinear_rejected(self):
+        with pytest.raises(QEError, match="not semi-linear"):
+            prepare("EXISTS y . (y*y < x)", cache=None)
+
+    def test_certify_produces_satisfying_witness(self):
+        plan = prepare(TRIANGLE, cache=None, certify=True)
+        assert plan.witness is not None
+        formula = parse(TRIANGLE)
+        assert evaluate(formula, plan.witness)
+
+    def test_compile_budget_is_enforced(self):
+        with pytest.raises(BudgetExceeded):
+            prepare(BAND, cache=None, budget=Budget(deadline_s=0.0))
+
+    def test_cache_hit_skips_compilation(self):
+        cache = PlanCache()
+        obs.enable_counting()
+        prepare(TRIANGLE, cache=cache)
+        plan = prepare(TRIANGLE, cache=cache)
+        counts = obs.REGISTRY.as_dict()
+        assert counts["engine.compile"] == 1
+        assert counts["engine.cache.hit"] == 1
+        assert plan.volume() == Fraction(1, 2)
+
+
+class TestCacheIntegration:
+    def test_semantic_variants_share_a_plan(self):
+        cache = PlanCache()
+        first = prepare("0 <= y AND y <= x AND x <= 1", cache=cache)
+        second = prepare("x <= 1 AND y <= x AND 0 <= y", cache=cache)
+        assert second is first
+        assert cache.stats.hits == 1
+
+    def test_cache_none_always_compiles(self):
+        first = prepare(TRIANGLE, cache=None)
+        second = prepare(TRIANGLE, cache=None)
+        assert second is not first
+
+
+class TestPersistence:
+    def test_record_roundtrip_volume(self):
+        plan = prepare(BAND, cache=None, certify=True)
+        clone = PreparedQuery.from_record(plan.to_record())
+        assert clone.key == plan.key
+        assert clone.kind == plan.kind
+        assert clone.variables == plan.variables
+        assert clone.volume() == plan.volume()
+        assert clone.witness == plan.witness
+        assert clone.provenance.source == "spill"
+
+    def test_record_roundtrip_decide(self):
+        plan = prepare("EXISTS x . x*x = 2", kind="decide", cache=None)
+        clone = PreparedQuery.from_record(plan.to_record())
+        assert clone.decide() == plan.decide()
+
+    def test_record_is_jsonable(self):
+        import json
+
+        plan = prepare(TRIANGLE, cache=None)
+        text = json.dumps(plan.to_record())
+        clone = PreparedQuery.from_record(json.loads(text))
+        assert clone.volume() == plan.volume()

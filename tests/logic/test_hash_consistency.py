@@ -1,0 +1,155 @@
+"""Regression pin: ``__eq__`` / ``__hash__`` agree on every AST node type.
+
+The plan cache and canonicalizer of :mod:`repro.engine` put formulas and
+terms into sets and dict keys, which is only sound if structurally equal
+nodes are ``==``-equal *and* hash-equal.  Every node is a frozen
+dataclass, so both are generated from the same field tuple — this suite
+pins that contract so a future hand-written ``__eq__`` or ``__hash__``
+on one class cannot silently skew.
+"""
+
+import dataclasses
+from fractions import Fraction
+
+from repro.engine import canonical_formula
+from repro.logic import (
+    And,
+    Compare,
+    Const,
+    Exists,
+    ExistsAdom,
+    FALSE,
+    Forall,
+    ForallAdom,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    Var,
+    parse,
+    walk_ast,
+)
+from repro.logic.terms import Add, Mul, Neg, Pow, Term
+
+X, Y = Var("x"), Var("y")
+
+#: One representative instance per concrete node type.
+SPECIMENS = [
+    X,
+    Const(Fraction(1, 3)),
+    Add((X, Y)),
+    Mul((Const(2), X)),
+    Neg(X),
+    Pow(X, 3),
+    TRUE,
+    FALSE,
+    Compare("<", X, Y),
+    RelAtom("S", (X, Y)),
+    And((Compare("<", X, Y), Compare("<", Y, Const(1)))),
+    Or((Compare("<", X, Y), Compare("<", Y, Const(1)))),
+    Not(RelAtom("S", (X,))),
+    Exists("x", Compare("<", X, Y)),
+    Forall("x", Compare("<", X, Y)),
+    ExistsAdom("x", Compare("<", X, Y)),
+    ForallAdom("x", Compare("<", X, Y)),
+]
+
+
+def rebuild(node):
+    """An independently constructed, structurally identical copy."""
+    kwargs = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, (Formula, Term)):
+            value = rebuild(value)
+        elif isinstance(value, tuple):
+            value = tuple(
+                rebuild(item) if isinstance(item, (Formula, Term)) else item
+                for item in value
+            )
+        kwargs[field.name] = value
+    return type(node)(**kwargs)
+
+
+class TestEqHashContract:
+    def test_specimens_cover_every_concrete_node_type(self):
+        def leaves(cls):
+            subs = cls.__subclasses__()
+            if not subs:
+                return {cls}
+            found = set()
+            for sub in subs:
+                found |= leaves(sub)
+            return found | ({cls} if dataclasses.is_dataclass(cls) else set())
+
+        concrete = {
+            cls for cls in leaves(Formula) | leaves(Term)
+            if dataclasses.is_dataclass(cls)
+            # Other packages (e.g. repro.core's aggregate language) may
+            # subclass the AST; this contract pin covers repro.logic.
+            and cls.__module__.startswith("repro.logic")
+        }
+        covered = {type(node) for node in SPECIMENS}
+        assert concrete <= covered, f"missing: {concrete - covered}"
+
+    def test_every_node_type_is_a_frozen_dataclass(self):
+        for node in SPECIMENS:
+            params = getattr(type(node), "__dataclass_params__")
+            assert params.frozen, type(node).__name__
+            assert params.eq, type(node).__name__
+
+    def test_structural_copies_are_equal_and_hash_equal(self):
+        for node in SPECIMENS:
+            copy = rebuild(node)
+            assert copy is not node
+            assert copy == node, type(node).__name__
+            assert hash(copy) == hash(node), type(node).__name__
+
+    def test_distinct_structures_are_unequal(self):
+        assert len(set(SPECIMENS)) == len(SPECIMENS)
+
+    def test_const_normalises_int_to_fraction(self):
+        assert Const(1) == Const(Fraction(1))
+        assert hash(Const(1)) == hash(Const(Fraction(1)))
+
+    def test_quantifier_flavours_do_not_collide(self):
+        body = Compare("<", X, Y)
+        flavours = {
+            Exists("x", body), Forall("x", body),
+            ExistsAdom("x", body), ForallAdom("x", body),
+        }
+        assert len(flavours) == 4
+
+
+class TestWalkAst:
+    def test_preorder_and_complete(self):
+        formula = Exists("x", And((Compare("<", X, Y), RelAtom("S", (Neg(X),)))))
+        nodes = list(walk_ast(formula))
+        assert nodes[0] is formula
+        assert X in nodes and Y in nodes
+        assert any(isinstance(n, Neg) for n in nodes)
+        # Every child appears after its parent.
+        assert nodes.index(formula) < nodes.index(X)
+
+    def test_walk_methods_delegate(self):
+        formula = Compare("<", X, Y)
+        assert list(formula.walk()) == list(walk_ast(formula))
+        assert list(X.walk()) == [X]
+
+
+class TestCanonicalIdentification:
+    """Structural equality is strict; canonical forms identify variants."""
+
+    def test_alpha_variants_unequal_until_canonicalized(self):
+        a = parse("EXISTS z . z < x")
+        b = parse("EXISTS w . w < x")
+        assert a != b
+        assert canonical_formula(a) == canonical_formula(b)
+        assert hash(canonical_formula(a)) == hash(canonical_formula(b))
+
+    def test_reordered_conjunctions_unequal_until_canonicalized(self):
+        a = (X < 1) & (Y < 1)
+        b = (Y < 1) & (X < 1)
+        assert a != b
+        assert canonical_formula(a) == canonical_formula(b)

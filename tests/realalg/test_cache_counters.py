@@ -1,0 +1,61 @@
+"""The ``realalg.cache.*`` observability counters on the lru_cache hot spots."""
+
+from fractions import Fraction
+
+from repro import obs
+from repro.realalg.sturm import sturm_chain
+from repro.realalg.univariate import UPoly
+
+
+def fresh_poly(salt: int) -> UPoly:
+    """A polynomial unlikely to be in the process-wide lru_cache already."""
+    return UPoly(
+        [Fraction(-20260806 - salt), Fraction(0), Fraction(salt), Fraction(1)]
+    )
+
+
+def counters() -> dict:
+    return obs.REGISTRY.as_dict()
+
+
+class TestSturmChainCounters:
+    def test_miss_then_hit(self):
+        obs.enable_counting()
+        poly = fresh_poly(101)
+        sturm_chain(poly)
+        first = counters()
+        assert first.get("realalg.cache.miss", 0) >= 1
+        sturm_chain(poly)
+        second = counters()
+        assert second.get("realalg.cache.hit", 0) >= first.get(
+            "realalg.cache.hit", 0
+        ) + 1
+
+    def test_counters_silent_when_disabled(self):
+        obs.disable_counting()
+        sturm_chain(fresh_poly(202))
+        assert "realalg.cache.miss" not in counters()
+        assert "realalg.cache.hit" not in counters()
+
+
+class TestSquarefreeCounters:
+    def test_miss_then_hit(self):
+        obs.enable_counting()
+        poly = fresh_poly(303)
+        square = poly * poly
+        square.squarefree_part()
+        first = counters()
+        assert first.get("realalg.cache.miss", 0) >= 1
+        square.squarefree_part()
+        second = counters()
+        assert second.get("realalg.cache.hit", 0) >= first.get(
+            "realalg.cache.hit", 0
+        ) + 1
+
+    def test_result_identical_with_and_without_counting(self):
+        poly = fresh_poly(404)
+        obs.disable_counting()
+        cold = poly.squarefree_part()
+        obs.enable_counting()
+        warm = poly.squarefree_part()
+        assert cold == warm

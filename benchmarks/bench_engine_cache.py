@@ -7,12 +7,17 @@ through a warm plan cache must be at least 5x faster than re-running the
 cold pipeline each time, (2) reloading a spilled plan must beat
 recompiling it, and (3) a 4-worker batch over independent queries must
 beat the same batch run serially.  The table reports the measured times;
-each row lands in the ``repro.obs/v1`` trajectory with the engine.*
-counters attached.
+each row lands in the ``repro.obs/v2`` trajectory with the engine.*
+counters attached, and the batch test additionally writes
+``BENCH_engine_batch.json`` (``$REPRO_BENCH_BATCH_OUT`` overrides the
+path) with the timings plus the merged cross-process telemetry of an
+observed run — counters, latency histograms, and per-task status.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.engine import DEFAULT_CACHE, PlanCache, prepare, run_batch
 
@@ -122,7 +127,50 @@ def test_parallel_batch_beats_serial():
             "speedup": round(speedup, 2),
         },
     )
+    _write_batch_report(tasks, serial_s, parallel_s, cores)
     if cores >= 2:
         assert parallel_s < serial_s
     else:
         assert parallel_s < serial_s * 1.6
+
+
+def _batch_report_path() -> Path:
+    env = os.environ.get("REPRO_BENCH_BATCH_OUT")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent / "BENCH_engine_batch.json"
+
+
+def _write_batch_report(tasks, serial_s, parallel_s, cores) -> None:
+    """One JSON report: batch timings + merged cross-process telemetry.
+
+    Re-runs the batch with ``collect_obs=True`` (observed tasks compile
+    with a private plan cache, so this run's counters are deterministic)
+    and folds the worker snapshots with the same merge the CLI uses.
+    """
+    from repro.obs.aggregate import merged_registry, summary_record
+
+    DEFAULT_CACHE.clear()
+    results = run_batch(tasks, workers=4, seed=0, collect_obs=True)
+    registry = merged_registry(results)
+    report = {
+        "schema": "repro.obs/v2",
+        "experiment": "BENCH_engine_batch",
+        "tasks": len(tasks),
+        "workers": 4,
+        "cores": cores,
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "speedup": round(serial_s / parallel_s, 3),
+        "statuses": {r["id"]: r["status"] for r in results},
+        "counters": registry.as_dict(),
+        "histograms": {
+            name: hist.summary()
+            for name, hist in registry.histograms()
+            if hist.count
+        },
+        "summary": summary_record(results, extra={"workers": 4}),
+    }
+    path = _batch_report_path()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nbatch telemetry report -> {path}")

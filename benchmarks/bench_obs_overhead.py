@@ -58,8 +58,12 @@ def test_obs_disabled_overhead(benchmark):
     def disabled_add():
         obs.add("mc.samples")
 
+    def disabled_observe():
+        obs.observe_value("engine.query.volume_s", 0.01)
+
     span_ns = _per_call_ns(disabled_span, calls)
     add_ns = _per_call_ns(disabled_add, calls)
+    hist_ns = _per_call_ns(disabled_observe, calls)
     benchmark.pedantic(disabled_span, rounds=5, iterations=10_000)
 
     evaluator, rho = _evaluator_case()
@@ -76,6 +80,7 @@ def test_obs_disabled_overhead(benchmark):
     rows = [
         ["disabled span (ns/call)", f"{span_ns:.0f}", "< 1000"],
         ["disabled counter add (ns/call)", f"{add_ns:.0f}", "< 1000"],
+        ["disabled histogram observe (ns/call)", f"{hist_ns:.0f}", "< 1000"],
         ["range_set enabled/disabled ratio", f"{ratio:.3f}", "< 2.0 (CI-safe)"],
     ]
     print_table("OBS: instrumentation overhead", header, rows)
@@ -84,5 +89,9 @@ def test_obs_disabled_overhead(benchmark):
     # The documented guarantee is <1us; assert with headroom for slow CI.
     assert span_ns < 5_000
     assert add_ns < 5_000
+    assert hist_ns < 5_000
+    # A disabled histogram observation is the same boolean gate as a
+    # counter add; pin it to the same cost class (+ headroom for jitter).
+    assert hist_ns < 2 * add_ns + 500
     # Counters-on evaluator throughput: generous bound, timing is noisy.
     assert ratio < 2.0

@@ -1,10 +1,11 @@
 """Benchmark trajectory export: one JSON-lines record per experiment row.
 
 Every ``bench_e*.py`` calls :func:`emit` right after printing its table;
-each table row becomes one ``repro.obs/v1`` record carrying the row
-values plus a snapshot of the observability counters accumulated during
-the test (cells lifted, constraints pruned, samples drawn, ...) — the
-intrinsic complexity observables, not just wall clock.
+each table row becomes one ``repro.obs/v2`` record carrying the row
+values plus a snapshot of the observability counters (and any non-empty
+latency histograms) accumulated during the test (cells lifted,
+constraints pruned, samples drawn, ...) — the intrinsic complexity
+observables, not just wall clock.
 
 Destination: ``$REPRO_OBS_OUT`` if set, else ``BENCH_OBS.jsonl`` next to
 the repository root.  Records append; delete the file to start a fresh

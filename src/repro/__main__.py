@@ -7,7 +7,12 @@ Subcommands
 ``approx``      Monte Carlo (epsilon, delta)-approximation of VOL_I
 ``batch``       run a JSONL manifest of queries through the engine's
                 batch executor (``--workers N`` process workers, per-task
-                budgets, JSONL results out; see docs/ENGINE.md)
+                budgets, JSONL results out; ``--trace-out PATH`` harvests
+                per-task telemetry into a merged trace file; see
+                docs/ENGINE.md)
+``metrics``     render Prometheus text-format metrics from a
+                ``--trace-out`` file (offline replay) or from a manifest
+                (runs it with telemetry harvesting on)
 ``experiments`` list the paper-reproduction experiments and how to run them
 ``trace``       run any subcommand with observability on (= ``--stats``)
 
@@ -142,22 +147,26 @@ def _approx(args: argparse.Namespace) -> None:
     )
 
 
-def _batch(args: argparse.Namespace) -> None:
+def _read_manifest(path: str) -> list[dict]:
+    """Read a JSONL task manifest (``-`` = stdin) into normalized tasks.
+
+    Blank lines and ``#`` comments are skipped; a malformed line is a
+    :class:`ReproError` naming the file and line number.
+    """
     import json
-    import os
 
-    from repro.engine import DEFAULT_CACHE, normalize_task, run_batch
+    from repro.engine import normalize_task
 
-    if args.manifest == "-":
+    if path == "-":
         lines = sys.stdin.readlines()
         where = "<stdin>"
     else:
         try:
-            with open(args.manifest, "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 lines = handle.readlines()
         except OSError as error:
             raise ReproError(f"cannot read manifest: {error}") from error
-        where = args.manifest
+        where = path
     tasks = []
     for lineno, line in enumerate(lines, 1):
         line = line.strip()
@@ -168,6 +177,17 @@ def _batch(args: argparse.Namespace) -> None:
         except json.JSONDecodeError as error:
             raise ReproError(f"{where}:{lineno}: not valid JSON: {error}") from error
         tasks.append(normalize_task(raw, len(tasks)))
+    return tasks
+
+
+def _batch(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.engine import DEFAULT_CACHE, run_batch
+
+    tasks = _read_manifest(args.manifest)
+    collect_obs = args.trace_out is not None
 
     if args.plan_cache and os.path.exists(args.plan_cache):
         loaded = DEFAULT_CACHE.load(args.plan_cache)
@@ -180,9 +200,37 @@ def _batch(args: argparse.Namespace) -> None:
     results = run_batch(
         tasks, workers=args.workers, seed=args.seed, timeout=args.timeout,
         max_cells=args.max_cells, fallback=args.fallback,
-        epsilon=args.epsilon, delta=args.delta,
+        epsilon=args.epsilon, delta=args.delta, collect_obs=collect_obs,
     )
     wall = time.perf_counter() - start
+
+    if args.trace_out is not None:
+        from repro.obs.aggregate import summary_record, task_record
+
+        try:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                for index, record in enumerate(results):
+                    handle.write(
+                        json.dumps(task_record(record, index), sort_keys=True)
+                        + "\n"
+                    )
+                handle.write(
+                    json.dumps(
+                        summary_record(
+                            results,
+                            extra={"workers": args.workers, "wall_s": wall},
+                        ),
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        except OSError as error:
+            raise ReproError(f"cannot write {args.trace_out}: {error}") from error
+        print(f"batch: wrote {len(results) + 1} telemetry records to "
+              f"{args.trace_out}", file=sys.stderr)
+        # The harvested snapshots are telemetry, not query results.
+        for record in results:
+            record.pop("obs", None)
 
     out = sys.stdout if args.out is None else open(args.out, "w", encoding="utf-8")
     try:
@@ -208,6 +256,77 @@ def _batch(args: argparse.Namespace) -> None:
         f"error={tally['error']}",
         file=sys.stderr,
     )
+
+
+def _metrics(args: argparse.Namespace) -> None:
+    """Render Prometheus text-format metrics from a trace file or manifest.
+
+    The input is sniffed: a JSONL file whose first record carries a
+    ``repro.obs/*`` schema is replayed offline (no queries run); anything
+    else is treated as a task manifest and executed with telemetry
+    harvesting on, then the merged registry is rendered.
+    """
+    from repro import obs
+    from repro.obs.aggregate import merged_registry
+
+    if _sniff_trace_file(args.input):
+        records = obs.read_jsonl(args.input)
+        if records.skipped:
+            print(f"metrics: skipped {records.skipped} unreadable record"
+                  f"{'s' if records.skipped != 1 else ''} in {args.input}",
+                  file=sys.stderr)
+        registry = obs.registry_from_records(records)
+    else:
+        from repro.engine import run_batch
+
+        tasks = _read_manifest(args.input)
+        results = run_batch(
+            tasks, workers=args.workers, seed=args.seed,
+            timeout=args.timeout, max_cells=args.max_cells,
+            fallback=args.fallback, collect_obs=True,
+        )
+        registry = merged_registry(results)
+
+    text = obs.render_prometheus(registry)
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as error:
+            raise ReproError(f"cannot write {args.out}: {error}") from error
+
+
+def _sniff_trace_file(path: str) -> bool:
+    """True when *path* looks like an observability JSONL file.
+
+    Decided from the first non-blank, non-comment line: a JSON object
+    whose ``schema`` is a ``repro.obs/*`` string.  Manifests (task dicts
+    without a schema key) and non-files fall through to False.
+    """
+    import json
+
+    if path == "-":
+        return False
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    return False
+                return (
+                    isinstance(record, dict)
+                    and isinstance(record.get("schema"), str)
+                    and record["schema"].startswith("repro.obs/")
+                )
+    except OSError:
+        return False
+    return False
 
 
 def _experiments() -> None:
@@ -314,6 +433,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "rewritten after it",
     )
     batch.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="harvest per-task telemetry (counters, histograms, spans) and "
+        "write one merged JSONL record per task plus a run summary here",
+    )
+    batch.add_argument(
         "--epsilon", type=float, default=0.05,
         help="default accuracy target for approx/fallback tasks (default 0.05)",
     )
@@ -321,6 +445,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--delta", type=float, default=0.05,
         help="default failure probability for approx/fallback tasks "
         "(default 0.05)",
+    )
+    metrics = sub.add_parser(
+        "metrics", parents=[common],
+        help="render Prometheus text-format metrics from a trace file "
+        "or a task manifest",
+    )
+    metrics.add_argument(
+        "input",
+        help="a batch --trace-out JSONL file (replayed offline) or a task "
+        "manifest (run with telemetry harvesting on)",
+    )
+    metrics.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the exposition text here instead of stdout",
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process workers when the input is a manifest (default 1)",
     )
     sub.add_parser(
         "experiments", parents=[common],
@@ -347,6 +489,11 @@ def _dispatch(args: argparse.Namespace) -> None:
         # batch builds one fresh budget per task from the timeout/max-cells
         # caps, so a single runaway query cannot starve the whole batch.
         _batch(args)
+        return
+    if args.command == "metrics":
+        # metrics manages budgets per task like batch (when its input is a
+        # manifest); a trace-file replay runs no queries at all.
+        _metrics(args)
         return
     with guard.govern(args.budget):
         if args.command in (None, "demo"):

@@ -26,7 +26,16 @@ Execution contract:
   plan cache across the tasks it serves, and ``workers <= 1`` runs
   serially in-process against the shared cache;
 * **observability** — the batch runs inside an ``engine.batch`` span and
-  reports ``engine.batch.*`` counters in the parent process.
+  reports ``engine.batch.*`` counters in the parent process.  With
+  ``collect_obs=True`` each task additionally runs under its own trace
+  and registry delta (:mod:`repro.obs.aggregate`): the worker serializes
+  a compact snapshot into the task's result record (``"obs"`` key), and
+  the parent deterministically merges counters, histograms, and the
+  task-correlated span forest — so worker-process telemetry survives the
+  pool instead of dying with it.  Observed tasks compile with a private
+  plan cache: a shared warm cache would make counters depend on which
+  worker a task landed on, and the merge is only meaningful if the same
+  manifest + seed always yields the same totals.
 
 Results come back in manifest order, one JSON-able dict per task.
 """
@@ -104,10 +113,14 @@ def execute_task(
     fallback: str = "off",
     epsilon: float = 0.05,
     delta: float = 0.05,
+    collect_obs: bool = False,
 ) -> dict[str, Any]:
     """Run one normalized task; always returns a result record, never raises.
 
     ``seed`` is the already-derived per-task seed (see :func:`task_seed`).
+    ``collect_obs=True`` runs the task under its own trace/registry and
+    attaches the serialized telemetry snapshot under the result's
+    ``"obs"`` key (see :mod:`repro.obs.aggregate`).
     """
     result: dict[str, Any] = {"id": task["id"], "op": task["op"], "seed": seed}
     start = time.perf_counter()
@@ -116,9 +129,35 @@ def execute_task(
         if timeout is not None or max_cells is not None
         else None
     )
+    if collect_obs:
+        from ..obs.aggregate import task_observation
+
+        with task_observation() as observation:
+            _run_task(result, task, seed, budget, fallback, epsilon, delta,
+                      collect_obs)
+        result["obs"] = observation.snapshot
+    else:
+        _run_task(result, task, seed, budget, fallback, epsilon, delta,
+                  collect_obs)
+    result["elapsed_s"] = round(time.perf_counter() - start, 6)
+    return result
+
+
+def _run_task(
+    result: dict[str, Any],
+    task: Mapping[str, Any],
+    seed: int,
+    budget: Budget | None,
+    fallback: str,
+    epsilon: float,
+    delta: float,
+    collect_obs: bool,
+) -> None:
+    """The error-isolating dispatch body shared by both collection modes."""
     try:
         result.update(
-            _dispatch(task, seed, budget, fallback, epsilon, delta)
+            _dispatch(task, seed, budget, fallback, epsilon, delta,
+                      collect_obs)
         )
         result["status"] = "ok"
     except BudgetExceeded as error:
@@ -133,8 +172,6 @@ def execute_task(
         result.update(
             status="error", error=f"{type(error).__name__}: {error}"
         )
-    result["elapsed_s"] = round(time.perf_counter() - start, 6)
-    return result
 
 
 def _rng(seed: int):
@@ -150,19 +187,24 @@ def _dispatch(
     fallback: str,
     epsilon: float,
     delta: float,
+    collect_obs: bool = False,
 ) -> dict[str, Any]:
     op = task["op"]
     variables = task.get("variables")
     box = task.get("box")
     epsilon = task.get("epsilon", epsilon)
     delta = task.get("delta", delta)
+    # Observed tasks compile privately: shared-cache hits depend on worker
+    # scheduling, and per-task telemetry must not (see module docstring).
+    cache: dict[str, Any] = {"cache": None} if collect_obs else {}
 
     if op == "decide":
-        plan = prepare(task["formula"], (), kind="decide", budget=budget)
+        plan = prepare(task["formula"], (), kind="decide", budget=budget,
+                       **cache)
         return {"value": plan.decide(), "mode": "exact", "cached_key": plan.key}
 
     try:
-        plan = prepare(task["formula"], variables, budget=budget)
+        plan = prepare(task["formula"], variables, budget=budget, **cache)
     except BudgetExceeded as error:
         if op != "volume" or fallback == "off":
             raise
@@ -245,12 +287,20 @@ def run_batch(
     fallback: str = "off",
     epsilon: float = 0.05,
     delta: float = 0.05,
+    collect_obs: bool = False,
 ) -> list[dict[str, Any]]:
     """Run every task in *tasks*; returns result records in manifest order.
 
     Batch-level caps (``timeout``, ``max_cells``) apply **per task**: each
     task gets a fresh budget, so a pathological query exhausts its own
     budget and the rest of the batch proceeds.
+
+    ``collect_obs=True`` harvests each task's telemetry (its result gains
+    an ``"obs"`` snapshot) and merges it into this process: counters and
+    histograms fold into the ambient registry when counting is on, and
+    task span forests (roots tagged ``task=i``) graft into the active
+    trace when tracing is on.  The merge applies snapshots in manifest
+    order, so totals are identical for any worker count.
     """
     normalized = [
         task if "index" in task else normalize_task(task, index)
@@ -262,6 +312,7 @@ def run_batch(
         "fallback": fallback,
         "epsilon": epsilon,
         "delta": delta,
+        "collect_obs": collect_obs,
     }
     obs.add("engine.batch.runs")
     obs.add("engine.batch.tasks", len(normalized))
@@ -289,4 +340,30 @@ def run_batch(
             obs.add("engine.batch.budget_exceeded")
         else:
             obs.add("engine.batch.errors")
+    if collect_obs:
+        _merge_harvest(results)
     return results
+
+
+def _merge_harvest(results: list[dict[str, Any]]) -> None:
+    """Fold worker snapshots into the parent's registry and trace.
+
+    In serial runs the snapshots were *removed* from the ambient registry
+    by ``task_observation``, so re-applying them here is exact (not a
+    double count); in parallel runs the worker registries died with the
+    pool and this is the only copy.  Either way the parent ends up with
+    the same totals, applied in manifest order.
+    """
+    from ..obs.aggregate import merge_snapshot_into, snapshot_spans
+
+    counting = obs.counting_enabled()
+    trace = obs.current_trace()
+    for index, record in enumerate(results):
+        snapshot = record.get("obs")
+        if not snapshot:
+            continue
+        if counting:
+            merge_snapshot_into(obs.REGISTRY, snapshot)
+        if trace is not None:
+            for root in snapshot_spans(snapshot, index):
+                trace.adopt(root)

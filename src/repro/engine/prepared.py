@@ -139,9 +139,11 @@ class PreparedQuery:
         if cached is not None:
             obs.add("engine.eval.memo_hit")
             return cached
+        start = time.perf_counter()
         with obs.span("engine.evaluate", kind="volume", cells=self.cell_count()):
             clipped = clip_cells(list(self.cells), self.variables, box)
             value = union_volume(clipped)
+        obs.observe_value("engine.query.volume_s", time.perf_counter() - start)
         with self._lock:
             self._volumes[memo_key] = value
         obs.add("engine.eval.volume")
@@ -177,9 +179,12 @@ class PreparedQuery:
         samples = hoeffding_sample_size(epsilon, delta)
         float_box = [(float(low), float(high)) for low, high in self._box(box)]
         obs.add("engine.eval.approx")
-        return hit_or_miss_volume(
+        start = time.perf_counter()
+        estimate = hit_or_miss_volume(
             self.qf, self.variables, samples, rng, box=float_box, delta=delta
         )
+        obs.observe_value("engine.query.mc_s", time.perf_counter() - start)
+        return estimate
 
     def robust_volume(
         self,
@@ -210,6 +215,7 @@ class PreparedQuery:
                         budget.reset_consumed()
                     with guard.govern(budget):
                         value = self.volume(box)
+                    obs.observe_value("guard.fallback.attempts", len(attempts))
                     return RobustResult(value, "exact", attempts=attempts)
                 except BudgetExceeded as error:
                     attempts.append(("exact", error))
@@ -218,6 +224,7 @@ class PreparedQuery:
                     obs.add("guard.fallback_transitions")
             with guard.suspend():
                 estimate = self.approx_volume(epsilon, delta, rng=rng, box=box)
+        obs.observe_value("guard.fallback.attempts", len(attempts))
         return RobustResult(
             estimate.estimate,
             "approximate",
@@ -398,6 +405,7 @@ def prepare(
                 kind, key, canonical, text, variables, clock, budget,
                 prune, certify,
             )
+    obs.observe_value("engine.plan.compile_s", plan.provenance.compile_s)
     if plan_cache is not None:
         return plan_cache.put(plan)
     return plan

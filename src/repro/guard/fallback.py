@@ -109,6 +109,7 @@ def robust_volume(
                     obs.add("guard.fallback_transitions")
                     continue
                 span.set(mode=mode)
+                obs.observe_value("guard.fallback.attempts", len(attempts))
                 return RobustResult(value, mode, attempts=attempts)
 
         result = _approximate_volume(
@@ -116,6 +117,7 @@ def robust_volume(
         )
         result.attempts = attempts
         span.set(mode="approximate")
+        obs.observe_value("guard.fallback.attempts", len(attempts))
         return result
 
 

@@ -31,14 +31,17 @@ from .metrics import (
     CATALOGUE,
     Counter,
     Gauge,
+    Histogram,
     REGISTRY,
     Registry,
     add,
     counting_enabled,
     disable_counting,
     enable_counting,
+    observe_value,
     set_gauge,
 )
+from .histogram import BUCKET_BOUNDS
 from .trace import (
     MAX_SPANS,
     SpanRecord,
@@ -52,12 +55,27 @@ from .trace import (
 )
 from .sinks import MemorySink, format_counters, format_span_tree, render_table
 from .export import (
+    KNOWN_SCHEMAS,
     SCHEMA,
+    SCHEMA_V1,
+    JsonlRecords,
     JsonlSink,
     make_record,
     read_jsonl,
+    span_from_dict,
     span_to_dict,
     trace_to_dicts,
+)
+from .promexport import prom_name, render_prometheus
+from .aggregate import (
+    SUMMARY_EXPERIMENT,
+    TASK_EXPERIMENT,
+    merge_snapshot_into,
+    merged_registry,
+    registry_from_records,
+    summary_record,
+    task_observation,
+    task_record,
 )
 
 __all__ = [
@@ -67,12 +85,20 @@ __all__ = [
     "span", "collect", "start_trace", "stop_trace", "current_trace",
     "tracing_enabled", "Trace", "SpanRecord", "MAX_SPANS",
     # metrics
-    "add", "set_gauge", "REGISTRY", "Registry", "Counter", "Gauge",
-    "CATALOGUE", "counting_enabled", "enable_counting", "disable_counting",
+    "add", "set_gauge", "observe_value", "REGISTRY", "Registry", "Counter",
+    "Gauge", "Histogram", "BUCKET_BOUNDS", "CATALOGUE", "counting_enabled",
+    "enable_counting", "disable_counting",
     # sinks / export
     "render_table", "format_span_tree", "format_counters", "MemorySink",
-    "SCHEMA", "JsonlSink", "make_record", "read_jsonl", "span_to_dict",
+    "SCHEMA", "SCHEMA_V1", "KNOWN_SCHEMAS", "JsonlSink", "JsonlRecords",
+    "make_record", "read_jsonl", "span_to_dict", "span_from_dict",
     "trace_to_dicts",
+    # prometheus exposition
+    "prom_name", "render_prometheus",
+    # cross-process aggregation
+    "TASK_EXPERIMENT", "SUMMARY_EXPERIMENT", "task_observation",
+    "merge_snapshot_into", "merged_registry", "registry_from_records",
+    "task_record", "summary_record",
 ]
 
 

@@ -1,0 +1,345 @@
+"""Cross-process telemetry: per-task snapshots and deterministic merging.
+
+The batch executor (:mod:`repro.engine.executor`) runs tasks in worker
+*processes*; their spans and counters would die with the worker.  This
+module is the bridge:
+
+* :func:`task_observation` wraps one task in its own trace and a
+  **delta** view of the process registry — the task's counters,
+  gauges, histograms, and span forest are captured and then *removed*
+  from the ambient registry, so serial and parallel execution hand the
+  parent identical material to merge;
+* :func:`merge_snapshot_into` folds a snapshot back into a registry —
+  counter addition, exact histogram bucket merge, last-writer gauges —
+  in task order, so the merged result is independent of worker count
+  and scheduling;
+* :func:`task_record` / :func:`summary_record` render the harvest as
+  ``repro.obs/v2`` JSONL for ``repro batch --trace-out``: one record per
+  task plus one run summary.
+
+**Byte stability.**  Task records are deterministic for a fixed
+``(manifest, seed)``: spans are exported *structurally* (name, attrs,
+nesting, error — no durations), ``worker_pid`` is elided, and histograms
+appear as observation counts only.  Wall-clock material (span durations,
+histogram buckets/sums, pids) lives in the run summary record, which is
+the part that legitimately differs between runs.  Sorting task records
+by ``task`` therefore yields byte-identical files for ``--workers 1``
+and ``--workers 4``.
+
+Snapshots travel embedded in a task's result dict under the ``"obs"``
+key; they are plain JSON so they cross the process-pool pickle boundary
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+from .export import SCHEMA, span_from_dict, span_to_dict
+from .histogram import Histogram
+from .metrics import (
+    CATALOGUE,
+    Counter,
+    Gauge,
+    REGISTRY,
+    Registry,
+    counting_enabled,
+    disable_counting,
+    enable_counting,
+)
+from .trace import SpanRecord, start_trace, stop_trace, _state
+
+__all__ = [
+    "TASK_EXPERIMENT",
+    "SUMMARY_EXPERIMENT",
+    "TaskObservation",
+    "task_observation",
+    "merge_snapshot_into",
+    "merged_registry",
+    "stable_span",
+    "task_record",
+    "summary_record",
+    "registry_from_records",
+]
+
+#: ``experiment`` tags of the two record shapes ``--trace-out`` emits.
+TASK_EXPERIMENT = "repro.batch.task"
+SUMMARY_EXPERIMENT = "repro.batch.summary"
+
+
+class TaskObservation:
+    """Holder filled when a :func:`task_observation` block exits."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self) -> None:
+        self.snapshot: dict[str, Any] | None = None
+
+
+def _description(name: str) -> str:
+    kind_description = CATALOGUE.get(name)
+    return kind_description[1] if kind_description else ""
+
+
+def _scalar(value: Any) -> Any:
+    """JSON-safe metric value (exact Fractions become floats, as in export)."""
+    from fractions import Fraction
+
+    return float(value) if isinstance(value, Fraction) else value
+
+
+@contextmanager
+def task_observation() -> Iterator[TaskObservation]:
+    """Observe one task as a self-contained delta.
+
+    On entry: the ambient trace is parked, a fresh per-task trace starts,
+    counting turns on, and the process registry is checkpointed (fresh
+    histogram objects are swapped in so per-task min/max are exact).  On
+    exit: the task's *delta* — counters grown, gauges changed, histogram
+    observations, span forest — becomes ``holder.snapshot``, the ambient
+    registry is restored to its checkpoint, and the previous trace and
+    counting state come back.  The ambient registry is left untouched on
+    purpose: the parent re-applies snapshots via
+    :func:`merge_snapshot_into`, identically for in-process (serial) and
+    cross-process (worker) tasks.
+    """
+    registry = REGISTRY
+    previous_trace = stop_trace()
+    was_counting = counting_enabled()
+
+    counter_base: dict[str, Any] = {}
+    gauge_base: dict[str, Any] = {}
+    swapped: dict[str, Histogram] = {}
+    for name, metric in list(registry._metrics.items()):
+        if isinstance(metric, Counter):
+            counter_base[name] = metric.value
+        elif isinstance(metric, Gauge):
+            gauge_base[name] = metric.value
+        elif isinstance(metric, Histogram):
+            swapped[name] = metric
+            registry._metrics[name] = Histogram(name, metric.description)
+
+    enable_counting()
+    trace = start_trace("task")
+    holder = TaskObservation()
+    try:
+        yield holder
+    finally:
+        stop_trace()
+        counters: dict[str, Any] = {}
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, Any] = {}
+        for name, metric in list(registry._metrics.items()):
+            if isinstance(metric, Counter):
+                base = counter_base.get(name, 0)
+                delta = metric.value - base
+                if delta:
+                    counters[name] = _scalar(delta)
+                metric.value = base
+            elif isinstance(metric, Gauge):
+                base = gauge_base.get(name)
+                if metric.value is not None and metric.value != base:
+                    gauges[name] = _scalar(metric.value)
+                metric.value = base
+            elif isinstance(metric, Histogram):
+                if metric.count:
+                    histograms[name] = metric.as_dict()
+        # Put the checkpointed histogram objects back (identity matters:
+        # outer code may hold references from registry.histogram()).
+        for name, original in swapped.items():
+            registry._metrics[name] = original
+        snapshot: dict[str, Any] = {"worker_pid": os.getpid()}
+        if counters:
+            snapshot["counters"] = counters
+        if gauges:
+            snapshot["gauges"] = gauges
+        if histograms:
+            snapshot["histograms"] = histograms
+        if trace.roots:
+            snapshot["spans"] = [span_to_dict(r) for r in trace.roots]
+        if trace.dropped_spans:
+            snapshot["dropped"] = trace.dropped_spans
+        holder.snapshot = snapshot
+        if previous_trace is not None:
+            _state.trace = previous_trace
+        if not was_counting:
+            disable_counting()
+
+
+def merge_snapshot_into(registry: Registry, snapshot: Mapping[str, Any]) -> None:
+    """Fold one task snapshot into *registry* (parent-side merge).
+
+    Counters add, histograms merge bucket-exactly, gauges take the
+    snapshot's value (callers apply snapshots in manifest/task order, so
+    "last task that set it" wins deterministically).
+    """
+    for name, value in (snapshot.get("counters") or {}).items():
+        registry.counter(name, _description(name)).add(value)
+    for name, value in (snapshot.get("gauges") or {}).items():
+        registry.gauge(name, _description(name)).set(value)
+    for name, data in (snapshot.get("histograms") or {}).items():
+        registry.histogram(name, _description(name)).merge_dict(data)
+    dropped = snapshot.get("dropped", 0)
+    if dropped:
+        registry.counter(
+            "trace.spans_dropped", _description("trace.spans_dropped")
+        ).add(dropped)
+
+
+def merged_registry(results: Sequence[Mapping[str, Any]]) -> Registry:
+    """A fresh registry holding the merge of every result's snapshot."""
+    registry = Registry()
+    for result in results:
+        snapshot = result.get("obs")
+        if snapshot:
+            merge_snapshot_into(registry, snapshot)
+    return registry
+
+
+def snapshot_spans(snapshot: Mapping[str, Any], task: int) -> list[SpanRecord]:
+    """Re-materialise a snapshot's span forest, tagging roots ``task=i``."""
+    roots = []
+    for data in snapshot.get("spans") or []:
+        record = span_from_dict(data)
+        record.attrs = {"task": task, **record.attrs}
+        roots.append(record)
+    return roots
+
+
+def stable_span(data: Mapping[str, Any]) -> dict[str, Any]:
+    """The byte-stable view of one exported span dict.
+
+    Keeps the deterministic structure — name, attributes, error,
+    children — and drops wall-clock durations, which is what lets task
+    records from different worker counts compare byte-for-byte.
+    """
+    out: dict[str, Any] = {"name": data.get("name")}
+    if data.get("attrs"):
+        out["attrs"] = dict(data["attrs"])
+    if data.get("error"):
+        out["error"] = data["error"]
+    if data.get("children"):
+        out["children"] = [stable_span(c) for c in data["children"]]
+    return out
+
+
+def task_record(result: Mapping[str, Any], task: int) -> dict[str, Any]:
+    """One byte-stable ``repro.obs/v2`` record for a finished task.
+
+    ``task`` is the manifest position (results arrive in manifest order).
+    ``worker_pid`` and all timing material are elided — see the module
+    docstring for the stability contract.
+    """
+    snapshot = result.get("obs") or {}
+    record: dict[str, Any] = {
+        "schema": SCHEMA,
+        "experiment": TASK_EXPERIMENT,
+        "task": task,
+        "id": result.get("id"),
+        "op": result.get("op"),
+        "status": result.get("status"),
+        "seed": result.get("seed"),
+    }
+    counters = snapshot.get("counters")
+    if counters:
+        record["counters"] = dict(counters)
+    gauges = snapshot.get("gauges")
+    if gauges:
+        record["gauges"] = dict(gauges)
+    histograms = snapshot.get("histograms")
+    if histograms:
+        record["histograms"] = {
+            name: data.get("count", 0) for name, data in histograms.items()
+        }
+    spans = snapshot.get("spans")
+    if spans:
+        record["spans"] = [
+            {**stable_span(span), "attrs": {
+                "task": task, **(span.get("attrs") or {})
+            }}
+            for span in spans
+        ]
+    if snapshot.get("dropped"):
+        record["dropped"] = snapshot["dropped"]
+    return record
+
+
+def summary_record(
+    results: Sequence[Mapping[str, Any]],
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The run-level merge: full histograms, merged counters, status tally.
+
+    This is the record that carries timing (histogram buckets and sums),
+    so it is *not* byte-stable between runs — by design.
+    """
+    registry = merged_registry(results)
+    tally = {"ok": 0, "budget-exceeded": 0, "error": 0}
+    for result in results:
+        status = result.get("status", "error")
+        tally[status] = tally.get(status, 0) + 1
+    record: dict[str, Any] = {
+        "schema": SCHEMA,
+        "experiment": SUMMARY_EXPERIMENT,
+        "tasks": len(results),
+        "ok": tally["ok"],
+        "budget_exceeded": tally["budget-exceeded"],
+        "errors": tally["error"],
+    }
+    # Counters and gauges go to *separate* sections (unlike Registry.as_dict)
+    # so replaying the record re-registers each name with its right type.
+    counters: dict[str, Any] = {}
+    gauges: dict[str, Any] = {}
+    for name, metric in registry.items():
+        if isinstance(metric, Counter) and metric.value:
+            counters[name] = _scalar(metric.value)
+        elif isinstance(metric, Gauge) and metric.value is not None:
+            gauges[name] = _scalar(metric.value)
+    if counters:
+        record["counters"] = counters
+    if gauges:
+        record["gauges"] = gauges
+    histograms = registry.histograms_as_dict(skip_empty=True)
+    if histograms:
+        record["histograms"] = histograms
+    if extra:
+        record.update(extra)
+    return record
+
+
+def registry_from_records(records: Sequence[Mapping[str, Any]]) -> Registry:
+    """Rebuild a merged registry from a ``--trace-out`` file's records.
+
+    The run summary (full histogram data) is authoritative when present;
+    otherwise counters accumulate from task records and histograms
+    degrade to observation counts (task records elide timing).
+    """
+    registry = Registry()
+    summaries = [
+        r for r in records if r.get("experiment") == SUMMARY_EXPERIMENT
+    ]
+    if summaries:
+        for summary in summaries:
+            merge_snapshot_into(registry, summary)
+        return registry
+    for record in records:
+        if record.get("experiment") != TASK_EXPERIMENT:
+            continue
+        counters = record.get("counters") or {}
+        for name, value in counters.items():
+            registry.counter(name, _description(name)).add(value)
+        for name, value in (record.get("gauges") or {}).items():
+            registry.gauge(name, _description(name)).set(value)
+        for name, count in (record.get("histograms") or {}).items():
+            # Count-only degradation: the observations exist but their
+            # timing stayed in the (absent) summary record.
+            registry.histogram(name, _description(name)).merge_dict(
+                {"count": count, "sum": 0.0, "buckets": {}}
+            )
+        if record.get("dropped"):
+            registry.counter(
+                "trace.spans_dropped", _description("trace.spans_dropped")
+            ).add(record["dropped"])
+    return registry

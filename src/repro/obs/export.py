@@ -1,26 +1,34 @@
 """JSON-lines export of traces and counters (the ``BENCH_*`` trajectory).
 
-Record schema (``repro.obs/v1``) — one JSON object per line::
+Record schema (``repro.obs/v2``) — one JSON object per line::
 
     {
-      "schema": "repro.obs/v1",
+      "schema": "repro.obs/v2",
       "experiment": "E9",            # or a CLI command name
       "row": {...},                  # one benchmark/report row, optional
-      "counters": {"cad.cells": 7},  # non-zero metrics snapshot
+      "counters": {"cad.cells": 7},  # non-zero scalar metrics snapshot
+      "histograms": {                # non-empty histogram snapshots
+        "engine.plan.compile_s": {"count": 1, "sum": 0.01, "min": 0.01,
+                                   "max": 0.01, "buckets": {"9": 1}}
+      },
       "spans": [                     # literal span forest, optional
         {"name": "...", "duration_s": 0.1, "attrs": {...},
          "children": [...]}
-      ]
+      ],
+      "dropped": 3                   # spans lost to the MAX_SPANS cap
     }
 
-The schema is append-only: consumers must ignore unknown keys, and new
-versions bump the ``schema`` string.  Timestamps are deliberately absent
+``v2`` extends ``v1`` with the optional ``histograms`` and ``dropped``
+sections; every ``v1`` record is a valid ``v2`` record.  The schema is
+append-only: consumers must ignore unknown keys, and incompatible
+changes bump the ``schema`` string.  Timestamps are deliberately absent
 so records from identical runs are byte-comparable.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Sequence
 
 from .metrics import Registry
@@ -28,14 +36,23 @@ from .trace import SpanRecord, Trace
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
+    "KNOWN_SCHEMAS",
     "span_to_dict",
+    "span_from_dict",
     "trace_to_dicts",
     "make_record",
     "JsonlSink",
+    "JsonlRecords",
     "read_jsonl",
 ]
 
-SCHEMA = "repro.obs/v1"
+SCHEMA = "repro.obs/v2"
+SCHEMA_V1 = "repro.obs/v1"
+
+#: Schema strings :func:`read_jsonl` accepts; anything else that *claims*
+#: to be an obs record (has a ``schema`` key) is skipped with a warning.
+KNOWN_SCHEMAS = frozenset({SCHEMA_V1, SCHEMA})
 
 
 def span_to_dict(record: SpanRecord) -> dict[str, Any]:
@@ -51,6 +68,21 @@ def span_to_dict(record: SpanRecord) -> dict[str, Any]:
     if record.children:
         out["children"] = [span_to_dict(c) for c in record.children]
     return out
+
+
+def span_from_dict(data: dict[str, Any]) -> SpanRecord:
+    """Rebuild a :class:`SpanRecord` tree from :func:`span_to_dict` output.
+
+    The inverse used when a parent process re-materialises worker span
+    forests (start offsets are process-local and are not round-tripped).
+    """
+    return SpanRecord(
+        name=str(data.get("name", "")),
+        attrs=dict(data.get("attrs") or {}),
+        children=[span_from_dict(c) for c in data.get("children") or []],
+        duration_s=float(data.get("duration_s", 0.0)),
+        error=data.get("error"),
+    )
 
 
 def trace_to_dicts(trace: Trace) -> list[dict[str, Any]]:
@@ -78,8 +110,13 @@ def make_record(
         counters = registry.as_dict(skip_empty=True)
         if counters:
             record["counters"] = counters
+        histograms = registry.histograms_as_dict(skip_empty=True)
+        if histograms:
+            record["histograms"] = histograms
     if trace is not None and trace.roots:
         record["spans"] = trace_to_dicts(trace)
+    if trace is not None and trace.dropped_spans:
+        record["dropped"] = trace.dropped_spans
     if extra:
         record.update(extra)
     return record
@@ -103,12 +140,63 @@ class JsonlSink:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
-def read_jsonl(path: str) -> list[dict[str, Any]]:
-    """Parse a JSON-lines trajectory file (blank lines ignored)."""
-    records = []
+class JsonlRecords(list):
+    """Parsed records plus how many lines were skipped as unreadable.
+
+    Behaves exactly like the plain list older callers expect; ``skipped``
+    carries the count of malformed / unknown-schema lines that were
+    dropped (each with a warning) instead of aborting the whole file.
+    """
+
+    __slots__ = ("skipped",)
+
+    def __init__(self, records: Sequence[dict[str, Any]] = (), skipped: int = 0):
+        super().__init__(records)
+        self.skipped = skipped
+
+
+def read_jsonl(path: str) -> JsonlRecords:
+    """Parse a JSON-lines trajectory file, skipping unreadable lines.
+
+    Blank lines are ignored silently (they are legitimate separators).
+    Lines that are not valid JSON objects, and records that declare a
+    ``schema`` outside :data:`KNOWN_SCHEMAS`, are *skipped* — counted in
+    the result's ``skipped`` attribute and reported once each via
+    :mod:`warnings` — rather than raising mid-file, so one corrupt line
+    cannot make an entire trajectory unreadable.  Records with no
+    ``schema`` key pass through untouched (generic JSONL).
+    """
+    records: list[dict[str, Any]] = []
+    skipped = 0
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, 1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping malformed JSONL line ({error})",
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-object JSONL line",
+                    stacklevel=2,
+                )
+                continue
+            schema = record.get("schema")
+            if schema is not None and schema not in KNOWN_SCHEMAS:
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping record with unknown schema "
+                    f"{schema!r} (known: {sorted(KNOWN_SCHEMAS)})",
+                    stacklevel=2,
+                )
+                continue
+            records.append(record)
+    return JsonlRecords(records, skipped)

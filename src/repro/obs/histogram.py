@@ -1,0 +1,171 @@
+"""Histogram metric: fixed log-scaled buckets with exact cross-process merge.
+
+Every histogram in the process shares one bucket layout,
+:data:`BUCKET_BOUNDS` — upper bounds spaced a constant factor of
+``10^(1/3)`` (≈2.154x) apart, spanning ``1e-7`` to ``1e6``.  Values above
+the last bound land in an implicit ``+Inf`` overflow bucket, so no
+observation is ever lost.  Because the layout is fixed, merging two
+histograms is exact integer addition per bucket: merge order cannot
+change the result, which is what lets worker-process snapshots be
+combined deterministically (:mod:`repro.obs.aggregate`).
+
+A histogram also tracks ``count`` / ``sum`` / ``min`` / ``max`` exactly,
+and estimates quantiles (p50/p95/p99) by linear interpolation inside the
+bucket containing the target rank — the standard Prometheus-style
+estimate, accurate to a bucket width.
+
+Observation is gated the same way as counters: call sites go through
+:func:`repro.obs.observe_value`, which is a near-free no-op while
+collection is off.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping
+
+__all__ = ["BUCKET_BOUNDS", "Histogram"]
+
+#: Shared bucket upper bounds (seconds, cells, ...): 10^(k/3) for
+#: k in [-21, 18], i.e. 1e-7 .. 1e6 at ~2.154x resolution.  Fixed so
+#: merges are exact and any two histograms are comparable.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (k / 3.0) for k in range(-21, 19)
+)
+
+#: Index of the implicit +Inf overflow bucket.
+_OVERFLOW = len(BUCKET_BOUNDS)
+
+
+class Histogram:
+    """A mergeable distribution metric over the shared bucket layout."""
+
+    kind = "histogram"
+    __slots__ = ("name", "description", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        #: Sparse bucket index -> observation count (``_OVERFLOW`` = +Inf).
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, value: "int | float") -> None:
+        """Record one observation (negative values clamp into bucket 0)."""
+        value = float(value)
+        index = bisect_left(BUCKET_BOUNDS, value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self) -> None:
+        self.buckets.clear()
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    @property
+    def value(self) -> int:
+        """The observation count (what generic metric listings show)."""
+        return self.count
+
+    # -- merging -----------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram (exact; order-independent)."""
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def merge_dict(self, data: Mapping[str, Any]) -> "Histogram":
+        """Fold an :meth:`as_dict` snapshot (possibly from another process)."""
+        return self.merge(Histogram.from_dict(self.name, data))
+
+    # -- quantiles ---------------------------------------------------------
+    def quantile(self, q: float) -> float | None:
+        """Estimated *q*-quantile (0..1); ``None`` while empty.
+
+        Linear interpolation inside the bucket holding the target rank,
+        clamped to the exact observed ``[min, max]``.
+        """
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            cumulative += in_bucket
+            if cumulative >= target:
+                low = BUCKET_BOUNDS[index - 1] if index > 0 else self.min
+                high = BUCKET_BOUNDS[index] if index < _OVERFLOW else self.max
+                low = max(low, self.min)
+                high = min(high, self.max)
+                if high <= low or in_bucket == 0:
+                    return min(max(low, self.min), self.max)
+                inner = (target - (cumulative - in_bucket)) / in_bucket
+                return min(max(low + (high - low) * inner, self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float | int | None]:
+        """count/sum/min/max plus p50/p95/p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    # -- serialization -----------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """A compact JSON-able snapshot (sparse buckets keyed by index)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @staticmethod
+    def from_dict(name: str, data: Mapping[str, Any]) -> "Histogram":
+        hist = Histogram(name)
+        hist.count = int(data.get("count", 0))
+        hist.sum = float(data.get("sum", 0.0))
+        hist.min = None if data.get("min") is None else float(data["min"])
+        hist.max = None if data.get("max") is None else float(data["max"])
+        hist.buckets = {
+            int(i): int(n) for i, n in (data.get("buckets") or {}).items()
+        }
+        return hist
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs incl. ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for index, bound in enumerate(BUCKET_BOUNDS):
+            running += self.buckets.get(index, 0)
+            out.append((bound, running))
+        out.append((float("inf"), running + self.buckets.get(_OVERFLOW, 0)))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, sum={self.sum:.6g})"
+        )

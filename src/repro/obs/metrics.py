@@ -1,7 +1,9 @@
-"""Typed counter / gauge registries with a documented metric catalogue.
+"""Typed counter / gauge / histogram registries with a metric catalogue.
 
 Counters accumulate monotonically (``add``); gauges record the most
-recent value (``set_gauge``).  Collection is gated on a module-level flag
+recent value (``set_gauge``); histograms record distributions over a
+fixed log-scaled bucket layout (``observe_value``, see
+:mod:`repro.obs.histogram`).  Collection is gated on a module-level flag
 so instrumented hot loops pay only a boolean test when observability is
 off — the same disabled-by-default contract as :mod:`repro.obs.trace`.
 
@@ -17,15 +19,18 @@ from fractions import Fraction
 from typing import Union
 
 from .._errors import ReproError
+from .histogram import Histogram
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "Registry",
     "REGISTRY",
     "CATALOGUE",
     "add",
     "set_gauge",
+    "observe_value",
     "counting_enabled",
     "enable_counting",
     "disable_counting",
@@ -76,13 +81,17 @@ class Gauge:
         self.value = None
 
 
+#: Any metric the registry can hold.
+Metric = Union[Counter, Gauge, Histogram]
+
+
 class Registry:
     """A name -> metric map with typed get-or-create accessors."""
 
     __slots__ = ("_metrics",)
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge] = {}
+        self._metrics: dict[str, Metric] = {}
 
     def counter(self, name: str, description: str = "") -> Counter:
         metric = self._metrics.get(name)
@@ -102,7 +111,16 @@ class Registry:
             raise MetricError(f"{name!r} is registered as a {metric.kind}")
         return metric
 
-    def get(self, name: str) -> Counter | Gauge | None:
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, description)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise MetricError(f"{name!r} is registered as a {metric.kind}")
+        return metric
+
+    def get(self, name: str) -> Metric | None:
         return self._metrics.get(name)
 
     def value(self, name: str) -> Number | None:
@@ -112,8 +130,16 @@ class Registry:
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
-    def items(self) -> list[tuple[str, "Counter | Gauge"]]:
+    def items(self) -> list[tuple[str, Metric]]:
         return sorted(self._metrics.items())
+
+    def histograms(self) -> list[tuple[str, Histogram]]:
+        """The registered histograms, sorted by name."""
+        return [
+            (name, metric)
+            for name, metric in self.items()
+            if isinstance(metric, Histogram)
+        ]
 
     def reset(self) -> None:
         """Zero every metric (registrations and descriptions survive)."""
@@ -121,14 +147,17 @@ class Registry:
             metric.reset()
 
     def as_dict(self, skip_empty: bool = True) -> dict[str, Number]:
-        """A JSON-friendly snapshot of current values.
+        """A JSON-friendly snapshot of current scalar values.
 
         Exact :class:`~fractions.Fraction` values are converted to float
         (counters are almost always ints; fractions appear only in gauges
-        fed from the exact pipeline).
+        fed from the exact pipeline).  Histograms are not scalar and are
+        excluded; snapshot them via :meth:`histograms_as_dict`.
         """
         out: dict[str, Number] = {}
         for name, metric in self.items():
+            if isinstance(metric, Histogram):
+                continue
             value = metric.value
             if skip_empty and (value is None or value == 0):
                 continue
@@ -136,6 +165,14 @@ class Registry:
                 value = float(value)
             out[name] = value
         return out
+
+    def histograms_as_dict(self, skip_empty: bool = True) -> dict[str, dict]:
+        """JSON-able snapshots of the (non-empty, by default) histograms."""
+        return {
+            name: metric.as_dict()
+            for name, metric in self.histograms()
+            if metric.count or not skip_empty
+        }
 
 
 #: Metric name -> (kind, description).  The runtime's full vocabulary.
@@ -206,6 +243,18 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "engine.batch.budget_exceeded": (
         "counter", "batch tasks that exhausted their per-task budget"),
     "engine.batch.wall_s": ("gauge", "wall-clock seconds of the last batch"),
+    "engine.plan.compile_s": (
+        "histogram", "seconds to compile one prepared query plan"),
+    "engine.query.volume_s": (
+        "histogram", "seconds per exact volume evaluation of a prepared plan"),
+    "engine.query.mc_s": (
+        "histogram", "seconds per Monte Carlo evaluation of a prepared plan"),
+    "cad.cells_per_decision": (
+        "histogram", "cells lifted per CAD decision-procedure run"),
+    "guard.fallback.attempts": (
+        "histogram", "exhausted ladder rungs per robust volume evaluation"),
+    "trace.spans_dropped": (
+        "counter", "spans dropped after a trace hit the MAX_SPANS cap"),
     "realalg.cache.hit": (
         "counter", "Sturm-chain / square-free lru_cache lookups served cached"),
     "realalg.cache.miss": (
@@ -218,6 +267,8 @@ def _fresh_registry() -> Registry:
     for name, (kind, description) in CATALOGUE.items():
         if kind == "counter":
             registry.counter(name, description)
+        elif kind == "histogram":
+            registry.histogram(name, description)
         else:
             registry.gauge(name, description)
     return registry
@@ -255,3 +306,16 @@ def set_gauge(name: str, value: Number) -> None:
     if not _enabled:
         return
     REGISTRY.gauge(name).set(value)
+
+
+def observe_value(name: str, value: Number) -> None:
+    """Record a histogram observation; a near-free no-op while off.
+
+    The disabled path is the same single boolean test as :func:`add`, so
+    instrumenting a hot loop with a histogram costs the same as a counter
+    when nobody is collecting (``benchmarks/bench_obs_overhead.py`` pins
+    the ratio under 2x).
+    """
+    if not _enabled:
+        return
+    REGISTRY.histogram(name).observe(float(value))

@@ -1,0 +1,117 @@
+"""Prometheus text-format exposition of a metrics registry.
+
+Renders counters, gauges, and histograms in the Prometheus
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+``# HELP`` / ``# TYPE`` comment pairs followed by the sample lines.
+Histograms emit the conventional cumulative ``_bucket{le="..."}`` series
+over the shared :data:`~repro.obs.histogram.BUCKET_BOUNDS` layout
+(terminated by the mandatory ``le="+Inf"`` bucket) plus ``_sum`` and
+``_count``; counters get the conventional ``_total`` suffix.
+
+Metric names are mapped ``engine.plan.compile_s`` →
+``repro_engine_plan_compile_s``: a ``repro_`` namespace prefix and every
+character outside ``[a-zA-Z0-9_:]`` replaced by ``_``.
+
+This is a *pull-free* exporter: the CLI's ``repro metrics`` subcommand
+writes the exposition to a file or stdout, from where a node-exporter
+textfile collector (or a human) can pick it up.  There is deliberately
+no HTTP server here.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .histogram import Histogram
+from .metrics import Counter, Gauge, Registry
+
+__all__ = ["prom_name", "render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_PREFIX = "repro_"
+
+
+def prom_name(name: str) -> str:
+    """The Prometheus-safe series name for a catalogue metric name."""
+    sanitized = _NAME_OK.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return _PREFIX + sanitized
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: "int | float") -> str:
+    if isinstance(value, bool):  # bools are ints; never emit True/False
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:.6g}"
+
+
+def render_prometheus(registry: Registry, skip_empty: bool = True) -> str:
+    """The full text exposition of *registry*, one block per metric.
+
+    ``skip_empty`` drops zero counters, unset gauges, and empty
+    histograms — the same "only what the run touched" contract as the
+    ``--stats`` table.  Output is sorted by metric name, ends in a
+    newline, and contains no timestamps, so identical registries render
+    identical bytes.
+    """
+    blocks: list[str] = []
+    for name, metric in registry.items():
+        series = prom_name(name)
+        if isinstance(metric, Counter):
+            if skip_empty and not metric.value:
+                continue
+            blocks.extend(_header(series, metric.description, "counter"))
+            blocks.append(f"{series}_total {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if metric.value is None:
+                continue
+            blocks.extend(_header(series, metric.description, "gauge"))
+            blocks.append(f"{series} {_format_value(_as_number(metric.value))}")
+        elif isinstance(metric, Histogram):
+            if skip_empty and not metric.count:
+                continue
+            blocks.extend(_header(series, metric.description, "histogram"))
+            for bound, cumulative in metric.cumulative_buckets():
+                blocks.append(
+                    f'{series}_bucket{{le="{_format_bound(bound)}"}} '
+                    f"{cumulative}"
+                )
+            blocks.append(f"{series}_sum {_format_value(metric.sum)}")
+            blocks.append(f"{series}_count {metric.count}")
+    return "\n".join(blocks) + "\n" if blocks else ""
+
+
+def _as_number(value) -> "int | float":
+    from fractions import Fraction
+
+    if isinstance(value, Fraction):
+        return float(value)
+    return value
+
+
+def _header(series: str, description: str, kind: str) -> Iterable[str]:
+    lines = []
+    if description:
+        lines.append(f"# HELP {series} {_escape_help(description)}")
+    lines.append(f"# TYPE {series} {kind}")
+    return lines

@@ -108,14 +108,35 @@ def format_span_tree(trace: Trace) -> str:
 
 
 def format_counters(registry: Registry, skip_empty: bool = True) -> str:
-    """The counter/gauge summary table for ``--stats`` output."""
+    """The counter/gauge/histogram summary table for ``--stats`` output.
+
+    Histograms render as a one-line distribution summary
+    (``n=… p50=… p95=… max=…``) in the value column.
+    """
     rows = []
     for name, metric in registry.items():
-        value = metric.value
-        if skip_empty and (value is None or value == 0):
-            continue
+        if metric.kind == "histogram":
+            if skip_empty and metric.count == 0:
+                continue
+            value = _histogram_cell(metric)
+        else:
+            value = metric.value
+            if skip_empty and (value is None or value == 0):
+                continue
         rows.append([name, metric.kind, value, metric.description])
     return render_table("counters", ["metric", "kind", "value", "description"], rows)
+
+
+def _histogram_cell(metric) -> str:
+    summary = metric.summary()
+
+    def fmt(x):
+        return "-" if x is None else f"{x:.4g}"
+
+    return (
+        f"n={summary['count']} p50={fmt(summary['p50'])} "
+        f"p95={fmt(summary['p95'])} max={fmt(summary['max'])}"
+    )
 
 
 class MemorySink:

@@ -18,6 +18,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from . import metrics
+
 __all__ = [
     "SpanRecord",
     "Trace",
@@ -65,6 +67,17 @@ class Trace:
 
     def span_count(self) -> int:
         return self._count
+
+    def adopt(self, record: SpanRecord) -> None:
+        """Graft an externally-built span subtree as a new root.
+
+        Used by the batch executor's parent process to fold worker-task
+        span forests into its own trace; the adopted spans count toward
+        :meth:`span_count` but are exempt from :data:`MAX_SPANS` (they
+        were already capped in the process that recorded them).
+        """
+        self.roots.append(record)
+        self._count += 1 + record.total_children()
 
     def depth(self) -> int:
         """Maximum nesting depth over the whole forest."""
@@ -118,6 +131,12 @@ class _LiveSpan:
         trace._count += 1
         if trace._count > MAX_SPANS:
             trace.dropped_spans += 1
+            # Dropping is never silent: surface it as a counter too, so a
+            # truncated trace is visible in any metrics snapshot even when
+            # nobody inspects the trace object itself.  Off the hot path
+            # (only runs past the cap), so the registry write is
+            # unconditional rather than gated on counting_enabled().
+            metrics.REGISTRY.counter("trace.spans_dropped").add()
         else:
             sink = trace._stack[-1].children if trace._stack else trace.roots
             sink.append(self.record)

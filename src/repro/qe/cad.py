@@ -350,10 +350,22 @@ def decide(sentence: Formula) -> bool:
             return all(recurse(index + 1, {**assignment, var: s}) for s in samples)
 
         with obs.span("qe.cad.lift"):
+            # Per-decision cell distribution: the running `cad.cells`
+            # counter aggregates across decisions, so the per-run cost is
+            # recovered as a before/after delta while counting is on.
+            cells_before = (
+                obs.REGISTRY.value("cad.cells") if obs.counting_enabled() else 0
+            )
             try:
                 return recurse(0, {})
             except RecursionError:
                 raise _depth_exhausted("decide", variables) from None
+            finally:
+                if obs.counting_enabled():
+                    obs.observe_value(
+                        "cad.cells_per_decision",
+                        obs.REGISTRY.value("cad.cells") - cells_before,
+                    )
 
 
 def satisfiable(formula: Formula) -> bool:

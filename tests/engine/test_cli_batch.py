@@ -116,3 +116,102 @@ class TestBatch:
         code, _, err = run_cli("batch", str(tmp_path / "nope.jsonl"))
         assert code != 0
         assert "cannot read manifest" in err
+
+
+class TestTraceOut:
+    def _records(self, path):
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+
+    def test_one_record_per_task_plus_summary(self, manifest, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        code, out, err = run_cli(
+            "batch", manifest, "--trace-out", str(trace_path)
+        )
+        assert code == 0
+        assert "telemetry records" in err
+        records = self._records(trace_path)
+        assert len(records) == 5  # 4 tasks + 1 summary
+        tasks, summary = records[:4], records[-1]
+        assert [r["experiment"] for r in tasks] == ["repro.batch.task"] * 4
+        assert [r["task"] for r in tasks] == [0, 1, 2, 3]
+        assert [r["id"] for r in tasks] == ["tri", "clip", "mc", "root2"]
+        assert all(r["schema"] == "repro.obs/v2" for r in records)
+        assert summary["experiment"] == "repro.batch.summary"
+        assert summary["tasks"] == 4 and summary["ok"] == 4
+        assert summary["workers"] == 1
+        assert summary["wall_s"] > 0
+        # Timing histograms live in the summary, complete with buckets.
+        assert summary["histograms"]["engine.plan.compile_s"]["count"] == 4
+
+    def test_results_do_not_leak_snapshots(self, manifest, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        _, out, _ = run_cli("batch", manifest, "--trace-out", str(trace_path))
+        for line in out.splitlines():
+            assert "obs" not in json.loads(line)
+
+    def test_task_records_byte_identical_across_worker_counts(
+        self, manifest, tmp_path
+    ):
+        one, four = tmp_path / "w1.jsonl", tmp_path / "w4.jsonl"
+        run_cli("batch", manifest, "--seed", "5", "--trace-out", str(one))
+        DEFAULT_CACHE.clear()
+        run_cli(
+            "batch", manifest, "--seed", "5", "--workers", "4",
+            "--trace-out", str(four),
+        )
+        serial_tasks = one.read_text().splitlines()[:4]
+        parallel_tasks = four.read_text().splitlines()[:4]
+        assert serial_tasks == parallel_tasks  # bytes, not just JSON
+
+
+class TestMetricsCommand:
+    def test_replay_from_trace_file(self, manifest, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        run_cli("batch", manifest, "--trace-out", str(trace_path))
+        code, out, _ = run_cli("metrics", str(trace_path))
+        assert code == 0
+        assert "# TYPE repro_engine_compile counter" in out
+        assert "repro_engine_compile_total 4" in out
+        assert "# TYPE repro_engine_plan_compile_s histogram" in out
+        assert 'repro_engine_plan_compile_s_bucket{le="+Inf"} 4' in out
+        assert "repro_engine_plan_compile_s_count 4" in out
+        assert "repro_engine_plan_compile_s_sum" in out
+
+    def test_run_directly_from_manifest(self, manifest):
+        code, out, _ = run_cli("metrics", manifest)
+        assert code == 0
+        assert "repro_engine_compile_total 4" in out
+        assert "# TYPE repro_engine_plan_compile_s histogram" in out
+
+    def test_out_file(self, manifest, tmp_path):
+        trace_path, prom_path = tmp_path / "t.jsonl", tmp_path / "metrics.prom"
+        run_cli("batch", manifest, "--trace-out", str(trace_path))
+        code, out, _ = run_cli(
+            "metrics", str(trace_path), "--out", str(prom_path)
+        )
+        assert code == 0
+        assert out == ""
+        assert "# TYPE repro_engine_compile counter" in prom_path.read_text()
+
+    def test_corrupt_trace_line_reported_not_fatal(self, manifest, tmp_path):
+        import warnings
+
+        trace_path = tmp_path / "trace.jsonl"
+        run_cli("batch", manifest, "--trace-out", str(trace_path))
+        with open(trace_path, "a", encoding="utf-8") as handle:
+            handle.write("{corrupt\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code, out, err = run_cli("metrics", str(trace_path))
+        assert code == 0
+        assert "skipped 1 unreadable record" in err
+        assert "repro_engine_compile_total 4" in out
+
+    def test_missing_input_fails_loudly(self, tmp_path):
+        code, _, err = run_cli("metrics", str(tmp_path / "nope.jsonl"))
+        assert code != 0
+        assert "cannot read manifest" in err

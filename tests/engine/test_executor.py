@@ -145,3 +145,94 @@ class TestRunBatch:
         assert counts["engine.batch.ok"] == 4
         assert counts["engine.batch.errors"] == 1
         assert counts["engine.batch.wall_s"] > 0
+
+
+class TestCollectObs:
+    TASKS = TestRunBatch.TASKS
+
+    @staticmethod
+    def _snapshots(results):
+        return [r.get("obs") for r in results]
+
+    def test_every_task_carries_a_snapshot(self):
+        results = run_batch(self.TASKS, seed=3, collect_obs=True)
+        for result in results:
+            assert isinstance(result["obs"], dict)
+            assert result["obs"]["worker_pid"] > 0
+        # The healthy volume tasks compiled a plan and traced it.
+        tri = results[0]["obs"]
+        assert tri["counters"]["engine.compile"] == 1
+        assert tri["histograms"]["engine.plan.compile_s"]["count"] == 1
+        assert any(s["name"] == "engine.compile" for s in tri["spans"])
+
+    def test_per_task_telemetry_identical_serial_vs_parallel(self):
+        serial = run_batch(self.TASKS, seed=3, workers=1, collect_obs=True)
+        parallel = run_batch(self.TASKS, seed=3, workers=4, collect_obs=True)
+
+        def stable(snapshot):
+            from repro.obs.aggregate import stable_span
+
+            out = {
+                k: v for k, v in snapshot.items()
+                if k not in ("worker_pid", "spans", "histograms")
+            }
+            out["spans"] = [stable_span(s) for s in snapshot.get("spans", [])]
+            # Histogram buckets hold wall-clock; only counts are stable.
+            out["histograms"] = {
+                name: data["count"]
+                for name, data in snapshot.get("histograms", {}).items()
+            }
+            return out
+
+        for left, right in zip(self._snapshots(serial), self._snapshots(parallel)):
+            assert stable(left) == stable(right)
+
+    def test_merged_totals_equal_sum_of_snapshots(self):
+        from repro.obs.aggregate import merged_registry
+
+        obs.enable_counting()
+        results = run_batch(self.TASKS, seed=3, collect_obs=True)
+        merged = merged_registry(results)
+        expected = sum(
+            snap.get("counters", {}).get("mc.samples", 0)
+            for snap in self._snapshots(results)
+        )
+        assert expected > 0
+        assert merged.value("mc.samples") == expected
+        # The ambient registry got the same merge (parent-side fold).
+        assert obs.REGISTRY.value("mc.samples") == expected
+        assert (
+            obs.REGISTRY.histogram("engine.plan.compile_s").count
+            == merged.histogram("engine.plan.compile_s").count
+            == 4  # the broken task never reaches compile
+        )
+
+    def test_ambient_merge_independent_of_worker_count(self):
+        obs.enable_counting()
+        run_batch(self.TASKS, seed=3, workers=1, collect_obs=True)
+        serial = obs.REGISTRY.as_dict()
+        serial_hist = obs.REGISTRY.histogram("engine.plan.compile_s").count
+        obs.reset()
+        run_batch(self.TASKS, seed=3, workers=4, collect_obs=True)
+        parallel = obs.REGISTRY.as_dict()
+        parallel_hist = obs.REGISTRY.histogram("engine.plan.compile_s").count
+
+        def scheduling_free(counts):
+            # Batch wall-clock is the one legitimately timing-dependent key.
+            return {k: v for k, v in counts.items() if k != "engine.batch.wall_s"}
+
+        assert scheduling_free(serial) == scheduling_free(parallel)
+        assert serial_hist == parallel_hist
+
+    def test_task_spans_graft_into_parent_trace(self):
+        with obs.observe("batch-run") as trace:
+            run_batch(self.TASKS[:2], seed=3, collect_obs=True)
+        tagged = [r for r in trace.roots if "task" in r.attrs]
+        assert {r.attrs["task"] for r in tagged} == {0, 1}
+
+    def test_results_unchanged_by_collection(self):
+        plain = run_batch(self.TASKS, seed=3)
+        observed = run_batch(self.TASKS, seed=3, collect_obs=True)
+        for left, right in zip(plain, observed):
+            right = {k: v for k, v in right.items() if k != "obs"}
+            assert strip_timing(left) == strip_timing(right)

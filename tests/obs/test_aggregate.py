@@ -1,0 +1,236 @@
+"""Cross-process aggregation: task snapshots, merges, and record shapes."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.aggregate import (
+    SUMMARY_EXPERIMENT,
+    TASK_EXPERIMENT,
+    merge_snapshot_into,
+    merged_registry,
+    registry_from_records,
+    snapshot_spans,
+    stable_span,
+    summary_record,
+    task_observation,
+    task_record,
+)
+
+
+def _run_fake_task():
+    """Emit some metrics and spans as an observed task would."""
+    obs.add("mc.samples", 7)
+    obs.set_gauge("km.sample_size", 42)
+    obs.observe_value("engine.query.volume_s", 0.25)
+    with obs.span("engine.compile", kind="volume"):
+        with obs.span("volume.decompose"):
+            pass
+
+
+class TestTaskObservation:
+    def test_snapshot_captures_the_delta(self):
+        with task_observation() as observation:
+            _run_fake_task()
+        snapshot = observation.snapshot
+        assert snapshot["counters"] == {"mc.samples": 7}
+        assert snapshot["gauges"] == {"km.sample_size": 42}
+        assert snapshot["histograms"]["engine.query.volume_s"]["count"] == 1
+        assert snapshot["spans"][0]["name"] == "engine.compile"
+        assert snapshot["worker_pid"] > 0
+
+    def test_ambient_registry_restored_after_the_block(self):
+        obs.enable_counting()
+        obs.add("mc.samples", 3)
+        with task_observation():
+            _run_fake_task()
+        # The task's delta was removed: the parent re-applies it by
+        # merging the snapshot, identically for serial and parallel runs.
+        assert obs.REGISTRY.value("mc.samples") == 3
+        assert obs.REGISTRY.histogram("engine.query.volume_s").count == 0
+        assert obs.counting_enabled()  # prior state restored
+
+    def test_disabled_state_restored(self):
+        assert not obs.counting_enabled()
+        with task_observation():
+            pass
+        assert not obs.counting_enabled()
+        assert not obs.tracing_enabled()
+
+    def test_outer_trace_parked_and_restored(self):
+        outer = obs.start_trace("outer")
+        with task_observation() as observation:
+            with obs.span("inside-task"):
+                pass
+        assert obs.current_trace() is outer
+        assert outer.roots == []  # task spans stayed out of the outer trace
+        assert observation.snapshot["spans"][0]["name"] == "inside-task"
+        obs.stop_trace()
+
+    def test_snapshot_is_json_safe(self):
+        from fractions import Fraction
+
+        with task_observation() as observation:
+            obs.add("mc.samples", Fraction(3, 2))
+            obs.set_gauge("km.sample_size", Fraction(1, 4))
+        json.dumps(observation.snapshot)  # must not raise
+
+
+class TestMergeSnapshot:
+    SNAPSHOT = {
+        "worker_pid": 1234,
+        "counters": {"mc.samples": 5},
+        "gauges": {"km.sample_size": 9},
+        "histograms": {
+            "engine.query.volume_s": {
+                "count": 2, "sum": 0.3, "min": 0.1, "max": 0.2,
+                "buckets": {"19": 1, "20": 1},
+            }
+        },
+        "dropped": 3,
+    }
+
+    def test_merge_into_fresh_registry(self):
+        registry = obs.Registry()
+        merge_snapshot_into(registry, self.SNAPSHOT)
+        assert registry.value("mc.samples") == 5
+        assert registry.value("km.sample_size") == 9
+        assert registry.histogram("engine.query.volume_s").count == 2
+        assert registry.value("trace.spans_dropped") == 3
+
+    def test_counters_and_histograms_accumulate(self):
+        registry = obs.Registry()
+        merge_snapshot_into(registry, self.SNAPSHOT)
+        merge_snapshot_into(registry, self.SNAPSHOT)
+        assert registry.value("mc.samples") == 10
+        hist = registry.histogram("engine.query.volume_s")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.6)
+        assert hist.buckets == {19: 2, 20: 2}
+
+    def test_merged_registry_skips_results_without_obs(self):
+        results = [
+            {"status": "ok", "obs": self.SNAPSHOT},
+            {"status": "ok"},
+            {"status": "error", "obs": {"counters": {"mc.samples": 1}}},
+        ]
+        registry = merged_registry(results)
+        assert registry.value("mc.samples") == 6
+
+    def test_merge_order_independent_for_counters_and_histograms(self):
+        other = {
+            "counters": {"mc.samples": 2},
+            "histograms": {
+                "engine.query.volume_s": {
+                    "count": 1, "sum": 9.0, "min": 9.0, "max": 9.0,
+                    "buckets": {"24": 1},
+                }
+            },
+        }
+        forward, backward = obs.Registry(), obs.Registry()
+        merge_snapshot_into(forward, self.SNAPSHOT)
+        merge_snapshot_into(forward, other)
+        merge_snapshot_into(backward, other)
+        merge_snapshot_into(backward, self.SNAPSHOT)
+        assert forward.value("mc.samples") == backward.value("mc.samples")
+        assert (
+            forward.histogram("engine.query.volume_s").as_dict()
+            == backward.histogram("engine.query.volume_s").as_dict()
+        )
+
+
+class TestRecordShapes:
+    def _result(self):
+        with task_observation() as observation:
+            _run_fake_task()
+        return {
+            "id": "tri", "op": "volume", "status": "ok", "seed": 99,
+            "elapsed_s": 0.123, "obs": observation.snapshot,
+        }
+
+    def test_task_record_is_byte_stable_material_only(self):
+        record = task_record(self._result(), 4)
+        assert record["schema"] == obs.SCHEMA
+        assert record["experiment"] == TASK_EXPERIMENT
+        assert record["task"] == 4
+        assert record["id"] == "tri"
+        # Histograms degrade to observation counts; no timing anywhere.
+        assert record["histograms"] == {"engine.query.volume_s": 1}
+        assert "worker_pid" not in json.dumps(record)
+        assert "duration_s" not in json.dumps(record)
+        assert "elapsed_s" not in record
+
+    def test_task_record_spans_tagged_with_task(self):
+        record = task_record(self._result(), 2)
+        root = record["spans"][0]
+        assert root["attrs"]["task"] == 2
+        assert root["attrs"]["kind"] == "volume"
+        assert root["children"][0]["name"] == "volume.decompose"
+
+    def test_stable_span_drops_durations_keeps_structure(self):
+        data = {
+            "name": "a", "duration_s": 0.5, "attrs": {"k": 1},
+            "error": "ValueError",
+            "children": [{"name": "b", "duration_s": 0.1}],
+        }
+        assert stable_span(data) == {
+            "name": "a", "attrs": {"k": 1}, "error": "ValueError",
+            "children": [{"name": "b"}],
+        }
+
+    def test_snapshot_spans_rematerialise_with_task_attr(self):
+        result = self._result()
+        (root,) = snapshot_spans(result["obs"], 7)
+        assert root.name == "engine.compile"
+        assert root.attrs["task"] == 7
+        assert root.children[0].name == "volume.decompose"
+
+    def test_summary_record_merges_and_tallies(self):
+        results = [self._result(), self._result()]
+        results[1]["status"] = "error"
+        record = summary_record(results, extra={"workers": 2})
+        assert record["experiment"] == SUMMARY_EXPERIMENT
+        assert (record["tasks"], record["ok"], record["errors"]) == (2, 1, 1)
+        assert record["counters"]["mc.samples"] == 14
+        assert record["gauges"]["km.sample_size"] == 42
+        assert record["histograms"]["engine.query.volume_s"]["count"] == 2
+        assert record["workers"] == 2
+        json.dumps(record)  # JSON-safe end to end
+
+
+class TestRegistryFromRecords:
+    def test_summary_is_authoritative(self):
+        records = [
+            {"experiment": TASK_EXPERIMENT, "counters": {"mc.samples": 999}},
+            {
+                "experiment": SUMMARY_EXPERIMENT,
+                "counters": {"mc.samples": 12},
+                "histograms": {
+                    "engine.query.volume_s": {
+                        "count": 3, "sum": 0.6, "min": 0.1, "max": 0.3,
+                        "buckets": {"20": 3},
+                    }
+                },
+            },
+        ]
+        registry = registry_from_records(records)
+        assert registry.value("mc.samples") == 12
+        assert registry.histogram("engine.query.volume_s").sum == pytest.approx(0.6)
+
+    def test_task_records_accumulate_without_summary(self):
+        records = [
+            {
+                "experiment": TASK_EXPERIMENT,
+                "counters": {"mc.samples": 4},
+                "histograms": {"engine.query.volume_s": 2},
+                "dropped": 1,
+            },
+            {"experiment": TASK_EXPERIMENT, "counters": {"mc.samples": 6}},
+            {"experiment": "unrelated", "counters": {"mc.samples": 100}},
+        ]
+        registry = registry_from_records(records)
+        assert registry.value("mc.samples") == 10
+        # Count-only degradation: observations exist, timing was elided.
+        assert registry.histogram("engine.query.volume_s").count == 2
+        assert registry.value("trace.spans_dropped") == 1

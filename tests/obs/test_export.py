@@ -2,6 +2,8 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro import obs
 from repro.obs.export import (
     SCHEMA,
@@ -95,6 +97,76 @@ class TestRoundTrip:
         JsonlSink(p1).write(record)
         JsonlSink(p2).write(record)
         assert open(p1, "rb").read() == open(p2, "rb").read()
+
+
+class TestSpanFromDict:
+    def test_inverse_of_span_to_dict(self):
+        from repro.obs.export import span_from_dict
+
+        trace = _sample_trace()
+        original = span_to_dict(trace.roots[0])
+        record = span_from_dict(original)
+        assert record.name == "outer"
+        assert record.attrs == {"k": "1/2"}
+        assert record.children[0].name == "inner"
+        assert span_to_dict(record) == original
+
+
+class TestReadJsonlHardening:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "records.jsonl"
+        path.write_text(text)
+        return str(path)
+
+    def test_blank_lines_silently_ignored(self, tmp_path):
+        path = self._write(
+            tmp_path, '\n{"schema": "%s", "experiment": "a"}\n\n\n' % SCHEMA
+        )
+        records = read_jsonl(path)
+        assert [r["experiment"] for r in records] == ["a"]
+        assert records.skipped == 0
+
+    def test_malformed_line_skipped_with_warning(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            '{"schema": "%s", "experiment": "a"}\n'
+            "{truncated\n"
+            '"just a string"\n'
+            '{"schema": "%s", "experiment": "b"}\n' % (SCHEMA, SCHEMA),
+        )
+        with pytest.warns(UserWarning, match="skipping") as caught:
+            records = read_jsonl(path)
+        assert len(caught) == 2  # one warning per unreadable line
+        assert [r["experiment"] for r in records] == ["a", "b"]
+        assert records.skipped == 2
+
+    def test_unknown_schema_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            '{"schema": "repro.obs/v99", "experiment": "future"}\n'
+            '{"schema": "%s", "experiment": "now"}\n' % SCHEMA,
+        )
+        with pytest.warns(UserWarning):
+            records = read_jsonl(path)
+        assert [r["experiment"] for r in records] == ["now"]
+        assert records.skipped == 1
+
+    def test_v1_records_still_read(self, tmp_path):
+        from repro.obs.export import SCHEMA_V1
+
+        path = self._write(
+            tmp_path, '{"schema": "%s", "experiment": "old"}\n' % SCHEMA_V1
+        )
+        records = read_jsonl(path)
+        assert records[0]["experiment"] == "old"
+        assert records.skipped == 0
+
+    def test_schemaless_records_pass_through(self, tmp_path):
+        # Foreign-but-valid JSONL (e.g. a task manifest) is not our schema
+        # to police; only an explicit unknown schema key is rejected.
+        path = self._write(tmp_path, '{"formula": "x < 1"}\n')
+        records = read_jsonl(path)
+        assert records == [{"formula": "x < 1"}]
 
 
 class TestMemorySink:

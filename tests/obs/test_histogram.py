@@ -1,0 +1,190 @@
+"""Histogram metric: bucketing, quantiles, and exact merges."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.histogram import BUCKET_BOUNDS, _OVERFLOW, Histogram
+
+
+class TestBucketLayout:
+    def test_bounds_are_fixed_log_scaled(self):
+        assert len(BUCKET_BOUNDS) == 40
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-7)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e6)
+        ratios = [
+            BUCKET_BOUNDS[i + 1] / BUCKET_BOUNDS[i]
+            for i in range(len(BUCKET_BOUNDS) - 1)
+        ]
+        assert all(r == pytest.approx(10 ** (1 / 3)) for r in ratios)
+
+    def test_values_land_in_covering_bucket(self):
+        hist = Histogram("h")
+        hist.observe(0.5)
+        (index,) = hist.buckets
+        # The bucket's bound is the smallest one >= the value.
+        assert BUCKET_BOUNDS[index] >= 0.5
+        assert index == 0 or BUCKET_BOUNDS[index - 1] < 0.5
+
+    def test_overflow_bucket_catches_huge_values(self):
+        hist = Histogram("h")
+        hist.observe(1e9)
+        assert hist.buckets == {_OVERFLOW: 1}
+        assert hist.count == 1
+
+    def test_negative_values_clamp_into_first_bucket(self):
+        hist = Histogram("h")
+        hist.observe(-3.0)
+        assert hist.buckets == {0: 1}
+        assert hist.min == -3.0
+
+
+class TestStats:
+    def test_count_sum_min_max_exact(self):
+        hist = Histogram("h")
+        for v in (0.1, 0.2, 0.4):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.7)
+        assert hist.min == 0.1
+        assert hist.max == 0.4
+        assert hist.value == 3  # generic metric value = count
+
+    def test_quantiles_none_when_empty(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) is None
+        assert hist.summary()["p95"] is None
+
+    def test_quantiles_within_observed_range(self):
+        hist = Histogram("h")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            hist.observe(v)
+        for q in (0.01, 0.5, 0.95, 0.99):
+            estimate = hist.quantile(q)
+            assert hist.min <= estimate <= hist.max
+
+    def test_single_observation_quantile_is_that_value(self):
+        hist = Histogram("h")
+        hist.observe(0.25)
+        assert hist.quantile(0.5) == pytest.approx(0.25)
+
+    def test_quantile_accuracy_within_a_bucket_width(self):
+        hist = Histogram("h")
+        for i in range(1, 101):
+            hist.observe(i / 100)
+        p50 = hist.quantile(0.5)
+        # Accurate to the containing bucket (~2.154x wide).
+        assert 0.5 / (10 ** (1 / 3)) <= p50 <= 0.5 * (10 ** (1 / 3))
+
+    def test_reset(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        hist.reset()
+        assert hist.count == 0 and hist.sum == 0.0
+        assert hist.min is None and hist.buckets == {}
+
+
+class TestMerge:
+    def _sample(self, values):
+        hist = Histogram("h")
+        for v in values:
+            hist.observe(v)
+        return hist
+
+    def test_merge_equals_observing_everything_in_one(self):
+        left = self._sample([0.1, 5.0])
+        right = self._sample([0.002, 300.0, 1e9])
+        combined = self._sample([0.1, 5.0, 0.002, 300.0, 1e9])
+        left.merge(right)
+        assert left.buckets == combined.buckets
+        assert left.count == combined.count
+        assert left.sum == pytest.approx(combined.sum)
+        assert (left.min, left.max) == (combined.min, combined.max)
+
+    def test_merge_commutative(self):
+        a1, b1 = self._sample([0.1, 0.2]), self._sample([3.0])
+        a2, b2 = self._sample([0.1, 0.2]), self._sample([3.0])
+        ab = a1.merge(b1)
+        ba = b2.merge(a2)
+        assert ab.as_dict() == ba.as_dict()
+
+    def test_merge_associative(self):
+        def fresh():
+            return (
+                self._sample([0.1]),
+                self._sample([2.0, 2.5]),
+                self._sample([1e-9, 40.0]),
+            )
+
+        a, b, c = fresh()
+        left_first = a.merge(b).merge(c)
+        a2, b2, c2 = fresh()
+        right_first = a2.merge(b2.merge(c2))
+        assert left_first.as_dict() == right_first.as_dict()
+
+    def test_merge_empty_is_identity(self):
+        hist = self._sample([0.5])
+        before = hist.as_dict()
+        hist.merge(Histogram("h"))
+        assert hist.as_dict() == before
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        hist = Histogram("h", "a histogram")
+        for v in (0.01, 0.5, 1e9):
+            hist.observe(v)
+        back = Histogram.from_dict("h", hist.as_dict())
+        assert back.as_dict() == hist.as_dict()
+        assert back.count == 3
+
+    def test_merge_dict_cross_process_shape(self):
+        # Simulate the pickle/JSON boundary: string bucket keys.
+        hist = Histogram("h")
+        hist.merge_dict(
+            {"count": 2, "sum": 1.5, "min": 0.5, "max": 1.0,
+             "buckets": {"20": 1, "22": 1}}
+        )
+        assert hist.count == 2
+        assert hist.buckets == {20: 1, 22: 1}
+
+    def test_cumulative_buckets_end_at_inf_total(self):
+        hist = Histogram("h")
+        for v in (0.5, 0.6, 1e9):
+            hist.observe(v)
+        cumulative = hist.cumulative_buckets()
+        assert len(cumulative) == len(BUCKET_BOUNDS) + 1
+        bound, total = cumulative[-1]
+        assert math.isinf(bound) and total == 3
+        counts = [n for _, n in cumulative]
+        assert counts == sorted(counts)  # cumulative is monotone
+
+
+class TestRegistryIntegration:
+    def test_registry_histogram_accessor(self):
+        registry = obs.Registry()
+        hist = registry.histogram("engine.query.volume_s")
+        assert hist is registry.histogram("engine.query.volume_s")
+        registry.counter("some.counter")
+        with pytest.raises(Exception):
+            registry.histogram("some.counter")  # kind conflict
+
+    def test_observe_value_noop_while_disabled(self):
+        assert not obs.counting_enabled()
+        obs.observe_value("engine.query.volume_s", 0.5)
+        assert obs.REGISTRY.histogram("engine.query.volume_s").count == 0
+
+    def test_observe_value_records_when_enabled(self):
+        obs.enable_counting()
+        obs.observe_value("engine.query.volume_s", 0.5)
+        obs.observe_value("engine.query.volume_s", 0.7)
+        hist = obs.REGISTRY.histogram("engine.query.volume_s")
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(1.2)
+
+    def test_reset_clears_histograms(self):
+        obs.enable_counting()
+        obs.observe_value("engine.query.volume_s", 0.5)
+        obs.reset()
+        assert obs.REGISTRY.histogram("engine.query.volume_s").count == 0

@@ -1,0 +1,100 @@
+"""Prometheus text exposition: naming, types, and histogram series."""
+
+import math
+
+from repro import obs
+from repro.obs.histogram import BUCKET_BOUNDS
+from repro.obs.promexport import prom_name, render_prometheus
+
+
+def _registry():
+    registry = obs.Registry()
+    registry.counter("mc.samples", "hit-or-miss sample points drawn").add(700)
+    registry.gauge("km.sample_size", "last KM sample size").set(42)
+    hist = registry.histogram(
+        "engine.query.volume_s", "seconds per exact volume evaluation"
+    )
+    for value in (0.01, 0.02, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPromName:
+    def test_prefix_and_sanitization(self):
+        assert prom_name("mc.samples") == "repro_mc_samples"
+        assert prom_name("engine.query.volume_s") == "repro_engine_query_volume_s"
+        assert prom_name("weird-name!x") == "repro_weird_name_x"
+
+    def test_colons_survive(self):
+        # Colons are legal in the Prometheus grammar (recording rules).
+        assert prom_name("a:b") == "repro_a:b"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_headers(self):
+        text = render_prometheus(_registry())
+        assert "# HELP repro_mc_samples hit-or-miss sample points drawn" in text
+        assert "# TYPE repro_mc_samples counter" in text
+        assert "repro_mc_samples_total 700" in text
+
+    def test_gauge_plain(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_km_sample_size gauge" in text
+        assert "repro_km_sample_size 42" in text
+
+    def test_histogram_series_complete(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_engine_query_volume_s histogram" in text
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_engine_query_volume_s_bucket")
+        ]
+        # One line per shared bound plus the +Inf bucket.
+        assert len(bucket_lines) == len(BUCKET_BOUNDS) + 1
+        assert bucket_lines[-1] == 'repro_engine_query_volume_s_bucket{le="+Inf"} 3'
+        assert "repro_engine_query_volume_s_count 3" in text
+        assert "repro_engine_query_volume_s_sum 5.03" in text
+
+    def test_histogram_buckets_cumulative_and_monotone(self):
+        text = render_prometheus(_registry())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_engine_query_volume_s_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_skip_empty_metrics(self):
+        registry = obs.Registry()
+        registry.counter("mc.samples")
+        registry.histogram("engine.query.volume_s")
+        registry.counter("mc.hits").add(1)
+        text = render_prometheus(registry)
+        assert "mc_samples" not in text
+        assert "volume_s" not in text
+        assert "repro_mc_hits_total 1" in text
+
+    def test_skip_empty_false_renders_zeroes(self):
+        registry = obs.Registry()
+        registry.counter("mc.samples")
+        text = render_prometheus(registry, skip_empty=False)
+        assert "repro_mc_samples_total 0" in text
+
+    def test_no_timestamps_and_newline_terminated(self):
+        text = render_prometheus(_registry())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            # Exposition lines are "name value" — no trailing timestamp.
+            assert len(line.rsplit(" ")) == 2
+
+    def test_nonfinite_values_render_prometheus_style(self):
+        registry = obs.Registry()
+        registry.gauge("km.sample_size").set(math.inf)
+        text = render_prometheus(registry)
+        assert "repro_km_sample_size +Inf" in text
+
+    def test_output_is_deterministic(self):
+        assert render_prometheus(_registry()) == render_prometheus(_registry())

@@ -106,6 +106,30 @@ class TestSpanCap:
         assert trace.roots == []
         assert trace.span_count() == MAX_SPANS + 1
 
+    def test_drops_increment_the_spans_dropped_counter(self):
+        # The cap must not be silent: every drop also lands in the
+        # trace.spans_dropped counter so merged telemetry surfaces it.
+        obs.enable_counting()
+        trace = obs.start_trace("cap")
+        trace._count = MAX_SPANS
+        with obs.span("dropped"):
+            pass
+        with obs.span("also-dropped"):
+            pass
+        obs.stop_trace()
+        assert obs.REGISTRY.value("trace.spans_dropped") == 2
+
+    def test_dropped_count_lands_in_export_records(self):
+        trace = obs.start_trace("cap")
+        trace._count = MAX_SPANS
+        with obs.span("dropped"):
+            pass
+        obs.stop_trace()
+        record = obs.make_record("E0", trace=trace)
+        assert record["dropped"] == 1
+        clean = obs.make_record("E0", trace=obs.Trace("empty"))
+        assert "dropped" not in clean
+
 
 class TestThreadLocality:
     def test_trace_does_not_leak_across_threads(self):

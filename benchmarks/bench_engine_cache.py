@@ -5,13 +5,16 @@ subsystem (see docs/ENGINE.md): preparing a query pays quantifier
 elimination and cell decomposition once, so (1) repeated evaluation
 through a warm plan cache must be at least 5x faster than re-running the
 cold pipeline each time, (2) reloading a spilled plan must beat
-recompiling it, and (3) a 4-worker batch over independent queries must
-beat the same batch run serially.  The table reports the measured times;
-each row lands in the ``repro.obs/v2`` trajectory with the engine.*
-counters attached, and the batch test additionally writes
-``BENCH_engine_batch.json`` (``$REPRO_BENCH_BATCH_OUT`` overrides the
-path) with the timings plus the merged cross-process telemetry of an
-observed run — counters, latency histograms, and per-task status.
+recompiling it, (3) a 4-worker batch over independent queries must
+beat the same batch run serially, and (4) a batch run against a
+prewarmed shared plan store must be at least 3x faster than the cold
+run that populated it.  The table reports the measured times; each row
+lands in the ``repro.obs/v2`` trajectory with the engine.* counters
+attached, the batch test additionally writes ``BENCH_engine_batch.json``
+(``$REPRO_BENCH_BATCH_OUT`` overrides the path) with the timings plus
+the merged cross-process telemetry of an observed run, and the store
+test writes ``BENCH_engine_store.json`` (``$REPRO_BENCH_STORE_OUT``)
+with the cold/warm timings plus the store's own traffic counters.
 """
 
 import json
@@ -19,7 +22,14 @@ import os
 import time
 from pathlib import Path
 
-from repro.engine import DEFAULT_CACHE, PlanCache, prepare, run_batch
+from repro.engine import (
+    DEFAULT_CACHE,
+    PlanCache,
+    PlanStore,
+    executor,
+    prepare,
+    run_batch,
+)
 
 from conftest import print_table
 from obs_report import emit
@@ -174,3 +184,116 @@ def _write_batch_report(tasks, serial_s, parallel_s, cores) -> None:
     path = _batch_report_path()
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nbatch telemetry report -> {path}")
+
+
+def fm_heavy_query(k: int, n: int = 5) -> str:
+    """Two nested quantifiers with *n* lower and upper bounds each.
+
+    Fourier–Motzkin elimination multiplies bound pairs, so the compile
+    step (QE + cell decomposition) costs seconds while the formula text
+    stays short — exactly the regime where a prewarmed shared store
+    pays: the warm path only re-parses the text to recover the content
+    hash, then fetches the finished plan.
+    """
+    lows = " AND ".join(f"{j}*x - {j + k}*y <= u" for j in range(1, n + 1))
+    highs = " AND ".join(f"u <= {j}*y + {k}" for j in range(1, n + 1))
+    lows2 = " AND ".join(f"{j}*u - {k}*x <= v" for j in range(1, n + 1))
+    highs2 = " AND ".join(f"v <= {j}*x + u + {k}" for j in range(1, n + 1))
+    return (
+        f"EXISTS u . EXISTS v . ({lows} AND {highs} AND {lows2} AND {highs2} "
+        "AND 0 <= x AND x <= 1 AND 0 <= y AND y <= 1)"
+    )
+
+
+def test_warm_store_speedup(tmp_path):
+    tasks = [
+        {"id": f"fm{k}", "formula": fm_heavy_query(k)} for k in range(2, 8)
+    ]
+    store_path = tmp_path / "plans.sqlite"
+
+    # Cold prewarm: an empty store, so every worker either compiles a
+    # plan or adopts one a sibling just published.  Clearing the adapter
+    # map keeps the parent's in-memory tier from leaking between runs.
+    DEFAULT_CACHE.clear()
+    executor._ADAPTERS.clear()
+    start = time.perf_counter()
+    cold = run_batch(
+        tasks, workers=2, seed=0, plan_store=store_path, compile_only=True
+    )
+    cold_s = time.perf_counter() - start
+    with PlanStore(str(store_path)) as store:
+        cold_stats = store.stats_snapshot()
+        plans = len(store)
+    assert all(r["status"] == "ok" for r in cold)
+    assert plans == len(tasks)
+    assert cold_stats["compiles"] == len(tasks)
+
+    # Warm prewarm: fresh worker processes against the populated store —
+    # every plan is fetched and decoded instead of recompiled.
+    DEFAULT_CACHE.clear()
+    executor._ADAPTERS.clear()
+    start = time.perf_counter()
+    warm = run_batch(
+        tasks, workers=2, seed=0, plan_store=store_path, compile_only=True
+    )
+    warm_s = time.perf_counter() - start
+    with PlanStore(str(store_path)) as store:
+        warm_stats = store.stats_snapshot()
+
+    assert all(r["status"] == "ok" for r in warm)
+    assert warm_stats["compiles"] == cold_stats["compiles"]  # no recompiles
+    store_hits = warm_stats["hits"] - cold_stats["hits"]
+    assert store_hits == len(tasks)
+
+    # Stored plans must also evaluate: run a slice of the manifest for
+    # real against the warm store and check it comes back clean.
+    DEFAULT_CACHE.clear()
+    executor._ADAPTERS.clear()
+    evaluated = run_batch(tasks[:2], workers=2, seed=0, plan_store=store_path)
+    assert all(r["status"] == "ok" for r in evaluated)
+    assert all("exact" in r for r in evaluated)
+
+    speedup = cold_s / warm_s
+    header = ["probe", "seconds", "target"]
+    rows = [
+        [f"cold prewarm ({len(tasks)} plans)", f"{cold_s:.4f}", "-"],
+        ["warm prewarm (store hits)", f"{warm_s:.4f}", "<= cold/3"],
+        ["warm speedup", f"{speedup:.1f}x", ">= 3x"],
+    ]
+    print_table("ENGINE: shared plan store prewarming", header, rows)
+    emit(
+        "engine_store",
+        header,
+        rows,
+        extra={
+            "tasks": len(tasks), "workers": 2, "plans": plans,
+            "store_hits": store_hits, "speedup": round(speedup, 2),
+        },
+    )
+    _write_store_report(tasks, cold_s, warm_s, plans, cold_stats, warm_stats)
+    assert speedup >= 3.0
+
+
+def _store_report_path() -> Path:
+    env = os.environ.get("REPRO_BENCH_STORE_OUT")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent / "BENCH_engine_store.json"
+
+
+def _write_store_report(tasks, cold_s, warm_s, plans, cold_stats, warm_stats) -> None:
+    report = {
+        "schema": "repro.obs/v2",
+        "experiment": "BENCH_engine_store",
+        "tasks": len(tasks),
+        "workers": 2,
+        "plans": plans,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 3),
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+    }
+    path = _store_report_path()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nstore telemetry report -> {path}")

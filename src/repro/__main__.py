@@ -8,7 +8,10 @@ Subcommands
 ``batch``       run a JSONL manifest of queries through the engine's
                 batch executor (``--workers N`` process workers, per-task
                 budgets, JSONL results out; ``--trace-out PATH`` harvests
-                per-task telemetry into a merged trace file; see
+                per-task telemetry into a merged trace file;
+                ``--plan-store PATH`` shares compiled plans across
+                processes and runs, ``--compile-only`` prewarms it, and
+                ``--shard I/N`` splits a manifest across machines; see
                 docs/ENGINE.md)
 ``metrics``     render Prometheus text-format metrics from a
                 ``--trace-out`` file (offline replay) or from a manifest
@@ -180,19 +183,84 @@ def _read_manifest(path: str) -> list[dict]:
     return tasks
 
 
+def _parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` into ``(index, count)``; raises ReproError."""
+    import re
+
+    match = re.fullmatch(r"(\d+)/(\d+)", spec.strip())
+    if not match:
+        raise ReproError(f"--shard must look like I/N (e.g. 0/4), got {spec!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or index >= count:
+        raise ReproError(f"--shard index must satisfy 0 <= I < N, got {spec}")
+    return index, count
+
+
+def _shard_slice(
+    tasks: list[dict], index: int, count: int
+) -> tuple[list[dict], list[dict]]:
+    """Shard *index* of *count*: ``(skipped prefix, contiguous slice)``.
+
+    Tasks keep their *global* manifest indices, so per-task seeds — and
+    therefore results — match the unsharded run exactly, and the shard
+    outputs concatenate (in shard order) to the unsharded output.  The
+    prefix is returned so its content hashes can seed cache provenance
+    (a plan first compiled by an earlier shard is a "hit" here, exactly
+    as it would be mid-way through the unsharded run).
+    """
+    total = len(tasks)
+    start, end = index * total // count, (index + 1) * total // count
+    return tasks[:start], tasks[start:end]
+
+
 def _batch(args: argparse.Namespace) -> None:
     import json
     import os
 
     from repro.engine import DEFAULT_CACHE, run_batch
 
+    if args.plan_store and args.plan_cache:
+        raise ReproError(
+            "--plan-store and --plan-cache are mutually exclusive "
+            "(the store subsumes spill files; see docs/ENGINE.md)"
+        )
+    if args.compile_only and not (args.plan_store or args.plan_cache):
+        raise ReproError(
+            "--compile-only needs --plan-store (or --plan-cache): "
+            "prewarmed plans must land somewhere that outlives the run"
+        )
+
     tasks = _read_manifest(args.manifest)
+    seen_keys: list[str] = []
+    if args.shard is not None:
+        from repro.engine import task_key
+
+        index, count = _parse_shard(args.shard)
+        total = len(tasks)
+        prefix, tasks = _shard_slice(tasks, index, count)
+        seen_keys = [k for k in map(task_key, prefix) if k is not None]
+        print(f"batch: shard {index}/{count}: tasks "
+              f"{tasks[0]['index'] if tasks else '-'}.."
+              f"{tasks[-1]['index'] if tasks else '-'} "
+              f"({len(tasks)} of {total})", file=sys.stderr)
     collect_obs = args.trace_out is not None
+    if collect_obs and args.plan_store:
+        print("batch: note: --trace-out tasks compile privately, bypassing "
+              "--plan-store (telemetry must not depend on scheduling)",
+              file=sys.stderr)
 
     if args.plan_cache and os.path.exists(args.plan_cache):
         loaded = DEFAULT_CACHE.load(args.plan_cache)
         print(f"batch: loaded {loaded} plans from {args.plan_cache}",
               file=sys.stderr)
+
+    store_before = None
+    if args.plan_store:
+        from repro.engine import PlanStore
+
+        with PlanStore(args.plan_store) as store:
+            store_before = {"plans": len(store), **store.stats_snapshot()}
+            hist_before = store.fetch_hist_snapshot()
 
     import time
 
@@ -201,17 +269,58 @@ def _batch(args: argparse.Namespace) -> None:
         tasks, workers=args.workers, seed=args.seed, timeout=args.timeout,
         max_cells=args.max_cells, fallback=args.fallback,
         epsilon=args.epsilon, delta=args.delta, collect_obs=collect_obs,
+        plan_store=args.plan_store, compile_only=args.compile_only,
+        seen_keys=seen_keys,
     )
     wall = time.perf_counter() - start
+
+    store_metrics = None
+    if args.plan_store:
+        from repro.engine import PlanStore
+
+        with PlanStore(args.plan_store) as store:
+            store_after = {"plans": len(store), **store.stats_snapshot()}
+            store_hist = store.fetch_hist_snapshot()
+        delta = {
+            name: store_after[name] - store_before[name]
+            for name in store_before
+        }
+        print(
+            f"batch: plan store {args.plan_store}: {store_after['plans']} "
+            f"plans ({delta['plans']:+d}), store-hits={delta['hits']}, "
+            f"misses={delta['misses']}, compiles={delta['compiles']}, "
+            f"races={delta['races']}, stale-claims={delta['stale_claims']}",
+            file=sys.stderr,
+        )
+        store_metrics = {
+            "counters": {
+                f"engine.store.{name}": value for name, value in (
+                    ("hit", delta["hits"]), ("miss", delta["misses"]),
+                    ("publish", delta["publishes"]),
+                    ("compile", delta["compiles"]), ("race", delta["races"]),
+                    ("stale_claims", delta["stale_claims"]),
+                ) if value
+            },
+            "gauges": {"engine.store.plans": store_after["plans"]},
+        }
+        from repro.engine.executor import _hist_delta
+
+        hist_delta = _hist_delta(hist_before, store_hist)
+        if hist_delta.count:
+            store_metrics["histograms"] = {
+                "engine.store.fetch_s": hist_delta.as_dict()
+            }
 
     if args.trace_out is not None:
         from repro.obs.aggregate import summary_record, task_record
 
         try:
             with open(args.trace_out, "w", encoding="utf-8") as handle:
-                for index, record in enumerate(results):
+                for task, record in zip(tasks, results):
                     handle.write(
-                        json.dumps(task_record(record, index), sort_keys=True)
+                        json.dumps(
+                            task_record(record, task["index"]), sort_keys=True
+                        )
                         + "\n"
                     )
                 handle.write(
@@ -219,6 +328,7 @@ def _batch(args: argparse.Namespace) -> None:
                         summary_record(
                             results,
                             extra={"workers": args.workers, "wall_s": wall},
+                            extra_metrics=store_metrics,
                         ),
                         sort_keys=True,
                     )
@@ -431,6 +541,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plan-cache", metavar="PATH", default=None,
         help="warm-cache spill file: loaded before the batch if it exists, "
         "rewritten after it",
+    )
+    batch.add_argument(
+        "--plan-store", metavar="PATH", default=None,
+        help="cross-process shared plan store (SQLite, created on first "
+        "use): every worker compiles through it, so each distinct query "
+        "shape is compiled at most once batch-wide — and prewarmed stores "
+        "skip compilation entirely (mutually exclusive with --plan-cache)",
+    )
+    batch.add_argument(
+        "--compile-only", action="store_true", default=False,
+        help="prepare (and publish to --plan-store) every task's plan "
+        "without evaluating anything: the prewarming mode",
+    )
+    batch.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="run only the I-th of N contiguous manifest shards (0-based); "
+        "per-task seeds use global manifest indices, so shard outputs "
+        "concatenate to the unsharded run",
     )
     batch.add_argument(
         "--trace-out", metavar="PATH", default=None,

@@ -12,12 +12,15 @@ Section 3 blow-up is exactly the cost worth paying once per query
   plan provenance;
 * :mod:`repro.engine.cache` — a thread-safe LRU plan cache with JSONL
   spill/load for warm restarts;
+* :mod:`repro.engine.store` — a cross-process shared plan store (SQLite)
+  with a read-through/write-back cache adapter, so every worker — and
+  every run sharing the store file — compiles each plan at most once;
 * :mod:`repro.engine.executor` — a process-pool batch executor with
   per-task budgets and deterministic per-task seeds
   (``python -m repro batch``).
 
-See docs/ENGINE.md for cache-key semantics, the spill schema, and the
-batch manifest format.
+See docs/ENGINE.md for cache-key semantics, the spill schema, the shared
+plan store, and the batch manifest format.
 """
 
 from .canon import (
@@ -28,7 +31,15 @@ from .canon import (
 )
 from .cache import DEFAULT_CACHE, CacheStats, PlanCache, default_cache
 from .prepared import PlanProvenance, PreparedQuery, prepare
-from .executor import OPS, execute_task, normalize_task, run_batch, task_seed
+from .store import PlanStore, StoreBackedCache
+from .executor import (
+    OPS,
+    execute_task,
+    normalize_task,
+    run_batch,
+    task_key,
+    task_seed,
+)
 
 __all__ = [
     "canonical_formula",
@@ -42,9 +53,12 @@ __all__ = [
     "PlanProvenance",
     "PreparedQuery",
     "prepare",
+    "PlanStore",
+    "StoreBackedCache",
     "OPS",
     "normalize_task",
     "execute_task",
     "run_batch",
     "task_seed",
+    "task_key",
 ]

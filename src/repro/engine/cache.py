@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Callable
 
 from .. import obs
-from .._errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .prepared import PreparedQuery
@@ -36,7 +36,7 @@ SPILL_SCHEMA = "repro.engine.plan/v1"
 class CacheStats:
     """Monotonic counters for one :class:`PlanCache` instance."""
 
-    __slots__ = ("hits", "misses", "evictions", "spilled", "loaded")
+    __slots__ = ("hits", "misses", "evictions", "spilled", "loaded", "skipped")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -44,6 +44,7 @@ class CacheStats:
         self.evictions = 0
         self.spilled = 0
         self.loaded = 0
+        self.skipped = 0
 
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -169,13 +170,28 @@ class PlanCache:
 
         Duplicate keys are skipped (a key's compiled artifacts are a
         deterministic function of the key, so any copy is as good as any
-        other); records with an unknown schema tag raise.
+        other).  Blank lines are ignored; malformed lines — invalid JSON,
+        non-objects, unknown schema tags, or records a plan cannot be
+        rebuilt from — are *skipped* with one warning each, counted in
+        ``stats.skipped`` and ``engine.cache.load_skipped``, rather than
+        aborting the whole load (mirroring :func:`repro.obs.read_jsonl`):
+        one corrupt line must not make an entire warm spill unusable.
         """
         from .prepared import PreparedQuery
 
         added = 0
-        for record in _read_records(path):
-            plan = PreparedQuery.from_record(record)
+        records, skipped = _read_records(path)
+        for lineno, record in records:
+            try:
+                plan = PreparedQuery.from_record(record)
+            except Exception as error:  # noqa: BLE001 - any bad payload skips
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping unloadable plan record "
+                    f"({type(error).__name__}: {error})",
+                    stacklevel=2,
+                )
+                continue
             with self._lock:
                 fresh = plan.key not in self._plans
                 if not fresh:
@@ -186,10 +202,22 @@ class PlanCache:
             added += 1
         self.stats.loaded += added
         obs.add("engine.cache.loaded", added)
+        if skipped:
+            self.stats.skipped += skipped
+            obs.add("engine.cache.load_skipped", skipped)
         return added
 
 
-def _read_records(path: str) -> Iterator[dict]:
+def _read_records(path: str) -> tuple[list[tuple[int, dict]], int]:
+    """Parse a spill file into ``(lineno, record)`` pairs plus a skip count.
+
+    Blank lines are silently ignored; invalid JSON, non-object lines, and
+    unknown schema tags are counted and reported via :mod:`warnings`
+    instead of raising, so a partially corrupt spill still yields every
+    readable plan.
+    """
+    records: list[tuple[int, dict]] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
@@ -198,16 +226,30 @@ def _read_records(path: str) -> Iterator[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as error:
-                raise ReproError(
-                    f"{path}:{lineno}: not valid JSON: {error}"
-                ) from error
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping malformed plan line ({error})",
+                    stacklevel=3,
+                )
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-object plan line",
+                    stacklevel=3,
+                )
+                continue
             schema = record.get("schema")
             if schema != SPILL_SCHEMA:
-                raise ReproError(
-                    f"{path}:{lineno}: unknown plan schema {schema!r} "
-                    f"(expected {SPILL_SCHEMA!r})"
+                skipped += 1
+                warnings.warn(
+                    f"{path}:{lineno}: skipping record with unknown plan "
+                    f"schema {schema!r} (expected {SPILL_SCHEMA!r})",
+                    stacklevel=3,
                 )
-            yield record
+                continue
+            records.append((lineno, record))
+    return records, skipped
 
 
 #: The process-wide cache :func:`repro.engine.prepare` uses by default.

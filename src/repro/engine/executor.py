@@ -25,6 +25,16 @@ Execution contract:
   would serialize on the GIL); each worker process keeps its own warm
   plan cache across the tasks it serves, and ``workers <= 1`` runs
   serially in-process against the shared cache;
+* **plan sharing** — with ``plan_store=PATH`` every process routes
+  in-memory cache misses through one cross-process
+  :class:`~repro.engine.store.PlanStore` (SQLite, read-through /
+  write-back): each distinct content hash is compiled at most once
+  *batch-wide*, prewarmed stores skip compilation entirely, and
+  ``compile_only=True`` populates the store without evaluating anything
+  (the ``repro batch --compile-only`` prewarming mode).  Each result
+  gains a deterministic ``"cache"`` provenance dict (see
+  :func:`_attach_cache_provenance`), and the batch's store traffic is
+  folded once into the parent's ``engine.store.*`` metrics;
 * **observability** — the batch runs inside an ``engine.batch`` span and
   reports ``engine.batch.*`` counters in the parent process.  With
   ``collect_obs=True`` each task additionally runs under its own trace
@@ -42,6 +52,7 @@ Results come back in manifest order, one JSON-able dict per task.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from fractions import Fraction
@@ -51,9 +62,14 @@ from .. import guard, obs
 from .._errors import ReproError
 from ..guard.budget import Budget
 from ..guard.errors import BudgetExceeded
+from ..obs.histogram import Histogram
 from .prepared import prepare
+from .store import PlanStore, StoreBackedCache
 
-__all__ = ["OPS", "task_seed", "normalize_task", "execute_task", "run_batch"]
+__all__ = [
+    "OPS", "task_seed", "task_key", "normalize_task", "execute_task",
+    "run_batch",
+]
 
 #: Operations a manifest task may request.
 OPS = ("volume", "approx", "decide")
@@ -64,6 +80,30 @@ def task_seed(base_seed: int, index: int) -> int:
     import numpy as np
 
     return int(np.random.SeedSequence([base_seed, index]).generate_state(1)[0])
+
+
+def task_key(task: Mapping[str, Any]) -> str | None:
+    """The content hash :func:`prepare` will key *task*'s plan under.
+
+    Computed by canonicalization alone — no QE, CAD, or decomposition —
+    so it is cheap enough to call for every task of a manifest.  ``None``
+    when the formula does not parse (such a task errors at execution and
+    never touches a cache).  Used to seed shard runs with the keys of
+    skipped prefix tasks, keeping cache provenance shard-invariant.
+    """
+    from ..logic.parser import parse
+    from .canon import canonical_formula, content_hash
+
+    try:
+        canonical = canonical_formula(parse(task["formula"]))
+    except Exception:  # noqa: BLE001 - an unkeyable task never hits a cache
+        return None
+    if task.get("op") == "decide":
+        return content_hash(canonical, (), "decide")
+    variables = task.get("variables")
+    if variables is None:
+        variables = tuple(sorted(canonical.free_variables()))
+    return content_hash(canonical, tuple(variables), "volume")
 
 
 def _as_fraction(value: Any) -> Fraction:
@@ -114,13 +154,18 @@ def execute_task(
     epsilon: float = 0.05,
     delta: float = 0.05,
     collect_obs: bool = False,
+    plan_store: str | None = None,
+    compile_only: bool = False,
 ) -> dict[str, Any]:
     """Run one normalized task; always returns a result record, never raises.
 
     ``seed`` is the already-derived per-task seed (see :func:`task_seed`).
     ``collect_obs=True`` runs the task under its own trace/registry and
     attaches the serialized telemetry snapshot under the result's
-    ``"obs"`` key (see :mod:`repro.obs.aggregate`).
+    ``"obs"`` key (see :mod:`repro.obs.aggregate`).  ``plan_store`` names
+    a shared :class:`~repro.engine.store.PlanStore` file to compile
+    through (one adapter per process, reused across tasks);
+    ``compile_only=True`` prepares the plan and skips evaluation.
     """
     result: dict[str, Any] = {"id": task["id"], "op": task["op"], "seed": seed}
     start = time.perf_counter()
@@ -129,16 +174,17 @@ def execute_task(
         if timeout is not None or max_cells is not None
         else None
     )
+    store = _store_adapter(plan_store) if plan_store else None
     if collect_obs:
         from ..obs.aggregate import task_observation
 
         with task_observation() as observation:
             _run_task(result, task, seed, budget, fallback, epsilon, delta,
-                      collect_obs)
+                      collect_obs, store, compile_only)
         result["obs"] = observation.snapshot
     else:
         _run_task(result, task, seed, budget, fallback, epsilon, delta,
-                  collect_obs)
+                  collect_obs, store, compile_only)
     result["elapsed_s"] = round(time.perf_counter() - start, 6)
     return result
 
@@ -152,12 +198,14 @@ def _run_task(
     epsilon: float,
     delta: float,
     collect_obs: bool,
+    store: "StoreBackedCache | None" = None,
+    compile_only: bool = False,
 ) -> None:
     """The error-isolating dispatch body shared by both collection modes."""
     try:
         result.update(
             _dispatch(task, seed, budget, fallback, epsilon, delta,
-                      collect_obs)
+                      collect_obs, store, compile_only)
         )
         result["status"] = "ok"
     except BudgetExceeded as error:
@@ -188,25 +236,35 @@ def _dispatch(
     epsilon: float,
     delta: float,
     collect_obs: bool = False,
+    store: "StoreBackedCache | None" = None,
+    compile_only: bool = False,
 ) -> dict[str, Any]:
     op = task["op"]
     variables = task.get("variables")
     box = task.get("box")
     epsilon = task.get("epsilon", epsilon)
     delta = task.get("delta", delta)
-    # Observed tasks compile privately: shared-cache hits depend on worker
-    # scheduling, and per-task telemetry must not (see module docstring).
-    cache: dict[str, Any] = {"cache": None} if collect_obs else {}
+    # Observed tasks compile privately: shared-cache (and shared-store)
+    # hits depend on worker scheduling, and per-task telemetry must not
+    # (see module docstring) — so collect_obs bypasses the store too.
+    cache: dict[str, Any] = (
+        {"cache": None} if collect_obs
+        else {"cache": store} if store is not None
+        else {}
+    )
 
     if op == "decide":
         plan = prepare(task["formula"], (), kind="decide", budget=budget,
                        **cache)
+        if compile_only:
+            return {"cached_key": plan.key, "cells": plan.cell_count(),
+                    "mode": "compile-only"}
         return {"value": plan.decide(), "mode": "exact", "cached_key": plan.key}
 
     try:
         plan = prepare(task["formula"], variables, budget=budget, **cache)
     except BudgetExceeded as error:
-        if op != "volume" or fallback == "off":
+        if compile_only or op != "volume" or fallback == "off":
             raise
         # Compilation itself exhausted the budget.  Degrade the same way
         # guard.robust_volume does: a quantifier-free matrix can still be
@@ -229,6 +287,9 @@ def _dispatch(
             "attempts": [["exact", error.resource]],
         }
     out: dict[str, Any] = {"cached_key": plan.key, "cells": plan.cell_count()}
+    if compile_only:
+        out["mode"] = "compile-only"
+        return out
 
     if op == "approx":
         estimate = plan.approx_volume(epsilon, delta, rng=_rng(seed), box=box)
@@ -271,6 +332,24 @@ def _dispatch(
     return out
 
 
+#: One store adapter per ``(path, pid)``: the SQLite connection must not
+#: cross a fork, and the in-memory side of the adapter is the worker's
+#: warm cache, so it must persist across the tasks the worker serves.
+_ADAPTERS: dict[tuple[str, int], StoreBackedCache] = {}
+
+
+def _store_adapter(path: str) -> StoreBackedCache:
+    """This process's read-through adapter for the store at *path*."""
+    key = (str(path), os.getpid())
+    adapter = _ADAPTERS.get(key)
+    if adapter is None:
+        for stale in [k for k in _ADAPTERS if k[1] != key[1]]:
+            del _ADAPTERS[stale]  # fork-inherited connections are unsafe
+        adapter = StoreBackedCache(PlanStore(str(path)))
+        _ADAPTERS[key] = adapter
+    return adapter
+
+
 def _worker(payload: tuple[dict[str, Any], dict[str, Any]]) -> dict[str, Any]:
     """Process-pool entry point (top level so it pickles)."""
     task, config = payload
@@ -288,6 +367,9 @@ def run_batch(
     epsilon: float = 0.05,
     delta: float = 0.05,
     collect_obs: bool = False,
+    plan_store: str | None = None,
+    compile_only: bool = False,
+    seen_keys: Iterable[str] = (),
 ) -> list[dict[str, Any]]:
     """Run every task in *tasks*; returns result records in manifest order.
 
@@ -301,6 +383,21 @@ def run_batch(
     task span forests (roots tagged ``task=i``) graft into the active
     trace when tracing is on.  The merge applies snapshots in manifest
     order, so totals are identical for any worker count.
+
+    ``plan_store`` routes every process's plan-cache misses through one
+    shared SQLite :class:`~repro.engine.store.PlanStore` file (created on
+    first use), so a content hash is compiled at most once batch-wide;
+    ``compile_only=True`` prepares (and publishes) every task's plan
+    without evaluating it — the prewarming mode.  The batch's store
+    traffic (hits, misses, publishes, races, fetch latencies) is read
+    back from the store's cross-process stats and folded once into this
+    process's ``engine.store.*`` metrics.
+
+    ``seen_keys`` pre-seeds the deterministic cache provenance (see
+    :func:`_attach_cache_provenance`) with content hashes treated as
+    already compiled — the CLI passes the skipped prefix of a sharded
+    manifest (via :func:`task_key`), so shard outputs concatenate to the
+    unsharded run's output exactly.
     """
     normalized = [
         task if "index" in task else normalize_task(task, index)
@@ -313,7 +410,13 @@ def run_batch(
         "epsilon": epsilon,
         "delta": delta,
         "collect_obs": collect_obs,
+        "plan_store": plan_store,
+        "compile_only": compile_only,
     }
+    store = PlanStore(str(plan_store)) if plan_store else None
+    prewarmed = frozenset(store.keys()) if store is not None else frozenset()
+    stats_before = store.stats_snapshot() if store is not None else None
+    hist_before = store.fetch_hist_snapshot() if store is not None else None
     obs.add("engine.batch.runs")
     obs.add("engine.batch.tasks", len(normalized))
     start = time.perf_counter()
@@ -340,9 +443,111 @@ def run_batch(
             obs.add("engine.batch.budget_exceeded")
         else:
             obs.add("engine.batch.errors")
+    _attach_cache_provenance(results, prewarmed, seen_keys)
+    if store is not None:
+        _fold_store_delta(store, stats_before, hist_before)
+        store.close()
     if collect_obs:
         _merge_harvest(results)
     return results
+
+
+def _attach_cache_provenance(
+    results: list[dict[str, Any]],
+    prewarmed: frozenset[str],
+    seen_keys: Iterable[str] = (),
+) -> None:
+    """Attach a deterministic ``"cache"`` provenance dict to each result.
+
+    The provenance is *semantic*, computed by the parent from the manifest
+    structure and the pre-batch store contents — what a serial run against
+    a cold in-memory cache would observe — rather than from the racy
+    hit/miss events real workers saw (those depend on which worker a task
+    landed on, and result records must not).  Per task with a compiled
+    plan: the first occurrence of a content hash is a ``store_hits`` (key
+    already published before the batch) or a ``misses`` (compiled by this
+    batch); later occurrences are in-memory ``hits``.  Being a function
+    of (manifest, store contents) alone, it is identical for any worker
+    count and for observed (``collect_obs``) runs, whose tasks really
+    compile privately.  The aggregate cross-process traffic the workers
+    actually generated lives in the ``engine.store.*`` metrics instead.
+
+    ``seen_keys`` are hashes to treat as already-compiled occurrences
+    (the skipped prefix of a sharded manifest), so a shard's provenance
+    matches the same tasks' provenance in the unsharded run.
+    """
+    seen: set[str] = set(seen_keys)
+    for result in results:
+        key = result.get("cached_key")
+        if key is None:
+            continue
+        if key in seen:
+            outcome = "hits"
+        elif key in prewarmed:
+            outcome = "store_hits"
+        else:
+            outcome = "misses"
+        seen.add(key)
+        result["cache"] = {
+            "hits": 0, "misses": 0, "store_hits": 0, outcome: 1,
+        }
+
+
+#: ``stats`` table name -> obs counter it feeds (see obs/metrics.py).
+_STORE_COUNTERS = {
+    "hits": "engine.store.hit",
+    "misses": "engine.store.miss",
+    "publishes": "engine.store.publish",
+    "compiles": "engine.store.compile",
+    "races": "engine.store.race",
+    "stale_claims": "engine.store.stale_claims",
+}
+
+
+def _fold_store_delta(
+    store: PlanStore,
+    stats_before: dict[str, int],
+    hist_before: dict[str, Any],
+) -> None:
+    """Fold the batch's store traffic into this process's registry, once.
+
+    Worker registries die with the pool, so the store's own SQLite stats
+    are the one surviving record of cross-process traffic; the parent
+    computes the before/after delta and applies it exactly once (counters
+    add; the fetch-latency histogram merges bucket-exactly, with min/max
+    conservatively taken from the store's lifetime extremes).
+    """
+    stats_after = store.stats_snapshot()
+    for name, metric in _STORE_COUNTERS.items():
+        delta = stats_after[name] - stats_before[name]
+        if delta:
+            obs.add(metric, delta)
+    obs.set_gauge("engine.store.plans", len(store))
+    if obs.counting_enabled():
+        delta_hist = _hist_delta(hist_before, store.fetch_hist_snapshot())
+        if delta_hist.count:
+            obs.REGISTRY.histogram(
+                "engine.store.fetch_s",
+                "Shared-plan-store fetch latency (seconds)",
+            ).merge(delta_hist)
+
+
+def _hist_delta(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> Histogram:
+    """The bucket-exact difference of two fetch-histogram snapshots."""
+    hist = Histogram("engine.store.fetch_s")
+    hist.count = int(after.get("count", 0)) - int(before.get("count", 0))
+    hist.sum = float(after.get("sum", 0.0)) - float(before.get("sum", 0.0))
+    before_buckets = before.get("buckets") or {}
+    for index, n in (after.get("buckets") or {}).items():
+        delta = int(n) - int(before_buckets.get(index, 0))
+        if delta:
+            hist.buckets[int(index)] = delta
+    if hist.count > 0:
+        hist.min = None if after.get("min") is None else float(after["min"])
+        hist.max = None if after.get("max") is None else float(after["max"])
+    return hist
 
 
 def _merge_harvest(results: list[dict[str, Any]]) -> None:

@@ -365,9 +365,11 @@ def prepare(
 
     ``cache`` defaults to the shared process-wide
     :data:`~repro.engine.cache.DEFAULT_CACHE`; pass ``cache=None`` to
-    compile without caching, or a private :class:`PlanCache`.  Compilation
-    runs under *budget* (or the ambient governed budget), and the plan's
-    provenance records the consumption it charged.
+    compile without caching, a private :class:`PlanCache`, or a
+    :class:`~repro.engine.store.StoreBackedCache` (in-memory misses then
+    fall through to a cross-process shared store before compiling).
+    Compilation runs under *budget* (or the ambient governed budget), and
+    the plan's provenance records the consumption it charged.
     """
     if kind not in KINDS:
         raise EvaluationError(f"unknown plan kind {kind!r}; one of {KINDS}")
@@ -393,22 +395,24 @@ def prepare(
 
     plan_cache: PlanCache | None
     plan_cache = DEFAULT_CACHE if cache is _SHARED else cache  # type: ignore[assignment]
-    if plan_cache is not None:
-        cached = plan_cache.get(key)
-        if cached is not None:
-            return cached
 
-    obs.add("engine.compile")
-    with obs.span("engine.compile", kind=kind, variables=len(variables)):
-        with guard.govern(budget):
+    def factory() -> PreparedQuery:
+        obs.add("engine.compile")
+        with obs.span("engine.compile", kind=kind, variables=len(variables)):
             plan = _compile(
                 kind, key, canonical, text, variables, clock, budget,
                 prune, certify,
             )
-    obs.observe_value("engine.plan.compile_s", plan.provenance.compile_s)
-    if plan_cache is not None:
-        return plan_cache.put(plan)
-    return plan
+        obs.observe_value("engine.plan.compile_s", plan.provenance.compile_s)
+        return plan
+
+    # One govern() covers the whole cache interaction, not just _compile:
+    # a store-backed cache (repro.engine.store) does budgeted I/O — and can
+    # *wait* on another process's compile — on the lookup path itself.
+    with guard.govern(budget):
+        if plan_cache is None:
+            return factory()
+        return plan_cache.get_or_compile(key, factory)
 
 
 def _compile(

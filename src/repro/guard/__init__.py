@@ -43,6 +43,7 @@ from .errors import (
     DeadlineExceeded,
     DepthBudgetExceeded,
     SizeBudgetExceeded,
+    StoreIOBudgetExceeded,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "ConstraintBudgetExceeded",
     "SizeBudgetExceeded",
     "DepthBudgetExceeded",
+    "StoreIOBudgetExceeded",
     "POLICIES",
     "RobustResult",
     "robust_volume",

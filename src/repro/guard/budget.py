@@ -6,7 +6,8 @@ A :class:`Budget` caps the resources the exact pipeline may consume:
 * ``max_cells`` — CAD stack cells + convex decomposition cells,
 * ``max_constraints`` — linear constraints produced by Fourier-Motzkin,
 * ``max_size`` — intermediate formula size (DNF conjuncts),
-* ``max_depth`` — recursion depth of the lifting/search recursions.
+* ``max_depth`` — recursion depth of the lifting/search recursions,
+* ``max_store_ios`` — shared-plan-store round trips (fetch/publish/poll).
 
 Enforcement is cooperative: the hot loops of the evaluator, both QE
 engines, and the geometry pipeline call :func:`checkpoint` (deadline) and
@@ -41,6 +42,7 @@ from .errors import (
     DepthBudgetExceeded,
     RESOURCE_ERRORS,
     SizeBudgetExceeded,
+    StoreIOBudgetExceeded,
 )
 
 __all__ = [
@@ -74,8 +76,9 @@ class Budget:
 
     __slots__ = (
         "deadline_s", "max_cells", "max_constraints", "max_size", "max_depth",
-        "cells", "constraints", "peak_size", "peak_depth", "checkpoints",
-        "started_s", "_deadline_at", "_flushed_checkpoints",
+        "max_store_ios", "cells", "constraints", "store_ios", "peak_size",
+        "peak_depth", "checkpoints", "started_s", "_deadline_at",
+        "_flushed_checkpoints",
     )
 
     def __init__(
@@ -86,11 +89,12 @@ class Budget:
         max_constraints: int | None = None,
         max_size: int | None = None,
         max_depth: int | None = None,
+        max_store_ios: int | None = None,
     ):
         for name, value in (
             ("deadline_s", deadline_s), ("max_cells", max_cells),
             ("max_constraints", max_constraints), ("max_size", max_size),
-            ("max_depth", max_depth),
+            ("max_depth", max_depth), ("max_store_ios", max_store_ios),
         ):
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be None or >= 0, got {value!r}")
@@ -99,8 +103,10 @@ class Budget:
         self.max_constraints = max_constraints
         self.max_size = max_size
         self.max_depth = max_depth
+        self.max_store_ios = max_store_ios
         self.cells = 0
         self.constraints = 0
+        self.store_ios = 0
         self.peak_size = 0
         self.peak_depth = 0
         self.checkpoints = 0
@@ -127,6 +133,7 @@ class Budget:
         """
         self.cells = 0
         self.constraints = 0
+        self.store_ios = 0
         self.peak_size = 0
         self.peak_depth = 0
 
@@ -135,6 +142,7 @@ class Budget:
         return {
             "cells": self.cells,
             "constraints": self.constraints,
+            "store_ios": self.store_ios,
             "peak_size": self.peak_size,
             "peak_depth": self.peak_depth,
             "checkpoints": self.checkpoints,
@@ -147,6 +155,7 @@ class Budget:
             ("deadline_s", self.deadline_s), ("max_cells", self.max_cells),
             ("max_constraints", self.max_constraints),
             ("max_size", self.max_size), ("max_depth", self.max_depth),
+            ("max_store_ios", self.max_store_ios),
         )
         return {name: value for name, value in pairs if value is not None}
 
@@ -173,6 +182,14 @@ class Budget:
                 self._trip(
                     ConstraintBudgetExceeded, "constraints",
                     self.max_constraints, self.constraints,
+                )
+        elif resource == "store_ios":
+            self.store_ios += amount
+            if (self.max_store_ios is not None
+                    and self.store_ios > self.max_store_ios):
+                self._trip(
+                    StoreIOBudgetExceeded, "store_ios",
+                    self.max_store_ios, self.store_ios,
                 )
         else:
             raise ValueError(f"unknown chargeable resource {resource!r}")

@@ -28,6 +28,7 @@ __all__ = [
     "ConstraintBudgetExceeded",
     "SizeBudgetExceeded",
     "DepthBudgetExceeded",
+    "StoreIOBudgetExceeded",
     "RESOURCE_ERRORS",
 ]
 
@@ -102,6 +103,12 @@ class DepthBudgetExceeded(BudgetExceeded, QEError):
     resource = "depth"
 
 
+class StoreIOBudgetExceeded(BudgetExceeded):
+    """More shared-plan-store round trips (fetch/publish) than allowed."""
+
+    resource = "store_ios"
+
+
 #: Resource name -> exception class, used by budgets and fault injection.
 RESOURCE_ERRORS: dict[str, type[BudgetExceeded]] = {
     "deadline": DeadlineExceeded,
@@ -109,4 +116,5 @@ RESOURCE_ERRORS: dict[str, type[BudgetExceeded]] = {
     "constraints": ConstraintBudgetExceeded,
     "size": SizeBudgetExceeded,
     "depth": DepthBudgetExceeded,
+    "store_ios": StoreIOBudgetExceeded,
 }

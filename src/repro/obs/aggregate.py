@@ -242,6 +242,10 @@ def task_record(result: Mapping[str, Any], task: int) -> dict[str, Any]:
         "status": result.get("status"),
         "seed": result.get("seed"),
     }
+    # Deterministic (parent-computed) plan-cache provenance — byte-stable,
+    # unlike the racy hit/miss events workers actually observed.
+    if result.get("cache") is not None:
+        record["cache"] = dict(result["cache"])
     counters = snapshot.get("counters")
     if counters:
         record["counters"] = dict(counters)
@@ -269,13 +273,20 @@ def task_record(result: Mapping[str, Any], task: int) -> dict[str, Any]:
 def summary_record(
     results: Sequence[Mapping[str, Any]],
     extra: Mapping[str, Any] | None = None,
+    extra_metrics: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """The run-level merge: full histograms, merged counters, status tally.
 
     This is the record that carries timing (histogram buckets and sums),
-    so it is *not* byte-stable between runs — by design.
+    so it is *not* byte-stable between runs — by design.  ``extra_metrics``
+    is an optional snapshot-shaped mapping (``counters`` / ``gauges`` /
+    ``histograms`` sections) merged in on top of the task harvest — the
+    CLI uses it for metrics the tasks themselves cannot see, like the
+    shared plan store's cross-process traffic delta.
     """
     registry = merged_registry(results)
+    if extra_metrics:
+        merge_snapshot_into(registry, extra_metrics)
     tally = {"ok": 0, "budget-exceeded": 0, "error": 0}
     for result in results:
         status = result.get("status", "error")
@@ -314,7 +325,10 @@ def registry_from_records(records: Sequence[Mapping[str, Any]]) -> Registry:
 
     The run summary (full histogram data) is authoritative when present;
     otherwise counters accumulate from task records and histograms
-    degrade to observation counts (task records elide timing).
+    degrade to observation counts (task records elide timing).  Files
+    with neither shape — e.g. ``--json`` records from any CLI command —
+    fall back to a generic snapshot merge of every record, so
+    ``repro metrics`` can replay them too.
     """
     registry = Registry()
     summaries = [
@@ -323,6 +337,10 @@ def registry_from_records(records: Sequence[Mapping[str, Any]]) -> Registry:
     if summaries:
         for summary in summaries:
             merge_snapshot_into(registry, summary)
+        return registry
+    if not any(r.get("experiment") == TASK_EXPERIMENT for r in records):
+        for record in records:
+            merge_snapshot_into(registry, record)
         return registry
     for record in records:
         if record.get("experiment") != TASK_EXPERIMENT:

@@ -230,6 +230,24 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "engine.cache.loaded": ("counter", "plans loaded from a JSONL spill file"),
     "engine.cache.entries": ("gauge", "plans currently held by the cache"),
     "engine.cache.cells": ("gauge", "total compiled cells held by the cache"),
+    "engine.cache.load_skipped": (
+        "counter", "unreadable spill-file lines skipped during a cache load"),
+    "engine.store.hit": (
+        "counter", "plan lookups served from the shared cross-process store"),
+    "engine.store.miss": (
+        "counter", "shared-store lookups that found no published plan"),
+    "engine.store.publish": (
+        "counter", "plans published to the shared store (exactly once per key)"),
+    "engine.store.compile": (
+        "counter", "plans compiled under a shared-store claim"),
+    "engine.store.race": (
+        "counter", "compile races lost: winner's published record adopted"),
+    "engine.store.stale_claims": (
+        "counter", "abandoned compile claims stolen from dead owners"),
+    "engine.store.plans": (
+        "gauge", "plans held by the shared store after the last batch"),
+    "engine.store.fetch_s": (
+        "histogram", "seconds to fetch and decode one plan from the shared store"),
     "engine.eval.volume": ("counter", "exact volume evaluations of prepared plans"),
     "engine.eval.memo_hit": (
         "counter", "volume evaluations answered by a plan's per-box memo"),

@@ -1,8 +1,8 @@
-"""Engine-suite isolation: a clean process-wide plan cache per test."""
+"""Engine-suite isolation: clean process-wide caches/adapters per test."""
 
 import pytest
 
-from repro.engine import DEFAULT_CACHE
+from repro.engine import DEFAULT_CACHE, executor
 
 
 @pytest.fixture(autouse=True)
@@ -10,3 +10,11 @@ def _fresh_default_cache():
     DEFAULT_CACHE.clear()
     yield
     DEFAULT_CACHE.clear()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store_adapters():
+    """Store adapters memoize per (path, pid); tests must not share them."""
+    executor._ADAPTERS.clear()
+    yield
+    executor._ADAPTERS.clear()

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro import obs
-from repro._errors import ReproError
 from repro.engine import PlanCache, prepare
 from repro.engine.cache import SPILL_SCHEMA
 
@@ -135,14 +134,51 @@ class TestSpill:
         assert len(lines) == 1
         assert json.loads(lines[0])["schema"] == SPILL_SCHEMA
 
-    def test_load_rejects_unknown_schema(self, tmp_path):
+    def test_load_skips_unknown_schema(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text(json.dumps({"schema": "repro.engine.plan/v999"}) + "\n")
-        with pytest.raises(ReproError, match="unknown plan schema"):
-            PlanCache().load(str(path))
+        cache = PlanCache()
+        with pytest.warns(UserWarning, match="unknown plan schema"):
+            assert cache.load(str(path)) == 0
+        assert cache.stats.skipped == 1
 
-    def test_load_rejects_bad_json(self, tmp_path):
+    def test_load_skips_bad_json(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("{not json\n")
-        with pytest.raises(ReproError, match="not valid JSON"):
-            PlanCache().load(str(path))
+        cache = PlanCache()
+        with pytest.warns(UserWarning, match="malformed plan line"):
+            assert cache.load(str(path)) == 0
+        assert cache.stats.skipped == 1
+
+    def test_load_skips_corrupt_lines_keeps_good_ones(self, tmp_path, triangle):
+        """One corrupt line must not make a whole warm spill unusable."""
+        path = tmp_path / "mixed.jsonl"
+        source = PlanCache()
+        source.put(triangle)
+        source.spill(str(path))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{broken json\n")
+            handle.write("[1, 2, 3]\n")
+            handle.write(json.dumps({"schema": "not/a/plan"}) + "\n")
+            handle.write(json.dumps(
+                {"schema": SPILL_SCHEMA, "kind": "volume"}) + "\n")
+            handle.write("\n")  # blank: ignored, not counted
+
+        target = PlanCache()
+        obs.enable_counting()
+        with pytest.warns(UserWarning):
+            assert target.load(str(path)) == 1
+        assert target.get(triangle.key).volume() == triangle.volume()
+        assert target.stats.skipped == 4
+        assert obs.REGISTRY.as_dict()["engine.cache.load_skipped"] == 4
+
+    def test_load_skips_unrebuildable_record(self, tmp_path):
+        """A schema-tagged record the plan cannot be rebuilt from skips too."""
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(
+            {"schema": SPILL_SCHEMA, "kind": "volume", "variables": ["x"]}
+        ) + "\n")
+        cache = PlanCache()
+        with pytest.warns(UserWarning, match="unloadable plan record"):
+            assert cache.load(str(path)) == 0
+        assert cache.stats.skipped == 1

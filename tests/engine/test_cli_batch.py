@@ -105,6 +105,53 @@ class TestBatch:
         records = [json.loads(line) for line in out.splitlines() if line]
         assert {r["status"] for r in records} == {"ok"}
 
+    def test_plan_store_prewarm_then_warm(self, manifest, tmp_path):
+        store = str(tmp_path / "plans.sqlite")
+        code, out, err = run_cli(
+            "batch", manifest, "--plan-store", store, "--compile-only"
+        )
+        assert code == 0
+        assert "plan store" in err
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert all(r["mode"] == "compile-only" for r in records)
+        assert all("value" not in r for r in records)
+
+        code, out, err = run_cli(
+            "batch", manifest, "--plan-store", store, "--workers", "2"
+        )
+        assert code == 0
+        assert "compiles=0" in err
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert {r["status"] for r in records} == {"ok"}
+        # tri/clip/mc share one content hash; root2 is the other: the
+        # first occurrence of each is a store hit, the rest memory hits.
+        assert all(r["cache"]["misses"] == 0 for r in records)
+        assert sum(r["cache"]["store_hits"] for r in records) == 2
+        assert sum(r["cache"]["hits"] for r in records) == 2
+
+    def test_plan_store_excludes_plan_cache(self, manifest, tmp_path):
+        code, _, err = run_cli(
+            "batch", manifest,
+            "--plan-store", str(tmp_path / "s.sqlite"),
+            "--plan-cache", str(tmp_path / "c.jsonl"),
+        )
+        assert code == 2
+        assert "mutually exclusive" in err
+
+    def test_compile_only_needs_a_destination(self, manifest):
+        code, _, err = run_cli("batch", manifest, "--compile-only")
+        assert code == 2
+        assert "--compile-only needs" in err
+
+    def test_trace_out_with_plan_store_warns(self, manifest, tmp_path):
+        code, _, err = run_cli(
+            "batch", manifest,
+            "--plan-store", str(tmp_path / "s.sqlite"),
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        )
+        assert code == 0
+        assert "bypassing" in err
+
     def test_bad_manifest_line_fails_loudly(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"formula": "x < 1"}\n{oops\n')
@@ -166,6 +213,58 @@ class TestTraceOut:
         serial_tasks = one.read_text().splitlines()[:4]
         parallel_tasks = four.read_text().splitlines()[:4]
         assert serial_tasks == parallel_tasks  # bytes, not just JSON
+
+
+class TestShard:
+    @staticmethod
+    def stable(text):
+        return [
+            {k: v for k, v in json.loads(line).items() if k != "elapsed_s"}
+            for line in text.splitlines() if line
+        ]
+
+    def test_shards_concatenate_to_unsharded_run(self, manifest):
+        """Contiguous shards keep global task indices (and thus seeds)."""
+        _, whole, _ = run_cli("batch", manifest, "--seed", "7")
+        parts = []
+        for index in range(3):
+            DEFAULT_CACHE.clear()
+            code, out, err = run_cli(
+                "batch", manifest, "--seed", "7", "--shard", f"{index}/3"
+            )
+            assert code == 0
+            assert f"shard {index}/3" in err
+            parts.extend(self.stable(out))
+        assert parts == self.stable(whole)
+
+    def test_shard_trace_task_records_concatenate_bytewise(
+        self, manifest, tmp_path
+    ):
+        unsharded = tmp_path / "all.jsonl"
+        run_cli("batch", manifest, "--seed", "7", "--trace-out", str(unsharded))
+        shard_lines = []
+        for index in range(2):
+            DEFAULT_CACHE.clear()
+            path = tmp_path / f"s{index}.jsonl"
+            run_cli(
+                "batch", manifest, "--seed", "7", "--shard", f"{index}/2",
+                "--trace-out", str(path),
+            )
+            # Last record is the per-shard run summary (not byte-stable).
+            shard_lines.extend(path.read_text().splitlines()[:-1])
+        assert shard_lines == unsharded.read_text().splitlines()[:-1]
+
+    def test_empty_shard_of_oversplit_manifest(self, manifest):
+        # 4 tasks over 6 shards: shard 3 gets the empty slice [2, 2).
+        code, out, _ = run_cli("batch", manifest, "--shard", "3/6")
+        assert code == 0
+        assert out == ""
+
+    @pytest.mark.parametrize("spec", ["2", "a/b", "3/3", "4/3", "1/0"])
+    def test_bad_shard_spec(self, manifest, spec):
+        code, _, err = run_cli("batch", manifest, "--shard", spec)
+        assert code == 2
+        assert "--shard" in err
 
 
 class TestMetricsCommand:

@@ -229,6 +229,8 @@ def _batch(args: argparse.Namespace) -> None:
             "--compile-only needs --plan-store (or --plan-cache): "
             "prewarmed plans must land somewhere that outlives the run"
         )
+    if args.resume and not args.journal:
+        raise ReproError("--resume needs --journal PATH (nothing to replay)")
 
     tasks = _read_manifest(args.manifest)
     seen_keys: list[str] = []
@@ -265,12 +267,16 @@ def _batch(args: argparse.Namespace) -> None:
     import time
 
     start = time.perf_counter()
+    if args.resume and os.path.exists(args.journal):
+        print(f"batch: resuming from journal {args.journal}", file=sys.stderr)
     results = run_batch(
         tasks, workers=args.workers, seed=args.seed, timeout=args.timeout,
         max_cells=args.max_cells, fallback=args.fallback,
         epsilon=args.epsilon, delta=args.delta, collect_obs=collect_obs,
         plan_store=args.plan_store, compile_only=args.compile_only,
-        seen_keys=seen_keys,
+        seen_keys=seen_keys, max_retries=args.max_retries,
+        hang_timeout_s=args.hang_timeout, chaos=args.chaos,
+        journal=args.journal, resume=args.resume,
     )
     wall = time.perf_counter() - start
 
@@ -359,11 +365,15 @@ def _batch(args: argparse.Namespace) -> None:
         tally[record.get("status", "error")] = (
             tally.get(record.get("status", "error"), 0) + 1
         )
+    quarantined = (
+        f", quarantined={tally['quarantined']}" if tally.get("quarantined")
+        else ""
+    )
     print(
         f"batch: {len(results)} tasks in {wall:.3f}s "
         f"({args.workers} worker{'s' if args.workers != 1 else ''}): "
         f"ok={tally['ok']}, budget-exceeded={tally['budget-exceeded']}, "
-        f"error={tally['error']}",
+        f"error={tally['error']}{quarantined}",
         file=sys.stderr,
     )
 
@@ -564,6 +574,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH", default=None,
         help="harvest per-task telemetry (counters, histograms, spans) and "
         "write one merged JSONL record per task plus a run summary here",
+    )
+    batch.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="append every completed task to this repro.engine.journal/v1 "
+        "JSONL file (fsynced per record), so an interrupted run can be "
+        "resumed with --resume; use one journal per shard",
+    )
+    batch.add_argument(
+        "--resume", action="store_true", default=False,
+        help="replay --journal and run only the unfinished tasks; the "
+        "combined output is byte-identical to an uninterrupted run "
+        "(same manifest, seed, and flags required)",
+    )
+    batch.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="transient-failure retries (worker death) per task before it "
+        "is quarantined and the batch moves on (default 2)",
+    )
+    batch.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="SIGKILL a worker whose task has been in flight this long "
+        "(off by default; arm only above the worst-case task runtime)",
+    )
+    batch.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="deterministic fault injection for testing: kill:IDX[*TIMES] "
+        "(SIGKILL the worker at task IDX), hang:IDX[*TIMES], abort:N "
+        "(crash this run after N completions; resume via --journal), "
+        "comma-separated",
     )
     batch.add_argument(
         "--epsilon", type=float, default=0.05,

@@ -15,9 +15,16 @@ Section 3 blow-up is exactly the cost worth paying once per query
 * :mod:`repro.engine.store` — a cross-process shared plan store (SQLite)
   with a read-through/write-back cache adapter, so every worker — and
   every run sharing the store file — compiles each plan at most once;
-* :mod:`repro.engine.executor` — a process-pool batch executor with
-  per-task budgets and deterministic per-task seeds
-  (``python -m repro batch``).
+* :mod:`repro.engine.executor` — a fault-tolerant process-pool batch
+  executor with per-task budgets, deterministic per-task seeds, crash
+  isolation with retry/backoff, and poison-task quarantine
+  (``python -m repro batch``);
+* :mod:`repro.engine.journal` — an append-only journal of completed
+  batch tasks, so interrupted runs resume byte-identically
+  (``--journal PATH --resume``);
+* :mod:`repro.engine.chaos` — deterministic process-level fault
+  injection (worker kills/hangs, simulated parent crashes) for testing
+  all of the above.
 
 See docs/ENGINE.md for cache-key semantics, the spill schema, the shared
 plan store, and the batch manifest format.
@@ -30,6 +37,8 @@ from .canon import (
     content_hash,
 )
 from .cache import DEFAULT_CACHE, CacheStats, PlanCache, default_cache
+from .chaos import ChaosAbort, ChaosPlan, parse_chaos
+from .journal import JOURNAL_SCHEMA, Journal, manifest_fingerprint, read_journal
 from .prepared import PlanProvenance, PreparedQuery, prepare
 from .store import PlanStore, StoreBackedCache
 from .executor import (
@@ -55,6 +64,13 @@ __all__ = [
     "prepare",
     "PlanStore",
     "StoreBackedCache",
+    "ChaosAbort",
+    "ChaosPlan",
+    "parse_chaos",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "manifest_fingerprint",
+    "read_journal",
     "OPS",
     "normalize_task",
     "execute_task",

@@ -1,0 +1,139 @@
+"""Deterministic process-level fault injection for the batch executor.
+
+:mod:`repro.guard.testing` injects *cooperative* faults (budget trips at
+the n-th checkpoint); this module injects the uncooperative kind — the
+worker process dies mid-task, hangs forever, or the whole parent crashes
+— so the executor's crash isolation, retry, quarantine, and journal
+resume paths are testable in CI without flaky timing games.
+
+A :class:`ChaosPlan` maps task indices to scheduled faults::
+
+    plan = parse_chaos("kill:2,hang:3,abort:4")
+    # task 2's first dispatch SIGKILLs its worker (then runs clean),
+    # task 3's first dispatch hangs until the hang watchdog shoots it,
+    # the parent raises ChaosAbort after 4 tasks complete (a simulated
+    # crash, for --journal/--resume round trips).
+
+``kill:2*3`` kills the first three dispatch attempts of task 2 — with
+``max_retries=2`` that is a poison task and must be quarantined.
+
+The parent consumes one scheduled fault per dispatch *attempt* and ships
+it to the worker inside the task payload; the worker applies it at task
+start (:func:`apply_action`).  Consumption in the parent is what makes
+the schedule deterministic: a retried task sees the remaining schedule,
+not a fresh copy, regardless of worker count or pool scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from .._errors import ReproError
+
+__all__ = ["ChaosAbort", "ChaosPlan", "apply_action", "parse_chaos"]
+
+
+class ChaosAbort(ReproError):
+    """The chaos plan crashed the parent run (simulated, for resume tests)."""
+
+
+class ChaosPlan:
+    """A deterministic schedule of worker faults, keyed by task index."""
+
+    __slots__ = ("kill", "hang", "abort_after")
+
+    def __init__(
+        self,
+        *,
+        kill: dict[int, int] | None = None,
+        hang: dict[int, int] | None = None,
+        abort_after: int | None = None,
+    ):
+        #: task index -> remaining dispatch attempts to SIGKILL.
+        self.kill = dict(kill or {})
+        #: task index -> remaining dispatch attempts to hang.
+        self.hang = dict(hang or {})
+        #: abort the parent after this many tasks complete (``None`` = never).
+        self.abort_after = abort_after
+
+    def disruptive(self) -> bool:
+        """Whether any scheduled fault kills or hangs a worker.
+
+        Such faults need process isolation even at ``workers=1`` (an
+        in-process SIGKILL would take the whole batch down), so the
+        executor promotes the run to a pool of one.
+        """
+        return bool(self.kill) or bool(self.hang)
+
+    def take(self, index: int) -> str | None:
+        """Consume and return the fault for this dispatch of task *index*."""
+        for mode, schedule in (("kill", self.kill), ("hang", self.hang)):
+            remaining = schedule.get(index, 0)
+            if remaining > 0:
+                schedule[index] = remaining - 1
+                if schedule[index] <= 0:
+                    del schedule[index]
+                return mode
+        return None
+
+    def __repr__(self) -> str:
+        parts = [f"kill:{i}*{n}" for i, n in sorted(self.kill.items())]
+        parts += [f"hang:{i}*{n}" for i, n in sorted(self.hang.items())]
+        if self.abort_after is not None:
+            parts.append(f"abort:{self.abort_after}")
+        return f"ChaosPlan({','.join(parts) or 'inert'})"
+
+
+def parse_chaos(spec: str) -> ChaosPlan:
+    """Parse a chaos spec string: ``kill:IDX[*TIMES]``, ``hang:IDX[*TIMES]``,
+    ``abort:N``, comma-separated.  Raises :class:`ReproError` on bad specs.
+    """
+    kill: dict[int, int] = {}
+    hang: dict[int, int] = {}
+    abort_after: int | None = None
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        mode, _, value = part.partition(":")
+        mode = mode.strip()
+        try:
+            if mode == "abort":
+                abort_after = int(value)
+                if abort_after < 0:
+                    raise ValueError(value)
+            elif mode in ("kill", "hang"):
+                index_text, _, times_text = value.partition("*")
+                index = int(index_text)
+                times = int(times_text) if times_text else 1
+                if index < 0 or times < 1:
+                    raise ValueError(value)
+                schedule = kill if mode == "kill" else hang
+                schedule[index] = schedule.get(index, 0) + times
+            else:
+                raise ValueError(mode)
+        except ValueError as error:
+            raise ReproError(
+                f"bad chaos spec {part!r}: expected kill:IDX[*TIMES], "
+                "hang:IDX[*TIMES], or abort:N"
+            ) from error
+    return ChaosPlan(kill=kill, hang=hang, abort_after=abort_after)
+
+
+def apply_action(action: str) -> None:
+    """Worker-side fault application, called before the task body runs.
+
+    ``kill`` is a real ``SIGKILL`` to the worker's own pid — the python
+    level sees nothing; the parent sees ``BrokenProcessPool`` exactly as
+    it would for a segfault or the OOM killer.  ``hang`` sleeps forever
+    (until the hang watchdog or the test harness shoots the process).
+    """
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        while True:  # pragma: no cover - killed externally
+            time.sleep(0.5)
+    else:
+        raise ReproError(f"unknown chaos action {action!r}")

@@ -35,6 +35,21 @@ Execution contract:
   gains a deterministic ``"cache"`` provenance dict (see
   :func:`_attach_cache_provenance`), and the batch's store traffic is
   folded once into the parent's ``engine.store.*`` metrics;
+* **fault tolerance** — a dead worker (segfault, OOM kill, chaos
+  injection) breaks only its pool, not the batch: the executor detects
+  ``BrokenProcessPool``, attributes the crash to the in-flight task via a
+  per-task liveness handshake (marker files written at task start /
+  finish), rebuilds the pool after an exponential backoff with jitter,
+  and re-dispatches only the unfinished tasks.  Retries are governed by a
+  per-task :class:`~repro.guard.Budget` retry budget (``max_retries``); a
+  task that keeps killing pools is *quarantined* with a structured
+  ``"status": "quarantined"`` record (optionally answered by the
+  in-process MC ladder when a fallback policy is set) and the batch
+  continues.  With ``journal=PATH`` every completed task is durably
+  appended to a ``repro.engine.journal/v1`` file and ``resume=True``
+  replays it, re-running only the remainder — byte-identical to an
+  uninterrupted run (see :mod:`repro.engine.journal`).  All of it is
+  deterministically testable via :mod:`repro.engine.chaos`;
 * **observability** — the batch runs inside an ``engine.batch`` span and
   reports ``engine.batch.*`` counters in the parent process.  With
   ``collect_obs=True`` each task additionally runs under its own trace
@@ -53,16 +68,30 @@ Results come back in manifest order, one JSON-able dict per task.
 from __future__ import annotations
 
 import os
+import random
+import shutil
+import signal
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as _traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from fractions import Fraction
 from typing import Any, Iterable, Mapping
 
 from .. import guard, obs
 from .._errors import ReproError
 from ..guard.budget import Budget
-from ..guard.errors import BudgetExceeded
+from ..guard.errors import BudgetExceeded, RetryBudgetExceeded
 from ..obs.histogram import Histogram
+from .chaos import ChaosPlan, parse_chaos
+from .journal import Journal, open_journal
 from .prepared import prepare
 from .store import PlanStore, StoreBackedCache
 
@@ -217,9 +246,34 @@ def _run_task(
     except ReproError as error:
         result.update(status="error", error=str(error))
     except Exception as error:  # noqa: BLE001 - one task must not kill a batch
+        # Unexpected failures keep their class name and a truncated
+        # traceback: shard outputs get merged far from the run that
+        # produced them, and "error": "KeyError: 'x'" alone makes
+        # postmortems guesswork.
         result.update(
-            status="error", error=f"{type(error).__name__}: {error}"
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            error_type=type(error).__name__,
+            traceback=_truncated_traceback(error),
         )
+
+
+#: Caps for the traceback preserved in an error record (see _run_task).
+_TRACEBACK_LINES = 12
+_TRACEBACK_CHARS = 2000
+
+
+def _truncated_traceback(error: BaseException) -> str:
+    """The *tail* of the traceback, bounded so records stay small.
+
+    The innermost frames (where it actually blew up) matter most for a
+    postmortem, so truncation drops the outer frames first.
+    """
+    lines = _traceback.format_exception(type(error), error, error.__traceback__)
+    text = "".join(lines[-_TRACEBACK_LINES:]).rstrip()
+    if len(text) > _TRACEBACK_CHARS:
+        text = "..." + text[-_TRACEBACK_CHARS:]
+    return text
 
 
 def _rng(seed: int):
@@ -351,9 +405,40 @@ def _store_adapter(path: str) -> StoreBackedCache:
 
 
 def _worker(payload: tuple[dict[str, Any], dict[str, Any]]) -> dict[str, Any]:
-    """Process-pool entry point (top level so it pickles)."""
+    """Process-pool entry point (top level so it pickles).
+
+    Besides running the task, the worker keeps the liveness handshake the
+    parent's crash attribution relies on: it writes ``<index>.live``
+    (containing its pid) into the batch's marker directory before the
+    task body starts, and renames it to ``<index>.done`` after.  A task
+    whose ``.live`` marker exists without a ``.done`` when the pool
+    breaks was in flight in the dead worker — the crash suspect.
+    """
     task, config = payload
-    return execute_task(task, **config)
+    config = dict(config)
+    liveness_dir = config.pop("liveness_dir", None)
+    action = config.pop("chaos", None)
+    live = done = None
+    if liveness_dir is not None:
+        index = task.get("index", 0)
+        live = os.path.join(liveness_dir, f"{index}.live")
+        done = os.path.join(liveness_dir, f"{index}.done")
+        try:
+            with open(live, "w", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:  # markers are advisory; the task still runs
+            live = None
+    if action is not None:
+        from .chaos import apply_action
+
+        apply_action(action)
+    result = execute_task(task, **config)
+    if live is not None:
+        try:
+            os.replace(live, done)
+        except OSError:
+            pass
+    return result
 
 
 def run_batch(
@@ -370,6 +455,12 @@ def run_batch(
     plan_store: str | None = None,
     compile_only: bool = False,
     seen_keys: Iterable[str] = (),
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.05,
+    hang_timeout_s: float | None = None,
+    chaos: "ChaosPlan | str | None" = None,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> list[dict[str, Any]]:
     """Run every task in *tasks*; returns result records in manifest order.
 
@@ -398,11 +489,27 @@ def run_batch(
     already compiled — the CLI passes the skipped prefix of a sharded
     manifest (via :func:`task_key`), so shard outputs concatenate to the
     unsharded run's output exactly.
+
+    Fault tolerance (see the module docstring): ``max_retries`` caps the
+    transient-failure retries per task before quarantine;
+    ``retry_backoff_s`` is the base of the exponential backoff slept
+    before a broken pool is rebuilt (0 disables the sleep);
+    ``hang_timeout_s`` arms a watchdog that SIGKILLs a worker whose task
+    has been in flight longer than the timeout (off by default — arm it
+    only above the worst-case single-task runtime); ``chaos`` injects
+    deterministic worker faults (a :class:`~repro.engine.chaos.ChaosPlan`
+    or its spec string); ``journal`` appends completed task records to a
+    ``repro.engine.journal/v1`` file and ``resume=True`` replays it,
+    skipping finished tasks.
     """
     normalized = [
         task if "index" in task else normalize_task(task, index)
         for index, task in enumerate(tasks)
     ]
+    if isinstance(chaos, str):
+        chaos = parse_chaos(chaos)
+    if resume and journal is None:
+        raise ReproError("resume=True requires a journal path")
     config = {
         "timeout": timeout,
         "max_cells": max_cells,
@@ -414,42 +521,407 @@ def run_batch(
         "compile_only": compile_only,
     }
     store = PlanStore(str(plan_store)) if plan_store else None
-    prewarmed = frozenset(store.keys()) if store is not None else frozenset()
-    stats_before = store.stats_snapshot() if store is not None else None
-    hist_before = store.fetch_hist_snapshot() if store is not None else None
-    obs.add("engine.batch.runs")
-    obs.add("engine.batch.tasks", len(normalized))
-    start = time.perf_counter()
-    with obs.span("engine.batch", tasks=len(normalized), workers=workers):
-        if workers <= 1 or len(normalized) <= 1:
-            results = [
-                execute_task(task, seed=task_seed(seed, task["index"]), **config)
-                for task in normalized
-            ]
-        else:
-            payloads = [
-                (dict(task), {"seed": task_seed(seed, task["index"]), **config})
-                for task in normalized
-            ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_worker, payloads))
-    wall = time.perf_counter() - start
-    obs.set_gauge("engine.batch.wall_s", round(wall, 6))
-    for record in results:
-        status = record.get("status")
-        if status == "ok":
-            obs.add("engine.batch.ok")
-        elif status == "budget-exceeded":
-            obs.add("engine.batch.budget_exceeded")
-        else:
-            obs.add("engine.batch.errors")
-    _attach_cache_provenance(results, prewarmed, seen_keys)
-    if store is not None:
-        _fold_store_delta(store, stats_before, hist_before)
-        store.close()
+    try:
+        prewarmed = frozenset(store.keys()) if store is not None else frozenset()
+        stats_before = store.stats_snapshot() if store is not None else None
+        hist_before = store.fetch_hist_snapshot() if store is not None else None
+        journal_writer: Journal | None = None
+        replayed: dict[int, dict[str, Any]] = {}
+        if journal is not None:
+            # The fingerprint covers everything that changes task records;
+            # worker count and paths are excluded on purpose.
+            journal_writer, replay = open_journal(
+                journal, normalized, seed,
+                config={k: config[k] for k in (
+                    "timeout", "max_cells", "fallback", "epsilon", "delta",
+                    "collect_obs", "compile_only",
+                )},
+                resume=resume, prewarmed=sorted(prewarmed),
+            )
+            replayed = replay.results
+            if replay.prewarmed is not None:
+                # Provenance must reflect the *original* run's pre-batch
+                # store contents, not the plans the interrupted run left
+                # behind (see repro.engine.journal).
+                prewarmed = frozenset(replay.prewarmed)
+        obs.add("engine.batch.runs")
+        obs.add("engine.batch.tasks", len(normalized))
+        start = time.perf_counter()
+        try:
+            with obs.span("engine.batch", tasks=len(normalized), workers=workers):
+                runner = _BatchRunner(
+                    config=config, seed=seed, max_retries=max_retries,
+                    retry_backoff_s=retry_backoff_s,
+                    hang_timeout_s=hang_timeout_s, chaos=chaos,
+                    journal=journal_writer, fallback=fallback,
+                    epsilon=epsilon, delta=delta,
+                )
+                pending = [t for t in normalized if t["index"] not in replayed]
+                fresh = runner.run(pending, workers)
+        finally:
+            if journal_writer is not None:
+                journal_writer.close()
+        by_index = dict(replayed)
+        by_index.update(fresh)
+        results = [by_index[task["index"]] for task in normalized]
+        wall = time.perf_counter() - start
+        obs.set_gauge("engine.batch.wall_s", round(wall, 6))
+        for record in results:
+            status = record.get("status")
+            if status == "ok":
+                obs.add("engine.batch.ok")
+            elif status == "budget-exceeded":
+                obs.add("engine.batch.budget_exceeded")
+            elif status == "quarantined":
+                obs.add("engine.batch.quarantined")
+            else:
+                obs.add("engine.batch.errors")
+        _attach_cache_provenance(results, prewarmed, seen_keys)
+        if store is not None:
+            _fold_store_delta(store, stats_before, hist_before)
+    finally:
+        if store is not None:
+            store.close()
     if collect_obs:
         _merge_harvest(results)
     return results
+
+
+class _BatchRunner:
+    """One batch run's fault-tolerant dispatch state.
+
+    Serial runs (no pool needed, no disruptive chaos) execute in-process
+    exactly as before.  Pooled runs dispatch via ``submit`` and collect
+    completions incrementally, so a broken pool loses only the in-flight
+    tasks; the liveness markers written by :func:`_worker` attribute the
+    crash.  A single suspect is charged against its retry budget directly;
+    when several tasks were in flight in the dead pool, each suspect is
+    re-run in its own single-worker *probe* pool — innocents complete
+    unharmed, and a poison task keeps breaking (now unambiguously solo)
+    pools until its retry budget trips and it is quarantined.
+    """
+
+    #: seconds between liveness/hang scans while futures are in flight.
+    _POLL_S = 0.05
+    #: cap on the exponential backoff, in units of ``retry_backoff_s``.
+    _BACKOFF_CAP = 32
+    #: consecutive suspect-less, progress-less pool breaks before giving up.
+    _MAX_BARREN_BREAKS = 3
+
+    def __init__(
+        self,
+        *,
+        config: dict[str, Any],
+        seed: int,
+        max_retries: int,
+        retry_backoff_s: float,
+        hang_timeout_s: float | None,
+        chaos: ChaosPlan | None,
+        journal: Journal | None,
+        fallback: str,
+        epsilon: float,
+        delta: float,
+    ):
+        self.config = config
+        self.seed = seed
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.hang_timeout_s = hang_timeout_s
+        self.chaos = chaos
+        self.journal = journal
+        self.fallback = fallback
+        self.epsilon = epsilon
+        self.delta = delta
+        self.results: dict[int, dict[str, Any]] = {}
+        self.by_index: dict[int, dict[str, Any]] = {}
+        self.retry_budgets: dict[int, Budget] = {}
+        self.completed = 0
+        self.pool_breaks = 0
+        self.barren_breaks = 0
+        self.liveness_dir: str | None = None
+        # Jitter affects only sleep lengths, never results; seeding it from
+        # the batch seed keeps even the timing reproducible in tests.
+        self._jitter = random.Random(seed)
+
+    # -- entry point -------------------------------------------------------
+    def run(
+        self, tasks: list[dict[str, Any]], workers: int
+    ) -> dict[int, dict[str, Any]]:
+        if not tasks:
+            return self.results
+        self.by_index = {task["index"]: task for task in tasks}
+        indices = sorted(self.by_index)
+        disruptive = (self.chaos is not None and self.chaos.disruptive())
+        # Disruptive chaos (and the hang watchdog) need process isolation
+        # even at workers=1: an in-process SIGKILL would take the batch
+        # down, so such runs are promoted to a pool of one.
+        if (workers <= 1 or len(indices) <= 1) and not disruptive \
+                and self.hang_timeout_s is None:
+            self._run_serial(indices)
+            return self.results
+        self.liveness_dir = tempfile.mkdtemp(prefix="repro-batch-")
+        try:
+            self._run_pooled(indices, max(1, workers))
+        finally:
+            shutil.rmtree(self.liveness_dir, ignore_errors=True)
+            self.liveness_dir = None
+        return self.results
+
+    # -- serial path -------------------------------------------------------
+    def _run_serial(self, indices: list[int]) -> None:
+        for index in indices:
+            task = self.by_index[index]
+            result = execute_task(
+                task, seed=task_seed(self.seed, index), **self.config
+            )
+            self._record(index, result)
+
+    # -- pooled path -------------------------------------------------------
+    def _run_pooled(self, indices: list[int], workers: int) -> None:
+        queue = [i for i in indices if i not in self.results]
+        while queue:
+            queue = self._pool_round(queue, workers)
+
+    def _pool_round(self, queue: list[int], workers: int) -> list[int]:
+        """Run one pool until it finishes the queue or breaks.
+
+        Returns the indices to re-dispatch in the next round (empty when
+        the pool drained the queue).
+        """
+        broken = False
+        futures: dict[Future, int] = {}
+        shot_pids: set[int] = set()
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            try:
+                for index in queue:
+                    self._clear_markers(index)
+                    task_config = {
+                        "seed": task_seed(self.seed, index),
+                        **self.config,
+                        "liveness_dir": self.liveness_dir,
+                    }
+                    action = (
+                        self.chaos.take(index) if self.chaos is not None else None
+                    )
+                    if action is not None:
+                        task_config["chaos"] = action
+                    futures[pool.submit(
+                        _worker, (dict(self.by_index[index]), task_config)
+                    )] = index
+            except BrokenExecutor:
+                broken = True
+            pending = set(futures)
+            progressed = False
+            while pending and not broken:
+                done, pending = wait(
+                    pending, timeout=self._POLL_S, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index = futures[future]
+                    try:
+                        result = future.result()
+                    except (BrokenExecutor, CancelledError, OSError):
+                        broken = True
+                    else:
+                        self._record(index, result)
+                        progressed = True
+                if not broken and pending and self.hang_timeout_s is not None:
+                    self._shoot_hung_workers(futures, pending, shot_pids)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not broken:
+            return []
+        return self._recover(queue, progressed)
+
+    def _recover(self, queue: list[int], progressed: bool) -> list[int]:
+        """Attribute a pool break and decide what to re-dispatch."""
+        self.pool_breaks += 1
+        obs.add("engine.pool.rebuilds")
+        unresolved = [i for i in queue if i not in self.results]
+        suspects = [
+            i for i in unresolved
+            if self._marker_exists(i, "live") and not self._marker_exists(i, "done")
+        ]
+        innocents = [i for i in unresolved if i not in suspects]
+        if not suspects and not progressed:
+            # The pool died with nothing attributable in flight, and nothing
+            # completed either: the environment (not a task) is killing
+            # workers.  Retrying forever would spin; give the batch up.
+            self.barren_breaks += 1
+            if self.barren_breaks >= self._MAX_BARREN_BREAKS:
+                raise ReproError(
+                    f"batch executor: worker pool broke "
+                    f"{self.barren_breaks} consecutive times with no task "
+                    "in flight and no progress; giving up"
+                )
+        else:
+            self.barren_breaks = 0
+        self._backoff()
+        requeue = list(innocents)
+        if len(suspects) == 1:
+            # Unambiguous: the dead worker was running exactly this task.
+            if self._charge_retry(suspects[0]):
+                requeue.append(suspects[0])
+        elif suspects:
+            # Ambiguous: several tasks were in flight when the pool died.
+            # Blaming them all would let collateral victims burn retries
+            # toward quarantine, so each suspect is probed alone in a
+            # single-worker pool: innocents complete, the poison task
+            # breaks its solo pool and is charged unambiguously.
+            for index in sorted(suspects):
+                self._run_pooled([index], 1)
+        return sorted(requeue)
+
+    def _charge_retry(self, index: int) -> bool:
+        """Charge one retry; quarantines and returns False when exhausted."""
+        budget = self.retry_budgets.setdefault(
+            index, Budget(max_retries=self.max_retries)
+        )
+        try:
+            budget.charge("retries")
+        except RetryBudgetExceeded:
+            self._quarantine(index, budget)
+            return False
+        obs.add("engine.retry.attempts")
+        return True
+
+    def _quarantine(self, index: int, budget: Budget) -> None:
+        """Record a poison task; optionally answer it via the MC ladder."""
+        obs.add("engine.retry.exhausted")
+        obs.add("engine.quarantine.tasks")
+        task = self.by_index[index]
+        attempts = budget.retries
+        seed = task_seed(self.seed, index)
+        result: dict[str, Any] = {
+            "id": task["id"],
+            "op": task["op"],
+            "seed": seed,
+            "status": "quarantined",
+            "error": (
+                f"worker died on {attempts} consecutive attempts "
+                f"(max_retries={self.max_retries}); task quarantined"
+            ),
+            "quarantine": {
+                "reason": "worker-death",
+                "attempts": attempts,
+                "max_retries": self.max_retries,
+            },
+        }
+        if self.fallback != "off" and task["op"] in ("volume", "approx"):
+            self._quarantine_fallback(task, seed, result)
+        self._record(index, result)
+
+    def _quarantine_fallback(
+        self, task: dict[str, Any], seed: int, result: dict[str, Any]
+    ) -> None:
+        """Best-effort in-process MC answer for a quarantined volume task.
+
+        Runs in the *parent* under a tight budget — the task already
+        killed workers, so this is opt-in (a fallback policy must be set)
+        and sampling-only: no QE/CAD compile paths, which is where
+        runaway tasks live.  The record stays ``"quarantined"`` either
+        way; a successful fallback adds the estimate fields.
+        """
+        from ..guard.fallback import robust_volume as cold_robust
+        from ..logic.parser import parse
+
+        timeout = self.config.get("timeout")
+        deadline = min(5.0, timeout) if timeout is not None else 5.0
+        budget = Budget(
+            deadline_s=deadline, max_cells=self.config.get("max_cells")
+        )
+        epsilon = task.get("epsilon", self.epsilon)
+        delta = task.get("delta", self.delta)
+        try:
+            estimate = cold_robust(
+                parse(task["formula"]), task.get("variables"),
+                epsilon=epsilon, delta=delta, budget=budget,
+                policy="approx-only", box=task.get("box"), rng=_rng(seed),
+            )
+        except Exception as error:  # noqa: BLE001 - fallback is best-effort
+            result["quarantine"]["fallback_error"] = (
+                f"{type(error).__name__}: {error}"
+            )
+            return
+        result.update(
+            value=float(estimate.value),
+            mode=estimate.mode,
+            confidence_radius=estimate.confidence_radius,
+            samples=estimate.samples,
+            epsilon=epsilon,
+            delta=delta,
+        )
+        result["quarantine"]["fallback"] = "in-process"
+        obs.add("engine.quarantine.fallbacks")
+
+    # -- bookkeeping -------------------------------------------------------
+    def _record(self, index: int, result: dict[str, Any]) -> None:
+        self.results[index] = result
+        if self.journal is not None:
+            self.journal.record(index, result)
+        self.completed += 1
+        if (self.chaos is not None
+                and self.chaos.abort_after is not None
+                and self.completed >= self.chaos.abort_after):
+            from .chaos import ChaosAbort
+
+            raise ChaosAbort(
+                f"chaos: run aborted after {self.completed} completed tasks"
+            )
+
+    def _backoff(self) -> None:
+        """Exponential backoff with jitter before rebuilding a pool."""
+        if self.retry_backoff_s <= 0:
+            return
+        scale = min(2 ** (self.pool_breaks - 1), self._BACKOFF_CAP)
+        delay = self.retry_backoff_s * scale * (0.5 + self._jitter.random())
+        obs.observe_value("engine.retry.backoff_s", delay)
+        time.sleep(delay)
+
+    def _marker(self, index: int, kind: str) -> str:
+        assert self.liveness_dir is not None
+        return os.path.join(self.liveness_dir, f"{index}.{kind}")
+
+    def _marker_exists(self, index: int, kind: str) -> bool:
+        return os.path.exists(self._marker(index, kind))
+
+    def _clear_markers(self, index: int) -> None:
+        for kind in ("live", "done"):
+            try:
+                os.unlink(self._marker(index, kind))
+            except OSError:
+                pass
+
+    def _shoot_hung_workers(
+        self,
+        futures: Mapping[Future, int],
+        pending: Iterable[Future],
+        shot_pids: set[int],
+    ) -> None:
+        """SIGKILL workers whose in-flight task outlived ``hang_timeout_s``.
+
+        The kill breaks the pool, which routes the hung task through the
+        normal crash-suspect path (charge, retry, eventually quarantine).
+        """
+        now = time.time()
+        for future in pending:
+            index = futures[future]
+            marker = self._marker(index, "live")
+            try:
+                status = os.stat(marker)
+                pid_text = open(marker, "r", encoding="utf-8").read().strip()
+                pid = int(pid_text)
+            except (OSError, ValueError):
+                continue
+            if now - status.st_mtime <= self.hang_timeout_s or pid in shot_pids:
+                continue
+            shot_pids.add(pid)
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                continue
+            obs.add("engine.pool.hang_kills")
 
 
 def _attach_cache_provenance(

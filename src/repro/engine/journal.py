@@ -1,0 +1,235 @@
+"""An append-only journal of completed batch tasks, for checkpoint/resume.
+
+A long batch run that dies — machine reboot, OOM kill, operator Ctrl-C —
+should not re-evaluate the tasks it already finished.  The executor can
+journal every completed task record to an append-only JSONL file, schema
+``repro.engine.journal/v1``, and a resumed run (``repro batch --journal
+PATH --resume``) replays the journal, skips the finished tasks, and runs
+only the remainder.  The contract is byte-identity: the resumed run's
+output must concatenate to exactly what the uninterrupted run would have
+produced (up to the wall-clock ``elapsed_s`` field of result records, the
+same convention sharding uses — see docs/ENGINE.md).
+
+Two design points make that identity hold:
+
+* **fingerprinting** — the header line records a SHA-256 over the
+  normalized tasks, the batch seed, and the evaluation config.  A resume
+  against a journal written for a different manifest, seed, or config is
+  refused instead of silently mixing incompatible results.
+* **pre-provenance records** — task records are journaled *before* the
+  per-task ``"cache"`` provenance is attached, and the header records the
+  plan-store keys that existed when the original run started
+  (``prewarmed``).  Provenance is a deterministic function of (manifest
+  order, pre-run store keys), so the resumed run recomputes it over the
+  merged results using the *original* prewarmed set — even though the
+  store meanwhile contains every plan the interrupted run compiled.
+
+Durability: every record is flushed and fsynced before the executor moves
+on, so the journal never claims a task that was not fully recorded.  A
+crash can still tear the final line; the reader tolerates (and counts)
+truncated or malformed trailing data instead of refusing the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Iterable, Mapping
+
+from .. import obs
+from .._errors import ReproError
+
+__all__ = [
+    "JOURNAL_SCHEMA", "Journal", "JournalReplay", "manifest_fingerprint",
+    "open_journal", "read_journal",
+]
+
+#: Schema tag carried by every journal line.
+JOURNAL_SCHEMA = "repro.engine.journal/v1"
+
+
+def manifest_fingerprint(
+    tasks: Iterable[Mapping[str, Any]],
+    seed: int,
+    config: Mapping[str, Any] | None = None,
+) -> str:
+    """SHA-256 identifying (normalized tasks, seed, evaluation config).
+
+    Covers everything that changes what a task's journaled record would
+    contain: the task content (id, op, formula, variables, box, per-task
+    epsilon/delta), the batch seed (per-task seeds derive from it), and
+    the batch-level evaluation config (timeout, fallback policy, ...).
+    Worker count and journal/plan-store paths are deliberately excluded —
+    results are independent of both.
+    """
+    material: list[Any] = [int(seed), dict(config or {})]
+    for task in tasks:
+        entry: dict[str, Any] = {
+            "id": task["id"],
+            "index": task["index"],
+            "op": task["op"],
+            "formula": task["formula"],
+        }
+        if task.get("variables") is not None:
+            entry["variables"] = [str(v) for v in task["variables"]]
+        if task.get("box") is not None:
+            entry["box"] = [[str(low), str(high)] for low, high in task["box"]]
+        for name in ("epsilon", "delta"):
+            if task.get(name) is not None:
+                entry[name] = float(task[name])
+        material.append(entry)
+    payload = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class JournalReplay:
+    """What :func:`read_journal` recovered from an existing journal."""
+
+    __slots__ = ("results", "prewarmed", "truncated")
+
+    def __init__(
+        self,
+        results: dict[int, dict[str, Any]] | None = None,
+        prewarmed: list[str] | None = None,
+        truncated: int = 0,
+    ):
+        #: task index -> journaled (pre-provenance) result record.
+        self.results = results if results is not None else {}
+        #: plan-store keys recorded at the *original* run's start, or
+        #: ``None`` when the journal has no readable header.
+        self.prewarmed = prewarmed
+        #: count of torn/malformed lines skipped (typically a crash-torn tail).
+        self.truncated = truncated
+
+
+def read_journal(path: str, fingerprint: str) -> JournalReplay:
+    """Replay the journal at *path*, validating it against *fingerprint*.
+
+    Raises :class:`ReproError` when the journal belongs to a different
+    (manifest, seed, config).  Blank, torn, and malformed lines are
+    skipped and counted (``engine.journal.truncated``) — an fsync happens
+    per record, so at most the final line can be torn, but the reader
+    stays tolerant of arbitrary damage rather than wedging a resume.
+    """
+    replay = JournalReplay()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                replay.truncated += 1
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("schema") != JOURNAL_SCHEMA):
+                replay.truncated += 1
+                continue
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("fingerprint") != fingerprint:
+                    raise ReproError(
+                        f"{path}: journal was written for a different "
+                        "manifest, seed, or config; refusing to resume "
+                        "(delete the journal to start over)"
+                    )
+                # First header wins: resumed runs append their own header
+                # repeating the original prewarmed set.
+                if replay.prewarmed is None and record.get("prewarmed") is not None:
+                    replay.prewarmed = [str(k) for k in record["prewarmed"]]
+            elif kind == "task":
+                index = record.get("index")
+                result = record.get("result")
+                if isinstance(index, int) and isinstance(result, dict):
+                    replay.results[index] = result
+                else:
+                    replay.truncated += 1
+            else:
+                replay.truncated += 1
+    if replay.truncated:
+        obs.add("engine.journal.truncated", replay.truncated)
+    return replay
+
+
+class Journal:
+    """Append-only writer; one fsynced JSONL line per completed task."""
+
+    def __init__(self, path: str, *, append: bool = False):
+        self.path = str(path)
+        self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def write_header(
+        self,
+        fingerprint: str,
+        *,
+        tasks: int,
+        seed: int,
+        prewarmed: Iterable[str] = (),
+    ) -> None:
+        self._write({
+            "schema": JOURNAL_SCHEMA,
+            "kind": "header",
+            "fingerprint": fingerprint,
+            "tasks": tasks,
+            "seed": seed,
+            "prewarmed": sorted(prewarmed),
+        })
+
+    def record(self, index: int, result: Mapping[str, Any]) -> None:
+        """Durably record the completion of task *index*."""
+        self._write({
+            "schema": JOURNAL_SCHEMA,
+            "kind": "task",
+            "index": index,
+            "result": dict(result),
+        })
+        obs.add("engine.journal.records")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def open_journal(
+    path: str,
+    tasks: Iterable[Mapping[str, Any]],
+    seed: int,
+    *,
+    config: Mapping[str, Any] | None = None,
+    resume: bool = False,
+    prewarmed: Iterable[str] = (),
+) -> tuple[Journal, JournalReplay]:
+    """Open (and on resume, replay) the journal for a batch run.
+
+    Fresh runs truncate any existing file and write a header carrying the
+    current plan-store key set.  Resumed runs replay the existing journal
+    (validating its fingerprint), then append a fresh header repeating
+    the *original* run's prewarmed set so any further resume still sees
+    it.  Returns the open writer plus the replayed state.
+    """
+    tasks = list(tasks)
+    fingerprint = manifest_fingerprint(tasks, seed, config)
+    replay = JournalReplay()
+    if resume and os.path.exists(path):
+        replay = read_journal(path, fingerprint)
+    journal = Journal(path, append=resume)
+    effective = replay.prewarmed if replay.prewarmed is not None else prewarmed
+    journal.write_header(
+        fingerprint, tasks=len(tasks), seed=seed, prewarmed=effective,
+    )
+    if replay.results:
+        obs.add("engine.journal.resumed", len(replay.results))
+    return journal, replay

@@ -49,7 +49,7 @@ import threading
 import time
 from typing import Any, Callable, TYPE_CHECKING
 
-from .. import guard
+from .. import guard, obs
 from .._errors import ReproError
 from ..obs.histogram import Histogram
 from .cache import PlanCache, SPILL_SCHEMA
@@ -78,6 +78,14 @@ class PlanStore:
     honoured after its owner stops making progress; claims from this host
     are additionally probed by pid, so a crashed local worker's claim is
     stolen on the next lookup instead of after the lease.
+
+    Transient ``database is locked`` errors (SQLite's busy timeout ran
+    out under heavy cross-process write contention) are absorbed by a
+    small bounded in-place retry (``lock_retries`` attempts,
+    ``lock_retry_s`` apart, counted as ``engine.store.lock_retries``)
+    instead of surfacing as a task failure — they are contention, not
+    corruption.  ``clock`` injects the wall clock used for claim-lease
+    arithmetic; tests pass a fake to make staleness deterministic.
     """
 
     def __init__(
@@ -87,10 +95,16 @@ class PlanStore:
         lease_s: float = 120.0,
         poll_s: float = 0.02,
         busy_timeout_s: float = 30.0,
+        lock_retries: int = 8,
+        lock_retry_s: float = 0.05,
+        clock: Callable[[], float] = time.time,
     ):
         self.path = str(path)
         self.lease_s = lease_s
         self.poll_s = poll_s
+        self.lock_retries = lock_retries
+        self.lock_retry_s = lock_retry_s
+        self._clock = clock
         self._host = socket.gethostname()
         self._lock = threading.RLock()
         #: Process-local fetch timings not yet merged into ``stats``.
@@ -150,7 +164,31 @@ class PlanStore:
 
     def _write(self):
         """An ``IMMEDIATE`` write transaction (advisory cross-process lock)."""
-        return _ImmediateTxn(self._con, self._lock)
+        return _ImmediateTxn(self._con, self._lock, self._locked_retry)
+
+    def _locked_retry(self, operation: Callable[[], Any]) -> Any:
+        """Run *operation*, absorbing transient ``database is locked`` errors.
+
+        SQLite raises ``OperationalError: database is locked`` when the
+        busy timeout runs out while another process holds the write lock —
+        transient contention, not corruption, so a bounded retry is the
+        right response (the satellite of the executor's broader retry
+        taxonomy: transient errors retry, deterministic ones don't).
+        Anything else, and anything still failing after ``lock_retries``
+        attempts, propagates.
+        """
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except sqlite3.OperationalError as error:
+                if "locked" not in str(error).lower():
+                    raise
+                if attempt >= self.lock_retries:
+                    raise
+                attempt += 1
+                obs.add("engine.store.lock_retries")
+                time.sleep(self.lock_retry_s)
 
     # -- introspection -----------------------------------------------------
     def keys(self) -> list[str]:
@@ -211,9 +249,11 @@ class PlanStore:
 
     def _read(self, key: str) -> str | None:
         with self._lock:
-            row = self._con.execute(
-                "SELECT record FROM plans WHERE key = ?", (key,)
-            ).fetchone()
+            row = self._locked_retry(
+                lambda: self._con.execute(
+                    "SELECT record FROM plans WHERE key = ?", (key,)
+                ).fetchone()
+            )
         return None if row is None else row[0]
 
     def fetch(self, key: str) -> "PreparedQuery | None":
@@ -301,7 +341,7 @@ class PlanStore:
         """Try to claim *key*: ``"ours"`` / ``"theirs"`` / ``"published"``."""
         guard.checkpoint()
         guard.charge("store_ios")
-        now = time.time()
+        now = self._clock()
         with self._write():
             row = self._con.execute(
                 "SELECT 1 FROM plans WHERE key = ?", (key,)
@@ -359,7 +399,7 @@ class PlanStore:
                     "SELECT pid, host, acquired_s FROM claims WHERE key = ?",
                     (key,),
                 ).fetchone()
-            if claim is None or self._stale(claim, time.time()):
+            if claim is None or self._stale(claim, self._clock()):
                 return None
             time.sleep(self.poll_s)
 
@@ -413,18 +453,29 @@ class PlanStore:
 
 
 class _ImmediateTxn:
-    """``BEGIN IMMEDIATE`` under the instance lock; commit/rollback on exit."""
+    """``BEGIN IMMEDIATE`` under the instance lock; commit/rollback on exit.
 
-    __slots__ = ("_con", "_lock")
+    Acquiring the transaction goes through the store's bounded
+    lock-contention retry: ``BEGIN IMMEDIATE`` is where cross-process
+    write contention surfaces as ``database is locked``.
+    """
 
-    def __init__(self, con: sqlite3.Connection, lock: threading.RLock):
+    __slots__ = ("_con", "_lock", "_retry")
+
+    def __init__(
+        self,
+        con: sqlite3.Connection,
+        lock: threading.RLock,
+        retry: Callable[[Callable[[], Any]], Any],
+    ):
         self._con = con
         self._lock = lock
+        self._retry = retry
 
     def __enter__(self) -> sqlite3.Connection:
         self._lock.acquire()
         try:
-            self._con.execute("BEGIN IMMEDIATE")
+            self._retry(lambda: self._con.execute("BEGIN IMMEDIATE"))
         except BaseException:
             self._lock.release()
             raise

@@ -42,6 +42,7 @@ from .errors import (
     ConstraintBudgetExceeded,
     DeadlineExceeded,
     DepthBudgetExceeded,
+    RetryBudgetExceeded,
     SizeBudgetExceeded,
     StoreIOBudgetExceeded,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "SizeBudgetExceeded",
     "DepthBudgetExceeded",
     "StoreIOBudgetExceeded",
+    "RetryBudgetExceeded",
     "POLICIES",
     "RobustResult",
     "robust_volume",

@@ -7,7 +7,10 @@ A :class:`Budget` caps the resources the exact pipeline may consume:
 * ``max_constraints`` — linear constraints produced by Fourier-Motzkin,
 * ``max_size`` — intermediate formula size (DNF conjuncts),
 * ``max_depth`` — recursion depth of the lifting/search recursions,
-* ``max_store_ios`` — shared-plan-store round trips (fetch/publish/poll).
+* ``max_store_ios`` — shared-plan-store round trips (fetch/publish/poll),
+* ``max_retries`` — transient-failure retries (worker death, lock
+  contention) the batch executor may spend on one task before
+  quarantining it.
 
 Enforcement is cooperative: the hot loops of the evaluator, both QE
 engines, and the geometry pipeline call :func:`checkpoint` (deadline) and
@@ -41,6 +44,7 @@ from .errors import (
     DeadlineExceeded,
     DepthBudgetExceeded,
     RESOURCE_ERRORS,
+    RetryBudgetExceeded,
     SizeBudgetExceeded,
     StoreIOBudgetExceeded,
 )
@@ -76,9 +80,9 @@ class Budget:
 
     __slots__ = (
         "deadline_s", "max_cells", "max_constraints", "max_size", "max_depth",
-        "max_store_ios", "cells", "constraints", "store_ios", "peak_size",
-        "peak_depth", "checkpoints", "started_s", "_deadline_at",
-        "_flushed_checkpoints",
+        "max_store_ios", "max_retries", "cells", "constraints", "store_ios",
+        "retries", "peak_size", "peak_depth", "checkpoints", "started_s",
+        "_deadline_at", "_flushed_checkpoints",
     )
 
     def __init__(
@@ -90,11 +94,13 @@ class Budget:
         max_size: int | None = None,
         max_depth: int | None = None,
         max_store_ios: int | None = None,
+        max_retries: int | None = None,
     ):
         for name, value in (
             ("deadline_s", deadline_s), ("max_cells", max_cells),
             ("max_constraints", max_constraints), ("max_size", max_size),
             ("max_depth", max_depth), ("max_store_ios", max_store_ios),
+            ("max_retries", max_retries),
         ):
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be None or >= 0, got {value!r}")
@@ -104,9 +110,11 @@ class Budget:
         self.max_size = max_size
         self.max_depth = max_depth
         self.max_store_ios = max_store_ios
+        self.max_retries = max_retries
         self.cells = 0
         self.constraints = 0
         self.store_ios = 0
+        self.retries = 0
         self.peak_size = 0
         self.peak_depth = 0
         self.checkpoints = 0
@@ -128,8 +136,9 @@ class Budget:
     def reset_consumed(self) -> None:
         """Zero the countable consumption (cells, constraints, size, depth).
 
-        The wall clock and checkpoint tally are *not* reset: a deadline is
-        absolute, not per-attempt.
+        The wall clock, checkpoint tally, and retry count are *not* reset: a
+        deadline is absolute, not per-attempt, and retry history is exactly
+        the thing a per-attempt reset must never erase.
         """
         self.cells = 0
         self.constraints = 0
@@ -143,6 +152,7 @@ class Budget:
             "cells": self.cells,
             "constraints": self.constraints,
             "store_ios": self.store_ios,
+            "retries": self.retries,
             "peak_size": self.peak_size,
             "peak_depth": self.peak_depth,
             "checkpoints": self.checkpoints,
@@ -156,6 +166,7 @@ class Budget:
             ("max_constraints", self.max_constraints),
             ("max_size", self.max_size), ("max_depth", self.max_depth),
             ("max_store_ios", self.max_store_ios),
+            ("max_retries", self.max_retries),
         )
         return {name: value for name, value in pairs if value is not None}
 
@@ -190,6 +201,13 @@ class Budget:
                 self._trip(
                     StoreIOBudgetExceeded, "store_ios",
                     self.max_store_ios, self.store_ios,
+                )
+        elif resource == "retries":
+            self.retries += amount
+            if self.max_retries is not None and self.retries > self.max_retries:
+                self._trip(
+                    RetryBudgetExceeded, "retries",
+                    self.max_retries, self.retries,
                 )
         else:
             raise ValueError(f"unknown chargeable resource {resource!r}")

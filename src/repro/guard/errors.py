@@ -29,6 +29,7 @@ __all__ = [
     "SizeBudgetExceeded",
     "DepthBudgetExceeded",
     "StoreIOBudgetExceeded",
+    "RetryBudgetExceeded",
     "RESOURCE_ERRORS",
 ]
 
@@ -109,6 +110,18 @@ class StoreIOBudgetExceeded(BudgetExceeded):
     resource = "store_ios"
 
 
+class RetryBudgetExceeded(BudgetExceeded):
+    """A transient failure was retried more times than allowed.
+
+    Raised by the batch executor's fault-tolerance layer when a task keeps
+    killing its worker (or its store access keeps hitting transient
+    contention) past ``max_retries`` attempts; the task is then
+    quarantined rather than retried forever.
+    """
+
+    resource = "retries"
+
+
 #: Resource name -> exception class, used by budgets and fault injection.
 RESOURCE_ERRORS: dict[str, type[BudgetExceeded]] = {
     "deadline": DeadlineExceeded,
@@ -117,4 +130,5 @@ RESOURCE_ERRORS: dict[str, type[BudgetExceeded]] = {
     "size": SizeBudgetExceeded,
     "depth": DepthBudgetExceeded,
     "store_ios": StoreIOBudgetExceeded,
+    "retries": RetryBudgetExceeded,
 }

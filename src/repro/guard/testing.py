@@ -33,7 +33,8 @@ def trip_after(
     """Force a :class:`BudgetExceeded` at every *n*-th checkpoint.
 
     ``resource`` picks the exception class (``deadline``, ``cells``,
-    ``constraints``, ``size``, ``depth``); ``times`` bounds how many trips
+    ``constraints``, ``size``, ``depth``, ``store_ios``, ``retries``);
+    ``times`` bounds how many trips
     fire before the injector goes inert (so a ladder test can kill exactly
     one rung, or two, and let the rest run).  Yields the live spec; its
     ``"count"`` entry reports how many checkpoints were seen.

@@ -299,6 +299,10 @@ def summary_record(
         "budget_exceeded": tally["budget-exceeded"],
         "errors": tally["error"],
     }
+    # Only present when nonzero, so pre-fault-tolerance summaries replay
+    # byte-identically.
+    if tally.get("quarantined"):
+        record["quarantined"] = tally["quarantined"]
     # Counters and gauges go to *separate* sections (unlike Registry.as_dict)
     # so replaying the record re-registers each name with its right type.
     counters: dict[str, Any] = {}

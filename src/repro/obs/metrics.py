@@ -220,6 +220,8 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "guard.trips.constraints": ("counter", "FM constraint-budget exhaustions"),
     "guard.trips.size": ("counter", "formula size-cap exhaustions"),
     "guard.trips.depth": ("counter", "recursion depth-cap exhaustions"),
+    "guard.trips.store_ios": ("counter", "shared-store round-trip-cap exhaustions"),
+    "guard.trips.retries": ("counter", "per-task retry-budget exhaustions"),
     "guard.fallback_transitions": (
         "counter", "degradation-ladder rung transitions after an exhausted attempt"),
     "engine.compile": ("counter", "query plans compiled (cache misses that ran)"),
@@ -261,6 +263,29 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "engine.batch.budget_exceeded": (
         "counter", "batch tasks that exhausted their per-task budget"),
     "engine.batch.wall_s": ("gauge", "wall-clock seconds of the last batch"),
+    "engine.batch.quarantined": (
+        "counter", "batch tasks quarantined after exhausting their retry budget"),
+    "engine.retry.attempts": (
+        "counter", "task re-dispatches after a transient worker failure"),
+    "engine.retry.exhausted": (
+        "counter", "tasks whose retry budget ran out (they get quarantined)"),
+    "engine.retry.backoff_s": (
+        "histogram", "seconds slept (backoff + jitter) before a pool rebuild"),
+    "engine.quarantine.tasks": (
+        "counter", "poison tasks quarantined by the fault-tolerant executor"),
+    "engine.quarantine.fallbacks": (
+        "counter", "quarantined tasks answered by the in-process MC fallback"),
+    "engine.pool.rebuilds": (
+        "counter", "worker pools rebuilt after a crash broke them"),
+    "engine.pool.hang_kills": (
+        "counter", "hung workers shot by the hang watchdog"),
+    "engine.journal.records": ("counter", "task records appended to a batch journal"),
+    "engine.journal.resumed": (
+        "counter", "journaled tasks replayed (skipped) by a resumed batch"),
+    "engine.journal.truncated": (
+        "counter", "torn or malformed journal lines skipped during replay"),
+    "engine.store.lock_retries": (
+        "counter", "SQLite busy/locked errors absorbed by the store's retry"),
     "engine.plan.compile_s": (
         "histogram", "seconds to compile one prepared query plan"),
     "engine.query.volume_s": (

@@ -165,6 +165,62 @@ class TestBatch:
         assert "cannot read manifest" in err
 
 
+class TestFaultTolerance:
+    @staticmethod
+    def stable(text):
+        return [
+            {k: v for k, v in json.loads(line).items() if k != "elapsed_s"}
+            for line in text.splitlines() if line
+        ]
+
+    def test_chaos_kill_output_identical(self, manifest):
+        _, clean, _ = run_cli("batch", manifest, "--seed", "5")
+        DEFAULT_CACHE.clear()
+        code, chaotic, _ = run_cli(
+            "batch", manifest, "--seed", "5", "--chaos", "kill:1",
+        )
+        assert code == 0
+        assert self.stable(chaotic) == self.stable(clean)
+
+    def test_chaos_quarantine_reported_in_tally(self, manifest):
+        code, out, err = run_cli(
+            "batch", manifest, "--seed", "5", "--chaos", "kill:0*4",
+        )
+        assert code == 0
+        assert "quarantined=1" in err
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert records[0]["status"] == "quarantined"
+
+    def test_abort_then_resume_round_trip(self, manifest, tmp_path):
+        _, clean, _ = run_cli("batch", manifest, "--seed", "5")
+        DEFAULT_CACHE.clear()
+        journal = str(tmp_path / "journal.jsonl")
+        code, _, err = run_cli(
+            "batch", manifest, "--seed", "5", "--journal", journal,
+            "--chaos", "abort:2",
+        )
+        assert code == 2
+        assert "aborted after 2" in err
+        DEFAULT_CACHE.clear()
+        code, resumed, err = run_cli(
+            "batch", manifest, "--seed", "5", "--journal", journal,
+            "--resume",
+        )
+        assert code == 0
+        assert "resuming from journal" in err
+        assert self.stable(resumed) == self.stable(clean)
+
+    def test_resume_requires_journal(self, manifest):
+        code, _, err = run_cli("batch", manifest, "--resume")
+        assert code == 2
+        assert "--resume needs --journal" in err
+
+    def test_bad_chaos_spec_fails_loudly(self, manifest):
+        code, _, err = run_cli("batch", manifest, "--chaos", "explode:1")
+        assert code == 2
+        assert "bad chaos spec" in err
+
+
 class TestTraceOut:
     def _records(self, path):
         return [

@@ -92,6 +92,44 @@ class TestExecuteTask:
         assert result["status"] == "error"
         assert "error" in result
 
+    def test_unexpected_exception_keeps_type_and_traceback(self, monkeypatch):
+        from repro.engine import executor
+
+        def boom(*args, **kwargs):
+            raise KeyError("x")
+
+        monkeypatch.setattr(executor, "prepare", boom)
+        task = normalize_task({"formula": TRIANGLE}, 0)
+        result = execute_task(task, seed=0)
+        assert result["status"] == "error"
+        assert result["error"] == "KeyError: 'x'"
+        assert result["error_type"] == "KeyError"
+        assert "boom" in result["traceback"]
+        assert result["traceback"].splitlines()[-1] == "KeyError: 'x'"
+
+    def test_expected_errors_stay_lean(self):
+        # Parse/budget errors are deterministic and self-describing; only
+        # unexpected exception classes carry the debugging payload.
+        task = normalize_task({"formula": "x <"}, 0)
+        result = execute_task(task, seed=0)
+        assert result["status"] == "error"
+        assert "error_type" not in result
+        assert "traceback" not in result
+
+    def test_traceback_is_truncated_keeping_the_tail(self):
+        from repro.engine.executor import (
+            _TRACEBACK_CHARS,
+            _truncated_traceback,
+        )
+
+        try:
+            raise ValueError("x" * (5 * _TRACEBACK_CHARS))
+        except ValueError as error:
+            text = _truncated_traceback(error)
+        assert text.startswith("...")
+        assert len(text) == _TRACEBACK_CHARS + 3
+        assert text.endswith("x" * 100)
+
     def test_budget_exceeded_becomes_result(self):
         task = normalize_task({"formula": TRIANGLE}, 0)
         result = execute_task(task, seed=0, timeout=0.0)

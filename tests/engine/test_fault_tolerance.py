@@ -1,0 +1,337 @@
+"""Fault tolerance: crash isolation, retry/quarantine, journal resume, chaos.
+
+Every disruptive scenario here is driven by :mod:`repro.engine.chaos`, so
+the "worker died" paths run deterministically in CI: a ``kill`` action is
+a real ``SIGKILL`` delivered inside the worker process — the parent sees
+exactly what a segfault or the OOM killer would produce.
+"""
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro._errors import ReproError
+from repro.engine import (
+    ChaosAbort,
+    ChaosPlan,
+    manifest_fingerprint,
+    normalize_task,
+    parse_chaos,
+    run_batch,
+)
+from repro.engine.chaos import apply_action
+
+TRIANGLE = "0 <= y AND y <= x AND x <= 1"
+
+TASKS = [
+    {"id": "tri", "formula": TRIANGLE},
+    {"id": "half", "formula": "0 <= x AND x <= 1/2"},
+    {"id": "union", "formula": "x < 1/4 OR x > 3/4"},
+    {"id": "mc", "op": "approx", "formula": TRIANGLE,
+     "epsilon": 0.2, "delta": 0.2},
+    {"id": "broken", "formula": "x <"},
+]
+
+
+def stripped(results):
+    """Records minus wall-clock — the byte-identity convention."""
+    return [{k: v for k, v in r.items() if k != "elapsed_s"} for r in results]
+
+
+def baseline(**kwargs):
+    """The fault-free reference run the chaotic runs must reproduce."""
+    return run_batch(TASKS, seed=7, workers=1, **kwargs)
+
+
+class TestParseChaos:
+    def test_round_trip(self):
+        plan = parse_chaos("kill:2,hang:3*2,abort:4")
+        assert plan.kill == {2: 1}
+        assert plan.hang == {3: 2}
+        assert plan.abort_after == 4
+        assert plan.disruptive()
+
+    def test_take_consumes_one_fault_per_dispatch(self):
+        plan = parse_chaos("kill:2*2")
+        assert plan.take(2) == "kill"
+        assert plan.take(2) == "kill"
+        assert plan.take(2) is None
+        assert not plan.disruptive()
+        assert plan.take(0) is None
+
+    def test_kill_consumed_before_hang(self):
+        plan = ChaosPlan(kill={1: 1}, hang={1: 1})
+        assert plan.take(1) == "kill"
+        assert plan.take(1) == "hang"
+        assert plan.take(1) is None
+
+    def test_abort_only_is_not_disruptive(self):
+        assert not parse_chaos("abort:3").disruptive()
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["explode:1", "kill:x", "kill:-1", "kill:1*0", "abort:-1", "kill"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ReproError, match="bad chaos spec"):
+            parse_chaos(spec)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ReproError, match="unknown chaos action"):
+            apply_action("explode")
+
+
+class TestCrashIsolation:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_kill_is_byte_identical_to_fault_free(self, workers):
+        """A worker SIGKILLed at task 1 changes nothing in the output."""
+        reference = baseline()
+        chaotic = run_batch(
+            TASKS, seed=7, workers=workers, chaos="kill:1",
+            retry_backoff_s=0.0,
+        )
+        assert stripped(chaotic) == stripped(reference)
+
+    def test_externally_sigkilled_worker_is_retried(self, monkeypatch):
+        """SIGKILL a real pool worker from outside, mid-batch.
+
+        Chaos parks task 2's worker in an infinite sleep; the test reads
+        the worker's pid from its liveness marker and delivers the kill
+        itself — an external process death, not a self-inflicted chaos
+        one.  The batch must recover and match the fault-free run.
+        """
+        captured = {}
+        real_mkdtemp = tempfile.mkdtemp
+
+        def spy(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            if kwargs.get("prefix") == "repro-batch-":
+                captured["dir"] = path
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", spy)
+
+        outcome = {}
+
+        def run():
+            try:
+                outcome["results"] = run_batch(
+                    TASKS, seed=7, workers=2, chaos="hang:2",
+                    retry_backoff_s=0.0,
+                )
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            victim = None
+            deadline = time.monotonic() + 60.0
+            while victim is None and time.monotonic() < deadline:
+                marker = os.path.join(
+                    captured.get("dir", ""), "2.live"
+                ) if captured else ""
+                if marker and os.path.exists(marker):
+                    text = open(marker, encoding="utf-8").read().strip()
+                    if text:
+                        victim = int(text)
+                        break
+                time.sleep(0.01)
+            assert victim is not None, "hung worker never wrote its marker"
+            os.kill(victim, signal.SIGKILL)
+        finally:
+            thread.join(timeout=120.0)
+        assert not thread.is_alive(), "batch did not recover from the kill"
+        assert "error" not in outcome, outcome.get("error")
+        assert stripped(outcome["results"]) == stripped(baseline())
+
+
+class TestQuarantine:
+    def test_poison_task_is_quarantined(self):
+        """A task that kills every worker is isolated, not fatal."""
+        results = run_batch(
+            TASKS, seed=7, workers=1, chaos="kill:0*4", retry_backoff_s=0.0,
+        )
+        poison = results[0]
+        assert poison["status"] == "quarantined"
+        assert poison["quarantine"] == {
+            "reason": "worker-death", "attempts": 3, "max_retries": 2,
+        }
+        assert "quarantined" in poison["error"]
+        assert "value" not in poison
+        # The rest of the batch is untouched by the poison task.  Cache
+        # provenance is compared separately: a quarantined task compiles
+        # nothing, so a later task sharing its formula legitimately
+        # becomes the key's first occurrence.
+        def sans_cache(records):
+            return [
+                {k: v for k, v in r.items() if k != "cache"}
+                for r in records
+            ]
+
+        assert sans_cache(stripped(results)[1:]) == sans_cache(
+            stripped(baseline())[1:]
+        )
+
+    def test_quarantine_fallback_answers_in_process(self):
+        results = run_batch(
+            TASKS, seed=7, workers=1, chaos="kill:0*4", retry_backoff_s=0.0,
+            fallback="auto",
+        )
+        poison = results[0]
+        assert poison["status"] == "quarantined"
+        assert poison["quarantine"]["fallback"] == "in-process"
+        assert poison["mode"] == "approximate"
+        assert poison["samples"] > 0
+        assert abs(poison["value"] - 0.5) <= 2 * poison["confidence_radius"]
+
+    def test_retry_accounting(self):
+        obs.enable_counting()
+        run_batch(
+            TASKS, seed=7, workers=1, chaos="kill:0*4", retry_backoff_s=0.0,
+        )
+        counts = obs.REGISTRY.as_dict()
+        # max_retries=2: two charged retries, the third charge trips.
+        assert counts["engine.retry.attempts"] == 2
+        assert counts["engine.retry.exhausted"] == 1
+        assert counts["engine.quarantine.tasks"] == 1
+        assert counts["engine.batch.quarantined"] == 1
+        assert counts["engine.pool.rebuilds"] == 3
+
+    def test_backoff_sleeps_between_rebuilds(self):
+        obs.enable_counting()
+        run_batch(
+            TASKS, seed=7, workers=1, chaos="kill:1", retry_backoff_s=0.001,
+        )
+        hist = obs.REGISTRY.histogram("engine.retry.backoff_s")
+        assert hist.count == 1
+
+
+class TestHangWatchdog:
+    def test_hung_worker_is_shot_and_task_retried(self):
+        reference = baseline()
+        obs.enable_counting()
+        results = run_batch(
+            TASKS, seed=7, workers=2, chaos="hang:1", hang_timeout_s=1.0,
+            retry_backoff_s=0.0,
+        )
+        assert stripped(results) == stripped(reference)
+        assert obs.REGISTRY.as_dict()["engine.pool.hang_kills"] == 1
+
+
+class TestJournalResume:
+    def test_abort_then_resume_is_byte_identical(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        with pytest.raises(ChaosAbort, match="aborted after 2"):
+            run_batch(
+                TASKS, seed=7, workers=1, journal=journal, chaos="abort:2",
+            )
+        resumed = run_batch(
+            TASKS, seed=7, workers=1, journal=journal, resume=True,
+        )
+        assert stripped(resumed) == stripped(baseline())
+
+        lines = [
+            json.loads(line)
+            for line in open(journal, encoding="utf-8")
+            if line.strip()
+        ]
+        assert [line["kind"] for line in lines] == (
+            ["header", "task", "task", "header", "task", "task", "task"]
+        )
+        assert all(
+            line["schema"] == "repro.engine.journal/v1" for line in lines
+        )
+
+    def test_resume_skips_finished_tasks(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        with pytest.raises(ChaosAbort):
+            run_batch(
+                TASKS, seed=7, workers=1, journal=journal, chaos="abort:2",
+            )
+        obs.enable_counting()
+        run_batch(TASKS, seed=7, workers=1, journal=journal, resume=True)
+        counts = obs.REGISTRY.as_dict()
+        assert counts["engine.journal.resumed"] == 2
+        assert counts["engine.journal.records"] == 3
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ReproError, match="requires a journal"):
+            run_batch(TASKS, seed=7, resume=True)
+
+    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        with pytest.raises(ChaosAbort):
+            run_batch(
+                TASKS, seed=7, workers=1, journal=journal, chaos="abort:2",
+            )
+        with pytest.raises(ReproError, match="refusing to resume"):
+            run_batch(TASKS, seed=8, workers=1, journal=journal, resume=True)
+
+    def test_torn_tail_is_tolerated_and_counted(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        run_batch(TASKS, seed=7, workers=1, journal=journal)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro.engine.journal/v1", "kind": "ta')
+        obs.enable_counting()
+        resumed = run_batch(
+            TASKS, seed=7, workers=1, journal=journal, resume=True,
+        )
+        assert stripped(resumed) == stripped(baseline())
+        counts = obs.REGISTRY.as_dict()
+        assert counts["engine.journal.truncated"] == 1
+        assert counts["engine.journal.resumed"] == len(TASKS)
+
+    def test_store_provenance_is_resume_invariant(self, tmp_path):
+        """Resumed provenance reflects the original run's pre-batch store.
+
+        The interrupted run publishes plans into the store; a naive
+        resume would then see them as ``store_hits``.  The journal header
+        pins the original prewarmed key set, so the concatenated output
+        stays byte-identical to the uninterrupted run.
+        """
+        tasks = [
+            {"id": "a", "formula": TRIANGLE},
+            {"id": "b", "formula": "0 <= x AND x <= 1/2"},
+            {"id": "c", "formula": TRIANGLE},
+            {"id": "d", "formula": "0 <= x AND x <= 1/2"},
+        ]
+        reference = run_batch(
+            tasks, seed=5, workers=1,
+            plan_store=str(tmp_path / "ref.sqlite"),
+        )
+        journal = str(tmp_path / "journal.jsonl")
+        store = str(tmp_path / "live.sqlite")
+        with pytest.raises(ChaosAbort):
+            run_batch(
+                tasks, seed=5, workers=1, plan_store=store, journal=journal,
+                chaos="abort:2",
+            )
+        resumed = run_batch(
+            tasks, seed=5, workers=1, plan_store=store, journal=journal,
+            resume=True,
+        )
+        assert stripped(resumed) == stripped(reference)
+        assert [r["cache"] for r in resumed] == [r["cache"] for r in reference]
+
+
+class TestFingerprint:
+    TASKS = [normalize_task({"formula": TRIANGLE}, 0)]
+
+    def test_stable(self):
+        assert manifest_fingerprint(self.TASKS, 7) == manifest_fingerprint(
+            self.TASKS, 7
+        )
+
+    def test_sensitive_to_seed_config_and_tasks(self):
+        base = manifest_fingerprint(self.TASKS, 7)
+        assert manifest_fingerprint(self.TASKS, 8) != base
+        assert manifest_fingerprint(self.TASKS, 7, {"timeout": 1.0}) != base
+        other = [normalize_task({"formula": "0 <= x AND x <= 1/2"}, 0)]
+        assert manifest_fingerprint(other, 7) != base

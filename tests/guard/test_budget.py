@@ -12,6 +12,7 @@ from repro.guard import (
     ConstraintBudgetExceeded,
     DeadlineExceeded,
     DepthBudgetExceeded,
+    RetryBudgetExceeded,
     SizeBudgetExceeded,
     testing,
 )
@@ -115,6 +116,49 @@ class TestExhaustionPaths:
     def test_depth_cap_allows_shallow_queries(self):
         with guard.activate(Budget(max_depth=5)):
             assert decide(exists(x, (x * x).eq(2))) is True
+
+
+class TestRetryBudget:
+    """The retry budget the batch executor spends on transient failures."""
+
+    def test_charges_then_trips(self):
+        budget = Budget(max_retries=2)
+        budget.charge("retries")
+        budget.charge("retries")
+        with pytest.raises(RetryBudgetExceeded) as info:
+            budget.charge("retries")
+        assert info.value.resource == "retries"
+        assert budget.retries == 3
+        assert budget.snapshot()["retries"] == 3
+        assert budget.limits()["max_retries"] == 2
+
+    def test_unlimited_without_cap(self):
+        budget = Budget()
+        for _ in range(10):
+            budget.charge("retries")
+        assert budget.retries == 10
+
+    def test_reset_consumed_keeps_retry_history(self):
+        # A per-attempt reset must never erase how many attempts there
+        # were — that history is what quarantine decisions hang on.
+        budget = Budget(max_retries=1)
+        budget.charge("retries")
+        budget.reset_consumed()
+        assert budget.retries == 1
+        with pytest.raises(RetryBudgetExceeded):
+            budget.charge("retries")
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_retries=-1)
+
+    def test_is_a_budget_exceeded(self):
+        assert issubclass(RetryBudgetExceeded, BudgetExceeded)
+
+    def test_injectable_via_trip_after(self):
+        with testing.trip_after(1, resource="retries"):
+            with pytest.raises(RetryBudgetExceeded):
+                guard.checkpoint()
 
 
 class TestErrorTaxonomy:

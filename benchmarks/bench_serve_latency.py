@@ -1,0 +1,189 @@
+"""SERVE — warm-plan request latency through the async query service.
+
+Not a paper claim — an engineering contract of the ``repro.serve``
+front-end (see docs/SERVING.md): once a query shape's plan is in the
+shared plan store, serving it again must cost sockets-and-sampling, not
+recompilation.  Concretely, the warm p95 request latency through a live
+``python -m repro serve`` subprocess must be at least 3x better than
+the cold p95 (first-contact requests that pay quantifier elimination and
+cell decomposition inside a worker).  The table reports cold vs warm
+p50/p95 over real HTTP round-trips; the run also writes
+``BENCH_serve.json`` (``$REPRO_BENCH_SERVE_OUT`` overrides the path)
+with the percentiles plus the server's own /metrics counters.
+"""
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import repro
+
+from conftest import print_table
+from obs_report import emit
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Distinct-but-equal-cost query shapes: the disjunction count fixes the
+#: Fourier-Motzkin compile cost, ``k`` salts the content hash.
+COLD_SHAPES = 6
+REPEATS_PER_SHAPE = 4
+
+
+def band_query(k: int, branches: int = 4) -> str:
+    alts = " OR ".join(
+        f"({j}*u <= {k}*x AND u + v <= x + {j}*y AND {j}*v <= u + 1)"
+        for j in range(1, branches + 1)
+    )
+    return (
+        "EXISTS u . EXISTS v . (0 <= u AND u <= 1 AND 0 <= v AND v <= 1 AND "
+        f"({alts}) AND 0 <= x AND x <= 1 AND 0 <= y AND y <= 1)"
+    )
+
+
+class _Server:
+    """A ``repro serve`` subprocess pinned to an ephemeral port."""
+
+    def __init__(self, *args: str, startup_timeout: float = 30.0):
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--no-access-log", *args],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        self.port = None
+        self._lines: list[str] = []
+        self._ready = threading.Event()
+        threading.Thread(target=self._drain, daemon=True).start()
+        if not self._ready.wait(startup_timeout):
+            self.proc.kill()
+            raise RuntimeError(
+                "server never came up; stderr: " + "".join(self._lines)
+            )
+
+    def _drain(self) -> None:
+        for line in self.proc.stderr:
+            self._lines.append(line)
+            if line.startswith("serve: listening on "):
+                self.port = int(line.split()[3].rsplit(":", 1)[1])
+                self._ready.set()
+        self._ready.set()
+
+    def request(self, method: str, path: str, payload: dict | None = None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=120)
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        # SIGTERM first: a graceful drain shuts the worker pool down too,
+        # where SIGKILL would orphan the pool's child processes.
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _timed_query(server: _Server, formula: str) -> float:
+    start = time.perf_counter()
+    status, body = server.request(
+        "POST", "/v1/query", {"op": "volume", "formula": formula}
+    )
+    elapsed = time.perf_counter() - start
+    envelope = json.loads(body)
+    assert status == 200, body
+    assert envelope["result"]["status"] == "ok", body
+    return elapsed
+
+
+def _serve_counters(server: _Server) -> dict[str, float]:
+    _, body = server.request("GET", "/metrics")
+    counters: dict[str, float] = {}
+    for line in body.decode().splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        if name.startswith("repro_serve_") or name.startswith("repro_engine_store_"):
+            if "{" not in name:
+                counters[name] = float(value)
+    return counters
+
+
+def test_warm_requests_beat_cold(tmp_path):
+    store = tmp_path / "plans.sqlite"
+    server = _Server("--workers", "2", "--plan-store", str(store),
+                     "--request-timeout", "0")
+    try:
+        # Cold: first contact with each distinct shape pays compilation
+        # inside a worker (the store is empty, nothing to coalesce with).
+        cold = [_timed_query(server, band_query(k)) for k in range(2, 2 + COLD_SHAPES)]
+
+        # Warm: the same shapes again — every plan now comes from the
+        # worker's memory cache or the shared store, never the compiler.
+        warm = [
+            _timed_query(server, band_query(k))
+            for _ in range(REPEATS_PER_SHAPE)
+            for k in range(2, 2 + COLD_SHAPES)
+        ]
+        counters = _serve_counters(server)
+    finally:
+        server.close()
+
+    cold_p50, cold_p95 = _percentile(cold, 0.5), _percentile(cold, 0.95)
+    warm_p50, warm_p95 = _percentile(warm, 0.5), _percentile(warm, 0.95)
+
+    header = ["phase", "requests", "p50_s", "p95_s"]
+    rows = [
+        ["cold", len(cold), round(cold_p50, 4), round(cold_p95, 4)],
+        ["warm", len(warm), round(warm_p50, 4), round(warm_p95, 4)],
+    ]
+    print_table("SERVE: cold vs warm request latency", header, rows)
+    emit("BENCH_serve_latency", header, rows)
+    _write_report(cold, warm, cold_p50, cold_p95, warm_p50, warm_p95, counters)
+
+    assert warm_p95 < cold_p95 / 3, (
+        f"warm p95 {warm_p95:.4f}s not 3x better than cold p95 {cold_p95:.4f}s"
+    )
+
+
+def _report_path() -> Path:
+    env = os.environ.get("REPRO_BENCH_SERVE_OUT")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _write_report(cold, warm, cold_p50, cold_p95, warm_p50, warm_p95, counters):
+    report = {
+        "schema": "repro.obs/v2",
+        "experiment": "BENCH_serve",
+        "shapes": COLD_SHAPES,
+        "cold_requests": len(cold),
+        "warm_requests": len(warm),
+        "cold_p50_s": round(cold_p50, 6),
+        "cold_p95_s": round(cold_p95, 6),
+        "warm_p50_s": round(warm_p50, 6),
+        "warm_p95_s": round(warm_p95, 6),
+        "speedup_p95": round(cold_p95 / warm_p95, 3),
+        "serve_counters": counters,
+    }
+    path = _report_path()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nserve latency report -> {path}")

@@ -14,8 +14,13 @@ Subcommands
                 ``--shard I/N`` splits a manifest across machines; see
                 docs/ENGINE.md)
 ``metrics``     render Prometheus text-format metrics from a
-                ``--trace-out`` file (offline replay) or from a manifest
-                (runs it with telemetry harvesting on)
+                ``--trace-out`` file (offline replay), from a manifest
+                (runs it with telemetry harvesting on), or from ``-``
+                (either format on stdin)
+``serve``       run the async HTTP query service: ``POST /v1/query`` /
+                ``/v1/batch`` against a worker pool with admission
+                control, compile coalescing, live ``GET /metrics``, and
+                graceful drain on SIGTERM (see docs/SERVING.md)
 ``experiments`` list the paper-reproduction experiments and how to run them
 ``trace``       run any subcommand with observability on (= ``--stats``)
 
@@ -150,26 +155,31 @@ def _approx(args: argparse.Namespace) -> None:
     )
 
 
-def _read_manifest(path: str) -> list[dict]:
-    """Read a JSONL task manifest (``-`` = stdin) into normalized tasks.
+def _read_input_lines(path: str) -> tuple[list[str], str]:
+    """Slurp a JSONL input (``-`` = stdin) into ``(lines, display name)``.
+
+    Stdin is read exactly once here, so callers can both sniff the
+    format and parse from the same lines.
+    """
+    if path == "-":
+        return sys.stdin.readlines(), "<stdin>"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.readlines(), path
+    except OSError as error:
+        raise ReproError(f"cannot read {path}: {error}") from error
+
+
+def _parse_manifest_lines(lines: list[str], where: str) -> list[dict]:
+    """Parse JSONL manifest lines into normalized tasks.
 
     Blank lines and ``#`` comments are skipped; a malformed line is a
-    :class:`ReproError` naming the file and line number.
+    :class:`ReproError` naming the source and line number.
     """
     import json
 
     from repro.engine import normalize_task
 
-    if path == "-":
-        lines = sys.stdin.readlines()
-        where = "<stdin>"
-    else:
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except OSError as error:
-            raise ReproError(f"cannot read manifest: {error}") from error
-        where = path
     tasks = []
     for lineno, line in enumerate(lines, 1):
         line = line.strip()
@@ -181,6 +191,12 @@ def _read_manifest(path: str) -> list[dict]:
             raise ReproError(f"{where}:{lineno}: not valid JSON: {error}") from error
         tasks.append(normalize_task(raw, len(tasks)))
     return tasks
+
+
+def _read_manifest(path: str) -> list[dict]:
+    """Read a JSONL task manifest (``-`` = stdin) into normalized tasks."""
+    lines, where = _read_input_lines(path)
+    return _parse_manifest_lines(lines, where)
 
 
 def _parse_shard(spec: str) -> tuple[int, int]:
@@ -291,6 +307,16 @@ def _batch(args: argparse.Namespace) -> None:
             name: store_after[name] - store_before[name]
             for name in store_before
         }
+        # Surfaced in the --json summary row too (not just this stderr
+        # line), so store traffic survives into machine-readable output.
+        args.batch_store_delta = {
+            "path": args.plan_store,
+            "plans": store_after["plans"],
+            **{name: delta[name] for name in (
+                "hits", "misses", "publishes", "compiles", "races",
+                "stale_claims",
+            )},
+        }
         print(
             f"batch: plan store {args.plan_store}: {store_after['plans']} "
             f"plans ({delta['plans']:+d}), store-hits={delta['hits']}, "
@@ -381,25 +407,28 @@ def _batch(args: argparse.Namespace) -> None:
 def _metrics(args: argparse.Namespace) -> None:
     """Render Prometheus text-format metrics from a trace file or manifest.
 
-    The input is sniffed: a JSONL file whose first record carries a
+    The input is sniffed: JSONL whose first record carries a
     ``repro.obs/*`` schema is replayed offline (no queries run); anything
     else is treated as a task manifest and executed with telemetry
-    harvesting on, then the merged registry is rendered.
+    harvesting on, then the merged registry is rendered.  ``-`` reads
+    either format from stdin — the pipe-friendly form, e.g.
+    ``repro batch m.jsonl --trace-out /dev/stdout | repro metrics -``.
     """
     from repro import obs
     from repro.obs.aggregate import merged_registry
 
-    if _sniff_trace_file(args.input):
-        records = obs.read_jsonl(args.input)
+    lines, where = _read_input_lines(args.input)
+    if _sniff_trace_lines(lines):
+        records = obs.read_jsonl_lines(lines, where)
         if records.skipped:
             print(f"metrics: skipped {records.skipped} unreadable record"
-                  f"{'s' if records.skipped != 1 else ''} in {args.input}",
+                  f"{'s' if records.skipped != 1 else ''} in {where}",
                   file=sys.stderr)
         registry = obs.registry_from_records(records)
     else:
         from repro.engine import run_batch
 
-        tasks = _read_manifest(args.input)
+        tasks = _parse_manifest_lines(lines, where)
         results = run_batch(
             tasks, workers=args.workers, seed=args.seed,
             timeout=args.timeout, max_cells=args.max_cells,
@@ -418,35 +447,59 @@ def _metrics(args: argparse.Namespace) -> None:
             raise ReproError(f"cannot write {args.out}: {error}") from error
 
 
-def _sniff_trace_file(path: str) -> bool:
-    """True when *path* looks like an observability JSONL file.
+def _sniff_trace_lines(lines: list[str]) -> bool:
+    """True when JSONL *lines* look like an observability trace file.
 
     Decided from the first non-blank, non-comment line: a JSON object
     whose ``schema`` is a ``repro.obs/*`` string.  Manifests (task dicts
-    without a schema key) and non-files fall through to False.
+    without a schema key) fall through to False.
     """
     import json
 
-    if path == "-":
-        return False
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    return False
-                return (
-                    isinstance(record, dict)
-                    and isinstance(record.get("schema"), str)
-                    and record["schema"].startswith("repro.obs/")
-                )
-    except OSError:
-        return False
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return (
+            isinstance(record, dict)
+            and isinstance(record.get("schema"), str)
+            and record["schema"].startswith("repro.obs/")
+        )
     return False
+
+
+def _serve_cmd(args: argparse.Namespace) -> None:
+    """Run the async HTTP query service until a drain signal lands."""
+    from repro import obs
+    from repro.serve import ServeConfig, run_server
+
+    # /metrics is a first-class route, so counting is on for the
+    # server's lifetime regardless of --stats.
+    obs.enable_counting()
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        seed=args.seed,
+        plan_store=args.plan_store,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        request_timeout=(
+            args.request_timeout if args.request_timeout > 0 else None
+        ),
+        drain_timeout=args.drain_timeout,
+        max_body=args.max_body,
+        max_cells=args.max_cells,
+        fallback=args.fallback,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        access_log=not args.no_access_log,
+    )
+    run_server(config)
 
 
 def _experiments() -> None:
@@ -631,6 +684,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="process workers when the input is a manifest (default 1)",
     )
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve queries over HTTP with admission control and live "
+        "metrics (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port to bind; 0 picks an ephemeral port, printed on "
+        "the 'serve: listening' stderr line (default 8080)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="process workers for CPU-bound query execution (default 2)",
+    )
+    serve.add_argument(
+        "--plan-store", metavar="PATH", default=None,
+        help="cross-process shared plan store; concurrent compiles of one "
+        "content hash are coalesced in front of it",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4, metavar="N",
+        help="tasks dispatched to the pool at once (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="requests allowed to wait for a slot before new arrivals "
+        "are shed with 429 (default 16)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline cap: each request's budget is "
+        "min(its own 'timeout' field, this), charged from admission "
+        "(0 = uncapped; default 30)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="seconds SIGTERM/SIGINT waits for in-flight work before "
+        "exiting anyway (default 10)",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=1 << 20, metavar="BYTES",
+        help="largest accepted request body (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="default accuracy target for approx/fallback tasks (default 0.05)",
+    )
+    serve.add_argument(
+        "--delta", type=float, default=0.05,
+        help="default failure probability for approx/fallback tasks "
+        "(default 0.05)",
+    )
+    serve.add_argument(
+        "--no-access-log", action="store_true", default=False,
+        help="suppress the per-request JSON access-log lines on stderr",
+    )
     sub.add_parser(
         "experiments", parents=[common],
         help="list the reproduction experiments",
@@ -661,6 +774,11 @@ def _dispatch(args: argparse.Namespace) -> None:
         # metrics manages budgets per task like batch (when its input is a
         # manifest); a trace-file replay runs no queries at all.
         _metrics(args)
+        return
+    if args.command == "serve":
+        # serve derives a fresh budget per request from --request-timeout
+        # and the request's own deadline; no process-wide budget applies.
+        _serve_cmd(args)
         return
     with guard.govern(args.budget):
         if args.command in (None, "demo"):
@@ -730,9 +848,12 @@ def _run(args: argparse.Namespace, argv: list[str] | None) -> int:
         print(obs.format_span_tree(trace_record))
         print(obs.format_counters(obs.REGISTRY))
     if args.json:
+        row = {"argv": " ".join(argv or sys.argv[1:]), "seed": args.seed}
+        if getattr(args, "batch_store_delta", None) is not None:
+            row["plan_store"] = args.batch_store_delta
         record = obs.make_record(
             f"repro.{command}",
-            row={"argv": " ".join(argv or sys.argv[1:]), "seed": args.seed},
+            row=row,
             registry=obs.REGISTRY,
             trace=trace_record,
         )

@@ -43,11 +43,13 @@ from .prepared import PlanProvenance, PreparedQuery, prepare
 from .store import PlanStore, StoreBackedCache
 from .executor import (
     OPS,
+    cache_outcome,
     execute_task,
     normalize_task,
     run_batch,
     task_key,
     task_seed,
+    worker_entry,
 )
 
 __all__ = [
@@ -74,6 +76,8 @@ __all__ = [
     "OPS",
     "normalize_task",
     "execute_task",
+    "worker_entry",
+    "cache_outcome",
     "run_batch",
     "task_seed",
     "task_key",

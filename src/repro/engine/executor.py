@@ -97,7 +97,7 @@ from .store import PlanStore, StoreBackedCache
 
 __all__ = [
     "OPS", "task_seed", "task_key", "normalize_task", "execute_task",
-    "run_batch",
+    "worker_entry", "cache_outcome", "run_batch",
 ]
 
 #: Operations a manifest task may request.
@@ -185,6 +185,7 @@ def execute_task(
     collect_obs: bool = False,
     plan_store: str | None = None,
     compile_only: bool = False,
+    obs_shared_cache: bool = False,
 ) -> dict[str, Any]:
     """Run one normalized task; always returns a result record, never raises.
 
@@ -195,6 +196,10 @@ def execute_task(
     a shared :class:`~repro.engine.store.PlanStore` file to compile
     through (one adapter per process, reused across tasks);
     ``compile_only=True`` prepares the plan and skips evaluation.
+    ``obs_shared_cache=True`` lets an observed task use the shared cache
+    and store anyway: batch telemetry must be scheduling-independent, so
+    it compiles privately, but a long-running server wants live (not
+    byte-stable) telemetry *and* warm plans — it opts in.
     """
     result: dict[str, Any] = {"id": task["id"], "op": task["op"], "seed": seed}
     start = time.perf_counter()
@@ -204,16 +209,17 @@ def execute_task(
         else None
     )
     store = _store_adapter(plan_store) if plan_store else None
+    private_compile = collect_obs and not obs_shared_cache
     if collect_obs:
         from ..obs.aggregate import task_observation
 
         with task_observation() as observation:
             _run_task(result, task, seed, budget, fallback, epsilon, delta,
-                      collect_obs, store, compile_only)
+                      private_compile, store, compile_only)
         result["obs"] = observation.snapshot
     else:
         _run_task(result, task, seed, budget, fallback, epsilon, delta,
-                  collect_obs, store, compile_only)
+                  private_compile, store, compile_only)
     result["elapsed_s"] = round(time.perf_counter() - start, 6)
     return result
 
@@ -226,7 +232,7 @@ def _run_task(
     fallback: str,
     epsilon: float,
     delta: float,
-    collect_obs: bool,
+    private_compile: bool,
     store: "StoreBackedCache | None" = None,
     compile_only: bool = False,
 ) -> None:
@@ -234,7 +240,7 @@ def _run_task(
     try:
         result.update(
             _dispatch(task, seed, budget, fallback, epsilon, delta,
-                      collect_obs, store, compile_only)
+                      private_compile, store, compile_only)
         )
         result["status"] = "ok"
     except BudgetExceeded as error:
@@ -289,7 +295,7 @@ def _dispatch(
     fallback: str,
     epsilon: float,
     delta: float,
-    collect_obs: bool = False,
+    private_compile: bool = False,
     store: "StoreBackedCache | None" = None,
     compile_only: bool = False,
 ) -> dict[str, Any]:
@@ -298,11 +304,11 @@ def _dispatch(
     box = task.get("box")
     epsilon = task.get("epsilon", epsilon)
     delta = task.get("delta", delta)
-    # Observed tasks compile privately: shared-cache (and shared-store)
-    # hits depend on worker scheduling, and per-task telemetry must not
-    # (see module docstring) — so collect_obs bypasses the store too.
+    # Batch-observed tasks compile privately: shared-cache (and
+    # shared-store) hits depend on worker scheduling, and per-task batch
+    # telemetry must not (see module docstring and obs_shared_cache).
     cache: dict[str, Any] = (
-        {"cache": None} if collect_obs
+        {"cache": None} if private_compile
         else {"cache": store} if store is not None
         else {}
     )
@@ -404,8 +410,19 @@ def _store_adapter(path: str) -> StoreBackedCache:
     return adapter
 
 
-def _worker(payload: tuple[dict[str, Any], dict[str, Any]]) -> dict[str, Any]:
+def worker_entry(
+    payload: tuple[dict[str, Any], dict[str, Any]]
+) -> dict[str, Any]:
     """Process-pool entry point (top level so it pickles).
+
+    The payload is ``(normalized_task, config)`` where *config* holds
+    :func:`execute_task` keyword arguments plus the optional batch-only
+    keys ``liveness_dir`` and ``chaos``.  This is the one worker-side
+    entry shared by every front-end — the batch executor submits it with
+    the liveness handshake armed, and :mod:`repro.serve` dispatches it
+    from the event loop with neither batch extra — so worker-process
+    state (the per-pid plan-store adapter, warm in-memory caches) is
+    reused identically whichever front-end drives the pool.
 
     Besides running the task, the worker keeps the liveness handshake the
     parent's crash attribution relies on: it writes ``<index>.live``
@@ -593,7 +610,7 @@ class _BatchRunner:
     Serial runs (no pool needed, no disruptive chaos) execute in-process
     exactly as before.  Pooled runs dispatch via ``submit`` and collect
     completions incrementally, so a broken pool loses only the in-flight
-    tasks; the liveness markers written by :func:`_worker` attribute the
+    tasks; the liveness markers written by :func:`worker_entry` attribute the
     crash.  A single suspect is charged against its retry budget directly;
     when several tasks were in flight in the dead pool, each suspect is
     re-run in its own single-worker *probe* pool — innocents complete
@@ -707,7 +724,7 @@ class _BatchRunner:
                     if action is not None:
                         task_config["chaos"] = action
                     futures[pool.submit(
-                        _worker, (dict(self.by_index[index]), task_config)
+                        worker_entry, (dict(self.by_index[index]), task_config)
                     )] = index
             except BrokenExecutor:
                 broken = True
@@ -953,16 +970,30 @@ def _attach_cache_provenance(
         key = result.get("cached_key")
         if key is None:
             continue
-        if key in seen:
-            outcome = "hits"
-        elif key in prewarmed:
-            outcome = "store_hits"
-        else:
-            outcome = "misses"
-        seen.add(key)
-        result["cache"] = {
-            "hits": 0, "misses": 0, "store_hits": 0, outcome: 1,
-        }
+        result["cache"] = cache_outcome(key, prewarmed, seen)
+
+
+def cache_outcome(
+    key: str, prewarmed: frozenset[str] | set[str], seen: set[str]
+) -> dict[str, int]:
+    """The one-hot cache-provenance dict for one occurrence of *key*.
+
+    Mirrors the batch rule (see :func:`_attach_cache_provenance`): a key
+    already in *seen* is an in-memory ``hits``; a first occurrence is a
+    ``store_hits`` when the store held it before the run started, else a
+    ``misses``.  *seen* is updated in place, so callers that process
+    occurrences in order — the batch executor in manifest order, the
+    serving front-end in admission order — accumulate the same provenance
+    a single sequential run would.
+    """
+    if key in seen:
+        outcome = "hits"
+    elif key in prewarmed:
+        outcome = "store_hits"
+    else:
+        outcome = "misses"
+    seen.add(key)
+    return {"hits": 0, "misses": 0, "store_hits": 0, outcome: 1}
 
 
 #: ``stats`` table name -> obs counter it feeds (see obs/metrics.py).
@@ -980,14 +1011,17 @@ def _fold_store_delta(
     store: PlanStore,
     stats_before: dict[str, int],
     hist_before: dict[str, Any],
-) -> None:
+) -> tuple[dict[str, int], dict[str, Any]]:
     """Fold the batch's store traffic into this process's registry, once.
 
     Worker registries die with the pool, so the store's own SQLite stats
     are the one surviving record of cross-process traffic; the parent
     computes the before/after delta and applies it exactly once (counters
     add; the fetch-latency histogram merges bucket-exactly, with min/max
-    conservatively taken from the store's lifetime extremes).
+    conservatively taken from the store's lifetime extremes).  Returns
+    the *after* snapshots so incremental callers (the serving front-end
+    folds on every ``/metrics`` scrape) can chain the next delta from
+    them.
     """
     stats_after = store.stats_snapshot()
     for name, metric in _STORE_COUNTERS.items():
@@ -995,13 +1029,15 @@ def _fold_store_delta(
         if delta:
             obs.add(metric, delta)
     obs.set_gauge("engine.store.plans", len(store))
+    hist_after = store.fetch_hist_snapshot()
     if obs.counting_enabled():
-        delta_hist = _hist_delta(hist_before, store.fetch_hist_snapshot())
+        delta_hist = _hist_delta(hist_before, hist_after)
         if delta_hist.count:
             obs.REGISTRY.histogram(
                 "engine.store.fetch_s",
                 "Shared-plan-store fetch latency (seconds)",
             ).merge(delta_hist)
+    return stats_after, hist_after
 
 
 def _hist_delta(

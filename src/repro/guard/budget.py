@@ -133,6 +133,23 @@ class Budget:
     def elapsed_s(self) -> float:
         return 0.0 if self.started_s is None else time.monotonic() - self.started_s
 
+    def remaining_s(self) -> float | None:
+        """Wall-clock seconds left before the deadline trips.
+
+        ``None`` when no deadline is configured.  Before the clock starts
+        the full allowance remains; after exhaustion the value clamps to
+        ``0.0`` rather than going negative.  Serving front-ends use this
+        to derive the budget of work dispatched *on behalf of* a request
+        — e.g. the time a query spent in an admission queue is charged
+        against the deadline handed to the worker, so a request's
+        end-to-end deadline is honored across the queue/execute split.
+        """
+        if self.deadline_s is None:
+            return None
+        if self._deadline_at is None:
+            return float(self.deadline_s)
+        return max(0.0, self._deadline_at - time.monotonic())
+
     def reset_consumed(self) -> None:
         """Zero the countable consumption (cells, constraints, size, depth).
 

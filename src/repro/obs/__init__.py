@@ -62,11 +62,17 @@ from .export import (
     JsonlSink,
     make_record,
     read_jsonl,
+    read_jsonl_lines,
     span_from_dict,
     span_to_dict,
     trace_to_dicts,
 )
-from .promexport import prom_name, render_prometheus
+from .promexport import (
+    escape_help,
+    escape_label_value,
+    prom_name,
+    render_prometheus,
+)
 from .aggregate import (
     SUMMARY_EXPERIMENT,
     TASK_EXPERIMENT,
@@ -91,10 +97,11 @@ __all__ = [
     # sinks / export
     "render_table", "format_span_tree", "format_counters", "MemorySink",
     "SCHEMA", "SCHEMA_V1", "KNOWN_SCHEMAS", "JsonlSink", "JsonlRecords",
-    "make_record", "read_jsonl", "span_to_dict", "span_from_dict",
+    "make_record", "read_jsonl", "read_jsonl_lines", "span_to_dict",
+    "span_from_dict",
     "trace_to_dicts",
     # prometheus exposition
-    "prom_name", "render_prometheus",
+    "prom_name", "escape_help", "escape_label_value", "render_prometheus",
     # cross-process aggregation
     "TASK_EXPERIMENT", "SUMMARY_EXPERIMENT", "task_observation",
     "merge_snapshot_into", "merged_registry", "registry_from_records",

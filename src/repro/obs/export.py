@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 import warnings
-from typing import Any, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from .metrics import Registry
 from .trace import SpanRecord, Trace
@@ -45,6 +45,7 @@ __all__ = [
     "JsonlSink",
     "JsonlRecords",
     "read_jsonl",
+    "read_jsonl_lines",
 ]
 
 SCHEMA = "repro.obs/v2"
@@ -92,6 +93,10 @@ def trace_to_dicts(trace: Trace) -> list[dict[str, Any]]:
 def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
     return str(value)
 
 
@@ -166,37 +171,49 @@ def read_jsonl(path: str) -> JsonlRecords:
     cannot make an entire trajectory unreadable.  Records with no
     ``schema`` key pass through untouched (generic JSONL).
     """
+    with open(path, encoding="utf-8") as handle:
+        return read_jsonl_lines(handle, where=path)
+
+
+def read_jsonl_lines(
+    lines: Iterable[str], where: str = "<lines>"
+) -> JsonlRecords:
+    """:func:`read_jsonl` over already-read lines (stdin, a pipe, a test).
+
+    *where* names the source in skip warnings, standing in for the file
+    path.  This is the piece that lets ``repro metrics -`` replay a
+    trajectory streamed on stdin, which cannot be re-opened by path.
+    """
     records: list[dict[str, Any]] = []
     skipped = 0
-    with open(path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as error:
-                skipped += 1
-                warnings.warn(
-                    f"{path}:{lineno}: skipping malformed JSONL line ({error})",
-                    stacklevel=2,
-                )
-                continue
-            if not isinstance(record, dict):
-                skipped += 1
-                warnings.warn(
-                    f"{path}:{lineno}: skipping non-object JSONL line",
-                    stacklevel=2,
-                )
-                continue
-            schema = record.get("schema")
-            if schema is not None and schema not in KNOWN_SCHEMAS:
-                skipped += 1
-                warnings.warn(
-                    f"{path}:{lineno}: skipping record with unknown schema "
-                    f"{schema!r} (known: {sorted(KNOWN_SCHEMAS)})",
-                    stacklevel=2,
-                )
-                continue
-            records.append(record)
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            skipped += 1
+            warnings.warn(
+                f"{where}:{lineno}: skipping malformed JSONL line ({error})",
+                stacklevel=2,
+            )
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            warnings.warn(
+                f"{where}:{lineno}: skipping non-object JSONL line",
+                stacklevel=2,
+            )
+            continue
+        schema = record.get("schema")
+        if schema is not None and schema not in KNOWN_SCHEMAS:
+            skipped += 1
+            warnings.warn(
+                f"{where}:{lineno}: skipping record with unknown schema "
+                f"{schema!r} (known: {sorted(KNOWN_SCHEMAS)})",
+                stacklevel=2,
+            )
+            continue
+        records.append(record)
     return JsonlRecords(records, skipped)

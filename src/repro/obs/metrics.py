@@ -296,6 +296,37 @@ CATALOGUE: dict[str, tuple[str, str]] = {
         "histogram", "cells lifted per CAD decision-procedure run"),
     "guard.fallback.attempts": (
         "histogram", "exhausted ladder rungs per robust volume evaluation"),
+    "serve.requests": (
+        "counter", "HTTP requests received by the query service (all routes)"),
+    "serve.queries": (
+        "counter", "query tasks admitted for execution by the service"),
+    "serve.ok": ("counter", "served tasks that completed successfully"),
+    "serve.errors": ("counter", "served tasks that failed with a query error"),
+    "serve.budget_exceeded": (
+        "counter", "served tasks that exhausted their per-request budget"),
+    "serve.shed": (
+        "counter", "requests shed with 429 because the admission queue was full"),
+    "serve.timeouts": (
+        "counter",
+        "requests whose deadline expired in the admission queue (never ran)"),
+    "serve.coalesce.leads": (
+        "counter", "cold content hashes whose compile one request led"),
+    "serve.coalesce.waits": (
+        "counter",
+        "requests that waited on another request's in-flight compile"),
+    "serve.queue.depth": (
+        "gauge", "requests currently waiting in the admission queue"),
+    "serve.inflight": (
+        "gauge", "tasks currently dispatched to the worker pool"),
+    "serve.draining": (
+        "gauge", "1 while the server is draining after SIGTERM/SIGINT, else 0"),
+    "serve.drain.aborted": (
+        "counter", "in-flight tasks abandoned when the drain timeout expired"),
+    "serve.queue_wait_s": (
+        "histogram", "seconds a request spent in the admission queue"),
+    "serve.latency_s": (
+        "histogram",
+        "end-to-end seconds from admission to response per served task"),
     "trace.spans_dropped": (
         "counter", "spans dropped after a trace hit the MAX_SPANS cap"),
     "realalg.cache.hit": (

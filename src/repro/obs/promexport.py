@@ -27,7 +27,9 @@ from typing import Iterable
 from .histogram import Histogram
 from .metrics import Counter, Gauge, Registry
 
-__all__ = ["prom_name", "render_prometheus"]
+__all__ = [
+    "prom_name", "escape_help", "escape_label_value", "render_prometheus",
+]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 _PREFIX = "repro_"
@@ -41,8 +43,40 @@ def prom_name(name: str) -> str:
     return _PREFIX + sanitized
 
 
-def _escape_help(text: str) -> str:
-    return text.replace("\\", "\\\\").replace("\n", "\\n")
+def escape_help(text: str) -> str:
+    """``# HELP`` text with the exposition-format escapes applied.
+
+    The format mandates escaping backslash and line feed in help text
+    (an unescaped newline would terminate the comment mid-text and leave
+    the remainder as a garbage sample line, breaking the whole scrape).
+    Carriage returns are folded into the newline escape: bare ``\\r`` is
+    not representable in the format and a ``\\r\\n`` help text must not
+    smuggle a line break past the escaping.
+    """
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\r\n", "\n")
+        .replace("\r", "\n")
+        .replace("\n", "\\n")
+    )
+
+
+def escape_label_value(text: str) -> str:
+    """A label value with the exposition-format escapes applied.
+
+    Label values additionally escape the double quote — ``{le="..."}``
+    is quote-delimited, so an unescaped ``"`` would end the value early
+    and corrupt every sample after it.  Applied to every label this
+    module emits (and available to callers adding their own labels),
+    so ``/metrics`` stays parseable whatever ends up in a value.
+    """
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\r\n", "\n")
+        .replace("\r", "\n")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
 
 
 def _format_value(value: "int | float") -> str:
@@ -92,10 +126,8 @@ def render_prometheus(registry: Registry, skip_empty: bool = True) -> str:
                 continue
             blocks.extend(_header(series, metric.description, "histogram"))
             for bound, cumulative in metric.cumulative_buckets():
-                blocks.append(
-                    f'{series}_bucket{{le="{_format_bound(bound)}"}} '
-                    f"{cumulative}"
-                )
+                le = escape_label_value(_format_bound(bound))
+                blocks.append(f'{series}_bucket{{le="{le}"}} {cumulative}')
             blocks.append(f"{series}_sum {_format_value(metric.sum)}")
             blocks.append(f"{series}_count {metric.count}")
     return "\n".join(blocks) + "\n" if blocks else ""
@@ -112,6 +144,6 @@ def _as_number(value) -> "int | float":
 def _header(series: str, description: str, kind: str) -> Iterable[str]:
     lines = []
     if description:
-        lines.append(f"# HELP {series} {_escape_help(description)}")
+        lines.append(f"# HELP {series} {escape_help(description)}")
     lines.append(f"# TYPE {series} {kind}")
     return lines

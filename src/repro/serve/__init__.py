@@ -1,0 +1,40 @@
+"""Async query service over the prepared-plan engine.
+
+``repro serve`` turns the batch executor's machinery — prepared plans,
+the cross-process plan store, process workers, per-task budgets, and
+telemetry harvesting — into a long-running HTTP service with admission
+control.  The layering (one module per concern, event loop admits /
+workers compute):
+
+``http``         minimal asyncio HTTP/1.1 framing, transport only
+``admission``    bounded FIFO queue + load shedding (429)
+``coalesce``     single-flight compile deduplication per content hash
+``service``      the pool bridge: determinism, provenance, telemetry
+``server``       routes, deadlines, access log, graceful drain
+
+Start one with ``python -m repro serve --port 8080 --workers 4`` and see
+docs/SERVING.md for the protocol, the byte-identity contract with
+``repro batch``, and the backpressure semantics.
+"""
+
+from .admission import AdmissionGate, RequestShed
+from .coalesce import SingleFlight
+from .http import HttpError, HttpRequest, read_request, response_bytes
+from .server import SCHEMA, ServeConfig, Server, run_server
+from .service import QueryService, ServiceConfig
+
+__all__ = [
+    "SCHEMA",
+    "AdmissionGate",
+    "RequestShed",
+    "SingleFlight",
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "ServeConfig",
+    "Server",
+    "run_server",
+    "QueryService",
+    "ServiceConfig",
+]

@@ -1,0 +1,127 @@
+"""Admission control: a bounded FIFO queue with load shedding.
+
+The event loop admits work through one :class:`AdmissionGate`:
+
+* up to ``max_inflight`` tasks are dispatched to the worker pool at a
+  time — the pool is the CPU; letting more in would only grow an
+  invisible queue inside ``ProcessPoolExecutor``, where requests cannot
+  be timed, shed, or accounted;
+* up to ``queue_depth`` requests may *wait* for a slot; the request that
+  would be waiter ``queue_depth + 1`` is **shed** with
+  :class:`RequestShed` (the server answers 429 + ``Retry-After``) rather
+  than queued — bounded queues are what keep p99 latency and memory flat
+  when offered load exceeds capacity;
+* FIFO order: slots are granted strictly in arrival order, so a burst
+  cannot starve an earlier request.
+
+The gate also owns the admission metrics: ``serve.queue.depth`` /
+``serve.inflight`` gauges, the ``serve.queue_wait_s`` histogram, and the
+``serve.shed`` counter.  It is single-loop code — no locks — which is
+exactly why admission stays in the event loop while CPU work leaves it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+from .. import obs
+
+__all__ = ["AdmissionGate", "RequestShed"]
+
+
+class RequestShed(Exception):
+    """The admission queue is full; the caller should answer 429."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"admission queue full; retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionGate:
+    """A bounded, FIFO, metric-reporting admission gate (see module doc)."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        queue_depth: int,
+        retry_after_s: float = 1.0,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+        self.inflight = 0
+        self._waiters: deque[asyncio.Future] = deque()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    def room(self) -> int:
+        """How many more requests could be queued before shedding."""
+        return self.queue_depth - len(self._waiters)
+
+    def idle(self) -> bool:
+        """True when nothing is inflight and nothing is queued."""
+        return self.inflight == 0 and not self._waiters
+
+    # -- the gate ----------------------------------------------------------
+    async def acquire(self, shed: bool = True) -> float:
+        """Wait for a dispatch slot; returns the seconds spent queued.
+
+        ``shed=False`` waits unconditionally even when the queue is over
+        ``queue_depth`` — used by inline-batch tasks whose *request* was
+        already admitted as a unit (the batch endpoint sheds up front via
+        :meth:`room`, so its tasks must not be dropped halfway through).
+        """
+        if self.inflight < self.max_inflight and not self._waiters:
+            self.inflight += 1
+            self._report()
+            return 0.0
+        if shed and len(self._waiters) >= self.queue_depth:
+            obs.add("serve.shed")
+            raise RequestShed(self.retry_after_s)
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self._report()
+        started = time.perf_counter()
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # The slot was granted in the same tick the request was
+                # cancelled; hand it to the next waiter instead of
+                # leaking it.
+                self.release()
+            else:
+                self._waiters.remove(waiter)
+                self._report()
+            raise
+        waited = time.perf_counter() - started
+        obs.observe_value("serve.queue_wait_s", waited)
+        return waited
+
+    def release(self) -> None:
+        """Return a slot; grants it to the oldest live waiter, if any."""
+        self.inflight -= 1
+        while self._waiters and self.inflight < self.max_inflight:
+            waiter = self._waiters.popleft()
+            if waiter.cancelled():
+                continue
+            self.inflight += 1
+            waiter.set_result(None)
+            break
+        self._report()
+
+    def _report(self) -> None:
+        obs.set_gauge("serve.queue.depth", len(self._waiters))
+        obs.set_gauge("serve.inflight", self.inflight)

@@ -1,0 +1,56 @@
+"""Single-flight compile coalescing, keyed by plan content hash.
+
+A thundering herd of requests for the same query *shape* (alpha-variants
+included — the content hash canonicalizes them together) must not
+dispatch N simultaneous compiles.  The shared plan store already
+guarantees one *winning* compile cross-process via its claim protocol,
+but the N - 1 losers would still occupy worker-pool slots polling for
+the winner's publication — under load, the whole pool can wedge on one
+hot key.  This in-process layer keeps the redundancy out of the pool
+entirely: the first request for a cold key becomes the **leader** and
+dispatches normally (its evaluation compiles and publishes the plan);
+every concurrent duplicate parks on an ``asyncio.Future`` *in the event
+loop* — costing no pool slot — and dispatches its own evaluation only
+after the leader finishes, by which point the plan is a warm store hit.
+
+The flight always lands: the leader resolves its future in a
+``finally``, and failures resolve (not reject) it — each waiter then
+runs its own evaluation and produces its own structured error record,
+exactly as the same tasks would in a batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """At most one in-flight computation per key; event-loop-only state."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    def begin(self, key: str) -> asyncio.Future | None:
+        """Join the flight for *key*.
+
+        Returns ``None`` when the caller becomes the leader (it must call
+        :meth:`finish` when done, success or not), or the future to await
+        when another request already leads the key.
+        """
+        waiter = self._inflight.get(key)
+        if waiter is not None:
+            return waiter
+        self._inflight[key] = asyncio.get_running_loop().create_future()
+        return None
+
+    def finish(self, key: str) -> None:
+        """Land the flight for *key*, releasing every waiter."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(None)
+
+    def inflight(self) -> int:
+        """How many keys currently have a flight in progress."""
+        return len(self._inflight)

@@ -1,0 +1,183 @@
+"""Minimal asyncio HTTP/1.1 framing for the query service.
+
+The standard library has no *async* HTTP server (``http.server`` is
+thread-per-connection and would defeat the admission-control design, see
+:mod:`repro.serve.server`), so this module implements the small slice of
+HTTP/1.1 the service needs on top of ``asyncio`` streams: request-line +
+header parsing, ``Content-Length`` bodies, keep-alive, and response
+serialization.  Deliberately out of scope: chunked transfer encoding
+(rejected with 501), multipart, TLS, and HTTP/2 — a reverse proxy
+terminates those in any real deployment.
+
+Everything here is transport-shaped and pure: no metrics, no routing, no
+query knowledge.  Errors raise :class:`HttpError`, which carries the
+status code the connection handler should answer with before (usually)
+closing the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "REASONS",
+    "read_request",
+    "response_bytes",
+]
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Methods the parser accepts; anything else is a 405 at routing time,
+#: but a token that is not even method-shaped is a 400 here.
+_METHODS = frozenset({
+    "GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH",
+})
+
+#: Hard cap on the header block, independent of the stream limit.
+MAX_HEADER_LINES = 100
+
+
+class HttpError(Exception):
+    """A malformed or unserviceable request; *status* answers it."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: line, headers (lower-cased names), raw body."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The target without its query string."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should survive this exchange."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> HttpRequest | None:
+    """Parse one request off *reader*; ``None`` on clean EOF between requests.
+
+    Raises :class:`HttpError` for anything malformed, oversized, or
+    unsupported, and ``asyncio.IncompleteReadError`` /
+    ``ConnectionError`` when the peer vanishes mid-request.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as error:  # stream limit overrun
+        raise HttpError(431, "request line too long") from error
+    if not line:
+        return None
+    try:
+        text = line.decode("ascii").strip()
+    except UnicodeDecodeError as error:
+        raise HttpError(400, "request line is not ASCII") from error
+    parts = text.split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {text!r}")
+    method, target, version = parts
+    if method not in _METHODS:
+        raise HttpError(400, f"unknown method {method!r}")
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        try:
+            raw = await reader.readline()
+        except ValueError as error:
+            raise HttpError(431, "header line too long") from error
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = raw.decode("latin-1").partition(":")
+        except UnicodeDecodeError as error:
+            raise HttpError(400, "undecodable header line") from error
+        if not _ or not name.strip():
+            raise HttpError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(431, f"more than {MAX_HEADER_LINES} header lines")
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked transfer encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise HttpError(
+                400, f"bad Content-Length: {length_text!r}"
+            ) from error
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length > max_body:
+            raise HttpError(
+                413, f"body of {length} bytes exceeds the {max_body} cap"
+            )
+        body = await reader.readexactly(length)
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, f"{method} requires Content-Length")
+    return HttpRequest(
+        method=method, target=target, version=version,
+        headers=headers, body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response with an explicit Content-Length."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body

@@ -1,0 +1,486 @@
+"""The asyncio front-end: routing, deadlines, drain — admission only.
+
+Design rule: **the event loop never computes**.  It parses requests,
+decides admission (:mod:`repro.serve.admission`), coalesces duplicate
+compiles (:mod:`repro.serve.coalesce`), maps each request's deadline
+onto the :class:`~repro.guard.Budget` handed to a worker, and writes
+responses and access-log lines.  Everything CPU-bound — parsing the
+formula, QE, CAD, sampling — happens in the worker pool behind
+:class:`~repro.serve.service.QueryService`.  That split is what makes
+the server's behavior under overload *boring*: queue depth and inflight
+count are bounded and observable, excess load is shed with 429 +
+``Retry-After`` in microseconds, and a request that waited too long in
+the queue is answered with the same structured ``budget-exceeded``
+record a worker would have produced — without spending a pool slot on
+work whose deadline already passed.
+
+Routes
+------
+``POST /v1/query``   one task (same JSON schema as one manifest line,
+                     plus optional ``index``, ``seed``, ``timeout``);
+                     answers a ``repro.serve/v1`` envelope whose
+                     ``result`` is byte-identical (modulo ``elapsed_s``)
+                     to the same row of a ``repro batch`` run
+``POST /v1/batch``   a small inline manifest: ``{"tasks": [...]}`` with
+                     optional ``seed`` / ``timeout``; results come back
+                     in manifest order with batch-rule cache provenance
+``GET  /healthz``    liveness — 200 as long as the process serves
+``GET  /readyz``     readiness — 503 once draining
+``GET  /metrics``    live Prometheus exposition of this process's
+                     registry (worker telemetry folded in as results
+                     complete; store traffic folded at scrape time)
+
+Shutdown: SIGTERM/SIGINT stops the listener, fails readiness, lets
+in-flight work finish under ``--drain-timeout``, then emits one final
+summary JSON record on stderr and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import obs
+from .._errors import ReproError
+from ..engine import cache_outcome, normalize_task, task_seed
+from ..guard.budget import Budget
+from .admission import AdmissionGate, RequestShed
+from .http import HttpError, HttpRequest, read_request, response_bytes
+from .service import QueryService, ServiceConfig
+
+__all__ = ["ServeConfig", "Server", "run_server"]
+
+#: Response envelope schema version.
+SCHEMA = "repro.serve/v1"
+
+#: Tasks accepted per inline /v1/batch request; bigger manifests belong
+#: in ``repro batch``, which has journaling and fault tolerance.
+MAX_BATCH_TASKS = 64
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` configures, with the CLI defaults."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    seed: int = 0
+    plan_store: str | None = None
+    max_inflight: int = 4
+    queue_depth: int = 16
+    request_timeout: float | None = 30.0
+    drain_timeout: float = 10.0
+    max_body: int = 1 << 20
+    max_cells: int | None = None
+    fallback: str = "off"
+    epsilon: float = 0.05
+    delta: float = 0.05
+    access_log: bool = True
+
+
+class Server:
+    """One serving process: listener, gate, service, drain state."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.service = QueryService(ServiceConfig(
+            workers=config.workers, seed=config.seed,
+            plan_store=config.plan_store, max_cells=config.max_cells,
+            fallback=config.fallback, epsilon=config.epsilon,
+            delta=config.delta,
+        ))
+        self.gate = AdmissionGate(
+            max_inflight=max(1, config.max_inflight),
+            queue_depth=max(0, config.queue_depth),
+        )
+        self.draining = False
+        self._request_ids = itertools.count(1)
+        self._task_indexes = itertools.count(0)
+        self._shutdown = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+        self._started = time.monotonic()
+        self.served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=max(self.config.max_body, 1 << 16),
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        obs.set_gauge("serve.draining", 0)
+        return host, port
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self._begin_drain, signum)
+
+    def _begin_drain(self, signum: int) -> None:
+        if self.draining:
+            return
+        self.draining = True
+        obs.set_gauge("serve.draining", 1)
+        print(f"serve: received {signal.Signals(signum).name}, draining "
+              f"({self.gate.inflight} inflight, {self.gate.queued} queued)",
+              file=sys.stderr)
+        self._shutdown.set()
+
+    async def run_until_drained(self) -> int:
+        """Serve until a drain signal, then drain; returns the exit code."""
+        assert self._server is not None
+        async with self._server:
+            await self._server.start_serving()
+            await self._shutdown.wait()
+            # Stop accepting: close the listening sockets but keep
+            # established connections alive for their final responses.
+            self._server.close()
+            await self._server.wait_closed()
+        aborted = await self._drain()
+        self.service.fold_store_metrics()
+        self.service.close()
+        summary = {
+            "event": "serve.drain",
+            "served": self.served,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "aborted_inflight": aborted,
+            "drain_timeout_s": self.config.drain_timeout,
+        }
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+        return 0
+
+    async def _drain(self) -> int:
+        """Wait for in-flight work under the drain timeout; count leftovers."""
+        deadline = time.monotonic() + self.config.drain_timeout
+        while not self.gate.idle() and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        leftover = self.gate.inflight + self.gate.queued
+        if leftover:
+            obs.add("serve.drain.aborted", leftover)
+        return leftover
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.config.max_body)
+                except HttpError as error:
+                    writer.write(response_bytes(
+                        error.status,
+                        _json_body({"error": error.message}),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                if request is None:
+                    return
+                keep_alive = request.keep_alive and not self.draining
+                status, body, extra = await self._route(request)
+                content_type = extra.pop("_content_type", "application/json")
+                writer.write(response_bytes(
+                    status, body, content_type=content_type,
+                    keep_alive=keep_alive, extra_headers=extra or None,
+                ))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Dispatch one request; returns (status, body, extra headers)."""
+        obs.add("serve.requests")
+        request_id = request.headers.get(
+            "x-request-id", f"req-{next(self._request_ids)}"
+        )
+        started = time.perf_counter()
+        try:
+            status, body, extra = await self._route_inner(request, request_id)
+        except RequestShed as shed:
+            status = 429
+            body = _json_body({
+                "schema": SCHEMA, "request_id": request_id,
+                "error": str(shed),
+                "retry_after_s": shed.retry_after_s,
+            })
+            extra = {"Retry-After": f"{shed.retry_after_s:g}"}
+        except HttpError as error:
+            status = error.status
+            body = _json_body({
+                "schema": SCHEMA, "request_id": request_id,
+                "error": error.message,
+            })
+            extra = {}
+        except Exception as error:  # noqa: BLE001 - a request must not kill the server
+            status = 500
+            body = _json_body({
+                "schema": SCHEMA, "request_id": request_id,
+                "error": f"{type(error).__name__}: {error}",
+            })
+            extra = {}
+        elapsed = time.perf_counter() - started
+        obs.observe_value("serve.latency_s", elapsed)
+        extra.setdefault("X-Request-Id", request_id)
+        if self.config.access_log:
+            print(json.dumps({
+                "event": "serve.access", "request_id": request_id,
+                "method": request.method, "path": request.path,
+                "status": status, "elapsed_ms": round(elapsed * 1e3, 3),
+            }, sort_keys=True), file=sys.stderr)
+        return status, body, extra
+
+    async def _route_inner(
+        self, request: HttpRequest, request_id: str
+    ) -> tuple[int, bytes, dict[str, str]]:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method not in ("GET", "HEAD"):
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return 200, _json_body({"status": "ok"}), {}
+        if path == "/readyz":
+            if method not in ("GET", "HEAD"):
+                raise HttpError(405, f"{method} not allowed on {path}")
+            if self.draining:
+                return 503, _json_body({"status": "draining"}), {}
+            return 200, _json_body({"status": "ready"}), {}
+        if path == "/metrics":
+            if method not in ("GET", "HEAD"):
+                raise HttpError(405, f"{method} not allowed on {path}")
+            self.service.fold_store_metrics()
+            text = obs.render_prometheus(obs.REGISTRY)
+            return 200, text.encode("utf-8"), {
+                "_content_type": "text/plain; version=0.0.4; charset=utf-8",
+            }
+        if path == "/v1/query":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            if self.draining:
+                raise HttpError(503, "server is draining")
+            return await self._handle_query(request, request_id)
+        if path == "/v1/batch":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            if self.draining:
+                raise HttpError(503, "server is draining")
+            return await self._handle_batch(request, request_id)
+        raise HttpError(404, f"no route for {path}")
+
+    # -- query endpoints ----------------------------------------------------
+    async def _handle_query(
+        self, request: HttpRequest, request_id: str
+    ) -> tuple[int, bytes, dict[str, str]]:
+        payload = _parse_json_object(request.body)
+        index = payload.get("index")
+        if index is None:
+            index = next(self._task_indexes)
+        elif not isinstance(index, int) or index < 0:
+            raise HttpError(400, f"'index' must be an int >= 0, got {index!r}")
+        try:
+            task = normalize_task(payload, index)
+        except ReproError as error:
+            raise HttpError(422, str(error)) from error
+        seed = _optional_int(payload, "seed", self.config.seed)
+        obs.add("serve.queries")
+        record = await self._admit_and_execute(
+            task, index=index, seed=seed,
+            deadline=self._effective_timeout(payload),
+        )
+        status = _record_status(record)
+        envelope = {"schema": SCHEMA, "request_id": request_id,
+                    "result": record}
+        return status, _json_body(envelope), {}
+
+    async def _handle_batch(
+        self, request: HttpRequest, request_id: str
+    ) -> tuple[int, bytes, dict[str, str]]:
+        payload = _parse_json_object(request.body)
+        raw_tasks = payload.get("tasks")
+        if not isinstance(raw_tasks, list) or not raw_tasks:
+            raise HttpError(400, "'tasks' must be a non-empty JSON array")
+        if len(raw_tasks) > MAX_BATCH_TASKS:
+            raise HttpError(
+                413,
+                f"{len(raw_tasks)} tasks exceed the inline-batch cap of "
+                f"{MAX_BATCH_TASKS}; use `repro batch` for large manifests",
+            )
+        try:
+            tasks = [normalize_task(raw, i) for i, raw in enumerate(raw_tasks)]
+        except ReproError as error:
+            raise HttpError(422, str(error)) from error
+        # The whole manifest is admitted (or shed) as a unit: if the queue
+        # cannot absorb every task, shed now rather than strand a half-run
+        # batch behind the gate.
+        if len(tasks) > self.gate.max_inflight + self.gate.room():
+            obs.add("serve.shed")
+            raise RequestShed(self.gate.retry_after_s)
+        seed = _optional_int(payload, "seed", self.config.seed)
+        deadline = self._effective_timeout(payload)
+        obs.add("serve.queries", len(tasks))
+        # Batch-rule cache provenance is request-local: the plans known
+        # compiled *at request start* play the prewarmed set (snapshotted
+        # now, before any of these tasks publishes), and first/later
+        # occurrences within the manifest split miss/hit — exactly the
+        # rule `run_batch` applies, so this response matches the JSONL a
+        # `repro batch` of the same manifest would emit.
+        prewarmed = frozenset(self.service.known)
+        records = await asyncio.gather(*(
+            self._admit_and_execute(
+                task, index=task["index"], seed=seed, deadline=deadline,
+                shed=False, provenance=False,
+            )
+            for task in tasks
+        ))
+        seen: set[str] = set()
+        for record in records:
+            key = record.get("cached_key")
+            if key is not None:
+                record["cache"] = cache_outcome(key, prewarmed, seen)
+        tally: dict[str, int] = {}
+        for record in records:
+            status = record.get("status", "error")
+            tally[status] = tally.get(status, 0) + 1
+        envelope = {
+            "schema": SCHEMA, "request_id": request_id,
+            "results": records, "summary": tally,
+        }
+        return 200, _json_body(envelope), {}
+
+    async def _admit_and_execute(
+        self,
+        task: dict[str, Any],
+        *,
+        index: int,
+        seed: int,
+        deadline: float | None,
+        shed: bool = True,
+        provenance: bool = True,
+    ) -> dict[str, Any]:
+        """Gate, charge queue time against the deadline, dispatch, release.
+
+        The request's end-to-end deadline is mapped onto a
+        :class:`~repro.guard.Budget` whose clock starts *before* the
+        admission queue, so time spent queued is charged against the
+        budget eventually handed to the worker
+        (:meth:`~repro.guard.Budget.remaining_s`).  A request whose
+        deadline expires while still queued is answered with a synthetic
+        ``budget-exceeded`` record — same shape a worker produces — and
+        never costs a pool slot.
+        """
+        budget = Budget(deadline_s=deadline) if deadline is not None else None
+        if budget is not None:
+            budget.start()
+        await self.gate.acquire(shed=shed)
+        try:
+            remaining = budget.remaining_s() if budget is not None else None
+            if remaining is not None and remaining <= 0.0:
+                obs.add("serve.timeouts")
+                obs.add("serve.budget_exceeded")
+                return {
+                    "id": task["id"], "op": task["op"],
+                    "seed": task_seed(seed, index),
+                    "status": "budget-exceeded",
+                    "resource": "deadline",
+                    "error": (
+                        f"deadline budget exceeded: request spent its "
+                        f"{deadline:g}s allowance in the admission queue"
+                    ),
+                    "elapsed_s": round(budget.elapsed_s(), 6),
+                }
+            record = await self.service.execute(
+                task, index=index, seed=seed, timeout=remaining,
+                provenance=provenance,
+            )
+            self.served += 1
+            return record
+        finally:
+            self.gate.release()
+
+    def _effective_timeout(self, payload: dict[str, Any]) -> float | None:
+        """min(request ``timeout``, server ``--request-timeout``)."""
+        requested = payload.get("timeout")
+        if requested is not None:
+            try:
+                requested = float(requested)
+            except (TypeError, ValueError):
+                raise HttpError(
+                    400, f"'timeout' must be a number, got {requested!r}"
+                ) from None
+            if requested <= 0:
+                raise HttpError(400, "'timeout' must be > 0")
+        cap = self.config.request_timeout
+        if requested is None:
+            return cap
+        if cap is None:
+            return requested
+        return min(requested, cap)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _json_body(payload: dict[str, Any]) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _parse_json_object(body: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise HttpError(400, f"body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise HttpError(400, "body must be a JSON object")
+    return payload
+
+
+def _optional_int(payload: dict[str, Any], name: str, default: int) -> int:
+    value = payload.get(name)
+    if value is None:
+        return default
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise HttpError(400, f"{name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _record_status(record: dict[str, Any]) -> int:
+    """The HTTP status a single-query result record maps to."""
+    status = record.get("status")
+    if status == "ok":
+        return 200
+    if status == "budget-exceeded":
+        return 504
+    return 422
+
+
+async def _serve(config: ServeConfig) -> int:
+    server = Server(config)
+    host, port = await server.start()
+    server.install_signal_handlers()
+    print(f"serve: listening on {host}:{port} "
+          f"({config.workers} workers, max_inflight={config.max_inflight}, "
+          f"queue_depth={config.queue_depth})", file=sys.stderr)
+    return await server.run_until_drained()
+
+
+def run_server(config: ServeConfig) -> int:
+    """Blocking entry point for ``repro serve``; returns the exit code."""
+    return asyncio.run(_serve(config))

@@ -1,0 +1,213 @@
+"""The pool bridge: async facade over the engine's process workers.
+
+:class:`QueryService` owns the CPU side of the server — the
+``ProcessPoolExecutor`` running :func:`repro.engine.worker_entry` (the
+same worker entry the batch executor submits, so worker-process state:
+the per-pid plan-store adapter and warm in-memory caches, behaves
+identically under both front-ends) — and everything that must stay
+consistent across requests:
+
+* **determinism** — a request's result record is computed exactly like
+  the same row of a batch manifest: the per-task seed is
+  ``task_seed(seed, index)``, the budget comes from the request's
+  (queue-adjusted) deadline, and the cache-provenance dict follows the
+  batch rule via :func:`repro.engine.cache_outcome`, accumulated over
+  the server's lifetime in completion order;
+* **compile coalescing** — concurrent requests for one cold content
+  hash ride a :class:`~repro.serve.coalesce.SingleFlight`; only the
+  leader's evaluation compiles (and publishes, when a plan store is
+  configured), waiters dispatch after it lands;
+* **telemetry** — each task runs with ``collect_obs=True`` +
+  ``obs_shared_cache=True``: the worker's counter/histogram delta comes
+  back in the result record and is folded into this process's registry,
+  so ``/metrics`` shows live engine internals (compile times, cache
+  traffic, CAD cells) without a scrape agent in every worker.  The
+  shared store's cross-process stats are folded incrementally on demand
+  (each ``/metrics`` scrape, and once at drain).
+
+A broken pool (a worker died mid-task) is rebuilt once per failure and
+the victim request gets a structured error record — the server keeps
+serving; it does not inherit the batch executor's retry/quarantine
+ladder because an interactive client re-sends for itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .. import obs
+from ..engine import cache_outcome, task_key, task_seed, worker_entry
+from ..engine.executor import _fold_store_delta
+from ..engine.store import PlanStore
+from ..obs.aggregate import merge_snapshot_into
+from .coalesce import SingleFlight
+
+__all__ = ["ServiceConfig", "QueryService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Execution knobs shared by every request (CLI flags, mostly)."""
+
+    workers: int = 2
+    seed: int = 0
+    plan_store: str | None = None
+    max_cells: int | None = None
+    fallback: str = "off"
+    epsilon: float = 0.05
+    delta: float = 0.05
+    collect_obs: bool = True
+
+
+class QueryService:
+    """Async query execution with coalescing, provenance, and telemetry."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self._pool = ProcessPoolExecutor(max_workers=max(1, config.workers))
+        self._flights = SingleFlight()
+        self.store: PlanStore | None = (
+            PlanStore(config.plan_store) if config.plan_store else None
+        )
+        #: Content hashes published to the store before the server started
+        #: — the batch executor's ``prewarmed`` set, frozen at startup.
+        self.prewarmed: frozenset[str] = (
+            frozenset(self.store.keys()) if self.store is not None
+            else frozenset()
+        )
+        #: Hashes known to be compiled *somewhere* reachable (prewarmed or
+        #: published since startup); gates the coalescing fast path.
+        self.known: set[str] = set(self.prewarmed)
+        #: Hashes whose plans this server has already served — the batch
+        #: executor's ``seen`` set, accumulated for the server's lifetime.
+        self.seen: set[str] = set()
+        self._stats_last = (
+            self.store.stats_snapshot() if self.store is not None else None
+        )
+        self._hist_last = (
+            self.store.fetch_hist_snapshot() if self.store is not None
+            else None
+        )
+
+    # -- execution ---------------------------------------------------------
+    async def execute(
+        self,
+        task: Mapping[str, Any],
+        *,
+        index: int = 0,
+        seed: int | None = None,
+        timeout: float | None = None,
+        provenance: bool = True,
+    ) -> dict[str, Any]:
+        """Run one normalized task on the pool; returns its result record.
+
+        *timeout* is the seconds of budget left for this request — the
+        caller has already subtracted queue wait from the request
+        deadline (see :meth:`repro.guard.Budget.remaining_s` for the
+        contract).  ``provenance=False`` skips attaching the
+        server-lifetime ``"cache"`` dict (the inline-batch endpoint
+        attaches request-local provenance instead) but still registers
+        the compiled key, so later requests observe it as known.
+        """
+        key = task_key(task)
+        lead = False
+        if (key is not None and self.store is not None
+                and key not in self.known):
+            waiter = self._flights.begin(key)
+            if waiter is not None:
+                obs.add("serve.coalesce.waits")
+                await waiter
+            else:
+                lead = True
+                obs.add("serve.coalesce.leads")
+        try:
+            record = await self._dispatch(dict(task), index, seed, timeout)
+        finally:
+            if lead:
+                self._flights.finish(key)
+        snapshot = record.pop("obs", None)
+        if snapshot:
+            merge_snapshot_into(obs.REGISTRY, snapshot)
+        cached_key = record.get("cached_key")
+        if cached_key is not None:
+            outcome = cache_outcome(cached_key, self.prewarmed, self.seen)
+            if provenance:
+                record["cache"] = outcome
+            self.known.add(cached_key)
+        status = record.get("status")
+        if status == "ok":
+            obs.add("serve.ok")
+        elif status == "budget-exceeded":
+            obs.add("serve.budget_exceeded")
+        else:
+            obs.add("serve.errors")
+        return record
+
+    async def _dispatch(
+        self,
+        task: dict[str, Any],
+        index: int,
+        seed: int | None,
+        timeout: float | None,
+    ) -> dict[str, Any]:
+        """One pool round trip; rebuilds the pool if a worker died on it."""
+        base_seed = self.config.seed if seed is None else seed
+        config = {
+            "seed": task_seed(base_seed, index),
+            "timeout": timeout,
+            "max_cells": self.config.max_cells,
+            "fallback": self.config.fallback,
+            "epsilon": self.config.epsilon,
+            "delta": self.config.delta,
+            "collect_obs": self.config.collect_obs,
+            "obs_shared_cache": True,
+            "plan_store": self.config.plan_store,
+        }
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            return await loop.run_in_executor(
+                self._pool, worker_entry, (task, config)
+            )
+        except BrokenExecutor:
+            # The worker serving this task died (OOM kill, segfault).
+            # Rebuild the pool so the server keeps serving, and answer
+            # this request with a structured error — interactive clients
+            # own their retries, unlike batch tasks.
+            obs.add("engine.pool.rebuilds")
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(1, self.config.workers)
+            )
+            return {
+                "id": task.get("id"),
+                "op": task.get("op"),
+                "seed": config["seed"],
+                "status": "error",
+                "error": "worker process died while serving this request",
+                "error_type": "BrokenExecutor",
+                "elapsed_s": round(time.perf_counter() - started, 6),
+            }
+
+    # -- telemetry ---------------------------------------------------------
+    def fold_store_metrics(self) -> None:
+        """Fold the store's cross-process traffic delta into the registry.
+
+        Incremental: each call applies only what happened since the last
+        one, so scraping ``/metrics`` repeatedly never double-counts.
+        """
+        if self.store is None:
+            return
+        self._stats_last, self._hist_last = _fold_store_delta(
+            self.store, self._stats_last, self._hist_last
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.store is not None:
+            self.store.close()

@@ -162,7 +162,8 @@ class TestBatch:
     def test_missing_manifest_file(self, tmp_path):
         code, _, err = run_cli("batch", str(tmp_path / "nope.jsonl"))
         assert code != 0
-        assert "cannot read manifest" in err
+        assert "cannot read" in err
+        assert "nope.jsonl" in err
 
 
 class TestFaultTolerance:
@@ -369,4 +370,114 @@ class TestMetricsCommand:
     def test_missing_input_fails_loudly(self, tmp_path):
         code, _, err = run_cli("metrics", str(tmp_path / "nope.jsonl"))
         assert code != 0
-        assert "cannot read manifest" in err
+        assert "cannot read" in err
+        assert "nope.jsonl" in err
+
+
+class TestMetricsStdin:
+    """``repro metrics -`` sniffs and reads either format from stdin."""
+
+    def test_trace_replay_from_stdin(self, manifest, tmp_path, monkeypatch):
+        import io as io_module
+
+        trace_path = tmp_path / "trace.jsonl"
+        run_cli("batch", manifest, "--trace-out", str(trace_path))
+        monkeypatch.setattr(
+            "sys.stdin", io_module.StringIO(trace_path.read_text())
+        )
+        code, out, _ = run_cli("metrics", "-")
+        assert code == 0
+        assert "repro_engine_compile_total 4" in out
+        assert "# TYPE repro_engine_plan_compile_s histogram" in out
+
+    def test_manifest_from_stdin(self, monkeypatch):
+        import io as io_module
+
+        monkeypatch.setattr("sys.stdin", io_module.StringIO(MANIFEST))
+        code, out, _ = run_cli("metrics", "-")
+        assert code == 0
+        assert "repro_engine_compile_total 4" in out
+
+    def test_corrupt_stdin_record_named_as_stdin(
+        self, manifest, tmp_path, monkeypatch
+    ):
+        import io as io_module
+        import warnings
+
+        trace_path = tmp_path / "trace.jsonl"
+        run_cli("batch", manifest, "--trace-out", str(trace_path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            monkeypatch.setattr(
+                "sys.stdin",
+                io_module.StringIO(trace_path.read_text() + "{corrupt\n"),
+            )
+            code, out, err = run_cli("metrics", "-")
+        assert code == 0
+        assert "skipped 1 unreadable record" in err
+        assert "<stdin>" in err
+        assert "repro_engine_compile_total 4" in out
+
+
+class TestBatchJsonStoreDelta:
+    """``batch --json`` rows carry the plan-store traffic delta."""
+
+    def test_json_row_includes_store_delta(self, manifest, tmp_path):
+        from repro.obs import read_jsonl
+
+        store = tmp_path / "plans.sqlite"
+        json_path = tmp_path / "obs.jsonl"
+        code, _, err = run_cli(
+            "batch", manifest, "--plan-store", str(store),
+            "--json", str(json_path),
+        )
+        assert code == 0
+        assert "plan store" in err  # the stderr line is still there
+        records = list(read_jsonl(str(json_path)))
+        assert len(records) == 1
+        delta = records[0]["row"]["plan_store"]
+        assert delta["path"] == str(store)
+        # 4 tasks, 2 distinct plans (tri/clip/mc share a content hash).
+        assert delta["plans"] == 2
+        assert delta["compiles"] == 2
+        assert delta["misses"] >= 2
+        assert set(delta) == {
+            "path", "plans", "hits", "misses", "publishes", "compiles",
+            "races", "stale_claims",
+        }
+
+    def test_json_row_has_no_store_key_without_plan_store(
+        self, manifest, tmp_path
+    ):
+        from repro.obs import read_jsonl
+
+        json_path = tmp_path / "obs.jsonl"
+        code, _, _ = run_cli("batch", manifest, "--json", str(json_path))
+        assert code == 0
+        (record,) = list(read_jsonl(str(json_path)))
+        assert "plan_store" not in record["row"]
+
+    def test_warm_store_delta_shows_hits_not_compiles(
+        self, manifest, tmp_path
+    ):
+        from repro.obs import read_jsonl
+
+        store = tmp_path / "plans.sqlite"
+        run_cli("batch", manifest, "--plan-store", str(store),
+                "--compile-only")
+        # Drop the process-local warm caches so the second run must go
+        # back to the store (serial batches reuse a per-pid adapter).
+        from repro.engine import executor
+
+        executor._ADAPTERS.clear()
+        DEFAULT_CACHE.clear()
+        json_path = tmp_path / "obs.jsonl"
+        code, _, _ = run_cli(
+            "batch", manifest, "--plan-store", str(store),
+            "--json", str(json_path),
+        )
+        assert code == 0
+        (record,) = list(read_jsonl(str(json_path)))
+        delta = record["row"]["plan_store"]
+        assert delta["compiles"] == 0
+        assert delta["hits"] >= 2

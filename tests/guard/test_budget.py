@@ -66,6 +66,31 @@ class TestBudgetObject:
         assert "max_cells=5" in repr(Budget(max_cells=5))
         assert repr(Budget()) == "Budget(unlimited)"
 
+    def test_remaining_s_none_without_deadline(self):
+        assert Budget().remaining_s() is None
+        assert Budget(max_cells=10).remaining_s() is None
+
+    def test_remaining_s_full_allowance_before_start(self):
+        assert Budget(deadline_s=7.5).remaining_s() == 7.5
+
+    def test_remaining_s_decreases_after_start(self):
+        import time
+
+        budget = Budget(deadline_s=60)
+        budget.start()
+        first = budget.remaining_s()
+        assert first <= 60
+        time.sleep(0.01)
+        assert budget.remaining_s() < first
+
+    def test_remaining_s_clamps_at_zero(self):
+        import time
+
+        budget = Budget(deadline_s=0.001)
+        budget.start()
+        time.sleep(0.01)
+        assert budget.remaining_s() == 0.0
+
 
 class TestExhaustionPaths:
     """One real (non-injected) trip per budgeted resource."""

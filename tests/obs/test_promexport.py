@@ -1,6 +1,7 @@
 """Prometheus text exposition: naming, types, and histogram series."""
 
 import math
+import re
 
 from repro import obs
 from repro.obs.histogram import BUCKET_BOUNDS
@@ -98,3 +99,72 @@ class TestRender:
 
     def test_output_is_deterministic(self):
         assert render_prometheus(_registry()) == render_prometheus(_registry())
+
+
+class TestEscaping:
+    """Exposition-format escaping of help text and label values.
+
+    An unescaped newline or quote in either position desynchronizes the
+    whole scrape, so these are regression-pinned exactly.
+    """
+
+    def test_help_backslash_doubled(self):
+        from repro.obs.promexport import escape_help
+
+        assert escape_help(r"path C:\tmp") == r"path C:\\tmp"
+
+    def test_help_newline_escaped(self):
+        from repro.obs.promexport import escape_help
+
+        assert escape_help("two\nlines") == "two\\nlines"
+
+    def test_help_carriage_returns_fold_into_newline_escape(self):
+        from repro.obs.promexport import escape_help
+
+        assert escape_help("a\r\nb") == "a\\nb"
+        assert escape_help("a\rb") == "a\\nb"
+
+    def test_help_backslash_before_newline_does_not_double_escape(self):
+        from repro.obs.promexport import escape_help
+
+        # The backslash pass must run first: escaping produces "\\" then
+        # "\n" -> "\\n", never a re-escaped "\\\\n".
+        assert escape_help("a\\\nb") == "a\\\\\\nb"
+
+    def test_label_value_escapes_quote(self):
+        from repro.obs.promexport import escape_label_value
+
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_label_value_escapes_backslash_and_newlines(self):
+        from repro.obs.promexport import escape_label_value
+
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("a\r\nb") == "a\\nb"
+        assert escape_label_value("a\rb") == "a\\nb"
+
+    def test_rendered_help_line_stays_single_line(self):
+        registry = obs.Registry()
+        registry.counter(
+            "weird.help", 'first line\nsecond "quoted" \\ line'
+        ).add(1)
+        text = render_prometheus(registry)
+        help_lines = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert len(help_lines) == 1
+        assert "\\n" in help_lines[0]
+        # Every line of the block is a comment or a sample, nothing bare.
+        for line in text.splitlines():
+            assert line.startswith("#") or line.startswith("repro_"), line
+
+    def test_bucket_labels_go_through_label_escaping(self):
+        registry = obs.Registry()
+        registry.histogram("h.s", "a histogram").observe(0.01)
+        text = render_prometheus(registry)
+        for line in text.splitlines():
+            if "_bucket" in line:
+                assert re.fullmatch(
+                    r'repro_h_s_bucket\{le="[^"\n]+"\} \d+', line
+                ), line

@@ -1,0 +1,157 @@
+"""Admission gate: bounded FIFO queueing and load shedding."""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.serve.admission import AdmissionGate, RequestShed
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestFastPath:
+    def test_acquire_below_limit_is_immediate(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=2, queue_depth=4)
+            assert await gate.acquire() == 0.0
+            assert await gate.acquire() == 0.0
+            assert gate.inflight == 2
+            assert gate.queued == 0
+
+        run(go())
+
+    def test_release_frees_the_slot(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=0)
+            await gate.acquire()
+            gate.release()
+            assert gate.idle()
+            await gate.acquire()  # not shed: the slot came back
+
+        run(go())
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(max_inflight=0, queue_depth=1)
+        with pytest.raises(ValueError):
+            AdmissionGate(max_inflight=1, queue_depth=-1)
+
+
+class TestQueueing:
+    def test_fifo_grant_order(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=8)
+            order: list[int] = []
+
+            async def worker(tag: int):
+                await gate.acquire()
+                order.append(tag)
+                await asyncio.sleep(0)
+                gate.release()
+
+            first = asyncio.ensure_future(worker(0))
+            await asyncio.sleep(0)  # 0 holds the slot
+            rest = [asyncio.ensure_future(worker(i)) for i in (1, 2, 3)]
+            await asyncio.gather(first, *rest)
+            assert order == [0, 1, 2, 3]
+
+        run(go())
+
+    def test_queue_wait_is_reported(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=2)
+            await gate.acquire()
+
+            async def waiter():
+                return await gate.acquire()
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.05)
+            gate.release()
+            waited = await task
+            assert waited > 0.0
+
+        run(go())
+
+    def test_cancelled_waiter_does_not_leak_a_slot(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=4)
+            await gate.acquire()
+            task = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            assert gate.queued == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert gate.queued == 0
+            gate.release()
+            assert gate.idle()
+            await gate.acquire()  # the slot is grantable again
+
+        run(go())
+
+
+class TestShedding:
+    def test_sheds_past_queue_depth(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=1, retry_after_s=2.0)
+            await gate.acquire()
+            filler = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            with pytest.raises(RequestShed) as excinfo:
+                await gate.acquire()
+            assert excinfo.value.retry_after_s == 2.0
+            gate.release()
+            await filler
+            gate.release()
+
+        run(go())
+
+    def test_zero_depth_sheds_immediately_when_busy(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=0)
+            await gate.acquire()
+            with pytest.raises(RequestShed):
+                await gate.acquire()
+
+        run(go())
+
+    def test_shed_false_waits_past_the_depth(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=0)
+            await gate.acquire()
+            task = asyncio.ensure_future(gate.acquire(shed=False))
+            await asyncio.sleep(0)
+            assert gate.queued == 1  # over depth, yet queued
+            gate.release()
+            await task
+
+        run(go())
+
+    def test_shed_increments_counter(self):
+        async def go():
+            obs.enable_counting()
+            gate = AdmissionGate(max_inflight=1, queue_depth=0)
+            await gate.acquire()
+            with pytest.raises(RequestShed):
+                await gate.acquire()
+            assert obs.REGISTRY.value("serve.shed") == 1
+
+        run(go())
+
+    def test_room_tracks_queue_headroom(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=3)
+            assert gate.room() == 3
+            await gate.acquire()
+            asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            assert gate.room() == 2
+            gate.release()
+            await asyncio.sleep(0)
+            gate.release()
+
+        run(go())

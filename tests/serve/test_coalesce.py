@@ -1,0 +1,73 @@
+"""Single-flight coalescing: one leader per key, waiters park and resume."""
+
+import asyncio
+
+from repro.serve.coalesce import SingleFlight
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSingleFlight:
+    def test_first_caller_leads(self):
+        async def go():
+            flights = SingleFlight()
+            assert flights.begin("k") is None
+            assert flights.inflight() == 1
+            flights.finish("k")
+            assert flights.inflight() == 0
+
+        run(go())
+
+    def test_duplicates_wait_until_leader_finishes(self):
+        async def go():
+            flights = SingleFlight()
+            assert flights.begin("k") is None
+            released: list[int] = []
+
+            async def wait(tag: int):
+                future = flights.begin("k")
+                assert future is not None
+                await future
+                released.append(tag)
+
+            waiters = [asyncio.ensure_future(wait(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            assert released == []  # parked until the leader lands
+            flights.finish("k")
+            await asyncio.gather(*waiters)
+            assert sorted(released) == [0, 1, 2]
+
+        run(go())
+
+    def test_keys_are_independent(self):
+        async def go():
+            flights = SingleFlight()
+            assert flights.begin("a") is None
+            assert flights.begin("b") is None
+            assert flights.begin("a") is not None
+            flights.finish("a")
+            assert flights.inflight() == 1
+            flights.finish("b")
+
+        run(go())
+
+    def test_next_flight_after_landing_gets_a_new_leader(self):
+        async def go():
+            flights = SingleFlight()
+            assert flights.begin("k") is None
+            flights.finish("k")
+            # The key is cold again: a later request leads its own flight.
+            assert flights.begin("k") is None
+            flights.finish("k")
+
+        run(go())
+
+    def test_finish_unknown_key_is_a_noop(self):
+        async def go():
+            flights = SingleFlight()
+            flights.finish("never-started")
+            assert flights.inflight() == 0
+
+        run(go())

@@ -1,0 +1,271 @@
+"""Routing, status mapping, and protocol errors — in-process server.
+
+These tests run the real :class:`repro.serve.Server` inside the test's
+event loop and talk to it over real sockets, but never dispatch a query
+to the worker pool — routing and rejection paths are event-loop-only, so
+they stay fast.  Query execution is covered by the subprocess
+integration tests.
+"""
+
+import asyncio
+import json
+
+from repro import obs
+from repro.serve import ServeConfig, Server
+
+
+async def _start(**overrides) -> tuple[Server, int]:
+    settings = dict(port=0, workers=1, access_log=False)
+    settings.update(overrides)
+    server = Server(ServeConfig(**settings))
+    _, port = await server.start()
+    return server, port
+
+
+async def _request(
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+        if payload is not None:
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write("\r\n".join(lines).encode() + b"\r\n\r\n" + body)
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+
+
+async def _read_response(reader) -> tuple[int, dict[str, str], bytes]:
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    response_headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(response_headers["content-length"]))
+    return status, response_headers, body
+
+
+def serve_test(coroutine_fn, **overrides):
+    """Run *coroutine_fn(server, port)* against a live in-process server."""
+
+    async def go():
+        server, port = await _start(**overrides)
+        try:
+            return await coroutine_fn(server, port)
+        finally:
+            server._server.close()
+            await server._server.wait_closed()
+            server.service.close()
+
+    return asyncio.run(go())
+
+
+class TestHealth:
+    def test_healthz_ok(self):
+        async def check(server, port):
+            status, _, body = await _request(port, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(body) == {"status": "ok"}
+
+        serve_test(check)
+
+    def test_readyz_flips_to_503_when_draining(self):
+        async def check(server, port):
+            status, _, _ = await _request(port, "GET", "/readyz")
+            assert status == 200
+            server.draining = True
+            status, _, body = await _request(port, "GET", "/readyz")
+            assert status == 503
+            assert json.loads(body) == {"status": "draining"}
+
+        serve_test(check)
+
+    def test_query_rejected_while_draining(self):
+        async def check(server, port):
+            server.draining = True
+            status, _, _ = await _request(
+                port, "POST", "/v1/query", {"formula": "0 <= x AND x <= 1"}
+            )
+            assert status == 503
+
+        serve_test(check)
+
+
+class TestRouting:
+    def test_unknown_path_404(self):
+        async def check(server, port):
+            status, _, _ = await _request(port, "GET", "/nope")
+            assert status == 404
+
+        serve_test(check)
+
+    def test_wrong_method_405(self):
+        async def check(server, port):
+            for method, path in (
+                ("POST", "/healthz"), ("POST", "/metrics"),
+                ("GET", "/v1/query"), ("GET", "/v1/batch"),
+            ):
+                payload = {} if method == "POST" else None
+                status, _, _ = await _request(port, method, path, payload)
+                assert status == 405, (method, path)
+
+        serve_test(check)
+
+    def test_request_id_echoed(self):
+        async def check(server, port):
+            _, headers, _ = await _request(
+                port, "GET", "/healthz", headers={"X-Request-Id": "trace-42"}
+            )
+            assert headers["x-request-id"] == "trace-42"
+
+        serve_test(check)
+
+    def test_request_id_generated_when_absent(self):
+        async def check(server, port):
+            _, headers, _ = await _request(port, "GET", "/healthz")
+            assert headers["x-request-id"].startswith("req-")
+
+        serve_test(check)
+
+    def test_keep_alive_serves_sequential_requests(self):
+        async def check(server, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                for _ in range(3):
+                    writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    await writer.drain()
+                    status, _, _ = await _read_response(reader)
+                    assert status == 200
+            finally:
+                writer.close()
+
+        serve_test(check)
+
+
+class TestBadRequests:
+    def test_invalid_json_body_400(self):
+        async def check(server, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(
+                    b"POST /v1/query HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\n\r\nnot json!"
+                )
+                await writer.drain()
+                status, _, _ = await _read_response(reader)
+                assert status == 400
+            finally:
+                writer.close()
+
+        serve_test(check)
+
+    def test_post_without_length_411(self):
+        async def check(server, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"POST /v1/query HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                status, _, _ = await _read_response(reader)
+                assert status == 411
+            finally:
+                writer.close()
+
+        serve_test(check)
+
+    def test_unnormalizable_task_422(self):
+        async def check(server, port):
+            status, _, body = await _request(
+                port, "POST", "/v1/query", {"op": "volume"}  # no formula
+            )
+            assert status == 422
+            assert "formula" in json.loads(body)["error"]
+
+        serve_test(check)
+
+    def test_unknown_op_422(self):
+        async def check(server, port):
+            status, _, _ = await _request(
+                port, "POST", "/v1/query",
+                {"formula": "0 <= x", "op": "summon"},
+            )
+            assert status == 422
+
+        serve_test(check)
+
+    def test_batch_requires_task_array(self):
+        async def check(server, port):
+            for payload in ({}, {"tasks": []}, {"tasks": "nope"}):
+                status, _, _ = await _request(
+                    port, "POST", "/v1/batch", payload
+                )
+                assert status == 400, payload
+
+        serve_test(check)
+
+    def test_batch_over_inline_cap_413(self):
+        from repro.serve.server import MAX_BATCH_TASKS
+
+        async def check(server, port):
+            tasks = [{"formula": "0 <= x"}] * (MAX_BATCH_TASKS + 1)
+            status, _, body = await _request(
+                port, "POST", "/v1/batch", {"tasks": tasks}
+            )
+            assert status == 413
+            assert "repro batch" in json.loads(body)["error"]
+
+        serve_test(check)
+
+    def test_bad_timeout_field_400(self):
+        async def check(server, port):
+            for timeout in ("soon", 0, -1):
+                status, _, _ = await _request(
+                    port, "POST", "/v1/query",
+                    {"formula": "0 <= x", "timeout": timeout},
+                )
+                assert status == 400, timeout
+
+        serve_test(check)
+
+    def test_bad_index_field_400(self):
+        async def check(server, port):
+            status, _, _ = await _request(
+                port, "POST", "/v1/query",
+                {"formula": "0 <= x", "index": -3},
+            )
+            assert status == 400
+
+        serve_test(check)
+
+
+class TestMetricsRoute:
+    def test_metrics_exposition_is_parseable(self):
+        obs.enable_counting()
+
+        async def check(server, port):
+            await _request(port, "GET", "/healthz")
+            status, headers, body = await _request(port, "GET", "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            text = body.decode()
+            assert "repro_serve_requests_total" in text
+            for line in text.splitlines():
+                if not line or line.startswith("#"):
+                    continue
+                name_part, _, value = line.rpartition(" ")
+                assert name_part, line
+                float(value)  # every sample line ends in a number
+
+        serve_test(check)

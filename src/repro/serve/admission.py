@@ -14,6 +14,15 @@ The event loop admits work through one :class:`AdmissionGate`:
 * FIFO order: slots are granted strictly in arrival order, so a burst
   cannot starve an earlier request.
 
+Batches that must be admitted **as a unit** (the inline ``/v1/batch``
+endpoint) go through :meth:`AdmissionGate.try_reserve`: the headroom
+check — against *combined* slot + queue capacity, inflight work
+included — and the reservation happen in one synchronous step, so two
+concurrent batches can never both pass on the same headroom, and a
+batch can never push the queue past ``queue_depth``.  Each reserved
+task's :meth:`acquire` consumes one unit of the reservation; whatever
+the batch never consumed is returned by :meth:`Reservation.cancel`.
+
 The gate also owns the admission metrics: ``serve.queue.depth`` /
 ``serve.inflight`` gauges, the ``serve.queue_wait_s`` histogram, and the
 ``serve.shed`` counter.  It is single-loop code — no locks — which is
@@ -28,7 +37,7 @@ from collections import deque
 
 from .. import obs
 
-__all__ = ["AdmissionGate", "RequestShed"]
+__all__ = ["AdmissionGate", "RequestShed", "Reservation"]
 
 
 class RequestShed(Exception):
@@ -39,6 +48,31 @@ class RequestShed(Exception):
             f"admission queue full; retry after {retry_after_s:g}s"
         )
         self.retry_after_s = retry_after_s
+
+
+class Reservation:
+    """Capacity set aside by :meth:`AdmissionGate.try_reserve`.
+
+    One unit per task of a batch admitted as a unit: each task's
+    :meth:`AdmissionGate.acquire` consumes one, and :meth:`cancel`
+    (call it in a ``finally``) returns whatever was never consumed —
+    a cancelled batch must not strand capacity.
+    """
+
+    def __init__(self, gate: AdmissionGate, count: int):
+        self._gate = gate
+        self.count = count
+
+    def consume_one(self) -> None:
+        """Convert one reserved unit into this task's admission."""
+        if self.count > 0:
+            self.count -= 1
+            self._gate.reserved -= 1
+
+    def cancel(self) -> None:
+        """Return every unconsumed unit to the gate."""
+        self._gate.reserved -= self.count
+        self.count = 0
 
 
 class AdmissionGate:
@@ -58,6 +92,7 @@ class AdmissionGate:
         self.queue_depth = queue_depth
         self.retry_after_s = retry_after_s
         self.inflight = 0
+        self.reserved = 0
         self._waiters: deque[asyncio.Future] = deque()
 
     # -- introspection -----------------------------------------------------
@@ -68,28 +103,52 @@ class AdmissionGate:
 
     def room(self) -> int:
         """How many more requests could be queued before shedding."""
-        return self.queue_depth - len(self._waiters)
+        return self.queue_depth - len(self._waiters) - self.reserved
 
     def idle(self) -> bool:
         """True when nothing is inflight and nothing is queued."""
         return self.inflight == 0 and not self._waiters
 
+    def _used(self) -> int:
+        """Admitted-or-promised work counted against total capacity."""
+        return self.inflight + len(self._waiters) + self.reserved
+
     # -- the gate ----------------------------------------------------------
-    async def acquire(self, shed: bool = True) -> float:
+    def try_reserve(self, count: int) -> Reservation | None:
+        """Atomically reserve *count* units of slot + queue capacity.
+
+        Returns ``None`` — the caller should shed the whole batch —
+        when inflight + queued + already-reserved work plus *count*
+        would exceed ``max_inflight + queue_depth``.  The check and the
+        reservation are one synchronous step on the event loop, so
+        concurrent batches cannot both pass on the same headroom.
+        """
+        if self._used() + count > self.max_inflight + self.queue_depth:
+            return None
+        self.reserved += count
+        return Reservation(self, count)
+
+    async def acquire(
+        self, shed: bool = True, reservation: Reservation | None = None
+    ) -> float:
         """Wait for a dispatch slot; returns the seconds spent queued.
 
         ``shed=False`` waits unconditionally even when the queue is over
-        ``queue_depth`` — used by inline-batch tasks whose *request* was
-        already admitted as a unit (the batch endpoint sheds up front via
-        :meth:`room`, so its tasks must not be dropped halfway through).
+        ``queue_depth``; *reservation* marks a task whose capacity was
+        already set aside by :meth:`try_reserve` — it consumes one unit
+        instead of re-testing headroom.  Both are used by inline-batch
+        tasks, whose *request* was admitted as a unit up front and must
+        not be dropped halfway through.
         """
+        if reservation is not None:
+            reservation.consume_one()
+        elif shed and self._used() >= self.max_inflight + self.queue_depth:
+            obs.add("serve.shed")
+            raise RequestShed(self.retry_after_s)
         if self.inflight < self.max_inflight and not self._waiters:
             self.inflight += 1
             self._report()
             return 0.0
-        if shed and len(self._waiters) >= self.queue_depth:
-            obs.add("serve.shed")
-            raise RequestShed(self.retry_after_s)
         waiter: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters.append(waiter)
         self._report()

@@ -131,7 +131,22 @@ async def read_request(
             raise HttpError(400, "undecodable header line") from error
         if not _ or not name.strip():
             raise HttpError(400, f"malformed header line: {raw!r}")
-        headers[name.strip().lower()] = value.strip()
+        name = name.strip().lower()
+        value = value.strip()
+        if name in headers:
+            # RFC 9112 §6.3: a message with multiple differing
+            # Content-Length values must be rejected; behind a proxy,
+            # last-wins overwriting is a request-smuggling vector.  The
+            # framing headers are rejected outright, any other repeat
+            # only when the values disagree.
+            if name in ("content-length", "transfer-encoding"):
+                raise HttpError(400, f"duplicate {name} header")
+            if headers[name] != value:
+                raise HttpError(
+                    400, f"conflicting values for repeated header {name!r}"
+                )
+        else:
+            headers[name] = value
     else:
         raise HttpError(431, f"more than {MAX_HEADER_LINES} header lines")
 
@@ -168,8 +183,16 @@ def response_bytes(
     content_type: str = "application/json",
     keep_alive: bool = True,
     extra_headers: dict[str, str] | None = None,
+    head_only: bool = False,
 ) -> bytes:
-    """Serialize one HTTP/1.1 response with an explicit Content-Length."""
+    """Serialize one HTTP/1.1 response with an explicit Content-Length.
+
+    ``head_only`` answers a HEAD request: the full header block —
+    including the Content-Length the body *would* have — with the body
+    omitted (RFC 9110 §9.3.2).  Sending the body on a HEAD response
+    desyncs keep-alive framing: the client would parse the unread bytes
+    as the start of the next response.
+    """
     reason = REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
@@ -180,4 +203,4 @@ def response_bytes(
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     head = "\r\n".join(lines) + "\r\n\r\n"
-    return head.encode("latin-1") + body
+    return head.encode("latin-1") + (b"" if head_only else body)

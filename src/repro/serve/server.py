@@ -50,7 +50,7 @@ from .. import obs
 from .._errors import ReproError
 from ..engine import cache_outcome, normalize_task, task_seed
 from ..guard.budget import Budget
-from .admission import AdmissionGate, RequestShed
+from .admission import AdmissionGate, RequestShed, Reservation
 from .http import HttpError, HttpRequest, read_request, response_bytes
 from .service import QueryService, ServiceConfig
 
@@ -105,6 +105,8 @@ class Server:
         self._task_indexes = itertools.count(0)
         self._shutdown = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
         self._started = time.monotonic()
         self.served = 0
 
@@ -137,14 +139,23 @@ class Server:
     async def run_until_drained(self) -> int:
         """Serve until a drain signal, then drain; returns the exit code."""
         assert self._server is not None
-        async with self._server:
-            await self._server.start_serving()
-            await self._shutdown.wait()
-            # Stop accepting: close the listening sockets but keep
-            # established connections alive for their final responses.
-            self._server.close()
-            await self._server.wait_closed()
+        await self._server.start_serving()
+        await self._shutdown.wait()
+        # Stop accepting: close the listening sockets but keep
+        # established connections alive for their final responses.
+        # wait_closed() is deliberately NOT awaited yet — on Python
+        # >= 3.12 (gh-79033) it blocks until every connection handler
+        # returns, and an idle keep-alive client parked in
+        # read_request() would stall the drain (and the --drain-timeout
+        # with it) forever.  Finish the in-flight work first, then
+        # force-close whatever connections survive.
+        self._server.close()
         aborted = await self._drain()
+        self._abort_connections()
+        try:
+            await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+        except (asyncio.TimeoutError, TimeoutError):
+            pass
         self.service.fold_store_metrics()
         self.service.close()
         summary = {
@@ -158,19 +169,38 @@ class Server:
         return 0
 
     async def _drain(self) -> int:
-        """Wait for in-flight work under the drain timeout; count leftovers."""
+        """Wait for in-flight work under the drain timeout; count leftovers.
+
+        "In flight" covers both the admission gate and connections still
+        writing a response — a request releases its gate slot just
+        before its handler serializes the reply, so the gate going idle
+        alone would race the final writes.
+        """
         deadline = time.monotonic() + self.config.drain_timeout
-        while not self.gate.idle() and time.monotonic() < deadline:
+        while ((not self.gate.idle() or self._busy)
+               and time.monotonic() < deadline):
             await asyncio.sleep(0.02)
         leftover = self.gate.inflight + self.gate.queued
         if leftover:
             obs.add("serve.drain.aborted", leftover)
         return leftover
 
+    def _abort_connections(self) -> None:
+        """Force-close every surviving connection transport.
+
+        After the drain these are idle keep-alive clients (which would
+        otherwise hold ``Server.wait_closed()`` open forever on Python
+        >= 3.12) plus any request the drain timeout abandoned; closing
+        the transport feeds their handlers EOF and lets them exit.
+        """
+        for writer in list(self._connections):
+            writer.close()
+
     # -- connection handling -----------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -187,17 +217,30 @@ class Server:
                     return
                 if request is None:
                     return
-                keep_alive = request.keep_alive and not self.draining
-                status, body, extra = await self._route(request)
-                content_type = extra.pop("_content_type", "application/json")
-                writer.write(response_bytes(
-                    status, body, content_type=content_type,
-                    keep_alive=keep_alive, extra_headers=extra or None,
-                ))
-                await writer.drain()
+                self._busy.add(writer)
+                try:
+                    keep_alive = request.keep_alive and not self.draining
+                    status, body, extra = await self._route(request)
+                    content_type = extra.pop(
+                        "_content_type", "application/json"
+                    )
+                    writer.write(response_bytes(
+                        status, body, content_type=content_type,
+                        keep_alive=keep_alive, extra_headers=extra or None,
+                        head_only=request.method == "HEAD",
+                    ))
+                    await writer.drain()
+                finally:
+                    self._busy.discard(writer)
                 if not keep_alive:
                     return
+        except (ConnectionError, OSError):
+            # The peer vanished mid-exchange, or the drain force-closed
+            # this transport under us; either way the connection is done.
+            return
         finally:
+            self._connections.discard(writer)
+            self._busy.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -326,10 +369,14 @@ class Server:
             tasks = [normalize_task(raw, i) for i, raw in enumerate(raw_tasks)]
         except ReproError as error:
             raise HttpError(422, str(error)) from error
-        # The whole manifest is admitted (or shed) as a unit: if the queue
-        # cannot absorb every task, shed now rather than strand a half-run
-        # batch behind the gate.
-        if len(tasks) > self.gate.max_inflight + self.gate.room():
+        # The whole manifest is admitted (or shed) as a unit: the gate
+        # reserves combined slot + queue capacity for every task in one
+        # synchronous step (inflight work counted, concurrent batches
+        # serialized) or the batch is shed now, rather than stranding a
+        # half-run batch behind the gate or overflowing the bounded
+        # queue with shed=False waiters.
+        reservation = self.gate.try_reserve(len(tasks))
+        if reservation is None:
             obs.add("serve.shed")
             raise RequestShed(self.gate.retry_after_s)
         seed = _optional_int(payload, "seed", self.config.seed)
@@ -342,13 +389,16 @@ class Server:
         # rule `run_batch` applies, so this response matches the JSONL a
         # `repro batch` of the same manifest would emit.
         prewarmed = frozenset(self.service.known)
-        records = await asyncio.gather(*(
-            self._admit_and_execute(
-                task, index=task["index"], seed=seed, deadline=deadline,
-                shed=False, provenance=False,
-            )
-            for task in tasks
-        ))
+        try:
+            records = await asyncio.gather(*(
+                self._admit_and_execute(
+                    task, index=task["index"], seed=seed, deadline=deadline,
+                    shed=False, provenance=False, reservation=reservation,
+                )
+                for task in tasks
+            ))
+        finally:
+            reservation.cancel()
         seen: set[str] = set()
         for record in records:
             key = record.get("cached_key")
@@ -373,6 +423,7 @@ class Server:
         deadline: float | None,
         shed: bool = True,
         provenance: bool = True,
+        reservation: Reservation | None = None,
     ) -> dict[str, Any]:
         """Gate, charge queue time against the deadline, dispatch, release.
 
@@ -388,7 +439,7 @@ class Server:
         budget = Budget(deadline_s=deadline) if deadline is not None else None
         if budget is not None:
             budget.start()
-        await self.gate.acquire(shed=shed)
+        await self.gate.acquire(shed=shed, reservation=reservation)
         try:
             remaining = budget.remaining_s() if budget is not None else None
             if remaining is not None and remaining <= 0.0:

@@ -169,29 +169,53 @@ class QueryService:
         }
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
+        pool = self._pool
         try:
             return await loop.run_in_executor(
-                self._pool, worker_entry, (task, config)
+                pool, worker_entry, (task, config)
             )
         except BrokenExecutor:
             # The worker serving this task died (OOM kill, segfault).
             # Rebuild the pool so the server keeps serving, and answer
             # this request with a structured error — interactive clients
-            # own their retries, unlike batch tasks.
-            obs.add("engine.pool.rebuilds")
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = ProcessPoolExecutor(
-                max_workers=max(1, self.config.workers)
-            )
-            return {
-                "id": task.get("id"),
-                "op": task.get("op"),
-                "seed": config["seed"],
-                "status": "error",
-                "error": "worker process died while serving this request",
-                "error_type": "BrokenExecutor",
-                "elapsed_s": round(time.perf_counter() - started, 6),
-            }
+            # own their retries, unlike batch tasks.  Every request in
+            # flight on the dead pool raises BrokenExecutor; only the
+            # first one to get here rebuilds — the `self._pool is pool`
+            # check keeps the later ones from shutting down the freshly
+            # rebuilt healthy pool and cancelling the innocent requests
+            # already dispatched to it.
+            if self._pool is pool:
+                obs.add("engine.pool.rebuilds")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=max(1, self.config.workers)
+                )
+                pool.shutdown(wait=False, cancel_futures=True)
+            return self._pool_death_record(task, config, started)
+        except asyncio.CancelledError:
+            # The rebuild's shutdown(cancel_futures=True) cancels work
+            # still queued on the dead pool; those requests land here
+            # rather than in the BrokenExecutor arm and get the same
+            # structured error (CancelledError would otherwise escape
+            # _route's `except Exception` and kill the connection).  A
+            # cancellation from anywhere else — the pool was never
+            # swapped out under us — is not ours to swallow.
+            if self._pool is pool:
+                raise
+            return self._pool_death_record(task, config, started)
+
+    @staticmethod
+    def _pool_death_record(
+        task: Mapping[str, Any], config: Mapping[str, Any], started: float
+    ) -> dict[str, Any]:
+        return {
+            "id": task.get("id"),
+            "op": task.get("op"),
+            "seed": config["seed"],
+            "status": "error",
+            "error": "worker process died while serving this request",
+            "error_type": "BrokenExecutor",
+            "elapsed_s": round(time.perf_counter() - started, 6),
+        }
 
     # -- telemetry ---------------------------------------------------------
     def fold_store_metrics(self) -> None:

@@ -142,6 +142,24 @@ class TestShedding:
 
         run(go())
 
+    def test_shed_counts_inflight_toward_capacity(self):
+        # With every slot busy and the queue full of shed=False waiters,
+        # capacity is inflight + queued, not queue length alone.
+        async def go():
+            gate = AdmissionGate(max_inflight=2, queue_depth=1)
+            await gate.acquire()
+            await gate.acquire()
+            filler = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            with pytest.raises(RequestShed):
+                await gate.acquire()
+            gate.release()
+            await filler
+            gate.release()
+            gate.release()
+
+        run(go())
+
     def test_room_tracks_queue_headroom(self):
         async def go():
             gate = AdmissionGate(max_inflight=1, queue_depth=3)
@@ -152,6 +170,89 @@ class TestShedding:
             assert gate.room() == 2
             gate.release()
             await asyncio.sleep(0)
+            gate.release()
+
+        run(go())
+
+
+class TestReservations:
+    def test_reserve_counts_inflight_work(self):
+        # max_inflight=4 saturated, queue_depth=16: a 20-task batch must
+        # NOT pass on max_inflight + queue room alone (the pre-fix check
+        # did); free capacity is 16, so 20 is shed and 16 fits.
+        async def go():
+            gate = AdmissionGate(max_inflight=4, queue_depth=16)
+            for _ in range(4):
+                await gate.acquire()
+            assert gate.try_reserve(20) is None
+            reservation = gate.try_reserve(16)
+            assert reservation is not None
+            reservation.cancel()
+            for _ in range(4):
+                gate.release()
+
+        run(go())
+
+    def test_concurrent_reservations_cannot_share_headroom(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=4)
+            first = gate.try_reserve(5)
+            assert first is not None
+            # The same headroom is spoken for: a second batch sheds even
+            # though nothing has been dispatched yet.
+            assert gate.try_reserve(1) is None
+            first.cancel()
+            assert gate.try_reserve(1) is not None
+
+        run(go())
+
+    def test_unreserved_acquire_sheds_against_reserved_capacity(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=0)
+            reservation = gate.try_reserve(1)
+            assert reservation is not None
+            with pytest.raises(RequestShed):
+                await gate.acquire()
+            reservation.cancel()
+            await gate.acquire()  # capacity came back with the cancel
+
+        run(go())
+
+    def test_reserved_acquires_consume_and_bound_the_queue(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=1, queue_depth=2)
+            await gate.acquire()  # slot busy
+            reservation = gate.try_reserve(2)
+            assert reservation is not None
+            waiters = [
+                asyncio.ensure_future(
+                    gate.acquire(shed=False, reservation=reservation)
+                )
+                for _ in range(2)
+            ]
+            await asyncio.sleep(0)
+            assert gate.queued == 2  # within queue_depth
+            assert gate.reserved == 0  # fully consumed
+            with pytest.raises(RequestShed):
+                await gate.acquire()  # queue genuinely full
+            reservation.cancel()
+            gate.release()
+            for waiter in waiters:
+                await waiter
+                gate.release()
+            assert gate.idle()
+
+        run(go())
+
+    def test_cancel_returns_only_unconsumed_units(self):
+        async def go():
+            gate = AdmissionGate(max_inflight=2, queue_depth=0)
+            reservation = gate.try_reserve(2)
+            await gate.acquire(shed=False, reservation=reservation)
+            assert gate.reserved == 1
+            reservation.cancel()
+            assert gate.reserved == 0
+            assert gate.inflight == 1
             gate.release()
 
         run(go())

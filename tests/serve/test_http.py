@@ -130,6 +130,44 @@ class TestRejections:
         assert error.status == 431
 
 
+class TestDuplicateHeaders:
+    """RFC 9112 §6.3: duplicate framing headers are a smuggling vector."""
+
+    def test_duplicate_content_length_400(self):
+        error = parse_error(
+            b"POST / HTTP/1.1\r\n"
+            b"Content-Length: 3\r\nContent-Length: 30\r\n\r\nabc"
+        )
+        assert error.status == 400
+
+    def test_duplicate_identical_content_length_still_400(self):
+        error = parse_error(
+            b"POST / HTTP/1.1\r\n"
+            b"Content-Length: 3\r\nContent-Length: 3\r\n\r\nabc"
+        )
+        assert error.status == 400
+
+    def test_duplicate_transfer_encoding_400(self):
+        error = parse_error(
+            b"POST / HTTP/1.1\r\n"
+            b"Transfer-Encoding: identity\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+        )
+        assert error.status == 400
+
+    def test_conflicting_repeated_header_400(self):
+        error = parse_error(
+            b"GET / HTTP/1.1\r\nX-Thing: a\r\nX-Thing: b\r\n\r\n"
+        )
+        assert error.status == 400
+
+    def test_identical_repeated_header_is_tolerated(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nX-Thing: a\r\nX-Thing: a\r\n\r\n"
+        )
+        assert request.headers["x-thing"] == "a"
+
+
 class TestResponseBytes:
     def test_shape_and_length(self):
         raw = response_bytes(200, b'{"ok":1}')
@@ -153,3 +191,12 @@ class TestResponseBytes:
         raw = response_bytes(200, b"xyz", content_type="text/plain")
         assert b"Content-Length: 3" in raw
         assert raw.endswith(b"xyz")
+
+    def test_head_only_keeps_length_but_omits_body(self):
+        # RFC 9110 §9.3.2: a HEAD response advertises the body it would
+        # have sent but must not send it.
+        full = response_bytes(200, b'{"ok":1}')
+        head = response_bytes(200, b'{"ok":1}', head_only=True)
+        assert head == full[: len(full) - len(b'{"ok":1}')]
+        assert b"Content-Length: 8" in head
+        assert head.endswith(b"\r\n\r\n")

@@ -155,6 +155,97 @@ class TestRouting:
         serve_test(check)
 
 
+class TestHead:
+    def test_head_sends_headers_only_and_keeps_framing(self):
+        # RFC 9110 forbids a body on HEAD; a body would desync the next
+        # exchange on a keep-alive connection.  Pipeline HEAD then GET on
+        # one connection: the GET must still parse cleanly.
+        async def check(server, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b"200" in status_line
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode().partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                # Content-Length advertises the GET body, none follows.
+                assert int(headers["content-length"]) > 0
+                writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                status, _, body = await _read_response(reader)
+                assert status == 200
+                assert json.loads(body) == {"status": "ok"}
+            finally:
+                writer.close()
+
+        serve_test(check)
+
+    def test_head_matches_get_content_length(self):
+        async def check(server, port):
+            _, get_headers, get_body = await _request(
+                port, "GET", "/metrics"
+            )
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(
+                    b"HEAD /metrics HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+            finally:
+                writer.close()
+            head, _, trailing = raw.partition(b"\r\n\r\n")
+            assert trailing == b""  # no body after the header block
+            assert b"Content-Length:" in head
+
+        serve_test(check)
+
+
+class TestBatchAdmission:
+    def test_batch_shed_accounts_for_inflight_work(self):
+        # Pre-fix, the whole-manifest check compared against
+        # max_inflight + queue room and ignored gate.inflight: with the
+        # slot busy, a 3-task batch would slip past a capacity of 3.
+        async def check(server, port):
+            await server.gate.acquire()  # saturate the one slot
+            try:
+                tasks = [{"formula": "0 <= x"}] * 3
+                status, headers, _ = await _request(
+                    port, "POST", "/v1/batch", {"tasks": tasks}
+                )
+                assert status == 429
+                assert "retry-after" in headers
+                assert server.gate.queued == 0
+                assert server.gate.reserved == 0
+            finally:
+                server.gate.release()
+
+        serve_test(check, max_inflight=1, queue_depth=2)
+
+    def test_batch_fitting_free_capacity_is_admitted(self):
+        async def check(server, port):
+            tasks = [
+                {"id": f"t{i}", "op": "volume", "formula": "0 <= x AND x <= 1"}
+                for i in range(3)
+            ]
+            status, _, body = await _request(
+                port, "POST", "/v1/batch", {"tasks": tasks}
+            )
+            assert status == 200
+            envelope = json.loads(body)
+            assert [r["id"] for r in envelope["results"]] == ["t0", "t1", "t2"]
+            assert server.gate.reserved == 0  # nothing stranded
+
+        serve_test(check, max_inflight=2, queue_depth=2)
+
+
 class TestBadRequests:
     def test_invalid_json_body_400(self):
         async def check(server, port):

@@ -357,14 +357,18 @@ class TestGracefulDrain:
         response = pinned.getresponse()
         assert response.status == 503
         assert json.loads(response.read()) == {"status": "draining"}
-        pinned.close()
 
         thread.join(timeout=120)
         assert slow_result["status"] == 200
         assert slow_result["record"]["status"] == "ok"
 
+        # The pinned connection is deliberately left open: an idle
+        # keep-alive client must not hold the drain hostage (on
+        # Python >= 3.12, Server.wait_closed() blocks until every
+        # handler returns — the server has to force-close idlers).
         code = server.stop()
         assert code == 0
+        pinned.close()
         stderr = server.stderr_text()
         summary_lines = [
             json.loads(line) for line in stderr.splitlines()
@@ -374,6 +378,38 @@ class TestGracefulDrain:
         summary = summary_lines[0]
         assert summary["aborted_inflight"] == 0
         assert summary["served"] >= 1
+
+    def test_idle_keep_alive_connections_do_not_block_drain(
+        self, server_factory
+    ):
+        """SIGTERM with only parked keep-alive clients exits promptly."""
+        server = server_factory(
+            "--workers", "1", "--drain-timeout", "60", "--no-access-log",
+        )
+        idlers = [server.connect(timeout=60) for _ in range(3)]
+        for connection in idlers:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+        # All three connections now sit idle in the server's
+        # read_request(); none is ever closed by the client.
+        started = time.monotonic()
+        server.proc.send_signal(signal.SIGTERM)
+        code = server.stop()
+        assert code == 0
+        # Well under the 60 s drain timeout: the idlers were
+        # force-closed, not waited out.
+        assert time.monotonic() - started < 30
+        for connection in idlers:
+            connection.close()
+        stderr = server.stderr_text()
+        summary = [
+            json.loads(line) for line in stderr.splitlines()
+            if line.startswith("{") and '"serve.drain"' in line
+        ]
+        assert len(summary) == 1
+        assert summary[0]["aborted_inflight"] == 0
 
     def test_new_connections_refused_after_drain_starts(self, server_factory):
         server = server_factory("--workers", "1", "--no-access-log")

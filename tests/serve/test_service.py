@@ -1,0 +1,110 @@
+"""QueryService pool-death handling: rebuild exactly once, hurt nobody.
+
+When a worker dies, every request in flight on the pool raises
+``BrokenExecutor`` — but only the *first* handler may rebuild.  A later
+handler that shut down ``self._pool`` again would be cancelling innocent
+requests already dispatched to the fresh pool, and the resulting
+``CancelledError`` (a BaseException) would sail through ``_route``'s
+``except Exception`` and kill the connection without a response.
+"""
+
+import asyncio
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro import obs
+from repro.serve.service import QueryService, ServiceConfig
+
+TASK = {"id": "t", "op": "volume", "formula": "0 <= x AND x <= 1"}
+
+
+class FakePool:
+    """An executor whose submitted futures the test controls."""
+
+    def __init__(self, exception=None):
+        self.exception = exception
+        self.futures: list[Future] = []
+        self.shutdown_calls = 0
+
+    def submit(self, fn, *args):
+        future: Future = Future()
+        if self.exception is not None:
+            future.set_exception(self.exception)
+        self.futures.append(future)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls += 1
+
+
+@pytest.fixture
+def service():
+    service = QueryService(ServiceConfig(workers=1))
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+class TestBrokenPoolRebuild:
+    def test_concurrent_failures_rebuild_once(self, service):
+        async def go():
+            obs.enable_counting()
+            broken = FakePool(BrokenProcessPool("worker died"))
+            real = service._pool
+            real.shutdown(wait=False)
+            service._pool = broken
+            records = await asyncio.gather(
+                service._dispatch(dict(TASK), 0, None, None),
+                service._dispatch(dict(TASK), 1, None, None),
+                service._dispatch(dict(TASK), 2, None, None),
+            )
+            for record in records:
+                assert record["status"] == "error"
+                assert record["error_type"] == "BrokenExecutor"
+            # One rebuild, one shutdown — of the broken pool only; the
+            # replacement pool is alive and was never touched.
+            assert broken.shutdown_calls == 1
+            assert obs.REGISTRY.value("engine.pool.rebuilds") == 1
+            assert service._pool is not broken
+            assert not service._pool._shutdown_thread
+
+        asyncio.run(go())
+
+    def test_cancelled_by_rebuild_returns_error_record(self, service):
+        # A request still *queued* on the dead pool is cancelled by the
+        # rebuilder's shutdown(cancel_futures=True); it must answer with
+        # the structured pool-death record, not leak CancelledError.
+        async def go():
+            stalled = FakePool()
+            real = service._pool
+            service._pool = stalled
+            dispatch = asyncio.ensure_future(
+                service._dispatch(dict(TASK), 0, None, None)
+            )
+            await asyncio.sleep(0)  # dispatch captured `stalled`
+            service._pool = real  # another handler already rebuilt
+            stalled.futures[0].cancel()
+            record = await dispatch
+            assert record["status"] == "error"
+            assert record["error_type"] == "BrokenExecutor"
+
+        asyncio.run(go())
+
+    def test_foreign_cancellation_still_propagates(self, service):
+        # With no rebuild in between, a cancellation is not the pool's —
+        # it must keep propagating.
+        async def go():
+            stalled = FakePool()
+            service._pool = stalled
+            dispatch = asyncio.ensure_future(
+                service._dispatch(dict(TASK), 0, None, None)
+            )
+            await asyncio.sleep(0)
+            stalled.futures[0].cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await dispatch
+
+        asyncio.run(go())

@@ -10,10 +10,11 @@ beat the same batch run serially, and (4) a batch run against a
 prewarmed shared plan store must be at least 3x faster than the cold
 run that populated it.  The table reports the measured times; each row
 lands in the ``repro.obs/v2`` trajectory with the engine.* counters
-attached, the batch test additionally writes ``BENCH_engine_batch.json``
-(``$REPRO_BENCH_BATCH_OUT`` overrides the path) with the timings plus
-the merged cross-process telemetry of an observed run, and the store
-test writes ``BENCH_engine_store.json`` (``$REPRO_BENCH_STORE_OUT``)
+attached, the batch test additionally writes
+``benchmarks/out/BENCH_engine_batch.json`` (``$REPRO_BENCH_BATCH_OUT``
+overrides the path) with the timings plus the merged cross-process
+telemetry of an observed run, and the store test writes
+``benchmarks/out/BENCH_engine_store.json`` (``$REPRO_BENCH_STORE_OUT``)
 with the cold/warm timings plus the store's own traffic counters.
 """
 
@@ -148,7 +149,9 @@ def _batch_report_path() -> Path:
     env = os.environ.get("REPRO_BENCH_BATCH_OUT")
     if env:
         return Path(env)
-    return Path(__file__).resolve().parent.parent / "BENCH_engine_batch.json"
+    out_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / "BENCH_engine_batch.json"
 
 
 def _write_batch_report(tasks, serial_s, parallel_s, cores) -> None:
@@ -278,7 +281,9 @@ def _store_report_path() -> Path:
     env = os.environ.get("REPRO_BENCH_STORE_OUT")
     if env:
         return Path(env)
-    return Path(__file__).resolve().parent.parent / "BENCH_engine_store.json"
+    out_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / "BENCH_engine_store.json"
 
 
 def _write_store_report(tasks, cold_s, warm_s, plans, cold_stats, warm_stats) -> None:

@@ -8,8 +8,9 @@ recompilation.  Concretely, the warm p95 request latency through a live
 the cold p95 (first-contact requests that pay quantifier elimination and
 cell decomposition inside a worker).  The table reports cold vs warm
 p50/p95 over real HTTP round-trips; the run also writes
-``BENCH_serve.json`` (``$REPRO_BENCH_SERVE_OUT`` overrides the path)
-with the percentiles plus the server's own /metrics counters.
+``benchmarks/out/BENCH_serve.json`` (``$REPRO_BENCH_SERVE_OUT``
+overrides the path) with the percentiles plus the server's own /metrics
+counters.
 """
 
 import http.client
@@ -167,7 +168,9 @@ def _report_path() -> Path:
     env = os.environ.get("REPRO_BENCH_SERVE_OUT")
     if env:
         return Path(env)
-    return Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / "BENCH_serve.json"
 
 
 def _write_report(cold, warm, cold_p50, cold_p95, warm_p50, warm_p95, counters):

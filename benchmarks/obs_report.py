@@ -7,9 +7,10 @@ latency histograms) accumulated during the test (cells lifted,
 constraints pruned, samples drawn, ...) — the intrinsic complexity
 observables, not just wall clock.
 
-Destination: ``$REPRO_OBS_OUT`` if set, else ``BENCH_OBS.jsonl`` next to
-the repository root.  Records append; delete the file to start a fresh
-trajectory.
+Destination: ``$REPRO_OBS_OUT`` if set, else
+``benchmarks/out/BENCH_OBS.jsonl`` under the repository root (the
+directory is created on demand).  Records append; delete the file to
+start a fresh trajectory.
 """
 
 from __future__ import annotations
@@ -27,7 +28,9 @@ def output_path() -> Path:
     env = os.environ.get("REPRO_OBS_OUT")
     if env:
         return Path(env)
-    return Path(__file__).resolve().parent.parent / "BENCH_OBS.jsonl"
+    out_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir / "BENCH_OBS.jsonl"
 
 
 def emit(

@@ -436,7 +436,7 @@ def _metrics(args: argparse.Namespace) -> None:
         )
         registry = merged_registry(results)
 
-    text = obs.render_prometheus(registry)
+    text = obs.render_prometheus(registry, exemplars=args.exemplars)
     if args.out is None:
         sys.stdout.write(text)
     else:
@@ -498,8 +498,54 @@ def _serve_cmd(args: argparse.Namespace) -> None:
         epsilon=args.epsilon,
         delta=args.delta,
         access_log=not args.no_access_log,
+        slow_query_s=args.slow_query_s,
+        slow_query_log=args.slow_query_log,
+        exemplars=not args.no_exemplars,
     )
     run_server(config)
+
+
+def _top_cmd(args: argparse.Namespace) -> int:
+    """Poll a live /metrics endpoint and render the one-screen view."""
+    from repro.obs.top import run_top
+
+    return run_top(args.url, interval=args.interval, once=args.once)
+
+
+def _trace_perfetto(args: argparse.Namespace) -> int:
+    """Convert a JSONL trace / slow-query file to Chrome trace-event JSON."""
+    from repro import obs
+
+    rest = [part for part in args.rest if part != "--"]
+    if len(rest) != 1:
+        print("usage: repro trace --perfetto OUT INPUT.jsonl",
+              file=sys.stderr)
+        return 2
+    try:
+        records = obs.read_jsonl(rest[0])
+    except OSError as error:
+        print(f"repro: cannot read {rest[0]}: {error}", file=sys.stderr)
+        return 2
+    if records.skipped:
+        print(f"trace: skipped {records.skipped} unreadable record"
+              f"{'s' if records.skipped != 1 else ''} in {rest[0]}",
+              file=sys.stderr)
+    document = obs.render_perfetto(records)
+    try:
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+    except OSError as error:
+        print(f"repro: cannot write {args.perfetto}: {error}",
+              file=sys.stderr)
+        return 2
+    lanes = sum(
+        1 for event in obs.perfetto_json(records)["traceEvents"]
+        if event.get("ph") == "M"
+    )
+    print(f"trace: wrote {lanes} timeline lane"
+          f"{'s' if lanes != 1 else ''} to {args.perfetto} "
+          f"(open at https://ui.perfetto.dev)", file=sys.stderr)
+    return 0
 
 
 def _experiments() -> None:
@@ -684,6 +730,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="process workers when the input is a manifest (default 1)",
     )
+    metrics.add_argument(
+        "--exemplars", action="store_true", default=False,
+        help="append OpenMetrics exemplars (trace ids) to histogram "
+        "bucket lines when the input recorded them",
+    )
     serve = sub.add_parser(
         "serve", parents=[common],
         help="serve queries over HTTP with admission control and live "
@@ -744,17 +795,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-access-log", action="store_true", default=False,
         help="suppress the per-request JSON access-log lines on stderr",
     )
+    serve.add_argument(
+        "--slow-query-s", type=float, default=None, metavar="SECONDS",
+        help="emit a repro.slowquery/v1 JSONL record (full span tree, "
+        "budget charges, cache provenance) for every request at least "
+        "this slow (default: disabled)",
+    )
+    serve.add_argument(
+        "--slow-query-log", metavar="PATH", default=None,
+        help="append slow-query records here instead of stderr",
+    )
+    serve.add_argument(
+        "--no-exemplars", action="store_true", default=False,
+        help="render /metrics without OpenMetrics exemplars (plain "
+        "Prometheus text format)",
+    )
     sub.add_parser(
         "experiments", parents=[common],
         help="list the reproduction experiments",
     )
+    top = sub.add_parser(
+        "top", parents=[common],
+        help="live one-screen view of a serving process, polled from "
+        "its /metrics endpoint",
+    )
+    top.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8080/metrics",
+        help="the /metrics URL to poll "
+        "(default http://127.0.0.1:8080/metrics)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between scrapes (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true", default=False,
+        help="render a single frame from a single scrape and exit",
+    )
     trace = sub.add_parser(
         "trace", parents=[common],
-        help="run a subcommand with observability on (= --stats)",
+        help="run a subcommand with observability on (= --stats), or "
+        "convert a trace file with --perfetto",
+    )
+    trace.add_argument(
+        "--perfetto", metavar="OUT", default=None,
+        help="instead of running a subcommand, convert a JSONL trace "
+        "file (batch --trace-out or a slow-query log, given as the "
+        "positional argument) into Chrome trace-event JSON loadable at "
+        "ui.perfetto.dev, written to OUT",
     )
     trace.add_argument(
         "rest", nargs=argparse.REMAINDER,
-        help="subcommand and its arguments, e.g. 'trace demo'",
+        help="subcommand and its arguments, e.g. 'trace demo' (with "
+        "--perfetto: the input JSONL file)",
     )
     return parser
 
@@ -780,6 +873,9 @@ def _dispatch(args: argparse.Namespace) -> None:
         # and the request's own deadline; no process-wide budget applies.
         _serve_cmd(args)
         return
+    if args.command == "top":
+        # top runs no queries; it only scrapes a remote /metrics.
+        sys.exit(_top_cmd(args))
     with guard.govern(args.budget):
         if args.command in (None, "demo"):
             _demo(args)
@@ -793,6 +889,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "trace" and getattr(args, "perfetto", None):
+        # `trace --perfetto OUT INPUT` is offline conversion, not a
+        # traced subcommand run.
+        return _trace_perfetto(args)
     if args.command == "trace":
         # `trace <sub> ...` == `--stats <sub> ...`; global flags given
         # alongside `trace` are preserved.

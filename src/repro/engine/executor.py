@@ -97,7 +97,7 @@ from .store import PlanStore, StoreBackedCache
 
 __all__ = [
     "OPS", "task_seed", "task_key", "normalize_task", "execute_task",
-    "worker_entry", "cache_outcome", "run_batch",
+    "worker_entry", "cache_outcome", "run_batch", "batch_trace_ctx",
 ]
 
 #: Operations a manifest task may request.
@@ -109,6 +109,24 @@ def task_seed(base_seed: int, index: int) -> int:
     import numpy as np
 
     return int(np.random.SeedSequence([base_seed, index]).generate_state(1)[0])
+
+
+def batch_trace_ctx(base_seed: int, index: int) -> dict[str, Any]:
+    """The deterministic trace context of batch task *index*.
+
+    Batch trace ids are *derived*, not random: per-task telemetry
+    snapshots must be identical across worker counts and across
+    serve-vs-batch replays of the same manifest row, and the snapshot
+    records which trace the task ran under.  Hashing (seed, index) gives
+    every task a stable W3C-shaped identity for free — same manifest +
+    seed, same ids, any scheduling.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(
+        f"repro.batch:{base_seed}:{index}".encode()
+    ).hexdigest()
+    return {"trace_id": digest[:32], "span_id": digest[32:48]}
 
 
 def task_key(task: Mapping[str, Any]) -> str | None:
@@ -186,6 +204,7 @@ def execute_task(
     plan_store: str | None = None,
     compile_only: bool = False,
     obs_shared_cache: bool = False,
+    trace_ctx: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Run one normalized task; always returns a result record, never raises.
 
@@ -200,6 +219,10 @@ def execute_task(
     and store anyway: batch telemetry must be scheduling-independent, so
     it compiles privately, but a long-running server wants live (not
     byte-stable) telemetry *and* warm plans — it opts in.
+    ``trace_ctx`` (a :class:`~repro.obs.trace.TraceContext` dict) threads
+    a request/batch-task identity into the observed trace: the snapshot
+    records it, and histogram observations carry it as exemplars.  It is
+    only meaningful with ``collect_obs=True``.
     """
     result: dict[str, Any] = {"id": task["id"], "op": task["op"], "seed": seed}
     start = time.perf_counter()
@@ -213,7 +236,7 @@ def execute_task(
     if collect_obs:
         from ..obs.aggregate import task_observation
 
-        with task_observation() as observation:
+        with task_observation(trace_ctx=trace_ctx) as observation:
             _run_task(result, task, seed, budget, fallback, epsilon, delta,
                       private_compile, store, compile_only)
         result["obs"] = observation.snapshot
@@ -685,12 +708,22 @@ class _BatchRunner:
         return self.results
 
     # -- serial path -------------------------------------------------------
+    def _task_config(self, index: int) -> dict[str, Any]:
+        """Per-task :func:`execute_task` kwargs (seed, caps, trace identity).
+
+        Observed tasks get the deterministic :func:`batch_trace_ctx` —
+        identical for the serial and pooled paths, so per-task telemetry
+        (which records its trace) stays scheduling-independent.
+        """
+        config = {"seed": task_seed(self.seed, index), **self.config}
+        if config.get("collect_obs"):
+            config["trace_ctx"] = batch_trace_ctx(self.seed, index)
+        return config
+
     def _run_serial(self, indices: list[int]) -> None:
         for index in indices:
             task = self.by_index[index]
-            result = execute_task(
-                task, seed=task_seed(self.seed, index), **self.config
-            )
+            result = execute_task(task, **self._task_config(index))
             self._record(index, result)
 
     # -- pooled path -------------------------------------------------------
@@ -714,8 +747,7 @@ class _BatchRunner:
                 for index in queue:
                     self._clear_markers(index)
                     task_config = {
-                        "seed": task_seed(self.seed, index),
-                        **self.config,
+                        **self._task_config(index),
                         "liveness_dir": self.liveness_dir,
                     }
                     action = (

@@ -46,8 +46,12 @@ from .trace import (
     MAX_SPANS,
     SpanRecord,
     Trace,
+    TraceContext,
     collect,
     current_trace,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
     span,
     start_trace,
     stop_trace,
@@ -57,6 +61,7 @@ from .sinks import MemorySink, format_counters, format_span_tree, render_table
 from .export import (
     KNOWN_SCHEMAS,
     SCHEMA,
+    SCHEMA_SLOWQUERY,
     SCHEMA_V1,
     JsonlRecords,
     JsonlSink,
@@ -73,12 +78,20 @@ from .promexport import (
     prom_name,
     render_prometheus,
 )
+from .perfetto import perfetto_json, record_events, render_perfetto
+from .promparse import (
+    MetricsSnapshot,
+    ParsedHistogram,
+    parse_prometheus,
+    quantile_from_buckets,
+)
 from .aggregate import (
     SUMMARY_EXPERIMENT,
     TASK_EXPERIMENT,
     merge_snapshot_into,
     merged_registry,
     registry_from_records,
+    request_trace,
     summary_record,
     task_observation,
     task_record,
@@ -90,22 +103,29 @@ __all__ = [
     # tracing
     "span", "collect", "start_trace", "stop_trace", "current_trace",
     "tracing_enabled", "Trace", "SpanRecord", "MAX_SPANS",
+    # trace context / request correlation
+    "TraceContext", "new_trace_id", "new_span_id", "current_trace_id",
     # metrics
     "add", "set_gauge", "observe_value", "REGISTRY", "Registry", "Counter",
     "Gauge", "Histogram", "BUCKET_BOUNDS", "CATALOGUE", "counting_enabled",
     "enable_counting", "disable_counting",
     # sinks / export
     "render_table", "format_span_tree", "format_counters", "MemorySink",
-    "SCHEMA", "SCHEMA_V1", "KNOWN_SCHEMAS", "JsonlSink", "JsonlRecords",
+    "SCHEMA", "SCHEMA_V1", "SCHEMA_SLOWQUERY", "KNOWN_SCHEMAS", "JsonlSink",
+    "JsonlRecords",
     "make_record", "read_jsonl", "read_jsonl_lines", "span_to_dict",
     "span_from_dict",
     "trace_to_dicts",
     # prometheus exposition
     "prom_name", "escape_help", "escape_label_value", "render_prometheus",
+    # perfetto / scrape parsing
+    "perfetto_json", "record_events", "render_perfetto",
+    "MetricsSnapshot", "ParsedHistogram", "parse_prometheus",
+    "quantile_from_buckets",
     # cross-process aggregation
     "TASK_EXPERIMENT", "SUMMARY_EXPERIMENT", "task_observation",
     "merge_snapshot_into", "merged_registry", "registry_from_records",
-    "task_record", "summary_record",
+    "task_record", "summary_record", "request_trace",
 ]
 
 

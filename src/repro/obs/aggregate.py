@@ -49,7 +49,7 @@ from .metrics import (
     disable_counting,
     enable_counting,
 )
-from .trace import SpanRecord, start_trace, stop_trace, _state
+from .trace import SpanRecord, TraceContext, start_trace, stop_trace, _state
 
 __all__ = [
     "TASK_EXPERIMENT",
@@ -62,6 +62,7 @@ __all__ = [
     "task_record",
     "summary_record",
     "registry_from_records",
+    "request_trace",
 ]
 
 #: ``experiment`` tags of the two record shapes ``--trace-out`` emits.
@@ -91,7 +92,9 @@ def _scalar(value: Any) -> Any:
 
 
 @contextmanager
-def task_observation() -> Iterator[TaskObservation]:
+def task_observation(
+    trace_ctx: "Mapping[str, Any] | TraceContext | None" = None,
+) -> Iterator[TaskObservation]:
     """Observe one task as a self-contained delta.
 
     On entry: the ambient trace is parked, a fresh per-task trace starts,
@@ -104,8 +107,18 @@ def task_observation() -> Iterator[TaskObservation]:
     purpose: the parent re-applies snapshots via
     :func:`merge_snapshot_into`, identically for in-process (serial) and
     cross-process (worker) tasks.
+
+    *trace_ctx* (a :class:`~repro.obs.trace.TraceContext` or its dict
+    form, handed across the process-pool boundary) attributes the task's
+    trace to an end-to-end request: histogram observations inside the
+    block pick up its trace id as exemplars, and the snapshot records it
+    under a ``"trace"`` key so the parent can reparent the harvested span
+    forest under the request's trace root.  Byte-stable task records
+    never read the key (see :func:`task_record`).
     """
     registry = REGISTRY
+    if trace_ctx is not None and not isinstance(trace_ctx, TraceContext):
+        trace_ctx = TraceContext.from_dict(trace_ctx)
     previous_trace = stop_trace()
     was_counting = counting_enabled()
 
@@ -122,7 +135,7 @@ def task_observation() -> Iterator[TaskObservation]:
             registry._metrics[name] = Histogram(name, metric.description)
 
     enable_counting()
-    trace = start_trace("task")
+    trace = start_trace("task", context=trace_ctx)
     holder = TaskObservation()
     try:
         yield holder
@@ -151,6 +164,8 @@ def task_observation() -> Iterator[TaskObservation]:
         for name, original in swapped.items():
             registry._metrics[name] = original
         snapshot: dict[str, Any] = {"worker_pid": os.getpid()}
+        if trace_ctx is not None:
+            snapshot["trace"] = trace_ctx.to_dict()
         if counters:
             snapshot["counters"] = counters
         if gauges:
@@ -208,6 +223,34 @@ def snapshot_spans(snapshot: Mapping[str, Any], task: int) -> list[SpanRecord]:
     return roots
 
 
+def request_trace(
+    snapshot: Mapping[str, Any],
+    ctx: TraceContext,
+    name: str = "serve.request",
+    attrs: Mapping[str, Any] | None = None,
+) -> SpanRecord:
+    """Reparent a worker snapshot's span forest under a request root.
+
+    Builds a root :class:`SpanRecord` named *name* carrying the request's
+    ``trace_id``/``span_id`` in its attrs, with the snapshot's spans as
+    children — the harvested worker forest, attributed back to the
+    request that caused it.  The snapshot's own ``"trace"`` record (the
+    context the worker actually ran under) is the proof of propagation:
+    callers can assert it matches *ctx*.
+    """
+    root = SpanRecord(
+        name=name,
+        attrs={
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            **(attrs or {}),
+        },
+    )
+    for data in snapshot.get("spans") or []:
+        root.children.append(span_from_dict(data))
+    return root
+
+
 def stable_span(data: Mapping[str, Any]) -> dict[str, Any]:
     """The byte-stable view of one exported span dict.
 
@@ -246,6 +289,10 @@ def task_record(result: Mapping[str, Any], task: int) -> dict[str, Any]:
     # unlike the racy hit/miss events workers actually observed.
     if result.get("cache") is not None:
         record["cache"] = dict(result["cache"])
+    # The task's trace context is derived from (seed, index), so it is
+    # byte-stable too — and lets a trace-out file cross-reference logs.
+    if snapshot.get("trace"):
+        record["trace"] = dict(snapshot["trace"])
     counters = snapshot.get("counters")
     if counters:
         record["counters"] = dict(counters)

@@ -37,6 +37,7 @@ from .trace import SpanRecord, Trace
 __all__ = [
     "SCHEMA",
     "SCHEMA_V1",
+    "SCHEMA_SLOWQUERY",
     "KNOWN_SCHEMAS",
     "span_to_dict",
     "span_from_dict",
@@ -51,9 +52,17 @@ __all__ = [
 SCHEMA = "repro.obs/v2"
 SCHEMA_V1 = "repro.obs/v1"
 
+#: One record per request that exceeded ``repro serve --slow-query-s``:
+#: wall-clock ``ts``, ``trace_id``, elapsed/queue-wait timings, cache
+#: provenance, budget-relevant counters, and the full span tree (worker
+#: forest reparented under the request root).  Unlike ``repro.obs/v2``
+#: task records these carry timestamps and durations — slow-query logs
+#: are forensic, not byte-stable.
+SCHEMA_SLOWQUERY = "repro.slowquery/v1"
+
 #: Schema strings :func:`read_jsonl` accepts; anything else that *claims*
 #: to be an obs record (has a ``schema`` key) is skipped with a warning.
-KNOWN_SCHEMAS = frozenset({SCHEMA_V1, SCHEMA})
+KNOWN_SCHEMAS = frozenset({SCHEMA_V1, SCHEMA, SCHEMA_SLOWQUERY})
 
 
 def span_to_dict(record: SpanRecord) -> dict[str, Any]:

@@ -41,7 +41,10 @@ class Histogram:
     """A mergeable distribution metric over the shared bucket layout."""
 
     kind = "histogram"
-    __slots__ = ("name", "description", "buckets", "count", "sum", "min", "max")
+    __slots__ = (
+        "name", "description", "buckets", "count", "sum", "min", "max",
+        "exemplars",
+    )
 
     def __init__(self, name: str, description: str = ""):
         self.name = name
@@ -52,10 +55,20 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        #: Sparse bucket index -> ``(value, trace_id)`` of the most recent
+        #: trace-tagged observation landing in that bucket (OpenMetrics
+        #: exemplars).  Never affects counts, sums, or quantiles.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
     # -- recording ---------------------------------------------------------
-    def observe(self, value: "int | float") -> None:
-        """Record one observation (negative values clamp into bucket 0)."""
+    def observe(self, value: "int | float", trace_id: "str | None" = None) -> None:
+        """Record one observation (negative values clamp into bucket 0).
+
+        *trace_id* attaches an exemplar: the bucket the value lands in
+        remembers this (value, trace id) pair, most recent observation
+        winning, so an operator can jump from a bad latency bucket to a
+        concrete request that hit it.
+        """
         value = float(value)
         index = bisect_left(BUCKET_BOUNDS, value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
@@ -65,6 +78,8 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if trace_id is not None:
+            self.exemplars[index] = (value, trace_id)
 
     def reset(self) -> None:
         self.buckets.clear()
@@ -72,6 +87,7 @@ class Histogram:
         self.sum = 0.0
         self.min = None
         self.max = None
+        self.exemplars.clear()
 
     @property
     def value(self) -> int:
@@ -89,6 +105,9 @@ class Histogram:
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
+        # Exemplars are advisory, not additive: the incoming snapshot is
+        # the newer observation, so its exemplars win per bucket.
+        self.exemplars.update(other.exemplars)
         return self
 
     def merge_dict(self, data: Mapping[str, Any]) -> "Histogram":
@@ -134,14 +153,25 @@ class Histogram:
 
     # -- serialization -----------------------------------------------------
     def as_dict(self) -> dict[str, Any]:
-        """A compact JSON-able snapshot (sparse buckets keyed by index)."""
-        return {
+        """A compact JSON-able snapshot (sparse buckets keyed by index).
+
+        The ``exemplars`` section is present only when non-empty, so
+        snapshots from untraced runs are byte-identical to pre-exemplar
+        ones, and old readers (which ignore unknown keys) stay compatible.
+        """
+        out: dict[str, Any] = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
         }
+        if self.exemplars:
+            out["exemplars"] = {
+                str(i): [value, trace_id]
+                for i, (value, trace_id) in sorted(self.exemplars.items())
+            }
+        return out
 
     @staticmethod
     def from_dict(name: str, data: Mapping[str, Any]) -> "Histogram":
@@ -153,6 +183,12 @@ class Histogram:
         hist.buckets = {
             int(i): int(n) for i, n in (data.get("buckets") or {}).items()
         }
+        for i, pair in (data.get("exemplars") or {}).items():
+            try:
+                value, trace_id = pair
+                hist.exemplars[int(i)] = (float(value), str(trace_id))
+            except (TypeError, ValueError):
+                continue  # malformed exemplar: advisory data, drop it
         return hist
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:

@@ -327,6 +327,8 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "serve.latency_s": (
         "histogram",
         "end-to-end seconds from admission to response per served task"),
+    "serve.slow_queries": (
+        "counter", "requests that exceeded the --slow-query-s threshold"),
     "trace.spans_dropped": (
         "counter", "spans dropped after a trace hit the MAX_SPANS cap"),
     "realalg.cache.hit": (
@@ -382,14 +384,29 @@ def set_gauge(name: str, value: Number) -> None:
     REGISTRY.gauge(name).set(value)
 
 
-def observe_value(name: str, value: Number) -> None:
+#: Set by :mod:`repro.obs.trace` at import: a zero-argument callable
+#: returning the active trace id (or ``None``).  A hook rather than an
+#: import because trace.py imports this module.
+_trace_id_provider = None
+
+
+def observe_value(
+    name: str, value: Number, trace_id: "str | None" = None
+) -> None:
     """Record a histogram observation; a near-free no-op while off.
 
     The disabled path is the same single boolean test as :func:`add`, so
     instrumenting a hot loop with a histogram costs the same as a counter
     when nobody is collecting (``benchmarks/bench_obs_overhead.py`` pins
     the ratio under 2x).
+
+    *trace_id* tags the observation's bucket with an OpenMetrics
+    exemplar; when omitted, the id of the thread's active trace context
+    (if any) is used, so instrumented code inside a request trace gets
+    exemplars for free.
     """
     if not _enabled:
         return
-    REGISTRY.histogram(name).observe(float(value))
+    if trace_id is None and _trace_id_provider is not None:
+        trace_id = _trace_id_provider()
+    REGISTRY.histogram(name).observe(float(value), trace_id=trace_id)

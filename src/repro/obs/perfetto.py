@@ -1,0 +1,161 @@
+"""Chrome trace-event export: span forests as a Perfetto timeline.
+
+Converts ``repro.obs/v2`` trajectory records and ``repro.slowquery/v1``
+slow-query records into the `Chrome trace-event JSON format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+which ``chrome://tracing`` and https://ui.perfetto.dev load directly::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms"}
+
+Each input record becomes one **process lane** (``pid``), named after
+its experiment / trace id via a ``"M"`` (metadata) ``process_name``
+event; its span forest becomes ``"X"`` (complete) events with
+microsecond ``ts`` / ``dur``.
+
+Two impedance mismatches are bridged deliberately:
+
+* **No start offsets.**  Exported span dicts carry durations but not
+  start times (process-local offsets are dropped so task records stay
+  byte-comparable).  The timeline is therefore *synthesized*: siblings
+  are laid out sequentially, each child starting where the previous one
+  ended, at the parent's start.  Relative widths and nesting are
+  faithful; gaps and true concurrency are not represented.
+* **Byte-stable records elide durations entirely** (``duration_s`` is
+  ``0``).  A zero-width event is invisible in Perfetto, so durations
+  are synthesized bottom-up: a leaf gets :data:`MIN_DUR_US`, a parent
+  gets at least the sum of its (laid-out) children.  The shape of the
+  tree survives; absolute times are meaningless for such records.
+
+Timestamps are monotone and non-negative within every lane — the
+invariant the schema check in CI asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "MIN_DUR_US",
+    "span_events",
+    "record_events",
+    "perfetto_json",
+    "render_perfetto",
+]
+
+#: Synthesized width (µs) of a span whose record carries no duration.
+MIN_DUR_US = 1
+
+
+def _recorded_dur_us(span: Mapping[str, Any]) -> int:
+    try:
+        return max(0, int(round(float(span.get("duration_s") or 0.0) * 1e6)))
+    except (TypeError, ValueError):
+        return 0
+
+
+def span_events(
+    span: Mapping[str, Any],
+    pid: int,
+    tid: int = 1,
+    start_us: int = 0,
+) -> tuple[list[dict[str, Any]], int]:
+    """Trace events for one span dict (children included), laid out
+    sequentially from *start_us*; returns ``(events, end_us)``.
+
+    The parent's event is emitted first (Perfetto renders enclosing
+    "X" events as the outer slice), spanning at least its children.
+    """
+    children = span.get("children") or []
+    child_events: list[dict[str, Any]] = []
+    cursor = start_us
+    for child in children:
+        events, cursor = span_events(child, pid, tid, cursor)
+        child_events.extend(events)
+    dur = max(_recorded_dur_us(span), cursor - start_us, MIN_DUR_US)
+    event: dict[str, Any] = {
+        "name": str(span.get("name", "?")),
+        "ph": "X",
+        "ts": start_us,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+    }
+    args: dict[str, Any] = dict(span.get("attrs") or {})
+    if span.get("error"):
+        args["error"] = span["error"]
+    if args:
+        event["args"] = args
+    return [event] + child_events, start_us + dur
+
+
+def _lane_name(record: Mapping[str, Any], pid: int) -> str:
+    """A human-facing process-lane label for one record."""
+    schema = record.get("schema", "")
+    if schema == "repro.slowquery/v1":
+        trace_id = str(record.get("trace_id", ""))[:8]
+        return f"slowquery {trace_id or pid} ({record.get('path', '?')})"
+    parts = [str(record.get("experiment") or schema or "record")]
+    if record.get("id") is not None:
+        parts.append(str(record["id"]))
+    elif record.get("task") is not None:
+        parts.append(f"task {record['task']}")
+    else:
+        row = record.get("row")
+        if isinstance(row, Mapping):
+            task = row.get("task") if "task" in row else row.get("id")
+            if task is not None:
+                parts.append(str(task))
+    trace = record.get("trace")
+    if isinstance(trace, Mapping) and trace.get("trace_id"):
+        parts.append(f"[{str(trace['trace_id'])[:8]}]")
+    return " ".join(parts)
+
+
+def record_events(
+    record: Mapping[str, Any], pid: int
+) -> list[dict[str, Any]]:
+    """All trace events for one trajectory / slow-query record.
+
+    Returns ``[]`` for records with no span forest (pure counter rows):
+    they have no timeline to draw.
+    """
+    spans = record.get("spans") or []
+    if not spans:
+        return []
+    events: list[dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 1,
+        "args": {"name": _lane_name(record, pid)},
+    }]
+    cursor = 0
+    for span in spans:
+        span_evts, cursor = span_events(span, pid, 1, cursor)
+        events.extend(span_evts)
+    return events
+
+
+def perfetto_json(
+    records: Iterable[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """The complete Chrome trace-event document for *records*.
+
+    One process lane per record that carries spans; records without a
+    span forest contribute nothing (and cost no empty lane).
+    """
+    trace_events: list[dict[str, Any]] = []
+    pid = 0
+    for record in records:
+        events = record_events(record, pid + 1)
+        if events:
+            pid += 1
+            trace_events.extend(events)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def render_perfetto(records: Sequence[Mapping[str, Any]]) -> str:
+    """:func:`perfetto_json` serialized, ready to write to a file."""
+    return json.dumps(perfetto_json(records), sort_keys=True)

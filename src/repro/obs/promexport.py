@@ -99,7 +99,9 @@ def _format_bound(bound: float) -> str:
     return f"{bound:.6g}"
 
 
-def render_prometheus(registry: Registry, skip_empty: bool = True) -> str:
+def render_prometheus(
+    registry: Registry, skip_empty: bool = True, exemplars: bool = False
+) -> str:
     """The full text exposition of *registry*, one block per metric.
 
     ``skip_empty`` drops zero counters, unset gauges, and empty
@@ -107,6 +109,15 @@ def render_prometheus(registry: Registry, skip_empty: bool = True) -> str:
     ``--stats`` table.  Output is sorted by metric name, ends in a
     newline, and contains no timestamps, so identical registries render
     identical bytes.
+
+    ``exemplars=True`` appends OpenMetrics exemplars to histogram
+    ``_bucket`` lines that have one recorded::
+
+        repro_serve_latency_s_bucket{le="0.1"} 4 # {trace_id="4bf9..."} 0.073
+
+    Only bucket series ever carry the suffix (per the OpenMetrics spec);
+    with the flag off (the default) the output is plain Prometheus text
+    format, byte-identical to pre-exemplar releases.
     """
     blocks: list[str] = []
     for name, metric in registry.items():
@@ -125,9 +136,19 @@ def render_prometheus(registry: Registry, skip_empty: bool = True) -> str:
             if skip_empty and not metric.count:
                 continue
             blocks.extend(_header(series, metric.description, "histogram"))
-            for bound, cumulative in metric.cumulative_buckets():
+            for index, (bound, cumulative) in enumerate(
+                metric.cumulative_buckets()
+            ):
                 le = escape_label_value(_format_bound(bound))
-                blocks.append(f'{series}_bucket{{le="{le}"}} {cumulative}')
+                line = f'{series}_bucket{{le="{le}"}} {cumulative}'
+                exemplar = metric.exemplars.get(index) if exemplars else None
+                if exemplar is not None:
+                    value, trace_id = exemplar
+                    line += (
+                        f' # {{trace_id="{escape_label_value(trace_id)}"}}'
+                        f" {_format_value(value)}"
+                    )
+                blocks.append(line)
             blocks.append(f"{series}_sum {_format_value(metric.sum)}")
             blocks.append(f"{series}_count {metric.count}")
     return "\n".join(blocks) + "\n" if blocks else ""

@@ -1,0 +1,178 @@
+"""Parse Prometheus / OpenMetrics text exposition back into numbers.
+
+The inverse of :mod:`repro.obs.promexport`, used by ``repro top`` to
+turn a live ``/metrics`` scrape into a render-able snapshot without a
+client library.  It understands exactly the dialect the exporter emits
+(plus enough generality for hand-written fixtures):
+
+* ``# HELP`` / ``# TYPE`` comments (recorded, otherwise ignored);
+* plain samples ``name 3`` and labelled samples ``name{le="0.1"} 4``;
+* the OpenMetrics exemplar suffix on bucket lines::
+
+      repro_serve_latency_s_bucket{le="0.1"} 4 # {trace_id="4bf9..."} 0.073
+
+* histogram family reassembly: ``*_bucket`` / ``*_sum`` / ``*_count``
+  series fold into one :class:`ParsedHistogram` keyed by the base name.
+
+Unparseable lines are skipped, not fatal — a scrape mid-flight from a
+foreign exporter must degrade to "fewer panels", not a stack trace.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ParsedHistogram",
+    "MetricsSnapshot",
+    "parse_prometheus",
+    "quantile_from_buckets",
+]
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{([^}]*)\})?"                      # optional label set
+    r"\s+(\S+)"                              # value
+    r"(?:\s+#\s+\{([^}]*)\}\s+(\S+))?"       # optional exemplar
+    r"\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _number(text: str) -> float | None:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+@dataclass
+class ParsedHistogram:
+    """One reassembled histogram family from a scrape."""
+
+    #: Cumulative buckets in ascending ``le`` order: ``(le, cum_count)``.
+    buckets: list[tuple[float, float]] = field(default_factory=list)
+    sum: float = 0.0
+    count: float = 0.0
+    #: Exemplars keyed by the bucket's ``le``: ``(trace_id, value)``.
+    exemplars: dict[float, tuple[str, float]] = field(default_factory=dict)
+
+    def sorted_buckets(self) -> list[tuple[float, float]]:
+        return sorted(self.buckets, key=lambda pair: pair[0])
+
+    def quantile(self, q: float) -> float:
+        return quantile_from_buckets(self.sorted_buckets(), q)
+
+
+@dataclass
+class MetricsSnapshot:
+    """Everything one scrape said, in render-friendly shape."""
+
+    #: Plain series (counters' ``_total`` kept verbatim, gauges as-is).
+    samples: dict[str, float] = field(default_factory=dict)
+    #: Histogram families keyed by base name (no ``_bucket`` suffix).
+    histograms: dict[str, ParsedHistogram] = field(default_factory=dict)
+    #: ``# TYPE`` declarations seen, name → type string.
+    types: dict[str, str] = field(default_factory=dict)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """A sample by exact name, accepting the ``_total`` spelling."""
+        if name in self.samples:
+            return self.samples[name]
+        return self.samples.get(name + "_total", default)
+
+
+def parse_prometheus(text: str) -> MetricsSnapshot:
+    """Parse one exposition document; skips lines it cannot read."""
+    snapshot = MetricsSnapshot()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                snapshot.types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        name, labels_text, value_text, ex_labels, ex_value = match.groups()
+        value = _number(value_text)
+        if value is None:
+            continue
+        labels = {
+            key: _unescape(raw)
+            for key, raw in _LABEL.findall(labels_text or "")
+        }
+        if name.endswith("_bucket") and "le" in labels:
+            base = name[: -len("_bucket")]
+            hist = snapshot.histograms.setdefault(base, ParsedHistogram())
+            le = _number(labels["le"])
+            if le is None:
+                continue
+            hist.buckets.append((le, value))
+            if ex_labels is not None:
+                ex_val = _number(ex_value)
+                exemplar_labels = {
+                    key: _unescape(raw)
+                    for key, raw in _LABEL.findall(ex_labels)
+                }
+                trace_id = exemplar_labels.get("trace_id")
+                if trace_id is not None and ex_val is not None:
+                    hist.exemplars[le] = (trace_id, ex_val)
+            continue
+        if name.endswith("_sum") and name[: -len("_sum")] in snapshot.histograms:
+            snapshot.histograms[name[: -len("_sum")]].sum = value
+            continue
+        if (name.endswith("_count")
+                and name[: -len("_count")] in snapshot.histograms):
+            snapshot.histograms[name[: -len("_count")]].count = value
+            continue
+        snapshot.samples[name] = value
+    return snapshot
+
+
+def quantile_from_buckets(
+    buckets: list[tuple[float, float]], q: float
+) -> float:
+    """Estimate the *q*-quantile from cumulative ``(le, count)`` buckets.
+
+    Standard Prometheus ``histogram_quantile`` semantics: linear
+    interpolation within the bucket that crosses the target rank, with
+    the ``+Inf`` bucket collapsing to the highest finite bound (there is
+    nothing defensible to interpolate toward past it).
+    """
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    target = q * total
+    prev_le = 0.0
+    prev_cum = 0.0
+    for le, cum in buckets:
+        if cum >= target:
+            if math.isinf(le):
+                return prev_le
+            if cum == prev_cum:
+                return le
+            frac = (target - prev_cum) / (cum - prev_cum)
+            return prev_le + frac * (le - prev_le)
+        if not math.isinf(le):
+            prev_le = le
+        prev_cum = cum
+    return prev_le

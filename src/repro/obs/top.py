@@ -1,0 +1,191 @@
+"""``repro top``: a one-screen live view of a serving process.
+
+Polls a server's ``/metrics`` endpoint (no client library — one
+:mod:`urllib` GET per interval through :mod:`repro.obs.promparse`) and
+renders request rate, latency quantiles, admission-queue state, shed
+rate, pool health, and the slowest recently-observed traces (read off
+the latency histogram's OpenMetrics exemplars, so each slow bucket
+names a ``trace_id`` you can go grep in the slow-query log).
+
+Rates need two scrapes: the first frame shows ``-`` where a delta
+would go.  ``--once`` renders a single frame from a single scrape —
+that is what CI smoke-tests against a live server.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from .promparse import MetricsSnapshot, parse_prometheus
+
+__all__ = ["scrape", "render_top", "run_top"]
+
+#: Histogram whose exemplars name the slow traces.
+_LATENCY = "repro_serve_latency_s"
+_QUEUE_WAIT = "repro_serve_queue_wait_s"
+
+#: ANSI: clear screen + home, used between live frames.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def scrape(url: str, timeout: float = 5.0) -> str:
+    """Fetch one exposition document from *url* (http/https only)."""
+    if not url.startswith(("http://", "https://")):
+        raise ValueError(f"metrics url must be http(s), got {url!r}")
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8", errors="replace")
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds <= 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _fmt_rate(value: float | None) -> str:
+    return "-" if value is None else f"{value:.1f}/s"
+
+
+def _delta_rate(
+    current: MetricsSnapshot,
+    previous: MetricsSnapshot | None,
+    name: str,
+    interval: float | None,
+) -> float | None:
+    if previous is None or not interval or interval <= 0:
+        return None
+    return max(0.0, current.value(name) - previous.value(name)) / interval
+
+
+def _slow_traces(
+    snapshot: MetricsSnapshot, limit: int = 5
+) -> list[tuple[float, str, float]]:
+    """The highest-bucket latency exemplars: ``(le, trace_id, value)``."""
+    hist = snapshot.histograms.get(_LATENCY)
+    if hist is None:
+        return []
+    rows = [
+        (le if not math.isinf(le) else float("inf"), trace_id, value)
+        for le, (trace_id, value) in hist.exemplars.items()
+    ]
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows[:limit]
+
+
+def render_top(
+    snapshot: MetricsSnapshot,
+    previous: MetricsSnapshot | None = None,
+    interval: float | None = None,
+    url: str = "",
+) -> str:
+    """One frame: the whole serving picture in <25 terminal lines."""
+    lines: list[str] = []
+    title = "repro top"
+    if url:
+        title += f" — {url}"
+    lines.append(title)
+    lines.append("=" * max(24, len(title)))
+
+    rps = _delta_rate(snapshot, previous, "repro_serve_requests", interval)
+    shed_rate = _delta_rate(snapshot, previous, "repro_serve_shed", interval)
+    served_ok = snapshot.value("repro_serve_ok")
+    errors = snapshot.value("repro_serve_errors")
+    budget = snapshot.value("repro_serve_budget_exceeded")
+    lines.append(
+        f"requests {snapshot.value('repro_serve_requests'):.0f} total"
+        f"   rate {_fmt_rate(rps)}"
+        f"   ok {served_ok:.0f}  errors {errors:.0f}"
+        f"  budget-exceeded {budget:.0f}"
+    )
+
+    latency = snapshot.histograms.get(_LATENCY)
+    if latency is not None and latency.count:
+        lines.append(
+            "latency"
+            f"   p50 {_fmt_s(latency.quantile(0.50))}"
+            f"   p95 {_fmt_s(latency.quantile(0.95))}"
+            f"   p99 {_fmt_s(latency.quantile(0.99))}"
+            f"   ({latency.count:.0f} observed)"
+        )
+    else:
+        lines.append("latency   (no observations yet)")
+
+    queue_wait = snapshot.histograms.get(_QUEUE_WAIT)
+    queue_line = (
+        f"queue     depth {snapshot.value('repro_serve_queue_depth'):.0f}"
+        f"   inflight {snapshot.value('repro_serve_inflight'):.0f}"
+        f"   shed {snapshot.value('repro_serve_shed'):.0f} total"
+        f" ({_fmt_rate(shed_rate)})"
+    )
+    if queue_wait is not None and queue_wait.count:
+        queue_line += f"   wait p95 {_fmt_s(queue_wait.quantile(0.95))}"
+    lines.append(queue_line)
+
+    draining = snapshot.value("repro_serve_draining")
+    rebuilds = snapshot.value("repro_engine_pool_rebuilds")
+    lines.append(
+        f"pool      rebuilds {rebuilds:.0f}"
+        f"   coalesce leads {snapshot.value('repro_serve_coalesce_leads'):.0f}"
+        f" / waits {snapshot.value('repro_serve_coalesce_waits'):.0f}"
+        f"   {'DRAINING' if draining else 'serving'}"
+    )
+    lines.append(
+        f"slow      {snapshot.value('repro_serve_slow_queries'):.0f} over"
+        " threshold"
+    )
+
+    slow = _slow_traces(snapshot)
+    if slow:
+        lines.append("")
+        lines.append("top slow traces (latency exemplars)")
+        for _, trace_id, value in slow:
+            lines.append(f"  {_fmt_s(value):>8}  trace_id={trace_id}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    once: bool = False,
+    out=None,
+) -> int:
+    """Scrape-render loop; ``once=True`` prints a single frame.
+
+    Returns a process exit code: 1 when the very first scrape fails
+    (nothing to show), 0 otherwise — a mid-loop scrape failure prints a
+    warning frame and keeps polling, because servers restart.
+    """
+    out = out if out is not None else sys.stdout
+    previous: MetricsSnapshot | None = None
+    first = True
+    while True:
+        try:
+            text = scrape(url)
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            if first:
+                print(f"repro top: cannot scrape {url}: {error}",
+                      file=sys.stderr)
+                return 1
+            print(f"{_CLEAR}repro top — {url}\n(scrape failed: {error};"
+                  " retrying)", file=out)
+            time.sleep(interval)
+            continue
+        snapshot = parse_prometheus(text)
+        frame = render_top(snapshot, previous, None if first else interval,
+                           url=url)
+        if once:
+            out.write(frame)
+            return 0
+        out.write(_CLEAR + frame)
+        out.flush()
+        previous = snapshot
+        first = False
+        time.sleep(interval)

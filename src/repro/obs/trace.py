@@ -8,23 +8,37 @@ microsecond per call when nobody is collecting.
 
 Timing uses :func:`time.perf_counter` (monotonic); wall-clock timestamps
 never enter span records, keeping traces comparable across runs.
+
+A trace may carry a :class:`TraceContext` — a W3C-style
+``trace_id``/``span_id`` pair that identifies *which request or batch
+task* the span forest belongs to.  The context crosses process
+boundaries as a plain dict (see :func:`TraceContext.to_dict`), so worker
+span forests harvested by a parent can be re-attributed to the request
+that caused them, and the ``traceparent`` helpers interoperate with
+external W3C Trace Context propagation.
 """
 
 from __future__ import annotations
 
+import os as _os
+import re
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from . import metrics
 
 __all__ = [
     "SpanRecord",
     "Trace",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
     "span",
     "current_trace",
+    "current_trace_id",
     "tracing_enabled",
     "start_trace",
     "stop_trace",
@@ -35,6 +49,94 @@ __all__ = [
 #: Soft cap on recorded spans per trace; beyond it spans are counted but
 #: not materialised, so a runaway recursion cannot exhaust memory.
 MAX_SPANS = 100_000
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id (32 lowercase hex chars)."""
+    return _os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh random 64-bit span id (16 lowercase hex chars)."""
+    return _os.urandom(8).hex()
+
+
+#: ``traceparent: 00-<32 hex>-<16 hex>-<2 hex>`` (W3C Trace Context).
+_TRACEPARENT = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """W3C-style request identity: which trace a span forest belongs to.
+
+    ``trace_id`` names the end-to-end request (or batch task) and is
+    shared by every process that works on it; ``span_id`` names the
+    current hop, and ``parent_span_id`` the hop that caused it (``None``
+    at the root).  Instances are frozen so a context can be shared
+    freely; derive new hops with :meth:`child`.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A brand-new root context with random ids."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self) -> "TraceContext":
+        """A new hop under this one: same trace, fresh span id."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_span_id=self.span_id,
+        )
+
+    # -- wire formats ------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-safe form that crosses the process-pool boundary."""
+        out: dict[str, Any] = {
+            "trace_id": self.trace_id, "span_id": self.span_id,
+        }
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_span_id=(
+                None if data.get("parent_span_id") is None
+                else str(data["parent_span_id"])
+            ),
+        )
+
+    def traceparent(self) -> str:
+        """This context as a W3C ``traceparent`` header value."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def parse_traceparent(cls, header: "str | None") -> "TraceContext | None":
+        """Parse a ``traceparent`` header; ``None`` when absent/malformed.
+
+        Per the W3C spec, an all-zero trace or span id is invalid and is
+        rejected the same as a syntax error — the caller should mint a
+        fresh context rather than propagate a broken one.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None:
+            return None
+        trace_id, span_id = match.group(1), match.group(2)
+        if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 @dataclass
@@ -55,13 +157,19 @@ class SpanRecord:
 class Trace:
     """A forest of spans recorded on one thread."""
 
-    __slots__ = ("name", "roots", "dropped_spans", "_stack", "_count")
+    __slots__ = (
+        "name", "roots", "dropped_spans", "context", "_stack", "_count",
+    )
 
-    def __init__(self, name: str = "trace"):
+    def __init__(
+        self, name: str = "trace", context: "TraceContext | None" = None
+    ):
         self.name = name
         self.roots: list[SpanRecord] = []
         #: Spans not materialised because MAX_SPANS was exceeded.
         self.dropped_spans = 0
+        #: The request/task identity this forest belongs to, if any.
+        self.context = context
         self._stack: list[SpanRecord] = []
         self._count = 0
 
@@ -183,9 +291,28 @@ def tracing_enabled() -> bool:
     return _state.trace is not None
 
 
-def start_trace(name: str = "trace") -> Trace:
-    """Install a fresh trace on this thread and return it."""
-    trace = Trace(name)
+def current_trace_id() -> str | None:
+    """The trace id of this thread's active trace context, if any.
+
+    This is the exemplar hook: histogram observations made while a
+    context-carrying trace is active pick up its trace id automatically
+    (see :func:`repro.obs.metrics.observe_value`).
+    """
+    trace = _state.trace
+    if trace is None or trace.context is None:
+        return None
+    return trace.context.trace_id
+
+
+def start_trace(
+    name: str = "trace", context: "TraceContext | None" = None
+) -> Trace:
+    """Install a fresh trace on this thread and return it.
+
+    *context* attaches a request/task identity to the new trace; spans
+    recorded under it are attributable to that trace id when harvested.
+    """
+    trace = Trace(name, context=context)
     _state.trace = trace
     return trace
 
@@ -211,3 +338,9 @@ def collect(name: str = "trace") -> Iterator[Trace]:
     finally:
         if _state.trace is trace:
             _state.trace = None
+
+
+# Exemplar auto-pull: metrics.observe_value asks this module (via the
+# hook, avoiding a circular import — trace already imports metrics) for
+# the active trace id when the caller did not pass one explicitly.
+metrics._trace_id_provider = current_trace_id

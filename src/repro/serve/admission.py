@@ -129,7 +129,10 @@ class AdmissionGate:
         return Reservation(self, count)
 
     async def acquire(
-        self, shed: bool = True, reservation: Reservation | None = None
+        self,
+        shed: bool = True,
+        reservation: Reservation | None = None,
+        trace_id: str | None = None,
     ) -> float:
         """Wait for a dispatch slot; returns the seconds spent queued.
 
@@ -138,7 +141,9 @@ class AdmissionGate:
         already set aside by :meth:`try_reserve` — it consumes one unit
         instead of re-testing headroom.  Both are used by inline-batch
         tasks, whose *request* was admitted as a unit up front and must
-        not be dropped halfway through.
+        not be dropped halfway through.  *trace_id* tags the queue-wait
+        observation with an OpenMetrics exemplar, so a bad
+        ``serve.queue_wait_s`` bucket names a request that sat in it.
         """
         if reservation is not None:
             reservation.consume_one()
@@ -166,7 +171,7 @@ class AdmissionGate:
                 self._report()
             raise
         waited = time.perf_counter() - started
-        obs.observe_value("serve.queue_wait_s", waited)
+        obs.observe_value("serve.queue_wait_s", waited, trace_id=trace_id)
         return waited
 
     def release(self) -> None:

@@ -22,6 +22,7 @@ exactly as the same tasks would in a batch.
 from __future__ import annotations
 
 import asyncio
+from typing import Any
 
 __all__ = ["SingleFlight"]
 
@@ -31,22 +32,33 @@ class SingleFlight:
 
     def __init__(self) -> None:
         self._inflight: dict[str, asyncio.Future] = {}
+        self._leaders: dict[str, Any] = {}
 
-    def begin(self, key: str) -> asyncio.Future | None:
+    def begin(self, key: str, ctx: Any = None) -> asyncio.Future | None:
         """Join the flight for *key*.
 
         Returns ``None`` when the caller becomes the leader (it must call
         :meth:`finish` when done, success or not), or the future to await
-        when another request already leads the key.
+        when another request already leads the key.  *ctx* is the
+        caller's trace context; the leader's is retained for the flight's
+        lifetime so waiters can record whose compile they rode
+        (:meth:`leader`).
         """
         waiter = self._inflight.get(key)
         if waiter is not None:
             return waiter
         self._inflight[key] = asyncio.get_running_loop().create_future()
+        if ctx is not None:
+            self._leaders[key] = ctx
         return None
+
+    def leader(self, key: str) -> Any:
+        """The in-flight leader's trace context for *key*, if recorded."""
+        return self._leaders.get(key)
 
     def finish(self, key: str) -> None:
         """Land the flight for *key*, releasing every waiter."""
+        self._leaders.pop(key, None)
         future = self._inflight.pop(key, None)
         if future is not None and not future.done():
             future.set_result(None)

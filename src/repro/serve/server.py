@@ -40,16 +40,21 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import re
 import signal
 import sys
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Any
 
 from .. import obs
 from .._errors import ReproError
 from ..engine import cache_outcome, normalize_task, task_seed
 from ..guard.budget import Budget
+from ..obs.aggregate import request_trace
+from ..obs.export import SCHEMA_SLOWQUERY, span_to_dict
+from ..obs.trace import SpanRecord, TraceContext
 from .admission import AdmissionGate, RequestShed, Reservation
 from .http import HttpError, HttpRequest, read_request, response_bytes
 from .service import QueryService, ServiceConfig
@@ -62,6 +67,21 @@ SCHEMA = "repro.serve/v1"
 #: Tasks accepted per inline /v1/batch request; bigger manifests belong
 #: in ``repro batch``, which has journaling and fault tolerance.
 MAX_BATCH_TASKS = 64
+
+#: Client-supplied ``X-Request-Id`` values must match this or be
+#: replaced: bounded length and a conservative charset, so a hostile
+#: header cannot smuggle newlines into access logs, slow-query records,
+#: or the echoed response header.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def _rfc3339_now() -> str:
+    """Wall-clock UTC timestamp, RFC3339 with millisecond precision."""
+    return (
+        datetime.now(timezone.utc)
+        .isoformat(timespec="milliseconds")
+        .replace("+00:00", "Z")
+    )
 
 
 @dataclass
@@ -83,6 +103,14 @@ class ServeConfig:
     epsilon: float = 0.05
     delta: float = 0.05
     access_log: bool = True
+    #: Requests whose end-to-end latency meets this threshold (seconds)
+    #: emit one ``repro.slowquery/v1`` JSONL record; ``None`` disables.
+    slow_query_s: float | None = None
+    #: Where slow-query records are appended; ``None`` means stderr.
+    slow_query_log: str | None = None
+    #: Attach OpenMetrics exemplars (``# {trace_id="..."} value``) to
+    #: histogram bucket series on ``/metrics``.
+    exemplars: bool = True
 
 
 class Server:
@@ -160,6 +188,7 @@ class Server:
         self.service.close()
         summary = {
             "event": "serve.drain",
+            "ts": _rfc3339_now(),
             "served": self.served,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "aborted_inflight": aborted,
@@ -247,17 +276,40 @@ class Server:
             except (ConnectionError, OSError):
                 pass
 
+    def _request_identity(
+        self, request: HttpRequest
+    ) -> tuple[str, TraceContext]:
+        """Sanitized request id + per-request trace context.
+
+        A client ``X-Request-Id`` outside the allowlist (length cap,
+        conservative charset) is *replaced* with a generated one, never
+        echoed.  A valid ``traceparent`` header continues the caller's
+        trace (this request becomes a child span); otherwise a fresh
+        trace is minted.
+        """
+        supplied = request.headers.get("x-request-id")
+        if supplied is not None and _REQUEST_ID_RE.match(supplied):
+            request_id = supplied
+        else:
+            request_id = f"req-{next(self._request_ids)}"
+        parent = TraceContext.parse_traceparent(
+            request.headers.get("traceparent")
+        )
+        ctx = parent.child() if parent is not None else TraceContext.mint()
+        return request_id, ctx
+
     async def _route(
         self, request: HttpRequest
     ) -> tuple[int, bytes, dict[str, str]]:
         """Dispatch one request; returns (status, body, extra headers)."""
         obs.add("serve.requests")
-        request_id = request.headers.get(
-            "x-request-id", f"req-{next(self._request_ids)}"
-        )
+        request_id, ctx = self._request_identity(request)
+        req_obs: dict[str, Any] = {}
         started = time.perf_counter()
         try:
-            status, body, extra = await self._route_inner(request, request_id)
+            status, body, extra = await self._route_inner(
+                request, request_id, ctx, req_obs
+            )
         except RequestShed as shed:
             status = 429
             body = _json_body({
@@ -281,18 +333,95 @@ class Server:
             })
             extra = {}
         elapsed = time.perf_counter() - started
-        obs.observe_value("serve.latency_s", elapsed)
+        obs.observe_value("serve.latency_s", elapsed, trace_id=ctx.trace_id)
+        threshold = self.config.slow_query_s
+        if threshold is not None and elapsed >= threshold:
+            self._log_slow_query(
+                request, request_id, ctx, status, elapsed, req_obs
+            )
         extra.setdefault("X-Request-Id", request_id)
         if self.config.access_log:
             print(json.dumps({
-                "event": "serve.access", "request_id": request_id,
+                "event": "serve.access", "ts": _rfc3339_now(),
+                "request_id": request_id, "trace_id": ctx.trace_id,
                 "method": request.method, "path": request.path,
                 "status": status, "elapsed_ms": round(elapsed * 1e3, 3),
             }, sort_keys=True), file=sys.stderr)
         return status, body, extra
 
+    def _log_slow_query(
+        self,
+        request: HttpRequest,
+        request_id: str,
+        ctx: TraceContext,
+        status: int,
+        elapsed: float,
+        req_obs: dict[str, Any],
+    ) -> None:
+        """Emit one ``repro.slowquery/v1`` record for an over-threshold request.
+
+        Forensic, not byte-stable: carries wall-clock ``ts``, the full
+        span tree (queue wait + the worker's harvested forest reparented
+        under a ``serve.request`` root), budget-relevant counters, and
+        cache provenance, so a slow trace can be explained after the
+        fact without re-running it.  Never raises — a broken log sink
+        must not fail the request it describes.
+        """
+        obs.add("serve.slow_queries")
+        record: dict[str, Any] = {
+            "schema": SCHEMA_SLOWQUERY,
+            "ts": _rfc3339_now(),
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "request_id": request_id,
+            "method": request.method,
+            "path": request.path,
+            "status": status,
+            "elapsed_s": round(elapsed, 6),
+            "threshold_s": self.config.slow_query_s,
+        }
+        queue_wait = req_obs.get("queue_wait_s")
+        if queue_wait is not None:
+            record["queue_wait_s"] = round(queue_wait, 6)
+        result = req_obs.get("record")
+        if isinstance(result, dict):
+            record["result_status"] = result.get("status")
+            if "cache" in result:
+                record["cache"] = result["cache"]
+        if "coalesced_with" in req_obs:
+            record["coalesced_with"] = req_obs["coalesced_with"]
+        snapshot = req_obs.get("snapshot") or {}
+        if snapshot.get("counters"):
+            record["counters"] = snapshot["counters"]
+        root = request_trace(
+            snapshot, ctx,
+            attrs={"request_id": request_id, "path": request.path},
+        )
+        root.duration_s = elapsed
+        if queue_wait is not None:
+            root.children.insert(0, SpanRecord(
+                name="serve.queue_wait", duration_s=queue_wait,
+            ))
+        record["spans"] = [span_to_dict(root)]
+        line = json.dumps(record, sort_keys=True)
+        try:
+            if self.config.slow_query_log:
+                with open(
+                    self.config.slow_query_log, "a", encoding="utf-8"
+                ) as handle:
+                    handle.write(line + "\n")
+            else:
+                print(line, file=sys.stderr)
+        except OSError as error:
+            print(f"serve: slow-query log write failed: {error}",
+                  file=sys.stderr)
+
     async def _route_inner(
-        self, request: HttpRequest, request_id: str
+        self,
+        request: HttpRequest,
+        request_id: str,
+        ctx: TraceContext,
+        req_obs: dict[str, Any],
     ) -> tuple[int, bytes, dict[str, str]]:
         path, method = request.path, request.method
         if path == "/healthz":
@@ -309,7 +438,9 @@ class Server:
             if method not in ("GET", "HEAD"):
                 raise HttpError(405, f"{method} not allowed on {path}")
             self.service.fold_store_metrics()
-            text = obs.render_prometheus(obs.REGISTRY)
+            text = obs.render_prometheus(
+                obs.REGISTRY, exemplars=self.config.exemplars
+            )
             return 200, text.encode("utf-8"), {
                 "_content_type": "text/plain; version=0.0.4; charset=utf-8",
             }
@@ -318,18 +449,22 @@ class Server:
                 raise HttpError(405, f"{method} not allowed on {path}")
             if self.draining:
                 raise HttpError(503, "server is draining")
-            return await self._handle_query(request, request_id)
+            return await self._handle_query(request, request_id, ctx, req_obs)
         if path == "/v1/batch":
             if method != "POST":
                 raise HttpError(405, f"{method} not allowed on {path}")
             if self.draining:
                 raise HttpError(503, "server is draining")
-            return await self._handle_batch(request, request_id)
+            return await self._handle_batch(request, request_id, ctx)
         raise HttpError(404, f"no route for {path}")
 
     # -- query endpoints ----------------------------------------------------
     async def _handle_query(
-        self, request: HttpRequest, request_id: str
+        self,
+        request: HttpRequest,
+        request_id: str,
+        ctx: TraceContext,
+        req_obs: dict[str, Any],
     ) -> tuple[int, bytes, dict[str, str]]:
         payload = _parse_json_object(request.body)
         index = payload.get("index")
@@ -346,14 +481,16 @@ class Server:
         record = await self._admit_and_execute(
             task, index=index, seed=seed,
             deadline=self._effective_timeout(payload),
+            trace_ctx=ctx.to_dict(), obs_out=req_obs,
         )
+        req_obs["record"] = record
         status = _record_status(record)
         envelope = {"schema": SCHEMA, "request_id": request_id,
                     "result": record}
         return status, _json_body(envelope), {}
 
     async def _handle_batch(
-        self, request: HttpRequest, request_id: str
+        self, request: HttpRequest, request_id: str, ctx: TraceContext
     ) -> tuple[int, bytes, dict[str, str]]:
         payload = _parse_json_object(request.body)
         raw_tasks = payload.get("tasks")
@@ -390,10 +527,13 @@ class Server:
         # `repro batch` of the same manifest would emit.
         prewarmed = frozenset(self.service.known)
         try:
+            # Every task of the batch is a child span of the request's
+            # trace — one trace_id across the manifest, one span per task.
             records = await asyncio.gather(*(
                 self._admit_and_execute(
                     task, index=task["index"], seed=seed, deadline=deadline,
                     shed=False, provenance=False, reservation=reservation,
+                    trace_ctx=ctx.child().to_dict(),
                 )
                 for task in tasks
             ))
@@ -424,6 +564,8 @@ class Server:
         shed: bool = True,
         provenance: bool = True,
         reservation: Reservation | None = None,
+        trace_ctx: dict[str, Any] | None = None,
+        obs_out: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Gate, charge queue time against the deadline, dispatch, release.
 
@@ -439,7 +581,12 @@ class Server:
         budget = Budget(deadline_s=deadline) if deadline is not None else None
         if budget is not None:
             budget.start()
-        await self.gate.acquire(shed=shed, reservation=reservation)
+        waited = await self.gate.acquire(
+            shed=shed, reservation=reservation,
+            trace_id=trace_ctx.get("trace_id") if trace_ctx else None,
+        )
+        if obs_out is not None:
+            obs_out["queue_wait_s"] = waited
         try:
             remaining = budget.remaining_s() if budget is not None else None
             if remaining is not None and remaining <= 0.0:
@@ -458,7 +605,7 @@ class Server:
                 }
             record = await self.service.execute(
                 task, index=index, seed=seed, timeout=remaining,
-                provenance=provenance,
+                provenance=provenance, trace_ctx=trace_ctx, obs_out=obs_out,
             )
             self.served += 1
             return record

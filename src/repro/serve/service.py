@@ -102,6 +102,8 @@ class QueryService:
         seed: int | None = None,
         timeout: float | None = None,
         provenance: bool = True,
+        trace_ctx: Mapping[str, Any] | None = None,
+        obs_out: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Run one normalized task on the pool; returns its result record.
 
@@ -112,26 +114,43 @@ class QueryService:
         server-lifetime ``"cache"`` dict (the inline-batch endpoint
         attaches request-local provenance instead) but still registers
         the compiled key, so later requests observe it as known.
+
+        *trace_ctx* is the request's trace-context dict; it crosses the
+        pool boundary inside the worker config so the worker's span
+        forest is recorded under the request's ``trace_id``.  When
+        *obs_out* is given, the worker's telemetry snapshot is retained
+        under ``obs_out["snapshot"]`` after being folded into the live
+        registry, and a coalescing waiter records the leader's trace
+        context under ``obs_out["coalesced_with"]`` — the slow-query log
+        uses both.
         """
         key = task_key(task)
         lead = False
         if (key is not None and self.store is not None
                 and key not in self.known):
-            waiter = self._flights.begin(key)
+            waiter = self._flights.begin(key, ctx=trace_ctx)
             if waiter is not None:
                 obs.add("serve.coalesce.waits")
+                if obs_out is not None:
+                    leader_ctx = self._flights.leader(key)
+                    if leader_ctx:
+                        obs_out["coalesced_with"] = dict(leader_ctx)
                 await waiter
             else:
                 lead = True
                 obs.add("serve.coalesce.leads")
         try:
-            record = await self._dispatch(dict(task), index, seed, timeout)
+            record = await self._dispatch(
+                dict(task), index, seed, timeout, trace_ctx=trace_ctx
+            )
         finally:
             if lead:
                 self._flights.finish(key)
         snapshot = record.pop("obs", None)
         if snapshot:
             merge_snapshot_into(obs.REGISTRY, snapshot)
+            if obs_out is not None:
+                obs_out["snapshot"] = snapshot
         cached_key = record.get("cached_key")
         if cached_key is not None:
             outcome = cache_outcome(cached_key, self.prewarmed, self.seen)
@@ -153,6 +172,7 @@ class QueryService:
         index: int,
         seed: int | None,
         timeout: float | None,
+        trace_ctx: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """One pool round trip; rebuilds the pool if a worker died on it."""
         base_seed = self.config.seed if seed is None else seed
@@ -167,6 +187,8 @@ class QueryService:
             "obs_shared_cache": True,
             "plan_store": self.config.plan_store,
         }
+        if trace_ctx is not None:
+            config["trace_ctx"] = dict(trace_ctx)
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
         pool = self._pool

@@ -1,0 +1,64 @@
+"""Deterministic per-task trace contexts in batch runs.
+
+Serve requests mint *random* trace ids, but batch task records must stay
+byte-comparable across worker counts and re-runs — so batch contexts are
+*derived*: ``sha256("repro.batch:<seed>:<index>")``.  Same manifest +
+same seed ⇒ same ids, which keeps the byte-stability contract intact
+while every task still carries a grep-able trace id.
+"""
+
+from repro.engine import run_batch
+from repro.engine.executor import batch_trace_ctx
+
+TASKS = [
+    {"id": "t0", "op": "volume", "formula": "0 <= x AND x <= 1"},
+    {"id": "t1", "op": "volume",
+     "formula": "0 <= x AND x <= 1 AND 0 <= y AND y <= 1"},
+]
+
+
+class TestBatchTraceCtx:
+    def test_deterministic_for_seed_and_index(self):
+        assert batch_trace_ctx(3, 0) == batch_trace_ctx(3, 0)
+
+    def test_well_formed_ids(self):
+        ctx = batch_trace_ctx(3, 0)
+        assert set(ctx) == {"trace_id", "span_id"}
+        assert len(ctx["trace_id"]) == 32
+        assert len(ctx["span_id"]) == 16
+        int(ctx["trace_id"], 16)
+        int(ctx["span_id"], 16)
+
+    def test_distinct_across_index_and_seed(self):
+        ids = {
+            batch_trace_ctx(seed, index)["trace_id"]
+            for seed in (0, 1, 2) for index in (0, 1, 2)
+        }
+        assert len(ids) == 9
+
+
+class TestBatchSnapshots:
+    def test_observed_tasks_record_their_context(self):
+        results = run_batch(TASKS, seed=3, collect_obs=True)
+        for index, result in enumerate(results):
+            assert result["obs"]["trace"] == batch_trace_ctx(3, index)
+
+    def test_trace_identical_across_worker_counts(self):
+        serial = run_batch(TASKS, seed=3, workers=1, collect_obs=True)
+        parallel = run_batch(TASKS, seed=3, workers=2, collect_obs=True)
+        for left, right in zip(serial, parallel):
+            assert left["obs"]["trace"] == right["obs"]["trace"]
+
+    def test_unobserved_tasks_carry_no_trace(self):
+        results = run_batch(TASKS, seed=3)
+        for result in results:
+            assert "obs" not in result
+
+    def test_worker_exemplars_carry_the_task_trace_id(self):
+        # The worker ran under the task's context, so its latency
+        # histograms picked the trace id up as exemplars automatically.
+        (first, _) = run_batch(TASKS, seed=3, collect_obs=True)
+        compile_hist = first["obs"]["histograms"]["engine.plan.compile_s"]
+        exemplars = compile_hist.get("exemplars") or {}
+        trace_ids = {trace_id for _, trace_id in exemplars.values()}
+        assert trace_ids == {batch_trace_ctx(3, 0)["trace_id"]}

@@ -1,0 +1,152 @@
+"""OpenMetrics exemplars: histogram storage, rendering, auto-capture."""
+
+from repro import obs
+from repro.obs.histogram import Histogram
+from repro.obs.trace import TraceContext
+
+
+class TestHistogramExemplars:
+    def test_observe_with_trace_id_records_exemplar(self):
+        hist = Histogram("h")
+        hist.observe(0.05, trace_id="aa" * 16)
+        (index,) = hist.exemplars
+        value, trace_id = hist.exemplars[index]
+        assert value == 0.05
+        assert trace_id == "aa" * 16
+
+    def test_recent_observation_wins_per_bucket(self):
+        hist = Histogram("h")
+        hist.observe(0.05, trace_id="first")
+        hist.observe(0.051, trace_id="second")  # same bucket
+        (exemplar,) = hist.exemplars.values()
+        assert exemplar[1] == "second"
+
+    def test_exemplars_never_change_counts(self):
+        plain, traced = Histogram("p"), Histogram("t")
+        for value in (0.001, 0.5, 2.0, 1e4):
+            plain.observe(value)
+            traced.observe(value, trace_id="t" * 32)
+        assert plain.count == traced.count
+        assert plain.buckets == traced.buckets
+        assert plain.sum == traced.sum
+
+    def test_as_dict_omits_exemplars_when_absent(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        assert "exemplars" not in hist.as_dict()
+
+    def test_dict_round_trip_carries_exemplars(self):
+        hist = Histogram("h")
+        hist.observe(0.2, trace_id="cd" * 16)
+        clone = Histogram.from_dict("h", hist.as_dict())
+        assert clone.exemplars == hist.exemplars
+
+    def test_old_snapshot_without_exemplars_still_loads(self):
+        hist = Histogram("h")
+        hist.observe(0.2)
+        data = hist.as_dict()
+        assert "exemplars" not in data
+        clone = Histogram.from_dict("h", data)
+        assert clone.count == 1 and clone.exemplars == {}
+
+    def test_malformed_exemplars_dropped_not_fatal(self):
+        hist = Histogram("h")
+        hist.observe(0.2, trace_id="ok")
+        data = hist.as_dict()
+        data["exemplars"] = {"not-an-int": [1.0, "x"], "3": "not-a-pair"}
+        clone = Histogram.from_dict("h", data)
+        assert clone.exemplars == {}
+        assert clone.count == 1
+
+    def test_merge_incoming_wins(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.observe(0.05, trace_id="old")
+        b.observe(0.052, trace_id="new")  # same bucket
+        a.merge(b)
+        (exemplar,) = a.exemplars.values()
+        assert exemplar[1] == "new"
+        assert a.count == 2
+
+    def test_reset_clears_exemplars(self):
+        hist = Histogram("h")
+        hist.observe(0.05, trace_id="x")
+        hist.reset()
+        assert hist.exemplars == {}
+
+
+class TestRenderedExemplars:
+    def _registry_with_latency(self, trace_id="ab" * 16):
+        registry = obs.Registry()
+        registry.histogram("serve.latency_s").observe(
+            0.05, trace_id=trace_id
+        )
+        return registry
+
+    def test_suffix_only_on_bucket_lines(self):
+        text = obs.render_prometheus(
+            self._registry_with_latency(), exemplars=True
+        )
+        for line in text.splitlines():
+            if " # {" in line:
+                assert "_bucket{" in line
+        assert any(" # {" in line for line in text.splitlines())
+
+    def test_exemplar_syntax(self):
+        text = obs.render_prometheus(
+            self._registry_with_latency("ab" * 16), exemplars=True
+        )
+        exemplar_lines = [l for l in text.splitlines() if " # {" in l]
+        assert len(exemplar_lines) == 1
+        assert exemplar_lines[0].endswith(f'# {{trace_id="{"ab" * 16}"}} 0.05')
+
+    def test_disabled_rendering_is_byte_identical_to_plain(self):
+        with_traces = self._registry_with_latency()
+        plain = obs.Registry()
+        plain.histogram("serve.latency_s").observe(0.05)
+        assert (
+            obs.render_prometheus(with_traces)
+            == obs.render_prometheus(plain)
+        )
+
+    def test_every_line_parses_as_prometheus(self):
+        text = obs.render_prometheus(
+            self._registry_with_latency(), exemplars=True
+        )
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            if " # {" in line:
+                sample, _, exemplar = line.partition(" # ")
+                float(exemplar.rsplit(" ", 1)[1])
+                line = sample
+            float(line.rsplit(" ", 1)[1])
+
+
+class TestAutoCapture:
+    def test_observe_value_pulls_trace_id_from_active_context(self):
+        obs.enable_counting()
+        ctx = TraceContext.mint()
+        obs.start_trace("req", context=ctx)
+        try:
+            obs.observe_value("serve.latency_s", 0.07)
+        finally:
+            obs.stop_trace()
+        hist = obs.REGISTRY.histogram("serve.latency_s")
+        (exemplar,) = hist.exemplars.values()
+        assert exemplar == (0.07, ctx.trace_id)
+
+    def test_explicit_trace_id_beats_provider(self):
+        obs.enable_counting()
+        obs.start_trace("req", context=TraceContext.mint())
+        try:
+            obs.observe_value("serve.latency_s", 0.07, trace_id="explicit")
+        finally:
+            obs.stop_trace()
+        hist = obs.REGISTRY.histogram("serve.latency_s")
+        (exemplar,) = hist.exemplars.values()
+        assert exemplar[1] == "explicit"
+
+    def test_no_context_means_no_exemplar(self):
+        obs.enable_counting()
+        obs.observe_value("serve.latency_s", 0.07)
+        assert obs.REGISTRY.histogram("serve.latency_s").exemplars == {}

@@ -1,0 +1,92 @@
+"""Mixed-schema trajectory files: skip accounting and exemplar replay."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.aggregate import SUMMARY_EXPERIMENT
+
+
+def _write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestMixedSchemaReads:
+    def test_v1_v2_and_slowquery_records_all_accepted(self, tmp_path):
+        lines = [
+            json.dumps({"schema": "repro.obs/v1", "experiment": "old",
+                        "counters": {"cad.cells": 1}}),
+            json.dumps({"schema": "repro.obs/v2", "experiment": "new",
+                        "counters": {"cad.cells": 2}}),
+            json.dumps({"schema": "repro.slowquery/v1",
+                        "trace_id": "ab" * 16, "elapsed_s": 2.0}),
+        ]
+        target = tmp_path / "mixed.jsonl"
+        _write_lines(target, lines)
+        records = obs.read_jsonl(str(target))
+        assert len(records) == 3
+        assert records.skipped == 0
+
+    def test_garbage_lines_counted_not_fatal(self, tmp_path):
+        lines = [
+            json.dumps({"schema": "repro.obs/v2", "experiment": "keep"}),
+            "{not json at all",
+            json.dumps(["an", "array"]),
+            json.dumps({"schema": "repro.alien/v9", "x": 1}),
+            "",  # blank: silently ignored, not counted
+            json.dumps({"no_schema": "passes through"}),
+        ]
+        target = tmp_path / "dirty.jsonl"
+        _write_lines(target, lines)
+        with pytest.warns(UserWarning):
+            records = obs.read_jsonl(str(target))
+        assert len(records) == 2
+        assert records.skipped == 3
+
+    def test_skip_warnings_name_file_and_line(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        _write_lines(target, ["not-json"])
+        with pytest.warns(UserWarning, match=r"bad\.jsonl:1"):
+            obs.read_jsonl(str(target))
+
+
+class TestExemplarReplay:
+    def _summary_record(self, with_exemplars):
+        registry = obs.Registry()
+        hist = registry.histogram("serve.latency_s")
+        hist.observe(
+            0.05, trace_id=("ab" * 16 if with_exemplars else None)
+        )
+        return {
+            "schema": "repro.obs/v2",
+            "experiment": SUMMARY_EXPERIMENT,
+            "histograms": registry.histograms_as_dict(),
+        }
+
+    def test_replay_restores_exemplars(self):
+        registry = obs.registry_from_records([self._summary_record(True)])
+        hist = registry.histogram("serve.latency_s")
+        assert hist.count == 1
+        assert ("ab" * 16) in {t for _, t in hist.exemplars.values()}
+        text = obs.render_prometheus(registry, exemplars=True)
+        assert f'trace_id="{"ab" * 16}"' in text
+
+    def test_old_reader_shape_files_without_exemplars_replay(self):
+        # A v2 file written before exemplars existed has no "exemplars"
+        # key anywhere; replay must behave exactly as it always did.
+        record = self._summary_record(False)
+        assert "exemplars" not in json.dumps(record)
+        registry = obs.registry_from_records([record])
+        hist = registry.histogram("serve.latency_s")
+        assert hist.count == 1
+        assert hist.exemplars == {}
+
+    def test_untraced_snapshot_bytes_unchanged_by_exemplar_support(self):
+        # The serialized form of an exemplar-free histogram must be
+        # byte-identical to the pre-exemplar format: the byte-stability
+        # contract for task records depends on it.
+        hist_data = self._summary_record(False)["histograms"][
+            "serve.latency_s"
+        ]
+        assert set(hist_data) == {"count", "sum", "min", "max", "buckets"}

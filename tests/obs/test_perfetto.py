@@ -1,0 +1,148 @@
+"""Chrome trace-event export: schema validity and timeline synthesis."""
+
+import json
+
+from repro import obs
+from repro.obs.perfetto import (
+    MIN_DUR_US, perfetto_json, record_events, render_perfetto, span_events,
+)
+
+#: A byte-stable batch task record: spans carry no durations at all.
+BATCH_RECORD = {
+    "schema": "repro.obs/v2",
+    "experiment": "repro.batch.task",
+    "row": {"task": "t0", "status": "ok"},
+    "spans": [{
+        "name": "task",
+        "attrs": {"task": 0},
+        "children": [
+            {"name": "engine.plan.compile"},
+            {"name": "engine.eval", "children": [{"name": "qe.project"}]},
+        ],
+    }],
+}
+
+#: A slow-query record: spans carry measured durations.
+SLOWQUERY_RECORD = {
+    "schema": "repro.slowquery/v1",
+    "trace_id": "ab" * 16,
+    "path": "/v1/query",
+    "spans": [{
+        "name": "serve.request",
+        "duration_s": 0.5,
+        "attrs": {"trace_id": "ab" * 16},
+        "children": [
+            {"name": "serve.queue_wait", "duration_s": 0.1},
+            {"name": "task", "duration_s": 0.35},
+        ],
+    }],
+}
+
+
+def _check_event_schema(events):
+    """The acceptance-criteria schema check: required keys, sane values."""
+    assert events, "no events produced"
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in event, f"missing {key}: {event}"
+        assert event["ph"] in ("X", "M")
+        assert isinstance(event["ts"], int) and event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= MIN_DUR_US
+
+
+class TestSpanLayout:
+    def test_leaf_without_duration_gets_min_width(self):
+        events, end = span_events({"name": "leaf"}, pid=1)
+        assert events[0]["dur"] == MIN_DUR_US
+        assert end == MIN_DUR_US
+
+    def test_parent_spans_at_least_its_children(self):
+        span = {"name": "p", "children": [{"name": "a"}, {"name": "b"}]}
+        events, end = span_events(span, pid=1)
+        parent = events[0]
+        assert parent["name"] == "p"
+        assert parent["dur"] >= 2 * MIN_DUR_US
+        assert end == parent["ts"] + parent["dur"]
+
+    def test_siblings_laid_out_sequentially(self):
+        span = {"name": "p", "children": [{"name": "a"}, {"name": "b"}]}
+        events, _ = span_events(span, pid=1)
+        a, b = events[1], events[2]
+        assert b["ts"] == a["ts"] + a["dur"]
+
+    def test_recorded_durations_respected(self):
+        events, _ = span_events(
+            {"name": "s", "duration_s": 0.25}, pid=1
+        )
+        assert events[0]["dur"] == 250_000
+
+    def test_attrs_and_error_become_args(self):
+        events, _ = span_events(
+            {"name": "s", "attrs": {"k": 1}, "error": "boom"}, pid=1
+        )
+        assert events[0]["args"] == {"k": 1, "error": "boom"}
+
+
+class TestRecordConversion:
+    def test_batch_record_passes_schema_check(self):
+        events = record_events(BATCH_RECORD, pid=1)
+        _check_event_schema(events)
+
+    def test_slow_query_record_passes_schema_check(self):
+        events = record_events(SLOWQUERY_RECORD, pid=1)
+        _check_event_schema(events)
+
+    def test_timestamps_monotone_per_lane(self):
+        for record in (BATCH_RECORD, SLOWQUERY_RECORD):
+            events = [
+                e for e in record_events(record, pid=1) if e["ph"] == "X"
+            ]
+            # Depth-first emission: each event starts at or after the
+            # previous one.
+            for earlier, later in zip(events, events[1:]):
+                assert later["ts"] >= earlier["ts"]
+
+    def test_metadata_event_names_the_lane(self):
+        meta = record_events(SLOWQUERY_RECORD, pid=7)[0]
+        assert meta["ph"] == "M"
+        assert meta["name"] == "process_name"
+        assert meta["pid"] == 7
+        assert "abababab" in meta["args"]["name"]
+
+    def test_spanless_record_contributes_nothing(self):
+        assert record_events({"schema": "repro.obs/v2", "counters": {}}, 1) == []
+
+
+class TestDocument:
+    def test_document_shape(self):
+        doc = perfetto_json([BATCH_RECORD, SLOWQUERY_RECORD])
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        _check_event_schema(doc["traceEvents"])
+
+    def test_one_lane_per_span_bearing_record(self):
+        doc = perfetto_json([
+            BATCH_RECORD,
+            {"schema": "repro.obs/v2", "counters": {"x": 1}},  # no lane
+            SLOWQUERY_RECORD,
+        ])
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_render_is_valid_json(self):
+        parsed = json.loads(render_perfetto([SLOWQUERY_RECORD]))
+        _check_event_schema(parsed["traceEvents"])
+
+    def test_real_trace_out_record_converts(self):
+        # A record produced by the real exporter (make_record over a
+        # collected trace) must convert, not just hand-written fixtures.
+        with obs.observe("perfetto-src") as trace:
+            with obs.span("outer", task=3):
+                with obs.span("inner"):
+                    pass
+        record = obs.make_record("demo", trace=trace)
+        doc = perfetto_json([record])
+        _check_event_schema(doc["traceEvents"])
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == ["outer", "inner"]

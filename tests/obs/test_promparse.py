@@ -1,0 +1,111 @@
+"""Prometheus text parsing and the quantile estimate behind ``repro top``."""
+
+import math
+
+from repro import obs
+from repro.obs.promparse import parse_prometheus, quantile_from_buckets
+from repro.obs.top import render_top
+
+EXPOSITION = """\
+# HELP repro_serve_requests_total requests received
+# TYPE repro_serve_requests_total counter
+repro_serve_requests_total 42
+# TYPE repro_serve_queue_depth gauge
+repro_serve_queue_depth 3
+# TYPE repro_serve_latency_s histogram
+repro_serve_latency_s_bucket{le="0.01"} 10
+repro_serve_latency_s_bucket{le="0.1"} 30 # {trace_id="aa11"} 0.07
+repro_serve_latency_s_bucket{le="+Inf"} 32 # {trace_id="bb22"} 1.5
+repro_serve_latency_s_sum 2.9
+repro_serve_latency_s_count 32
+garbage line that parses as nothing !!
+"""
+
+
+class TestParse:
+    def test_counters_and_gauges(self):
+        snap = parse_prometheus(EXPOSITION)
+        assert snap.samples["repro_serve_requests_total"] == 42
+        assert snap.value("repro_serve_requests") == 42  # _total fallback
+        assert snap.samples["repro_serve_queue_depth"] == 3
+
+    def test_histogram_reassembled(self):
+        snap = parse_prometheus(EXPOSITION)
+        hist = snap.histograms["repro_serve_latency_s"]
+        assert hist.sorted_buckets() == [(0.01, 10), (0.1, 30), (math.inf, 32)]
+        assert hist.sum == 2.9
+        assert hist.count == 32
+
+    def test_exemplars_parsed(self):
+        hist = parse_prometheus(EXPOSITION).histograms["repro_serve_latency_s"]
+        assert hist.exemplars[0.1] == ("aa11", 0.07)
+        assert hist.exemplars[math.inf] == ("bb22", 1.5)
+
+    def test_unparseable_lines_skipped(self):
+        snap = parse_prometheus(EXPOSITION)
+        assert "garbage" not in snap.samples
+
+    def test_type_declarations_recorded(self):
+        snap = parse_prometheus(EXPOSITION)
+        assert snap.types["repro_serve_latency_s"] == "histogram"
+
+    def test_round_trip_through_exporter(self):
+        registry = obs.Registry()
+        registry.counter("serve.requests").add(7)
+        registry.histogram("serve.latency_s").observe(0.05, trace_id="xyz")
+        text = obs.render_prometheus(registry, exemplars=True)
+        snap = parse_prometheus(text)
+        assert snap.value("repro_serve_requests") == 7
+        hist = snap.histograms["repro_serve_latency_s"]
+        assert hist.count == 1
+        assert ("xyz", 0.05) in hist.exemplars.values()
+
+
+class TestQuantile:
+    def test_empty_and_zero_total(self):
+        assert quantile_from_buckets([], 0.5) == 0.0
+        assert quantile_from_buckets([(1.0, 0)], 0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        buckets = [(1.0, 0), (2.0, 100)]
+        # Median of 100 observations uniformly inside (1, 2].
+        assert 1.0 < quantile_from_buckets(buckets, 0.5) <= 2.0
+
+    def test_inf_bucket_collapses_to_last_finite_bound(self):
+        buckets = [(1.0, 10), (math.inf, 20)]
+        assert quantile_from_buckets(buckets, 0.99) == 1.0
+
+    def test_quantiles_monotone_in_q(self):
+        buckets = [(0.01, 5), (0.1, 20), (1.0, 30), (math.inf, 31)]
+        values = [
+            quantile_from_buckets(buckets, q)
+            for q in (0.1, 0.5, 0.9, 0.99)
+        ]
+        assert values == sorted(values)
+
+
+class TestRenderTop:
+    def test_one_screen_from_a_scrape(self):
+        frame = render_top(parse_prometheus(EXPOSITION), url="http://x/metrics")
+        assert "repro top" in frame
+        assert "requests 42 total" in frame
+        assert "p95" in frame
+        assert "depth 3" in frame
+        # Exemplar trace ids surface as the slow-trace list.
+        assert "trace_id=bb22" in frame
+        assert len(frame.splitlines()) < 25
+
+    def test_rate_needs_two_scrapes(self):
+        snap = parse_prometheus(EXPOSITION)
+        first = render_top(snap)
+        assert "rate -" in first
+        later = parse_prometheus(
+            EXPOSITION.replace("repro_serve_requests_total 42",
+                               "repro_serve_requests_total 52")
+        )
+        second = render_top(later, previous=snap, interval=2.0)
+        assert "rate 5.0/s" in second
+
+    def test_empty_scrape_renders_without_error(self):
+        frame = render_top(parse_prometheus(""))
+        assert "no observations" in frame

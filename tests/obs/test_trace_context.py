@@ -1,0 +1,96 @@
+"""W3C-style trace context: minting, propagation, and header parsing."""
+
+from repro import obs
+from repro.obs.trace import TraceContext, new_span_id, new_trace_id
+
+
+class TestIds:
+    def test_trace_id_is_32_lowercase_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        assert trace_id == trace_id.lower()
+        int(trace_id, 16)
+
+    def test_span_id_is_16_lowercase_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestContext:
+    def test_mint_has_no_parent(self):
+        ctx = TraceContext.mint()
+        assert ctx.parent_span_id is None
+
+    def test_child_shares_trace_id_with_fresh_span(self):
+        ctx = TraceContext.mint()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.parent_span_id == ctx.span_id
+
+    def test_dict_round_trip(self):
+        ctx = TraceContext.mint().child()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_to_dict_omits_absent_parent(self):
+        assert "parent_span_id" not in TraceContext.mint().to_dict()
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = TraceContext.mint()
+        parsed = TraceContext.parse_traceparent(ctx.traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_header_shape(self):
+        header = TraceContext.mint().traceparent()
+        version, trace_id, span_id, flags = header.split("-")
+        assert (version, flags) == ("00", "01")
+        assert len(trace_id) == 32 and len(span_id) == 16
+
+    def test_malformed_headers_rejected(self):
+        for header in (
+            None, "", "garbage", "00-short-short-01",
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+            "zz-" + "1" * 32 + "-" + "2" * 16 + "-01",  # bad version
+        ):
+            assert TraceContext.parse_traceparent(header) is None
+
+    def test_all_zero_ids_rejected_per_spec(self):
+        valid_span = "1" * 16
+        valid_trace = "1" * 32
+        assert TraceContext.parse_traceparent(
+            f"00-{'0' * 32}-{valid_span}-01") is None
+        assert TraceContext.parse_traceparent(
+            f"00-{valid_trace}-{'0' * 16}-01") is None
+
+    def test_uppercase_header_normalized(self):
+        ctx = TraceContext.mint()
+        parsed = TraceContext.parse_traceparent(ctx.traceparent().upper())
+        assert parsed is not None and parsed.trace_id == ctx.trace_id
+
+
+class TestCurrentTraceId:
+    def test_none_without_a_trace(self):
+        assert obs.current_trace_id() is None
+
+    def test_none_for_context_free_trace(self):
+        obs.start_trace("plain")
+        try:
+            assert obs.current_trace_id() is None
+        finally:
+            obs.stop_trace()
+
+    def test_reflects_installed_context(self):
+        ctx = TraceContext.mint()
+        obs.start_trace("req", context=ctx)
+        try:
+            assert obs.current_trace_id() == ctx.trace_id
+        finally:
+            obs.stop_trace()

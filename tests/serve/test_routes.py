@@ -360,3 +360,100 @@ class TestMetricsRoute:
                 float(value)  # every sample line ends in a number
 
         serve_test(check)
+
+
+class TestRequestIdSanitization:
+    def test_valid_client_id_kept(self):
+        async def check(server, port):
+            _, headers, _ = await _request(
+                port, "GET", "/healthz",
+                headers={"X-Request-Id": "build-7.retry_2"},
+            )
+            assert headers["x-request-id"] == "build-7.retry_2"
+
+        serve_test(check)
+
+    def test_hostile_charset_replaced(self):
+        async def check(server, port):
+            _, headers, _ = await _request(
+                port, "GET", "/healthz",
+                headers={"X-Request-Id": "evil{$(rm)}id"},
+            )
+            assert headers["x-request-id"].startswith("req-")
+
+        serve_test(check)
+
+    def test_overlong_id_replaced(self):
+        async def check(server, port):
+            _, headers, _ = await _request(
+                port, "GET", "/healthz",
+                headers={"X-Request-Id": "a" * 129},
+            )
+            assert headers["x-request-id"].startswith("req-")
+
+        serve_test(check)
+
+    def test_length_cap_boundary_kept(self):
+        async def check(server, port):
+            _, headers, _ = await _request(
+                port, "GET", "/healthz",
+                headers={"X-Request-Id": "a" * 128},
+            )
+            assert headers["x-request-id"] == "a" * 128
+
+        serve_test(check)
+
+
+class TestAccessLogTimestamps:
+    def test_access_log_carries_rfc3339_utc_ts(self, capsys):
+        import re
+
+        async def check(server, port):
+            await _request(port, "GET", "/healthz")
+
+        serve_test(check, access_log=True)
+        access_lines = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{") and '"serve.access"' in line
+        ]
+        assert len(access_lines) == 1
+        entry = access_lines[0]
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z", entry["ts"]
+        ), entry["ts"]
+        assert re.fullmatch(r"[0-9a-f]{32}", entry["trace_id"])
+        assert entry["method"] == "GET" and entry["path"] == "/healthz"
+
+
+class TestMetricsExemplars:
+    def test_latency_buckets_carry_trace_id_exemplars(self):
+        obs.enable_counting()
+
+        async def check(server, port):
+            await _request(port, "GET", "/healthz")
+            _, _, body = await _request(port, "GET", "/metrics")
+            text = body.decode()
+            exemplar_lines = [l for l in text.splitlines() if " # {" in l]
+            assert exemplar_lines, "no exemplars on /metrics"
+            for line in exemplar_lines:
+                assert "_bucket{" in line  # only bucket series
+                assert 'trace_id="' in line
+
+        serve_test(check)
+
+    def test_no_exemplars_flag_renders_plain_format(self):
+        obs.enable_counting()
+
+        async def check(server, port):
+            await _request(port, "GET", "/healthz")
+            _, _, body = await _request(port, "GET", "/metrics")
+            text = body.decode()
+            assert " # {" not in text
+            for line in text.splitlines():
+                if not line or line.startswith("#"):
+                    continue
+                _, _, value = line.rpartition(" ")
+                float(value)  # strict Prometheus: every line is a sample
+
+        serve_test(check, exemplars=False)

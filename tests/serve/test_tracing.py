@@ -1,0 +1,154 @@
+"""End-to-end request tracing: context propagation, slow-query forensics.
+
+The acceptance property for cross-process tracing: a trace context
+minted for a request crosses the ``ProcessPoolExecutor`` boundary inside
+the worker config, the worker records it in its telemetry snapshot, and
+the harvested span forest reparents under the request's ``trace_id`` —
+so one id connects the access log, the latency exemplar, and the
+worker's internal spans.
+"""
+
+import asyncio
+import io
+import json
+import re
+
+from repro import obs
+from repro.engine import normalize_task
+from repro.obs.aggregate import request_trace
+from repro.obs.trace import TraceContext
+
+from .test_routes import _request, serve_test
+
+TASK = {"id": "t0", "op": "volume", "formula": "0 <= x AND x <= 1"}
+
+RFC3339 = r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z"
+
+
+def _span_names(span_dict):
+    yield span_dict["name"]
+    for child in span_dict.get("children") or []:
+        yield from _span_names(child)
+
+
+class TestWorkerPropagation:
+    def test_worker_span_forest_reparents_under_request_trace(self):
+        """The acceptance test: pool-boundary propagation + reparenting."""
+        async def check(server, port):
+            ctx = TraceContext.mint()
+            req_obs = {}
+            record = await server.service.execute(
+                normalize_task(dict(TASK), 0),
+                index=0, trace_ctx=ctx.to_dict(), obs_out=req_obs,
+            )
+            assert record["status"] == "ok"
+            snapshot = req_obs["snapshot"]
+            # The worker recorded the context it actually ran under —
+            # proof the id crossed the process boundary intact.
+            assert snapshot["trace"]["trace_id"] == ctx.trace_id
+            assert snapshot["trace"]["span_id"] == ctx.span_id
+            # The harvested forest grafts under the request root.
+            root = request_trace(snapshot, ctx)
+            assert root.attrs["trace_id"] == ctx.trace_id
+            assert root.children, "no worker spans harvested"
+
+        serve_test(check)
+
+
+class TestSlowQueryLog:
+    def test_over_threshold_request_emits_forensic_record(self, tmp_path):
+        log = tmp_path / "slow.jsonl"
+        sent = TraceContext.mint()
+
+        async def check(server, port):
+            status, _, _ = await _request(
+                port, "POST", "/v1/query", dict(TASK),
+                headers={"traceparent": sent.traceparent()},
+            )
+            assert status == 200
+
+        serve_test(
+            check, slow_query_s=0.0, slow_query_log=str(log),
+        )
+        (line,) = log.read_text().splitlines()
+        record = json.loads(line)
+        assert record["schema"] == "repro.slowquery/v1"
+        # The request continued the client's trace: same trace_id.
+        assert record["trace_id"] == sent.trace_id
+        assert re.fullmatch(RFC3339, record["ts"])
+        assert record["path"] == "/v1/query"
+        assert record["status"] == 200
+        assert record["elapsed_s"] >= 0
+        assert record["threshold_s"] == 0.0
+        assert record["queue_wait_s"] >= 0
+        assert record["result_status"] == "ok"
+        (root,) = record["spans"]
+        assert root["name"] == "serve.request"
+        assert root["attrs"]["trace_id"] == sent.trace_id
+        names = set(_span_names(root))
+        assert "serve.queue_wait" in names
+        assert len(names) > 2, "worker span forest missing from the tree"
+
+    def test_slow_query_record_is_perfetto_convertible(self, tmp_path):
+        log = tmp_path / "slow.jsonl"
+
+        async def check(server, port):
+            await _request(port, "POST", "/v1/query", dict(TASK))
+
+        serve_test(check, slow_query_s=0.0, slow_query_log=str(log))
+        records = obs.read_jsonl(str(log))
+        assert records.skipped == 0
+        doc = obs.perfetto_json(records)
+        assert doc["traceEvents"], "slow-query record produced no timeline"
+        for event in doc["traceEvents"]:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+            assert event["ts"] >= 0
+
+    def test_disabled_by_default(self, tmp_path, capsys):
+        async def check(server, port):
+            await _request(port, "GET", "/healthz")
+
+        serve_test(check)
+        err = capsys.readouterr().err
+        assert "repro.slowquery/v1" not in err
+
+    def test_slow_queries_counter_increments(self):
+        obs.enable_counting()
+
+        async def check(server, port):
+            await _request(port, "GET", "/healthz")
+            assert obs.REGISTRY.counter("serve.slow_queries").value == 1
+
+        serve_test(check, slow_query_s=0.0, slow_query_log="/dev/null")
+
+
+class TestTopIntegration:
+    def test_top_once_renders_from_a_live_scrape(self):
+        obs.enable_counting()
+        from repro.obs.top import run_top
+
+        async def check(server, port):
+            # Generate a little traffic so panels are non-trivial.
+            await _request(port, "GET", "/healthz")
+            await _request(port, "GET", "/healthz")
+            buffer = io.StringIO()
+            code = await asyncio.to_thread(
+                run_top, f"http://127.0.0.1:{port}/metrics",
+                once=True, out=buffer,
+            )
+            assert code == 0
+            frame = buffer.getvalue()
+            assert "repro top" in frame
+            assert "requests" in frame and "latency" in frame
+            assert "queue" in frame and "pool" in frame
+
+        serve_test(check)
+
+    def test_top_unreachable_url_exits_nonzero(self):
+        from repro.obs.top import run_top
+
+        code = run_top(
+            "http://127.0.0.1:9/metrics", once=True, out=io.StringIO()
+        )
+        assert code == 1
